@@ -1,0 +1,137 @@
+// Command offline demonstrates the decoupling the paper highlights: the
+// block DAG is built online by gossip, but interpreting it is a pure
+// function of the DAG — it can happen later, elsewhere, or repeatedly.
+//
+// The program runs a live cluster, persists one server's DAG to disk,
+// reloads it in a fresh process context (new roster object, new
+// interpreter, no network), re-interprets it, and verifies that the
+// offline replay reaches exactly the online conclusions — including the
+// indications of *other* servers' simulated instances, which an auditor
+// could use to check what any server must have delivered.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"blockdag/internal/cluster"
+	"blockdag/internal/core"
+	"blockdag/internal/crypto"
+	"blockdag/internal/protocols/brb"
+	"blockdag/internal/trace"
+	"blockdag/internal/types"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "offline:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Phase 1: a live cluster delivers two broadcasts.
+	c, err := cluster.New(cluster.Options{N: 4, Protocol: brb.Protocol{}, Seed: 13})
+	if err != nil {
+		return err
+	}
+	c.Request(0, "x", []byte("first"))
+	c.Request(3, "y", []byte("second"))
+	ok, err := c.RunUntil(25, func() bool {
+		for _, i := range c.CorrectServers() {
+			if len(c.Indications(i)) < 2 {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("broadcasts not delivered in 25 rounds")
+	}
+	fmt.Println("online run complete; every server delivered x and y")
+
+	// Phase 2: persist s1's DAG.
+	path := filepath.Join(os.TempDir(), "blockdag-offline-example.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	d := c.Servers[1].DAG()
+	if err := trace.WriteDAG(f, d); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("persisted s1's DAG: %d blocks, %d bytes -> %s\n", d.Len(), info.Size(), path)
+
+	// Phase 3: reload and re-interpret offline. Only the roster (public
+	// keys) is needed — no signing keys, no network.
+	roster, _, err := crypto.LocalRoster(4)
+	if err != nil {
+		return err
+	}
+	g, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = g.Close() }()
+	loaded, err := trace.ReadDAG(g, roster)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reloaded and revalidated %d blocks (every signature re-checked)\n", loaded.Len())
+
+	type delivery struct {
+		server types.ServerID
+		label  types.Label
+		value  string
+	}
+	var replay []delivery
+	it, fresh, err := core.OfflineInterpreter(roster, brb.Protocol{},
+		func(server types.ServerID, label types.Label, value []byte) {
+			replay = append(replay, delivery{server, label, string(value)})
+		})
+	if err != nil {
+		return err
+	}
+	for _, b := range loaded.Blocks() {
+		if err := fresh.Insert(b); err != nil {
+			return err
+		}
+	}
+	if err := it.InterpretDAG(fresh); err != nil {
+		return err
+	}
+
+	fmt.Println("\noffline replay indications (all simulated servers):")
+	for _, dlv := range replay {
+		fmt.Printf("  %s delivered %q on %s\n", dlv.server, dlv.value, dlv.label)
+	}
+
+	// Phase 4: audit — the online indications of every correct server
+	// must appear in the offline replay.
+	want := make(map[string]bool)
+	for _, dlv := range replay {
+		want[fmt.Sprintf("%s|%s|%s", dlv.server, dlv.label, dlv.value)] = true
+	}
+	for _, i := range c.CorrectServers() {
+		for _, ind := range c.Indications(i) {
+			key := fmt.Sprintf("%s|%s|%s", types.ServerID(i), ind.Label, ind.Value)
+			if !want[key] {
+				return fmt.Errorf("online indication %s missing from offline replay", key)
+			}
+		}
+	}
+	fmt.Println("\naudit passed: offline interpretation reproduces every online delivery")
+	return nil
+}

@@ -1,0 +1,146 @@
+// Command tcp runs the production deployment path end to end on one
+// machine: four servers, each with its own TCP transport on loopback, a
+// concurrent node runtime, and shim(BRB) — no simulator anywhere. This is
+// the wiring a real multi-host deployment uses, minus the hosts.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"blockdag/internal/core"
+	"blockdag/internal/crypto"
+	"blockdag/internal/node"
+	"blockdag/internal/protocols/brb"
+	"blockdag/internal/tcpnet"
+	"blockdag/internal/transport"
+	"blockdag/internal/types"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tcp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const n = 4
+	roster, signers, err := crypto.LocalRoster(n)
+	if err != nil {
+		return err
+	}
+
+	// Phase 1: bind all listeners (handlers late-bound, since the node
+	// that consumes traffic is built after the transport).
+	handlers := make([]*transport.LateBound, n)
+	transports := make([]*tcpnet.Transport, n)
+	for i := 0; i < n; i++ {
+		handlers[i] = &transport.LateBound{}
+		tr, err := tcpnet.Listen(tcpnet.Config{
+			Self:       types.ServerID(i),
+			ListenAddr: "127.0.0.1:0",
+			Handler:    handlers[i],
+		})
+		if err != nil {
+			return err
+		}
+		transports[i] = tr
+		defer func() { _ = tr.Close() }()
+		fmt.Printf("s%d listening on %s\n", i, tr.Addr())
+	}
+	// Phase 2: full mesh.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if err := transports[i].Connect(types.ServerID(j), transports[j].Addr()); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Phase 3: servers + runtimes.
+	var (
+		mu        sync.Mutex
+		delivered = make(map[int][]string)
+	)
+	nodes := make([]*node.Node, n)
+	for i := 0; i < n; i++ {
+		idx := i
+		srv, err := core.NewServer(core.Config{
+			Roster:    roster,
+			Signer:    signers[i],
+			Protocol:  brb.Protocol{},
+			Transport: transports[i],
+			Clock:     node.Clock(),
+			OnIndication: func(label types.Label, value []byte) {
+				mu.Lock()
+				defer mu.Unlock()
+				delivered[idx] = append(delivered[idx], fmt.Sprintf("%s=%s", label, value))
+			},
+		})
+		if err != nil {
+			return err
+		}
+		nd, err := node.New(node.Config{
+			Server:           srv,
+			DisseminateEvery: 20 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		handlers[i].Bind(nd)
+		nodes[i] = nd
+	}
+	for _, nd := range nodes {
+		if err := nd.Start(); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	}()
+
+	// The workload: two broadcasts submitted at different servers.
+	nodes[0].Request("greeting", []byte("hello over TCP"))
+	nodes[2].Request("number", []byte("42"))
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		done := true
+		for i := 0; i < n; i++ {
+			if len(delivered[i]) < 2 {
+				done = false
+			}
+		}
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("broadcasts not delivered within 10s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Println("\ndeliveries over real TCP:")
+	for i := 0; i < n; i++ {
+		fmt.Printf("  s%d: %v\n", i, delivered[i])
+	}
+	for _, nd := range nodes {
+		if err := nd.Err(); err != nil {
+			return fmt.Errorf("node unhealthy: %w", err)
+		}
+	}
+	fmt.Println("\nall four servers delivered both broadcasts; only blocks crossed the sockets")
+	return nil
+}

@@ -1,0 +1,194 @@
+// Package block implements the block type of the paper's Definition 3.1.
+//
+// A block B carries (i) the identifier n of the server that built it,
+// (ii) a sequence number k, (iii) a list of hashes of predecessor blocks,
+// (iv) a list of (label, request) pairs injecting user requests into
+// protocol instances, and (v) a signature σ = sign(n, ref(B)).
+//
+// ref(B) is a secure cryptographic hash computed from n, k, preds and rs —
+// but not σ — so sign(B.n, ref(B)) is well defined (Definition 3.1). By
+// collision resistance a block and its reference are used interchangeably.
+// Because a block's reference covers the references of its predecessors,
+// reference cycles between blocks are computationally infeasible
+// (Lemma 3.2): a secure-timeline / happened-before ordering.
+package block
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"blockdag/internal/crypto"
+	"blockdag/internal/types"
+	"blockdag/internal/wire"
+)
+
+// Ref is a block reference: the hash ref(B) of Definition 3.1.
+type Ref [crypto.HashSize]byte
+
+// String renders the first 8 hex digits, enough for logs and DOT output.
+func (r Ref) String() string { return hex.EncodeToString(r[:4]) }
+
+// Request is one (ℓ, r) pair carried in a block's rs field: a literal
+// transcription of a user request r for protocol instance ℓ. The request
+// payload is opaque to the DAG layers; the embedded protocol P decodes it.
+type Request struct {
+	Label types.Label
+	Data  []byte
+}
+
+// Structural limits enforced when decoding untrusted blocks. They bound
+// allocations, not protocol semantics; producers stay far below them.
+const (
+	// MaxPreds bounds the predecessor list of a single block.
+	MaxPreds = 1 << 16
+	// MaxRequests bounds the request list of a single block.
+	MaxRequests = 1 << 16
+)
+
+// Block is one block of Definition 3.1. Blocks are immutable once sealed
+// (signed); all mutation happens through the Builder in package gossip
+// before sealing. Use the exported fields read-only.
+type Block struct {
+	// Builder is n: the identifier of the server which built the block.
+	Builder types.ServerID
+	// Seq is the sequence number k ∈ N0. Seq == 0 marks a genesis block.
+	Seq uint64
+	// Preds holds ref(B_1), ..., ref(B_k): hashes of predecessor blocks.
+	Preds []Ref
+	// Requests holds the rs field: label/request pairs.
+	Requests []Request
+	// Sig is σ = sign(Builder, ref(B)).
+	Sig []byte
+
+	ref Ref // cached ref(B), computed at seal/decode time
+}
+
+// New assembles an unsealed block. Slices are copied at the boundary. The
+// block has no signature and no cached reference until Seal is called.
+func New(builder types.ServerID, seq uint64, preds []Ref, requests []Request) *Block {
+	b := &Block{
+		Builder:  builder,
+		Seq:      seq,
+		Preds:    append([]Ref(nil), preds...),
+		Requests: make([]Request, len(requests)),
+	}
+	for i, rq := range requests {
+		b.Requests[i] = Request{Label: rq.Label, Data: append([]byte(nil), rq.Data...)}
+	}
+	return b
+}
+
+// SigningBytes returns the canonical encoding of (n, k, preds, rs) — the
+// preimage of ref(B). The signature is deliberately excluded.
+func (b *Block) SigningBytes() []byte {
+	w := wire.NewWriter(64 + len(b.Preds)*crypto.HashSize)
+	w.Uint16(uint16(b.Builder))
+	w.Uint64(b.Seq)
+	w.Uvarint(uint64(len(b.Preds)))
+	for _, p := range b.Preds {
+		w.Bytes32(p)
+	}
+	w.Uvarint(uint64(len(b.Requests)))
+	for _, rq := range b.Requests {
+		w.String(string(rq.Label))
+		w.VarBytes(rq.Data)
+	}
+	return w.Bytes()
+}
+
+// Seal computes ref(B) and signs it with the builder's signer, completing
+// the block per Definition 3.1: σ = sign(n, ref(B)).
+func (b *Block) Seal(signer *crypto.Signer) error {
+	if signer.ID() != b.Builder {
+		return fmt.Errorf("block: signer %v cannot seal block built by %v", signer.ID(), b.Builder)
+	}
+	b.ref = Ref(crypto.Hash(b.SigningBytes()))
+	b.Sig = signer.Sign(b.ref[:])
+	return nil
+}
+
+// Ref returns ref(B). It must only be called on sealed or decoded blocks;
+// calling it earlier returns the zero Ref.
+func (b *Block) Ref() Ref { return b.ref }
+
+// IsGenesis reports whether the block is a genesis block (k = 0). A
+// genesis block cannot have a parent, since 0 is minimal in N0.
+func (b *Block) IsGenesis() bool { return b.Seq == 0 }
+
+// VerifySignature confirms verify(B.n, B.σ): that Builder built (signed)
+// this block — check (i) of Definition 3.3.
+func (b *Block) VerifySignature(roster *crypto.Roster) bool {
+	return roster.Verify(b.Builder, b.ref[:], b.Sig)
+}
+
+// HasPred reports whether ref appears in b.Preds.
+func (b *Block) HasPred(ref Ref) bool {
+	for _, p := range b.Preds {
+		if p == ref {
+			return true
+		}
+	}
+	return false
+}
+
+// Encode returns the canonical wire encoding of the sealed block,
+// including the signature.
+func (b *Block) Encode() []byte {
+	body := b.SigningBytes()
+	w := wire.NewWriter(len(body) + len(b.Sig) + 4)
+	w.VarBytes(body)
+	w.VarBytes(b.Sig)
+	return w.Bytes()
+}
+
+// ErrMalformed reports a block that failed structural decoding.
+var ErrMalformed = errors.New("block: malformed encoding")
+
+// Decode parses a block from its wire encoding, enforcing structural
+// limits against untrusted input, and computes its reference. It does not
+// verify the signature; callers validate via Definition 3.3 checks.
+func Decode(data []byte) (*Block, error) {
+	outer := wire.NewReader(data)
+	body := outer.VarBytes()
+	sig := outer.VarBytes()
+	if err := outer.Close(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+
+	r := wire.NewReader(body)
+	b := &Block{
+		Builder: types.ServerID(r.Uint16()),
+		Seq:     r.Uint64(),
+	}
+	nPreds := r.Count(MaxPreds)
+	if r.Err() == nil && nPreds > 0 {
+		b.Preds = make([]Ref, nPreds)
+		for i := 0; i < nPreds; i++ {
+			b.Preds[i] = r.Bytes32()
+		}
+	}
+	nReqs := r.Count(MaxRequests)
+	if r.Err() == nil && nReqs > 0 {
+		b.Requests = make([]Request, nReqs)
+		for i := 0; i < nReqs; i++ {
+			b.Requests[i] = Request{
+				Label: types.Label(r.String()),
+				Data:  r.VarBytes(),
+			}
+		}
+	}
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	b.Sig = sig
+	b.ref = Ref(crypto.Hash(body))
+	return b, nil
+}
+
+// ParentOf reports whether candidate is the parent of b: same builder and
+// sequence number exactly one less (Definition 3.1). The caller ensures
+// candidate is actually referenced in b.Preds.
+func (b *Block) ParentOf(candidate *Block) bool {
+	return candidate.Builder == b.Builder && !b.IsGenesis() && candidate.Seq == b.Seq-1
+}

@@ -1,0 +1,47 @@
+package block
+
+import (
+	"bytes"
+	"testing"
+
+	"blockdag/internal/crypto"
+)
+
+// FuzzDecode hammers the untrusted-input path: Decode must never panic,
+// and anything it accepts must re-encode to an equivalent block.
+func FuzzDecode(f *testing.F) {
+	_, signers, err := crypto.LocalRoster(2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Seed with real encodings.
+	g := New(0, 0, nil, []Request{{Label: "ℓ", Data: []byte("42")}})
+	if err := g.Seal(signers[0]); err != nil {
+		f.Fatal(err)
+	}
+	child := New(0, 1, []Ref{g.Ref()}, nil)
+	if err := child.Seal(signers[0]); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(g.Encode())
+	f.Add(child.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x02, 0x03})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Decode(b.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of accepted block failed: %v", err)
+		}
+		if re.Ref() != b.Ref() {
+			t.Fatal("re-encoded block changed its reference")
+		}
+		if !bytes.Equal(re.Sig, b.Sig) {
+			t.Fatal("re-encoded block changed its signature")
+		}
+	})
+}

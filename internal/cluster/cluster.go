@@ -1,0 +1,328 @@
+// Package cluster runs complete shim(P) clusters on the deterministic
+// network simulator: n core.Servers, each with its own DAG, gossip, and
+// interpreter, exchanging blocks over simnet with configurable latency,
+// jitter, and loss.
+//
+// It is the shared harness behind the integration tests of Theorem 5.1,
+// every benchmark in EXPERIMENTS.md, the experiments CLI, and the
+// examples. Byzantine servers are modeled by leaving their slot without a
+// correct server and driving hand-crafted (but validly signed) blocks
+// through the test's own logic via Seal and Send.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"blockdag/internal/block"
+	"blockdag/internal/core"
+	"blockdag/internal/crypto"
+	"blockdag/internal/gossip"
+	"blockdag/internal/metrics"
+	"blockdag/internal/protocol"
+	"blockdag/internal/simnet"
+	"blockdag/internal/types"
+)
+
+// Indication is one indication observed at a correct server.
+type Indication struct {
+	Server types.ServerID
+	Label  types.Label
+	Value  []byte
+}
+
+// Options configures a cluster.
+type Options struct {
+	// N is the number of servers (required, ≥ 1).
+	N int
+	// Protocol is the embedded deterministic BFT protocol P (required).
+	Protocol protocol.Protocol
+
+	// Byzantine lists server indices with no correct server attached:
+	// their slots exist in the roster, and tests drive them manually.
+	Byzantine []int
+
+	// Seed fixes the simulation (default 1).
+	Seed int64
+	// Latency and Jitter configure the link delay model (defaults
+	// 10ms ± 5ms).
+	Latency, Jitter time.Duration
+	// Drop is the unicast loss probability (default 0).
+	Drop float64
+	// Interval is the dissemination period (default 50ms).
+	Interval time.Duration
+
+	// MaxBatch caps requests per block (0 = gossip default).
+	MaxBatch int
+	// SigCounters, if non-nil, tallies every signature operation of
+	// every server (experiment E10).
+	SigCounters *crypto.Counters
+	// CompressReferences enables the Section 7 implicit-inclusion
+	// extension on every server (experiment E16 ablation).
+	CompressReferences bool
+	// RetireInstances enables the interpreter GC extension.
+	RetireInstances bool
+	// DisableInBufferRecording trades inspectability for memory.
+	DisableInBufferRecording bool
+}
+
+// Cluster is a running simulation.
+type Cluster struct {
+	Net     *simnet.Network
+	Roster  *crypto.Roster
+	Signers []*crypto.Signer
+	// Servers holds the correct servers; byzantine slots are nil.
+	Servers []*core.Server
+	// Metrics holds each correct server's counters (nil for byzantine
+	// slots).
+	Metrics []*metrics.Metrics
+
+	interval time.Duration
+	inds     [][]Indication
+}
+
+// New builds a cluster per the options.
+func New(opts Options) (*Cluster, error) {
+	if opts.N < 1 {
+		return nil, fmt.Errorf("cluster: need at least one server, got %d", opts.N)
+	}
+	if opts.Protocol == nil {
+		return nil, fmt.Errorf("cluster: need a protocol")
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Latency == 0 {
+		opts.Latency = 10 * time.Millisecond
+	}
+	if opts.Jitter == 0 {
+		opts.Jitter = 5 * time.Millisecond
+	}
+	if opts.Interval == 0 {
+		opts.Interval = 50 * time.Millisecond
+	}
+
+	roster, signers, err := crypto.LocalRosterWithCounters(opts.N, opts.SigCounters)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	net := simnet.New(
+		simnet.WithSeed(opts.Seed),
+		simnet.WithLatency(opts.Latency, opts.Jitter),
+		simnet.WithDrop(opts.Drop),
+	)
+	byz := make(map[int]bool, len(opts.Byzantine))
+	for _, i := range opts.Byzantine {
+		byz[i] = true
+	}
+
+	c := &Cluster{
+		Net:      net,
+		Roster:   roster,
+		Signers:  signers,
+		Servers:  make([]*core.Server, opts.N),
+		Metrics:  make([]*metrics.Metrics, opts.N),
+		interval: opts.Interval,
+		inds:     make([][]Indication, opts.N),
+	}
+	for i := 0; i < opts.N; i++ {
+		if byz[i] {
+			continue
+		}
+		id := types.ServerID(i)
+		m := &metrics.Metrics{}
+		idx := i
+		srv, err := core.NewServer(core.Config{
+			Roster:    roster,
+			Signer:    signers[i],
+			Protocol:  opts.Protocol,
+			Transport: net.Transport(id),
+			Clock:     net.Now,
+			Metrics:   m,
+			MaxBatch:  opts.MaxBatch,
+			OnIndication: func(label types.Label, value []byte) {
+				c.inds[idx] = append(c.inds[idx], Indication{
+					Server: id, Label: label, Value: value,
+				})
+			},
+			RetireInstances:          opts.RetireInstances,
+			DisableInBufferRecording: opts.DisableInBufferRecording,
+			CompressReferences:       opts.CompressReferences,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: server %d: %w", i, err)
+		}
+		net.Register(id, srv)
+		c.Servers[i] = srv
+		c.Metrics[i] = m
+	}
+	return c, nil
+}
+
+// Request submits a user request at the given correct server.
+func (c *Cluster) Request(server int, label types.Label, data []byte) {
+	c.Servers[server].Request(label, data)
+}
+
+// RunRounds schedules `rounds` dissemination rounds — every correct server
+// ticks its timers and disseminates once per round, staggered to break
+// symmetry — then runs the network to quiescence.
+func (c *Cluster) RunRounds(rounds int) error {
+	for r := 0; r < rounds; r++ {
+		at := time.Duration(r) * c.interval
+		for i, srv := range c.Servers {
+			if srv == nil {
+				continue
+			}
+			srv := srv
+			stagger := time.Duration(i) * time.Millisecond
+			c.Net.After(at+stagger, func() {
+				srv.Tick(c.Net.Now())
+				if err := srv.Disseminate(); err != nil {
+					// Recorded by Health below; dissemination
+					// of a correct server cannot fail.
+					_ = err
+				}
+			})
+		}
+	}
+	c.Net.Run()
+	return c.Health()
+}
+
+// RunUntil runs dissemination rounds until cond holds or maxRounds pass,
+// reporting whether cond was met.
+func (c *Cluster) RunUntil(maxRounds int, cond func() bool) (bool, error) {
+	for r := 0; r < maxRounds; r++ {
+		if cond() {
+			return true, nil
+		}
+		if err := c.RunRounds(1); err != nil {
+			return false, err
+		}
+	}
+	return cond(), nil
+}
+
+// Health surfaces the first internal error of any correct server.
+func (c *Cluster) Health() error {
+	for i, srv := range c.Servers {
+		if srv == nil {
+			continue
+		}
+		if err := srv.Health(); err != nil {
+			return fmt.Errorf("cluster: server %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Indications returns the indications observed at one server so far.
+func (c *Cluster) Indications(server int) []Indication {
+	return append([]Indication(nil), c.inds[server]...)
+}
+
+// CorrectServers returns the indices of the non-byzantine servers.
+func (c *Cluster) CorrectServers() []int {
+	var out []int
+	for i, srv := range c.Servers {
+		if srv != nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Converged reports whether all correct servers hold identical DAGs — the
+// joint block DAG of Lemma 3.7 at quiescence.
+func (c *Cluster) Converged() bool {
+	correct := c.CorrectServers()
+	if len(correct) == 0 {
+		return true
+	}
+	base := c.Servers[correct[0]].DAG()
+	for _, i := range correct[1:] {
+		d := c.Servers[i].DAG()
+		if d.Len() != base.Len() || !base.Leq(d) || !d.Leq(base) {
+			return false
+		}
+	}
+	return true
+}
+
+// Crash simulates a full stop of the given server: it stops disseminating
+// (its slot becomes nil) and its endpoint is replaced by a black hole, so
+// in-flight and future traffic to it is lost. Recover it with
+// RecoverServer.
+func (c *Cluster) Crash(slot int) {
+	c.Servers[slot] = nil
+	c.Net.Register(types.ServerID(slot), blackhole{})
+}
+
+// blackhole drops all deliveries (a crashed server).
+type blackhole struct{}
+
+// Deliver implements transport.Endpoint by discarding the payload.
+func (blackhole) Deliver(types.ServerID, []byte) {}
+
+// RecoverServer restarts a crashed slot from persisted blocks: a fresh
+// core.Server is built, Restore replays the blocks (re-validating and
+// re-interpreting them), the gossip chain state resumes the old chain, and
+// the endpoint is re-registered. Replayed indications are appended to the
+// slot's indication record, so callers observe at-least-once delivery
+// across the crash.
+func (c *Cluster) RecoverServer(slot int, proto protocol.Protocol, stored []*block.Block) error {
+	return c.RecoverServerWith(slot, proto, stored, false)
+}
+
+// RecoverServerWith is RecoverServer with the compression extension
+// toggled explicitly; the recovered server's mode must match the rest of
+// the deployment.
+func (c *Cluster) RecoverServerWith(slot int, proto protocol.Protocol, stored []*block.Block, compress bool) error {
+	id := types.ServerID(slot)
+	m := &metrics.Metrics{}
+	srv, err := core.NewServer(core.Config{
+		Roster:             c.Roster,
+		Signer:             c.Signers[slot],
+		Protocol:           proto,
+		Transport:          c.Net.Transport(id),
+		Clock:              c.Net.Now,
+		Metrics:            m,
+		CompressReferences: compress,
+		OnIndication: func(label types.Label, value []byte) {
+			c.inds[slot] = append(c.inds[slot], Indication{
+				Server: id, Label: label, Value: value,
+			})
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: recover server %d: %w", slot, err)
+	}
+	if err := srv.Restore(stored); err != nil {
+		return fmt.Errorf("cluster: recover server %d: %w", slot, err)
+	}
+	c.Net.Register(id, srv)
+	c.Servers[slot] = srv
+	c.Metrics[slot] = m
+	return nil
+}
+
+// Seal builds and signs a block on behalf of the given server — the
+// building brick for byzantine behaviours driven by tests.
+func (c *Cluster) Seal(server int, seq uint64, preds []block.Ref, reqs ...block.Request) (*block.Block, error) {
+	b := block.New(types.ServerID(server), seq, preds, reqs)
+	if err := b.Seal(c.Signers[server]); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return b, nil
+}
+
+// Send delivers a block from one server to specific receivers only —
+// selective dissemination, the byzantine behaviour gossip tolerates.
+func (c *Cluster) Send(from int, b *block.Block, to ...int) {
+	payload := gossip.EncodeBlockMsg(b)
+	tr := c.Net.Transport(types.ServerID(from))
+	for _, dst := range to {
+		tr.Send(types.ServerID(dst), payload)
+	}
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"blockdag/internal/crypto"
+	"blockdag/internal/protocols/brb"
+)
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := New(Options{N: 0, Protocol: brb.Protocol{}}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := New(Options{N: 4}); err == nil {
+		t.Fatal("missing protocol accepted")
+	}
+}
+
+func TestRunRoundsBuildsBlocks(t *testing.T) {
+	c, err := New(Options{N: 3, Protocol: brb.Protocol{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunRounds(4); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range c.CorrectServers() {
+		if got := c.Servers[i].DAG().Len(); got != 12 {
+			t.Fatalf("server %d DAG has %d blocks, want 12", i, got)
+		}
+	}
+	if !c.Converged() {
+		t.Fatal("quiescent cluster not converged")
+	}
+}
+
+func TestByzantineSlotsAreNil(t *testing.T) {
+	c, err := New(Options{N: 4, Protocol: brb.Protocol{}, Byzantine: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Servers[1] != nil || c.Servers[2] != nil {
+		t.Fatal("byzantine slots have servers")
+	}
+	correct := c.CorrectServers()
+	if len(correct) != 2 || correct[0] != 0 || correct[1] != 3 {
+		t.Fatalf("CorrectServers = %v", correct)
+	}
+	if err := c.RunRounds(2); err != nil {
+		t.Fatal(err)
+	}
+	// Only the two correct servers built blocks.
+	if got := c.Servers[0].DAG().Len(); got != 4 {
+		t.Fatalf("DAG has %d blocks, want 4", got)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() int64 {
+		c, err := New(Options{N: 4, Protocol: brb.Protocol{}, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Request(0, "x", []byte("v"))
+		if err := c.RunRounds(6); err != nil {
+			t.Fatal(err)
+		}
+		var wire int64
+		for _, m := range c.Metrics {
+			wire += m.Snapshot().WireBytes
+		}
+		return wire
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different traffic: %d vs %d", a, b)
+	}
+}
+
+func TestSealAndSend(t *testing.T) {
+	c, err := New(Options{N: 2, Protocol: brb.Protocol{}, Byzantine: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Seal(1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Send(1, b, 0)
+	c.Net.Run()
+	if !c.Servers[0].DAG().Contains(b.Ref()) {
+		t.Fatal("sealed block not delivered")
+	}
+}
+
+func TestSigCountersWired(t *testing.T) {
+	var sigs crypto.Counters
+	c, err := New(Options{N: 2, Protocol: brb.Protocol{}, SigCounters: &sigs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunRounds(1); err != nil {
+		t.Fatal(err)
+	}
+	if sigs.Signed() == 0 || sigs.Verified() == 0 {
+		t.Fatalf("counters not wired: signed=%d verified=%d", sigs.Signed(), sigs.Verified())
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	c, err := New(Options{N: 2, Protocol: brb.Protocol{}, Interval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	ok, err := c.RunUntil(50, func() bool {
+		calls++
+		return c.Servers[0].DAG().Len() >= 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("condition never met")
+	}
+	if calls > 10 {
+		t.Fatalf("RunUntil kept running: %d checks", calls)
+	}
+}

@@ -1,0 +1,123 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"blockdag/internal/cluster"
+	"blockdag/internal/protocols/brb"
+	"blockdag/internal/types"
+)
+
+// TestCompressedStackBRB runs shim(BRB) with the Section 7
+// implicit-inclusion extension enabled end to end: sparse blocks on the
+// wire, ancestry-closure interpretation, BRB properties intact.
+func TestCompressedStackBRB(t *testing.T) {
+	c, err := cluster.New(cluster.Options{
+		N: 4, Protocol: brb.Protocol{}, Seed: 31, CompressReferences: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Request(0, "ℓ1", []byte("42"))
+	c.Request(2, "ℓ2", []byte("99"))
+	ok, err := c.RunUntil(30, func() bool { return allDelivered(c, "ℓ1", "ℓ2") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("compressed stack did not deliver within 30 rounds")
+	}
+	for _, label := range []types.Label{"ℓ1", "ℓ2"} {
+		want := []byte("42")
+		if label == "ℓ2" {
+			want = []byte("99")
+		}
+		for i, values := range delivered(c, label) {
+			if len(values) != 1 || !bytes.Equal(values[0], want) {
+				t.Fatalf("server %d delivered %q on %s", i, values, label)
+			}
+		}
+	}
+}
+
+// TestCompressedReferencesAreSparser: the extension's point — blocks carry
+// fewer references than the paper-default mode on the same schedule.
+func TestCompressedReferencesAreSparser(t *testing.T) {
+	countRefs := func(compress bool) (refs, blocks int) {
+		c, err := cluster.New(cluster.Options{
+			N: 4, Protocol: brb.Protocol{}, Seed: 31,
+			CompressReferences: compress,
+			// Higher latency than the round interval: blocks pile up
+			// between arrivals, which is where tip-only referencing
+			// pays off.
+			Latency: 60_000_000, // 60ms
+			Jitter:  40_000_000, // 40ms
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RunRounds(10); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range c.Servers[0].DAG().Blocks() {
+			refs += len(b.Preds)
+			blocks++
+		}
+		return refs, blocks
+	}
+	denseRefs, denseBlocks := countRefs(false)
+	sparseRefs, sparseBlocks := countRefs(true)
+	if denseBlocks == 0 || sparseBlocks == 0 {
+		t.Fatal("no blocks built")
+	}
+	dense := float64(denseRefs) / float64(denseBlocks)
+	sparse := float64(sparseRefs) / float64(sparseBlocks)
+	if sparse >= dense {
+		t.Fatalf("compression did not reduce references: %.2f vs %.2f refs/block", sparse, dense)
+	}
+}
+
+// TestCompressedCrashRecovery: the recovery path composes with the
+// compression extension.
+func TestCompressedCrashRecovery(t *testing.T) {
+	c, err := cluster.New(cluster.Options{
+		N: 4, Protocol: brb.Protocol{}, Seed: 37, CompressReferences: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Request(0, "pre", []byte("a"))
+	ok, err := c.RunUntil(25, func() bool { return allDelivered(c, "pre") })
+	if err != nil || !ok {
+		t.Fatalf("phase 1: ok=%v err=%v", ok, err)
+	}
+	stored := c.Servers[3].DAG().Blocks()
+	c.Crash(3)
+	c.Request(1, "mid", []byte("b"))
+	ok, err = c.RunUntil(25, func() bool {
+		for _, i := range []int{0, 1, 2} {
+			if len(deliveredAt(c, i, "mid")) == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil || !ok {
+		t.Fatalf("phase 2: ok=%v err=%v", ok, err)
+	}
+
+	// Recover with the matching compressed configuration.
+	if err := c.RecoverServerWith(3, brb.Protocol{}, stored, true); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = c.RunUntil(30, func() bool { return len(deliveredAt(c, 3, "mid")) >= 1 })
+	if err != nil || !ok {
+		t.Fatalf("phase 3: ok=%v err=%v", ok, err)
+	}
+	for _, i := range c.CorrectServers() {
+		if eqs := c.Servers[i].DAG().Equivocators(); len(eqs) != 0 {
+			t.Fatalf("server %d sees equivocators %v", i, eqs)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package core implements shim(P) — Algorithm 3 of the paper and the
+// framework's primary public surface.
+//
+// A Server composes the two independent halves of the block DAG framework:
+//
+//   - gossip (Algorithm 1), which builds the joint block DAG by exchanging
+//     blocks over the network, and
+//   - interpret (Algorithm 2), which deterministically simulates the
+//     embedded protocol P over the local DAG,
+//
+// behind P's own interface: the user calls Request(ℓ, r) and receives
+// indications for ℓ, exactly as if talking to P over a real network.
+// Theorem 5.1: this composition preserves P's interface and all safety and
+// liveness properties whose proofs rely on the authenticated perfect
+// point-to-point link abstraction. The integration tests in this package
+// check the theorem's claims for byzantine reliable broadcast and PBFT.
+//
+// A Server is a deterministic state machine: Deliver, Request,
+// Disseminate, and Tick must be called from one goroutine at a time
+// (package node provides the concurrent runtime; package simnet drives
+// whole clusters deterministically).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"blockdag/internal/block"
+	"blockdag/internal/crypto"
+	"blockdag/internal/dag"
+	"blockdag/internal/gossip"
+	"blockdag/internal/interpret"
+	"blockdag/internal/metrics"
+	"blockdag/internal/protocol"
+	"blockdag/internal/transport"
+	"blockdag/internal/types"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Roster is the fixed set of servers Srvrs. Required.
+	Roster *crypto.Roster
+	// Signer holds this server's identity and signing key. Required.
+	Signer *crypto.Signer
+	// Protocol is the deterministic BFT protocol P to embed. Required.
+	Protocol protocol.Protocol
+	// Transport connects to the other servers. Required.
+	Transport transport.Transport
+	// Clock supplies the current time for retry bookkeeping. Required.
+	Clock func() time.Duration
+	// OnIndication receives every indication (ℓ, i) of this server's own
+	// simulated instance — Algorithm 3 lines 8–9. Optional.
+	OnIndication func(label types.Label, value []byte)
+
+	// Metrics, optional.
+	Metrics *metrics.Metrics
+	// MaxBatch bounds requests per block (0 = gossip default).
+	MaxBatch int
+	// ResendAfter is the FWD retry interval (0 = gossip default).
+	ResendAfter time.Duration
+	// FwdFallbackAfter is the FWD broadcast fallback threshold
+	// (0 = gossip default, negative disables).
+	FwdFallbackAfter int
+	// RetireInstances enables the instance-GC extension (see
+	// interpret.WithRetirement).
+	RetireInstances bool
+	// DisableInBufferRecording stops the interpreter from retaining
+	// per-block in-buffers (saves memory on long runs; buffers are only
+	// needed for inspection).
+	DisableInBufferRecording bool
+	// CompressReferences enables the paper's Section 7 implicit-block-
+	// inclusion extension on both halves of the stack: gossip references
+	// only DAG tips, and interpretation consumes the implicit ancestry
+	// closure. All servers of a deployment must agree on this setting.
+	CompressReferences bool
+}
+
+// Server is one server running shim(P).
+type Server struct {
+	self   types.ServerID
+	cfg    Config
+	dag    *dag.DAG
+	rqsts  *requestQueue
+	gsp    *gossip.Gossip
+	interp *interpret.Interpreter
+
+	// firstErr records the first internal invariant violation (never
+	// expected; exposed for diagnosis rather than panicking).
+	firstErr error
+}
+
+var _ transport.Endpoint = (*Server)(nil)
+
+// NewServer wires gossip and interpret around a shared DAG and request
+// buffer (Algorithm 3 lines 2–5).
+func NewServer(cfg Config) (*Server, error) {
+	switch {
+	case cfg.Roster == nil:
+		return nil, errors.New("core: config needs a Roster")
+	case cfg.Signer == nil:
+		return nil, errors.New("core: config needs a Signer")
+	case cfg.Protocol == nil:
+		return nil, errors.New("core: config needs a Protocol")
+	case cfg.Transport == nil:
+		return nil, errors.New("core: config needs a Transport")
+	case cfg.Clock == nil:
+		return nil, errors.New("core: config needs a Clock")
+	}
+	s := &Server{
+		self:  cfg.Signer.ID(),
+		cfg:   cfg,
+		dag:   dag.New(cfg.Roster),
+		rqsts: &requestQueue{},
+	}
+
+	var interpOpts []interpret.Option
+	if cfg.Metrics != nil {
+		interpOpts = append(interpOpts, interpret.WithMetrics(cfg.Metrics))
+	}
+	if cfg.RetireInstances {
+		interpOpts = append(interpOpts, interpret.WithRetirement())
+	}
+	if cfg.DisableInBufferRecording {
+		interpOpts = append(interpOpts, interpret.WithoutInBufferRecording())
+	}
+	if cfg.CompressReferences {
+		interpOpts = append(interpOpts, interpret.WithImplicitInclusion())
+	}
+	s.interp = interpret.New(
+		cfg.Protocol,
+		cfg.Roster.N(),
+		cfg.Roster.F(),
+		s.onIndication,
+		interpOpts...,
+	)
+
+	gsp, err := gossip.New(gossip.Config{
+		Signer:             cfg.Signer,
+		Roster:             cfg.Roster,
+		DAG:                s.dag,
+		Requests:           s.rqsts,
+		Transport:          cfg.Transport,
+		OnInsert:           s.onInsert,
+		Clock:              cfg.Clock,
+		Metrics:            cfg.Metrics,
+		MaxBatch:           cfg.MaxBatch,
+		ResendAfter:        cfg.ResendAfter,
+		FwdFallbackAfter:   cfg.FwdFallbackAfter,
+		CompressReferences: cfg.CompressReferences,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s.gsp = gsp
+	return s, nil
+}
+
+// ID returns this server's identity.
+func (s *Server) ID() types.ServerID { return s.self }
+
+// Request implements Algorithm 3 lines 6–7: buffer (ℓ, r) for inclusion in
+// the next block. The request's journey: rqsts → block (Algorithm 1
+// line 15) → every server's DAG → every server's interpretation
+// (Algorithm 2 line 6) → indications.
+func (s *Server) Request(label types.Label, data []byte) {
+	s.rqsts.Put(label, data)
+}
+
+// PendingRequests returns the number of buffered, not yet embedded
+// requests.
+func (s *Server) PendingRequests() int { return s.rqsts.Len() }
+
+// Deliver implements transport.Endpoint by feeding gossip.
+func (s *Server) Deliver(from types.ServerID, payload []byte) {
+	s.gsp.HandleMessage(from, payload)
+}
+
+// Disseminate implements Algorithm 3 lines 10–11: seal and broadcast the
+// current block. The caller controls pacing (timer, payload pressure, or
+// falling behind — the paper leaves this to the implementation).
+func (s *Server) Disseminate() error {
+	_, err := s.gsp.Disseminate()
+	return err
+}
+
+// Tick drives FWD retransmission timers.
+func (s *Server) Tick(now time.Duration) { s.gsp.Tick(now) }
+
+// onInsert chains every inserted block into the interpreter: building the
+// DAG and interpreting it stay logically decoupled (the dotted line in the
+// paper's Figure 1) but share the insertion feed, which is a topological
+// order and hence eligible.
+func (s *Server) onInsert(b *block.Block) {
+	if err := s.interp.AddBlock(b); err != nil && s.firstErr == nil {
+		// Insertion order guarantees eligibility; an error here means
+		// an invariant was broken, not a runtime condition.
+		s.firstErr = fmt.Errorf("core: interpret block %v: %w", b.Ref(), err)
+	}
+}
+
+// onIndication filters interpretation indications down to this server's
+// own simulation (Algorithm 3 line 8: s' = s) and hands them to the user.
+func (s *Server) onIndication(ind interpret.Indication) {
+	if ind.Server != s.self {
+		return
+	}
+	if s.cfg.OnIndication != nil {
+		s.cfg.OnIndication(ind.Label, ind.Value)
+	}
+}
+
+// Restore replays persisted blocks into a freshly constructed server —
+// the crash-recovery path of the paper's Section 7 discussion. Blocks are
+// fully revalidated (Definition 3.3), interpreted, and the gossip chain
+// state is recovered so the next disseminated block continues the old
+// chain and references exactly the blocks no pre-crash block referenced.
+//
+// Restore must be called before the server processes network traffic.
+// Interpretation replays all indications of the stored DAG, so users see
+// pre-crash deliveries again: delivery is at-least-once across crashes,
+// and applications deduplicate by instance label (as examples/payments
+// does).
+func (s *Server) Restore(blocks []*block.Block) error {
+	for _, b := range blocks {
+		if err := s.dag.Insert(b); err != nil {
+			return fmt.Errorf("core: restore block %v: %w", b.Ref(), err)
+		}
+		if err := s.interp.AddBlock(b); err != nil {
+			return fmt.Errorf("core: restore interpret %v: %w", b.Ref(), err)
+		}
+	}
+	s.gsp.Recover()
+	return nil
+}
+
+// DAG exposes the server's block DAG for offline interpretation,
+// visualization, and persistence. Treat as read-only.
+func (s *Server) DAG() *dag.DAG { return s.dag }
+
+// Interpreter exposes the online interpreter for inspection of message
+// buffers and state digests. Treat as read-only.
+func (s *Server) Interpreter() *interpret.Interpreter { return s.interp }
+
+// Metrics returns a snapshot of the server's counters (zero value if no
+// metrics were configured).
+func (s *Server) Metrics() metrics.Snapshot { return s.cfg.Metrics.Snapshot() }
+
+// Health returns the first internal invariant violation, if any.
+func (s *Server) Health() error { return s.firstErr }
+
+// OfflineInterpreter builds a fresh interpreter and an empty DAG for
+// offline replay of stored blocks — the paper's decoupling of DAG
+// maintenance from later interpretation. Insert decoded blocks into the
+// DAG (which re-validates them) and call InterpretDAG; onInd observes the
+// indications of every simulated server.
+func OfflineInterpreter(
+	roster *crypto.Roster,
+	proto protocol.Protocol,
+	onInd func(server types.ServerID, label types.Label, value []byte),
+	opts ...interpret.Option,
+) (*interpret.Interpreter, *dag.DAG, error) {
+	if roster == nil {
+		return nil, nil, errors.New("core: offline interpreter needs a roster")
+	}
+	if proto == nil {
+		return nil, nil, errors.New("core: offline interpreter needs a protocol")
+	}
+	d := dag.New(roster)
+	it := interpret.New(proto, roster.N(), roster.F(), func(ind interpret.Indication) {
+		if onInd != nil {
+			onInd(ind.Server, ind.Label, ind.Value)
+		}
+	}, opts...)
+	return it, d, nil
+}
+
+// requestQueue is the rqsts buffer of Algorithm 3 line 2. It is a plain
+// FIFO; the owning state machine serializes access.
+type requestQueue struct {
+	items []block.Request
+}
+
+// Put implements rqsts.put(ℓ, r).
+func (q *requestQueue) Put(label types.Label, data []byte) {
+	q.items = append(q.items, block.Request{
+		Label: label,
+		Data:  append([]byte(nil), data...),
+	})
+}
+
+// Next implements rqsts.get(): remove and return up to max requests.
+func (q *requestQueue) Next(max int) []block.Request {
+	if len(q.items) == 0 {
+		return nil
+	}
+	n := len(q.items)
+	if n > max {
+		n = max
+	}
+	out := q.items[:n:n]
+	rest := q.items[n:]
+	q.items = append([]block.Request(nil), rest...)
+	return out
+}
+
+// Len returns the number of buffered requests.
+func (q *requestQueue) Len() int { return len(q.items) }

@@ -1,0 +1,41 @@
+package crypto
+
+import "testing"
+
+func BenchmarkHash(b *testing.B) {
+	data := make([]byte, 512)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Hash(data)
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	_, signers, err := LocalRoster(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, HashSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		signers[0].Sign(msg)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	roster, signers, err := LocalRoster(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, HashSize)
+	sig := signers[0].Sign(msg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !roster.Verify(0, msg, sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package dag
+
+import (
+	"testing"
+
+	"blockdag/internal/block"
+	"blockdag/internal/crypto"
+)
+
+// buildChain seals a linear chain of n blocks for benchmark input.
+func buildChain(b *testing.B, n int) (*crypto.Roster, []*block.Block) {
+	b.Helper()
+	roster, signers, err := crypto.LocalRoster(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := make([]*block.Block, n)
+	var prev block.Ref
+	for i := 0; i < n; i++ {
+		var preds []block.Ref
+		if i > 0 {
+			preds = []block.Ref{prev}
+		}
+		blk := block.New(0, uint64(i), preds, nil)
+		if err := blk.Seal(signers[0]); err != nil {
+			b.Fatal(err)
+		}
+		blocks[i] = blk
+		prev = blk.Ref()
+	}
+	return roster, blocks
+}
+
+func BenchmarkInsertValidated(b *testing.B) {
+	roster, blocks := buildChain(b, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := New(roster)
+		for _, blk := range blocks {
+			if err := d.Insert(blk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(256, "blocks/op")
+}
+
+func BenchmarkInsertVerified(b *testing.B) {
+	roster, blocks := buildChain(b, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := New(roster)
+		for _, blk := range blocks {
+			if err := d.InsertVerified(blk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(256, "blocks/op")
+}

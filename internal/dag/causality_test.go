@@ -1,0 +1,31 @@
+package dag
+
+import (
+	"testing"
+
+	"blockdag/internal/block"
+)
+
+// TestHappenedBefore checks the Lamport relation on the Figure 2 DAG:
+// B1 → B3 and B2 → B3, while B1 and B2 are concurrent.
+func TestHappenedBefore(t *testing.T) {
+	roster, signers := fixture(t, 2)
+	d := New(roster)
+	b1 := sealed(t, signers[0], 0, nil, nil)
+	b2 := sealed(t, signers[1], 0, nil, nil)
+	b3 := sealed(t, signers[0], 1, []block.Ref{b1.Ref(), b2.Ref()}, nil)
+	mustInsert(t, d, b1, b2, b3)
+
+	if !d.HappenedBefore(b1.Ref(), b3.Ref()) || !d.HappenedBefore(b2.Ref(), b3.Ref()) {
+		t.Fatal("B1 → B3 / B2 → B3 missing")
+	}
+	if d.HappenedBefore(b3.Ref(), b1.Ref()) {
+		t.Fatal("happened-before is not antisymmetric")
+	}
+	if !d.Concurrent(b1.Ref(), b2.Ref()) {
+		t.Fatal("B1 and B2 should be concurrent")
+	}
+	if d.Concurrent(b1.Ref(), b3.Ref()) || d.Concurrent(b1.Ref(), b1.Ref()) {
+		t.Fatal("Concurrent misreports ordered or identical blocks")
+	}
+}

@@ -1,0 +1,302 @@
+package dag
+
+import (
+	"errors"
+	"testing"
+
+	"blockdag/internal/block"
+	"blockdag/internal/crypto"
+	"blockdag/internal/types"
+)
+
+func fixture(t *testing.T, n int) (*crypto.Roster, []*crypto.Signer) {
+	t.Helper()
+	roster, signers, err := crypto.LocalRoster(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return roster, signers
+}
+
+func sealed(t *testing.T, signer *crypto.Signer, seq uint64, preds []block.Ref, reqs []block.Request) *block.Block {
+	t.Helper()
+	b := block.New(signer.ID(), seq, preds, reqs)
+	if err := b.Seal(signer); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func mustInsert(t *testing.T, d *DAG, blocks ...*block.Block) {
+	t.Helper()
+	for _, b := range blocks {
+		if err := d.Insert(b); err != nil {
+			t.Fatalf("Insert(%v): %v", b.Ref(), err)
+		}
+	}
+}
+
+// TestFigure2 reconstructs the paper's Figure 2: blocks B1 = (s1, k=0),
+// B2 = (s2, k=0), B3 = (s1, k=1, preds=[B1, B2]) with parent(B3) = B1.
+func TestFigure2(t *testing.T) {
+	roster, signers := fixture(t, 2)
+	d := New(roster)
+	b1 := sealed(t, signers[0], 0, nil, nil)
+	b2 := sealed(t, signers[1], 0, nil, nil)
+	b3 := sealed(t, signers[0], 1, []block.Ref{b1.Ref(), b2.Ref()}, nil)
+	mustInsert(t, d, b1, b2, b3)
+
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+	if !d.Reaches(b1.Ref(), b3.Ref()) || !d.Reaches(b2.Ref(), b3.Ref()) {
+		t.Fatal("edges B1 ⇀ B3 and B2 ⇀ B3 missing")
+	}
+	if d.Reaches(b1.Ref(), b2.Ref()) || d.Reaches(b3.Ref(), b1.Ref()) {
+		t.Fatal("spurious reachability")
+	}
+	got, ok := d.Get(b3.Ref())
+	if !ok || !got.ParentOf(b1) {
+		t.Fatal("parent(B3) != B1")
+	}
+	if len(d.Equivocations()) != 0 {
+		t.Fatal("unexpected equivocation in Figure 2 DAG")
+	}
+	tips := d.Tips()
+	if len(tips) != 1 || tips[0] != b3.Ref() {
+		t.Fatalf("Tips = %v, want [B3]", tips)
+	}
+}
+
+// TestFigure3 reconstructs Figure 3: ŝ1 equivocates by building B4 with
+// the same parent B1 as B3. All four blocks are valid, the equivocation
+// is detected, and the forked successors remain split: no later ŝ1 block
+// can join B3 and B4 (it would have two parents).
+func TestFigure3(t *testing.T) {
+	roster, signers := fixture(t, 2)
+	d := New(roster)
+	b1 := sealed(t, signers[0], 0, nil, nil)
+	b2 := sealed(t, signers[1], 0, nil, nil)
+	b3 := sealed(t, signers[0], 1, []block.Ref{b1.Ref(), b2.Ref()}, nil)
+	b4 := sealed(t, signers[0], 1, []block.Ref{b1.Ref(), b2.Ref()}, []block.Request{{Label: "x", Data: []byte("diverge")}})
+	mustInsert(t, d, b1, b2, b3, b4)
+
+	if b3.Ref() == b4.Ref() {
+		t.Fatal("equivocating blocks collide")
+	}
+	eqs := d.Equivocations()
+	if len(eqs) != 1 {
+		t.Fatalf("Equivocations = %v, want exactly one", eqs)
+	}
+	if eqs[0].Builder != 0 || eqs[0].Seq != 1 {
+		t.Fatalf("equivocation attributed to %v seq %d", eqs[0].Builder, eqs[0].Seq)
+	}
+	if ids := d.Equivocators(); len(ids) != 1 || ids[0] != 0 {
+		t.Fatalf("Equivocators = %v, want [s0]", ids)
+	}
+
+	// A ŝ1 block at seq 2 referencing both forks has two parents: invalid.
+	join := sealed(t, signers[0], 2, []block.Ref{b3.Ref(), b4.Ref()}, nil)
+	if err := d.Insert(join); !errors.Is(err, ErrParentRule) {
+		t.Fatalf("joining forks: Insert = %v, want ErrParentRule", err)
+	}
+
+	// Extending exactly one fork is fine: histories stay linear per fork.
+	extend := sealed(t, signers[0], 2, []block.Ref{b3.Ref()}, nil)
+	if err := d.Insert(extend); err != nil {
+		t.Fatalf("extending one fork: %v", err)
+	}
+}
+
+func TestValidateRejectsBadSignature(t *testing.T) {
+	roster, signers := fixture(t, 2)
+	d := New(roster)
+	b := block.New(0, 0, nil, nil)
+	// Seal with the right signer, then corrupt the signature.
+	if err := b.Seal(signers[0]); err != nil {
+		t.Fatal(err)
+	}
+	b.Sig[0] ^= 0xff
+	if err := d.Insert(b); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("Insert = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestValidateRejectsUnknownBuilder(t *testing.T) {
+	roster, _ := fixture(t, 2)
+	_, outsiders := fixture(t, 5) // larger roster: server 4 is outside
+	d := New(roster)
+	b := sealed(t, outsiders[4], 0, nil, nil)
+	if err := d.Insert(b); !errors.Is(err, ErrBuilderUnknown) {
+		t.Fatalf("Insert = %v, want ErrBuilderUnknown", err)
+	}
+}
+
+func TestInsertRequiresPreds(t *testing.T) {
+	roster, signers := fixture(t, 2)
+	d := New(roster)
+	g := sealed(t, signers[0], 0, nil, nil)
+	child := sealed(t, signers[0], 1, []block.Ref{g.Ref()}, nil)
+	if err := d.Insert(child); !errors.Is(err, ErrMissingPreds) {
+		t.Fatalf("Insert = %v, want ErrMissingPreds", err)
+	}
+	if missing := d.MissingPreds(child); len(missing) != 1 || missing[0] != g.Ref() {
+		t.Fatalf("MissingPreds = %v", missing)
+	}
+	mustInsert(t, d, g, child)
+}
+
+func TestParentRule(t *testing.T) {
+	roster, signers := fixture(t, 3)
+	d := New(roster)
+	g0 := sealed(t, signers[0], 0, nil, nil)
+	g1 := sealed(t, signers[1], 0, nil, nil)
+	mustInsert(t, d, g0, g1)
+
+	// Non-genesis with no parent: only references another server.
+	orphan := sealed(t, signers[0], 1, []block.Ref{g1.Ref()}, nil)
+	if err := d.Insert(orphan); !errors.Is(err, ErrParentRule) {
+		t.Fatalf("no parent: Insert = %v, want ErrParentRule", err)
+	}
+
+	// Sequence gap: seq 2 directly on a seq-0 parent.
+	gap := sealed(t, signers[0], 2, []block.Ref{g0.Ref()}, nil)
+	if err := d.Insert(gap); !errors.Is(err, ErrParentRule) {
+		t.Fatalf("seq gap: Insert = %v, want ErrParentRule", err)
+	}
+
+	// Duplicate refs to the same parent are one edge, one parent: valid.
+	dup := sealed(t, signers[0], 1, []block.Ref{g0.Ref(), g0.Ref()}, nil)
+	if err := d.Insert(dup); err != nil {
+		t.Fatalf("duplicated parent ref: %v", err)
+	}
+}
+
+func TestReinsertIsNoOp(t *testing.T) {
+	roster, signers := fixture(t, 2)
+	d := New(roster)
+	b := sealed(t, signers[0], 0, nil, nil)
+	mustInsert(t, d, b, b, b)
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d after re-inserts, want 1", d.Len())
+	}
+}
+
+func TestOnInsertCallbackOrder(t *testing.T) {
+	roster, signers := fixture(t, 2)
+	d := New(roster)
+	var got []uint64
+	d.SetOnInsert(func(b *block.Block) { got = append(got, b.Seq) })
+	prev := sealed(t, signers[0], 0, nil, nil)
+	mustInsert(t, d, prev)
+	for seq := uint64(1); seq < 4; seq++ {
+		b := sealed(t, signers[0], seq, []block.Ref{prev.Ref()}, nil)
+		mustInsert(t, d, b)
+		prev = b
+	}
+	for i, seq := range got {
+		if uint64(i) != seq {
+			t.Fatalf("callback order %v", got)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("callback count = %d", len(got))
+	}
+}
+
+// TestJointDAG checks Lemma A.7: the union of two correct servers' block
+// DAGs, obtained by merging, is a block DAG, and both inputs are ⩽ it.
+func TestJointDAG(t *testing.T) {
+	roster, signers := fixture(t, 3)
+
+	// Shared genesis layer.
+	g0 := sealed(t, signers[0], 0, nil, nil)
+	g1 := sealed(t, signers[1], 0, nil, nil)
+	g2 := sealed(t, signers[2], 0, nil, nil)
+
+	// Server 0's view: its own chain on top of g0, g1.
+	d0 := New(roster)
+	mustInsert(t, d0, g0, g1)
+	a1 := sealed(t, signers[0], 1, []block.Ref{g0.Ref(), g1.Ref()}, nil)
+	mustInsert(t, d0, a1)
+
+	// Server 1's view: its own chain on top of g1, g2.
+	d1 := New(roster)
+	mustInsert(t, d1, g1, g2)
+	b1 := sealed(t, signers[1], 1, []block.Ref{g1.Ref(), g2.Ref()}, nil)
+	mustInsert(t, d1, b1)
+
+	joint := d0.Clone()
+	if err := joint.Merge(d1); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if joint.Len() != 5 {
+		t.Fatalf("joint Len = %d, want 5", joint.Len())
+	}
+	if !d0.Leq(joint) || !d1.Leq(joint) {
+		t.Fatal("inputs not ⩽ joint DAG")
+	}
+	// The joint DAG is itself a valid block DAG: re-validate every block.
+	check := New(roster)
+	for _, b := range joint.Blocks() {
+		if err := check.Insert(b); err != nil {
+			t.Fatalf("joint DAG block %v invalid: %v", b.Ref(), err)
+		}
+	}
+}
+
+func TestByBuilder(t *testing.T) {
+	roster, signers := fixture(t, 2)
+	d := New(roster)
+	g := sealed(t, signers[0], 0, nil, nil)
+	c1 := sealed(t, signers[0], 1, []block.Ref{g.Ref()}, nil)
+	c2 := sealed(t, signers[0], 2, []block.Ref{c1.Ref()}, nil)
+	other := sealed(t, signers[1], 0, nil, nil)
+	mustInsert(t, d, g, other, c1, c2)
+
+	chain := d.ByBuilder(0)
+	if len(chain) != 3 {
+		t.Fatalf("ByBuilder(0) has %d blocks", len(chain))
+	}
+	for i, b := range chain {
+		if b.Seq != uint64(i) {
+			t.Fatalf("chain out of order: %v", chain)
+		}
+	}
+	if len(d.ByBuilder(1)) != 1 {
+		t.Fatal("ByBuilder(1) wrong")
+	}
+}
+
+// TestEquivocatingGenesis checks that two genesis blocks from the same
+// byzantine server are both valid (Definition 3.3 does not forbid them)
+// and are reported as an equivocation at seq 0.
+func TestEquivocatingGenesis(t *testing.T) {
+	roster, signers := fixture(t, 2)
+	d := New(roster)
+	ga := sealed(t, signers[0], 0, nil, nil)
+	gb := sealed(t, signers[0], 0, nil, []block.Request{{Label: "l", Data: []byte("other")}})
+	mustInsert(t, d, ga, gb)
+	eqs := d.Equivocations()
+	if len(eqs) != 1 || eqs[0].Seq != 0 {
+		t.Fatalf("Equivocations = %v", eqs)
+	}
+}
+
+// TestDecodedBlockValidation exercises the full network path: encode,
+// decode, then validate — the order gossip performs on received blocks.
+func TestDecodedBlockValidation(t *testing.T) {
+	roster, signers := fixture(t, 2)
+	d := New(roster)
+	g := sealed(t, signers[0], 0, nil, []block.Request{{Label: "pay", Data: []byte{7}}})
+	dec, err := block.Decode(g.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(dec); err != nil {
+		t.Fatalf("Insert decoded block: %v", err)
+	}
+	if types.ServerID(0) != dec.Builder {
+		t.Fatal("builder mismatch")
+	}
+}

@@ -1,0 +1,100 @@
+package dagtest
+
+import (
+	"testing"
+
+	"blockdag/internal/block"
+)
+
+func TestRoundProducesAllToAllStructure(t *testing.T) {
+	h := NewHarness(3)
+	r0 := h.Round(nil)
+	if len(r0) != 3 {
+		t.Fatalf("round 0 built %d blocks", len(r0))
+	}
+	for _, b := range r0 {
+		if !b.IsGenesis() {
+			t.Fatal("round 0 produced non-genesis blocks")
+		}
+	}
+	r1 := h.Round(nil)
+	for i, b := range r1 {
+		if b.Seq != 1 {
+			t.Fatalf("round 1 block %d has seq %d", i, b.Seq)
+		}
+		if len(b.Preds) != 3 {
+			t.Fatalf("round 1 block %d has %d preds, want 3 (parent + 2 peers)", i, len(b.Preds))
+		}
+		if b.Preds[0] != r0[i].Ref() {
+			t.Fatalf("round 1 block %d does not lead with its parent", i)
+		}
+	}
+	if h.DAG.Len() != 6 {
+		t.Fatalf("DAG has %d blocks", h.DAG.Len())
+	}
+}
+
+func TestRoundEmbedsRequests(t *testing.T) {
+	h := NewHarness(2)
+	blocks := h.Round(map[int][]block.Request{1: {{Label: "x", Data: []byte("v")}}})
+	if len(blocks[1].Requests) != 1 || blocks[1].Requests[0].Label != "x" {
+		t.Fatalf("requests = %+v", blocks[1].Requests)
+	}
+	if len(blocks[0].Requests) != 0 {
+		t.Fatal("request leaked to wrong server")
+	}
+}
+
+func TestTipTracksChain(t *testing.T) {
+	h := NewHarness(2)
+	g := h.Genesis(0)
+	if h.Tip(0) != g.Ref() {
+		t.Fatal("tip not genesis")
+	}
+	b := h.Next(0, nil)
+	if h.Tip(0) != b.Ref() {
+		t.Fatal("tip not updated")
+	}
+}
+
+func TestSealDoesNotTrack(t *testing.T) {
+	h := NewHarness(2)
+	h.Genesis(0)
+	before := h.Tip(0)
+	fork := h.Seal(0, 1, []block.Ref{before})
+	if h.Tip(0) != before {
+		t.Fatal("Seal moved the chain tip")
+	}
+	h.Insert(fork)
+	if h.Tip(0) != before {
+		t.Fatal("Insert moved the chain tip")
+	}
+}
+
+func TestRefsHelper(t *testing.T) {
+	h := NewHarness(2)
+	a := h.Genesis(0)
+	b := h.Genesis(1)
+	refs := Refs(a, b)
+	if len(refs) != 2 || refs[0] != a.Ref() || refs[1] != b.Ref() {
+		t.Fatalf("Refs = %v", refs)
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	h := NewHarness(1)
+	assertPanic(t, func() { h.Next(0, nil) }) // no genesis yet
+	h.Genesis(0)
+	assertPanic(t, func() { h.Genesis(0) }) // double genesis
+	assertPanic(t, func() { h.Tip(5) })     // unknown server (index range)
+}
+
+func assertPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}

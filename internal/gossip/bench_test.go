@@ -1,0 +1,82 @@
+package gossip
+
+import (
+	"testing"
+
+	"blockdag/internal/block"
+	"blockdag/internal/crypto"
+	"blockdag/internal/dag"
+	"blockdag/internal/simnet"
+	"blockdag/internal/types"
+)
+
+// benchBlocks pre-seals a 4-server all-to-all block schedule as wire
+// payloads, in a valid arrival order.
+func benchBlocks(b *testing.B, rounds int) ([][]byte, *crypto.Roster) {
+	b.Helper()
+	roster, signers, err := crypto.LocalRoster(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tips := make(map[int]block.Ref)
+	var payloads [][]byte
+	for r := 0; r < rounds; r++ {
+		prev := make(map[int]block.Ref, len(tips))
+		for k, v := range tips {
+			prev[k] = v
+		}
+		for i := 0; i < 4; i++ {
+			var preds []block.Ref
+			if tip, ok := prev[i]; ok {
+				preds = append(preds, tip)
+			}
+			for j := 0; j < 4; j++ {
+				if j != i {
+					if tip, ok := prev[j]; ok {
+						preds = append(preds, tip)
+					}
+				}
+			}
+			blk := block.New(types.ServerID(i), uint64(r), preds, nil)
+			if err := blk.Seal(signers[i]); err != nil {
+				b.Fatal(err)
+			}
+			tips[i] = blk.Ref()
+			payloads = append(payloads, EncodeBlockMsg(blk))
+		}
+	}
+	return payloads, roster
+}
+
+// BenchmarkHandleBlockIngest measures the receive path: decode, verify,
+// validate, insert — the per-block cost of building the DAG.
+func BenchmarkHandleBlockIngest(b *testing.B) {
+	payloads, roster := benchBlocks(b, 32)
+	_, signers, err := crypto.LocalRoster(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := simnet.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := dag.New(roster)
+		g, err := New(Config{
+			Signer:    signers[0],
+			Roster:    roster,
+			DAG:       d,
+			Transport: net.Transport(0),
+			Clock:     net.Now,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range payloads {
+			g.HandleMessage(1, p)
+		}
+		if d.Len() != len(payloads) {
+			b.Fatalf("inserted %d of %d", d.Len(), len(payloads))
+		}
+	}
+	b.ReportMetric(float64(len(payloads)), "blocks/op")
+}

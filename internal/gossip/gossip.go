@@ -1,0 +1,521 @@
+// Package gossip implements Algorithm 1 of the paper: building a joint
+// block DAG by exchanging only blocks.
+//
+// Each server continuously (i) builds its block DAG G from received valid
+// blocks, and (ii) builds its current block B by accumulating references
+// to every block it inserts plus the user requests handed to it, sealing
+// and disseminating B whenever Disseminate fires (Algorithm 3 drives the
+// pacing).
+//
+// There is a single core message type — the block — plus the FWD request
+// used to pull a missing predecessor from the server whose block
+// referenced it (Algorithm 1 lines 10–13). Together with Assumption 1
+// (reliable delivery) this yields Lemma 3.6: every block a correct server
+// considers valid is eventually valid at every correct server — and hence
+// Lemma 3.7, the eventually joint block DAG.
+//
+// Gossip is a deterministic state machine: all inputs arrive through
+// HandleMessage, Disseminate, and Tick. It performs no locking and spawns
+// no goroutines; the node runtime or the simulator serializes calls.
+package gossip
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"blockdag/internal/block"
+	"blockdag/internal/crypto"
+	"blockdag/internal/dag"
+	"blockdag/internal/metrics"
+	"blockdag/internal/transport"
+	"blockdag/internal/types"
+	"blockdag/internal/wire"
+)
+
+// Wire message kinds.
+const (
+	kindBlock byte = 1
+	kindFwd   byte = 2
+)
+
+// EncodeBlockMsg frames a block for the wire.
+func EncodeBlockMsg(b *block.Block) []byte {
+	enc := b.Encode()
+	w := wire.NewWriter(1 + len(enc))
+	w.Byte(kindBlock)
+	w.VarBytes(enc)
+	return w.Bytes()
+}
+
+// EncodeFwdMsg frames a FWD request for the given block reference.
+func EncodeFwdMsg(ref block.Ref) []byte {
+	w := wire.NewWriter(1 + crypto.HashSize)
+	w.Byte(kindFwd)
+	w.Bytes32(ref)
+	return w.Bytes()
+}
+
+// RequestSource supplies the (label, request) pairs to embed in the next
+// block — the rqsts buffer shared with the shim (Algorithm 1 line 1).
+type RequestSource interface {
+	// Next returns and removes up to max buffered requests.
+	Next(max int) []block.Request
+}
+
+// Config parameterizes a gossip instance.
+type Config struct {
+	// Signer signs this server's blocks; its ID is the server identity.
+	Signer *crypto.Signer
+	// Roster is the fixed server set.
+	Roster *crypto.Roster
+	// DAG is this server's block DAG, shared read-only with the
+	// interpreter.
+	DAG *dag.DAG
+	// Requests supplies requests for the next block. May be nil for
+	// pure relays.
+	Requests RequestSource
+	// Transport sends wire messages. Required.
+	Transport transport.Transport
+	// OnInsert, if non-nil, observes every block inserted into the DAG
+	// in insertion order; the shim chains the interpreter here.
+	OnInsert func(*block.Block)
+	// Clock supplies the current time for FWD retry bookkeeping. The
+	// simulator injects virtual time. Required.
+	Clock func() time.Duration
+	// Metrics, optional.
+	Metrics *metrics.Metrics
+
+	// MaxBatch bounds requests per block; 0 means DefaultMaxBatch.
+	MaxBatch int
+	// ResendAfter is the Δ_B' wait before re-issuing a FWD request for
+	// a still-missing block; 0 means DefaultResendAfter.
+	ResendAfter time.Duration
+	// FwdFallbackAfter is the number of unanswered FWD retries to the
+	// referencing block's builder after which the request is broadcast
+	// to all servers — a liveness extension for crashed or byzantine
+	// builders (the paper notes asking others is "not necessary" for
+	// correctness; it is useful in practice). 0 means
+	// DefaultFwdFallbackAfter; negative disables fallback.
+	FwdFallbackAfter int
+
+	// CompressReferences enables the paper's Section 7 "implicit block
+	// inclusion" extension: blocks reference only the current DAG tips
+	// (plus the parent) instead of every block seen since the last
+	// dissemination; referencing a block implicitly includes its whole
+	// ancestry. This reduces the per-block reference overhead from
+	// O(n) to O(tips) — typically far fewer after bursts — at no
+	// correctness cost, but every server in the deployment must agree
+	// on the mode: the interpreter must run with matching
+	// ImplicitInclusion semantics (core wires both together).
+	CompressReferences bool
+}
+
+// Defaults for Config's tunables.
+const (
+	DefaultMaxBatch         = 256
+	DefaultResendAfter      = 200 * time.Millisecond
+	DefaultFwdFallbackAfter = 3
+)
+
+// missingState tracks one outstanding FWD request.
+type missingState struct {
+	askFrom  types.ServerID // builder of the block that referenced it
+	lastAsk  time.Duration
+	attempts int
+}
+
+// Gossip is one server's instance of Algorithm 1.
+type Gossip struct {
+	cfg  Config
+	self types.ServerID
+
+	// pending is the blks buffer (line 3): received blocks not yet
+	// insertable, keyed by reference.
+	pending map[block.Ref]*block.Block
+	// waiters maps a missing reference to the pending blocks waiting
+	// for it.
+	waiters map[block.Ref][]block.Ref
+	// missing tracks FWD-requested references not yet received.
+	missing map[block.Ref]*missingState
+	// invalid remembers references of blocks that failed validation;
+	// anything referencing them can never become valid (Def. 3.3(iii)).
+	invalid map[block.Ref]struct{}
+
+	// Current block B under construction (lines 2, 14–18).
+	curSeq   uint64
+	curPreds []block.Ref
+	// Compress-mode state: the parent reference (own previous block, if
+	// any) kept separate so tip retirement can never drop it, and the
+	// current tip set. curPreds is unused in this mode.
+	curParent *block.Ref
+	curTips   []block.Ref
+}
+
+// New validates the configuration and returns a ready gossip instance.
+func New(cfg Config) (*Gossip, error) {
+	switch {
+	case cfg.Signer == nil:
+		return nil, errors.New("gossip: config needs a Signer")
+	case cfg.Roster == nil:
+		return nil, errors.New("gossip: config needs a Roster")
+	case cfg.DAG == nil:
+		return nil, errors.New("gossip: config needs a DAG")
+	case cfg.Transport == nil:
+		return nil, errors.New("gossip: config needs a Transport")
+	case cfg.Clock == nil:
+		return nil, errors.New("gossip: config needs a Clock")
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.ResendAfter == 0 {
+		cfg.ResendAfter = DefaultResendAfter
+	}
+	if cfg.FwdFallbackAfter == 0 {
+		cfg.FwdFallbackAfter = DefaultFwdFallbackAfter
+	}
+	return &Gossip{
+		cfg:     cfg,
+		self:    cfg.Signer.ID(),
+		pending: make(map[block.Ref]*block.Block),
+		waiters: make(map[block.Ref][]block.Ref),
+		missing: make(map[block.Ref]*missingState),
+		invalid: make(map[block.Ref]struct{}),
+	}, nil
+}
+
+// Self returns this server's identity.
+func (g *Gossip) Self() types.ServerID { return g.self }
+
+// Recover initializes the block-building state from a restored, non-empty
+// DAG after a crash — the crash-recovery path the paper discusses in
+// Section 7. The next block continues the own chain (curSeq = last own
+// seq + 1, parent = own tip) and references exactly the blocks no earlier
+// own block referenced, preserving the at-most-once reference discipline
+// of Lemma A.6 across the restart (and with it no-duplication,
+// Lemma 4.3(2)).
+func (g *Gossip) Recover() {
+	var ownTip *block.Block
+	referenced := make(map[block.Ref]struct{})
+	for _, b := range g.cfg.DAG.Blocks() {
+		if b.Builder != g.self {
+			continue
+		}
+		if ownTip == nil || b.Seq >= ownTip.Seq {
+			ownTip = b
+		}
+		for _, p := range b.Preds {
+			referenced[p] = struct{}{}
+		}
+	}
+	g.curPreds = nil
+	g.curParent = nil
+	g.curTips = nil
+	g.curSeq = 0
+	if g.cfg.CompressReferences {
+		g.recoverCompressed(ownTip)
+		return
+	}
+	if ownTip != nil {
+		g.curSeq = ownTip.Seq + 1
+		g.curPreds = append(g.curPreds, ownTip.Ref())
+		referenced[ownTip.Ref()] = struct{}{}
+	}
+	for _, b := range g.cfg.DAG.Blocks() {
+		if b.Builder == g.self {
+			continue
+		}
+		if _, ok := referenced[b.Ref()]; ok {
+			continue
+		}
+		g.curPreds = append(g.curPreds, b.Ref())
+	}
+}
+
+// recoverCompressed rebuilds compress-mode chain state: the parent is the
+// own tip, and the tip set is the blocks outside the own tip's ancestry
+// closure with no successors outside it either.
+func (g *Gossip) recoverCompressed(ownTip *block.Block) {
+	covered := make(map[block.Ref]struct{})
+	if ownTip != nil {
+		g.curSeq = ownTip.Seq + 1
+		parent := ownTip.Ref()
+		g.curParent = &parent
+		for _, ref := range g.cfg.DAG.Ancestry(ownTip.Ref()) {
+			covered[ref] = struct{}{}
+		}
+	}
+	for _, b := range g.cfg.DAG.Blocks() {
+		ref := b.Ref()
+		if _, ok := covered[ref]; ok {
+			continue
+		}
+		tip := true
+		for _, succ := range g.cfg.DAG.Succs(ref) {
+			if _, ok := covered[succ]; !ok {
+				tip = false
+				break
+			}
+		}
+		if tip {
+			g.curTips = append(g.curTips, ref)
+		}
+	}
+}
+
+// PendingBlocks returns the size of the blks buffer (diagnostics).
+func (g *Gossip) PendingBlocks() int { return len(g.pending) }
+
+// MissingRefs returns the number of outstanding FWD requests
+// (diagnostics).
+func (g *Gossip) MissingRefs() int { return len(g.missing) }
+
+// HandleMessage consumes one wire payload from the network: either a
+// block (lines 4–5) or a FWD request (lines 12–13). Malformed payloads
+// from byzantine servers are counted and dropped.
+func (g *Gossip) HandleMessage(from types.ServerID, payload []byte) {
+	r := wire.NewReader(payload)
+	switch r.Byte() {
+	case kindBlock:
+		enc := r.VarBytes()
+		if r.Close() != nil {
+			g.cfg.Metrics.AddBlocksRejected(1)
+			return
+		}
+		b, err := block.Decode(enc)
+		if err != nil {
+			g.cfg.Metrics.AddBlocksRejected(1)
+			return
+		}
+		g.handleBlock(b)
+	case kindFwd:
+		ref := block.Ref(r.Bytes32())
+		if r.Close() != nil {
+			return
+		}
+		g.handleFwd(from, ref)
+	default:
+		g.cfg.Metrics.AddBlocksRejected(1)
+	}
+}
+
+// handleBlock implements lines 4–11 for one received block.
+func (g *Gossip) handleBlock(b *block.Block) {
+	g.cfg.Metrics.AddBlocksReceived(1)
+	ref := b.Ref()
+	if g.cfg.DAG.Contains(ref) || g.pending[ref] != nil {
+		g.cfg.Metrics.AddBlocksDuplicate(1)
+		return
+	}
+	if _, bad := g.invalid[ref]; bad {
+		g.cfg.Metrics.AddBlocksDuplicate(1)
+		return
+	}
+	// Verify authorship once, on receipt (Definition 3.3(i)). Blocks
+	// with bad signatures never enter the pending buffer.
+	if !g.cfg.Roster.Contains(b.Builder) || !b.VerifySignature(g.cfg.Roster) {
+		g.cfg.Metrics.AddBlocksRejected(1)
+		g.markInvalid(ref)
+		return
+	}
+	// The block has arrived; stop FWD retries for it.
+	delete(g.missing, ref)
+
+	g.pending[ref] = b
+	if !g.tryInsert(b) {
+		// Request whichever predecessors we neither hold nor asked
+		// for yet (lines 10–11), from the builder of this block.
+		for _, p := range g.cfg.DAG.MissingPreds(b) {
+			if _, bad := g.invalid[p]; bad {
+				continue
+			}
+			g.waiters[p] = append(g.waiters[p], ref)
+			if g.pending[p] != nil {
+				continue // already buffered, just not insertable yet
+			}
+			if _, asked := g.missing[p]; asked {
+				continue
+			}
+			g.missing[p] = &missingState{askFrom: b.Builder, lastAsk: g.cfg.Clock()}
+			g.sendFwd(b.Builder, p)
+		}
+	}
+}
+
+// tryInsert inserts b if all predecessors are present, then cascades to
+// any pending blocks waiting on b (line 6's "when valid" loop). It
+// reports whether b was resolved (inserted or found invalid).
+func (g *Gossip) tryInsert(b *block.Block) bool {
+	ref := b.Ref()
+	if len(g.cfg.DAG.MissingPreds(b)) > 0 {
+		for _, p := range b.Preds {
+			if _, bad := g.invalid[p]; bad {
+				// A predecessor can never validate, so neither
+				// can this block (Definition 3.3(iii)).
+				delete(g.pending, ref)
+				g.cfg.Metrics.AddBlocksRejected(1)
+				g.markInvalid(ref)
+				return true
+			}
+		}
+		return false
+	}
+	delete(g.pending, ref)
+	if err := g.cfg.DAG.InsertVerified(b); err != nil {
+		g.cfg.Metrics.AddBlocksRejected(1)
+		g.markInvalid(ref)
+		return true
+	}
+	g.noteInserted(b)
+	return true
+}
+
+// noteInserted runs the post-insert duties for a block now in G: add a
+// reference to the current block (line 8, at most once per block —
+// Lemma A.6, guaranteed because insertion happens once), notify the
+// interpreter, and wake blocks waiting on it.
+func (g *Gossip) noteInserted(b *block.Block) {
+	ref := b.Ref()
+	g.cfg.Metrics.AddBlocksInserted(1)
+	if b.Builder != g.self {
+		if g.cfg.CompressReferences {
+			// Tip maintenance: retire every tip the new block
+			// covers (reaches backwards), then add the block as a
+			// tip. Referencing it implicitly includes its whole
+			// ancestry (Section 7 extension).
+			kept := g.curTips[:0]
+			for _, p := range g.curTips {
+				if !g.cfg.DAG.Reaches(p, ref) {
+					kept = append(kept, p)
+				}
+			}
+			g.curTips = append(kept, ref)
+		} else {
+			g.curPreds = append(g.curPreds, ref)
+		}
+	}
+	if g.cfg.OnInsert != nil {
+		g.cfg.OnInsert(b)
+	}
+	waiting := g.waiters[ref]
+	delete(g.waiters, ref)
+	for _, wref := range waiting {
+		if wb := g.pending[wref]; wb != nil {
+			g.tryInsert(wb)
+		}
+	}
+}
+
+// markInvalid records an unvalidatable reference and transitively poisons
+// pending blocks that reference it.
+func (g *Gossip) markInvalid(ref block.Ref) {
+	g.invalid[ref] = struct{}{}
+	delete(g.missing, ref)
+	waiting := g.waiters[ref]
+	delete(g.waiters, ref)
+	for _, wref := range waiting {
+		if wb := g.pending[wref]; wb != nil {
+			delete(g.pending, wref)
+			g.cfg.Metrics.AddBlocksRejected(1)
+			g.markInvalid(wref)
+		}
+	}
+}
+
+// handleFwd answers a forwarding request (lines 12–13): if we hold the
+// block, send it to the requester.
+func (g *Gossip) handleFwd(from types.ServerID, ref block.Ref) {
+	b, ok := g.cfg.DAG.Get(ref)
+	if !ok {
+		return
+	}
+	g.cfg.Metrics.AddFwdRequestsServed(1)
+	g.send(from, EncodeBlockMsg(b))
+}
+
+// Disseminate implements lines 14–18: seal the current block with the
+// buffered requests, insert it into the local DAG, send it to every other
+// server, and start the next block with the parent reference. It returns
+// the disseminated block.
+func (g *Gossip) Disseminate() (*block.Block, error) {
+	var reqs []block.Request
+	if g.cfg.Requests != nil {
+		reqs = g.cfg.Requests.Next(g.cfg.MaxBatch)
+	}
+	preds := g.curPreds
+	if g.cfg.CompressReferences {
+		preds = nil
+		if g.curParent != nil {
+			preds = append(preds, *g.curParent)
+		}
+		preds = append(preds, g.curTips...)
+	}
+	b := block.New(g.self, g.curSeq, preds, reqs)
+	if err := b.Seal(g.cfg.Signer); err != nil {
+		return nil, fmt.Errorf("gossip: seal block: %w", err)
+	}
+	if err := g.cfg.DAG.InsertVerified(b); err != nil {
+		// Only possible if our own bookkeeping broke (e.g. the DAG
+		// was mutated behind our back): surface loudly.
+		return nil, fmt.Errorf("gossip: insert own block: %w", err)
+	}
+	g.cfg.Metrics.AddBlocksBuilt(1)
+	g.cfg.Metrics.AddRequestsEmbedded(int64(len(reqs)))
+	g.noteInserted(b)
+
+	enc := EncodeBlockMsg(b)
+	for _, id := range g.cfg.Roster.IDs() {
+		if id == g.self {
+			continue
+		}
+		g.send(id, enc)
+	}
+
+	g.curSeq++
+	if g.cfg.CompressReferences {
+		parent := b.Ref()
+		g.curParent = &parent
+		// The new block covers all previous tips; clear them.
+		g.curTips = nil
+	} else {
+		g.curPreds = []block.Ref{b.Ref()}
+	}
+	return b, nil
+}
+
+// Tick re-issues FWD requests for references still missing after
+// ResendAfter (the Δ_B' timer the paper assumes). After FwdFallbackAfter
+// unanswered attempts the request is broadcast to every server.
+func (g *Gossip) Tick(now time.Duration) {
+	for ref, ms := range g.missing {
+		if now-ms.lastAsk < g.cfg.ResendAfter {
+			continue
+		}
+		ms.lastAsk = now
+		ms.attempts++
+		if g.cfg.FwdFallbackAfter > 0 && ms.attempts >= g.cfg.FwdFallbackAfter {
+			for _, id := range g.cfg.Roster.IDs() {
+				if id == g.self {
+					continue
+				}
+				g.sendFwd(id, ref)
+			}
+			continue
+		}
+		g.sendFwd(ms.askFrom, ref)
+	}
+}
+
+func (g *Gossip) sendFwd(to types.ServerID, ref block.Ref) {
+	if to == g.self {
+		return
+	}
+	g.cfg.Metrics.AddFwdRequestsSent(1)
+	g.send(to, EncodeFwdMsg(ref))
+}
+
+func (g *Gossip) send(to types.ServerID, payload []byte) {
+	g.cfg.Metrics.AddWireSend(int64(len(payload)))
+	g.cfg.Transport.Send(to, payload)
+}

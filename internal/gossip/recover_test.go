@@ -1,0 +1,177 @@
+package gossip
+
+import (
+	"testing"
+
+	"blockdag/internal/block"
+	"blockdag/internal/crypto"
+	"blockdag/internal/dag"
+	"blockdag/internal/simnet"
+)
+
+// recoveredGossip builds a gossip instance over a pre-populated DAG and
+// calls Recover, returning the first block it then disseminates.
+func recoveredGossip(t *testing.T, d *dag.DAG, signers []*crypto.Signer, roster *crypto.Roster, compress bool) *block.Block {
+	t.Helper()
+	net := simnet.New()
+	g, err := New(Config{
+		Signer:             signers[0],
+		Roster:             roster,
+		DAG:                d,
+		Transport:          net.Transport(0),
+		Clock:              net.Now,
+		CompressReferences: compress,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Recover()
+	b, err := g.Disseminate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// seal is a local helper building signed blocks.
+func seal(t *testing.T, signer *crypto.Signer, seq uint64, preds []block.Ref, reqs ...block.Request) *block.Block {
+	t.Helper()
+	b := block.New(signer.ID(), seq, preds, reqs)
+	if err := b.Seal(signer); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRecoverContinuesChain: after recovery, the next block has the right
+// sequence number, parents the old tip, and references exactly the blocks
+// no pre-crash block referenced (Lemma A.6 across restarts).
+func TestRecoverContinuesChain(t *testing.T) {
+	roster, signers, err := crypto.LocalRoster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dag.New(roster)
+
+	// Pre-crash history of s0: genesis, then one block referencing
+	// s1's genesis. s2's genesis arrived but was never referenced.
+	g0 := seal(t, signers[0], 0, nil)
+	g1 := seal(t, signers[1], 0, nil)
+	g2 := seal(t, signers[2], 0, nil)
+	own1 := seal(t, signers[0], 1, []block.Ref{g0.Ref(), g1.Ref()})
+	for _, b := range []*block.Block{g0, g1, g2, own1} {
+		if err := d.Insert(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	next := recoveredGossip(t, d, signers, roster, false)
+	if next.Seq != 2 {
+		t.Fatalf("recovered block has seq %d, want 2", next.Seq)
+	}
+	if next.Preds[0] != own1.Ref() {
+		t.Fatal("recovered block does not parent the old tip")
+	}
+	if !next.HasPred(g2.Ref()) {
+		t.Fatal("recovered block misses the unreferenced block g2")
+	}
+	if next.HasPred(g1.Ref()) || next.HasPred(g0.Ref()) {
+		t.Fatal("recovered block re-references already-referenced blocks")
+	}
+}
+
+// TestRecoverFreshServer: recovery on a DAG without own blocks produces a
+// genesis block referencing everything present.
+func TestRecoverFreshServer(t *testing.T) {
+	roster, signers, err := crypto.LocalRoster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dag.New(roster)
+	g1 := seal(t, signers[1], 0, nil)
+	if err := d.Insert(g1); err != nil {
+		t.Fatal(err)
+	}
+	next := recoveredGossip(t, d, signers, roster, false)
+	if next.Seq != 0 {
+		t.Fatalf("fresh recovery built seq %d, want genesis", next.Seq)
+	}
+	if !next.HasPred(g1.Ref()) {
+		t.Fatal("fresh recovery misses existing block")
+	}
+}
+
+// TestRecoverCompressedReferencesTipsOnly: compressed recovery references
+// the own tip plus the DAG tips outside the own ancestry — not the whole
+// backlog.
+func TestRecoverCompressedReferencesTipsOnly(t *testing.T) {
+	roster, signers, err := crypto.LocalRoster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dag.New(roster)
+	g0 := seal(t, signers[0], 0, nil)
+	// s1 built a chain of three blocks that s0 never referenced.
+	b10 := seal(t, signers[1], 0, nil)
+	b11 := seal(t, signers[1], 1, []block.Ref{b10.Ref()})
+	b12 := seal(t, signers[1], 2, []block.Ref{b11.Ref()})
+	for _, b := range []*block.Block{g0, b10, b11, b12} {
+		if err := d.Insert(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next := recoveredGossip(t, d, signers, roster, true)
+	if next.Preds[0] != g0.Ref() {
+		t.Fatal("compressed recovery does not parent the own tip")
+	}
+	if !next.HasPred(b12.Ref()) {
+		t.Fatal("compressed recovery misses the chain tip")
+	}
+	if next.HasPred(b10.Ref()) || next.HasPred(b11.Ref()) {
+		t.Fatal("compressed recovery references covered ancestors")
+	}
+	if len(next.Preds) != 2 {
+		t.Fatalf("compressed recovery has %d preds, want 2", len(next.Preds))
+	}
+}
+
+// TestCompressedDisseminationReferencesTips: in compress mode, a block
+// built after receiving a peer's chain references only the chain tip.
+func TestCompressedDisseminationReferencesTips(t *testing.T) {
+	roster, signers, err := crypto.LocalRoster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := simnet.New()
+	d := dag.New(roster)
+	g, err := New(Config{
+		Signer:             signers[0],
+		Roster:             roster,
+		DAG:                d,
+		Transport:          net.Transport(0),
+		Clock:              net.Now,
+		CompressReferences: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b10 := seal(t, signers[1], 0, nil)
+	b11 := seal(t, signers[1], 1, []block.Ref{b10.Ref()})
+	g.HandleMessage(1, EncodeBlockMsg(b10))
+	g.HandleMessage(1, EncodeBlockMsg(b11))
+	own, err := g.Disseminate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !own.HasPred(b11.Ref()) || own.HasPred(b10.Ref()) {
+		t.Fatalf("compressed block preds = %v, want only the tip", own.Preds)
+	}
+	// The next own block references only its parent (tips cleared).
+	own2, err := g.Disseminate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(own2.Preds) != 1 || own2.Preds[0] != own.Ref() {
+		t.Fatalf("second block preds = %v, want [parent]", own2.Preds)
+	}
+}

@@ -1,0 +1,312 @@
+// Package graph implements the directed-acyclic-graph substrate of the
+// paper's Section 2 (Directed Acyclic Graphs): vertices, edges, the
+// restricted insert operation of Definition 2.1 — which may only add a new
+// vertex v together with edges from existing vertices into v — and the
+// orderings ⇀, ⇀+, ⇀* and ⩽ used by the block DAG layer.
+//
+// The restricted insert makes the three properties of Lemma 2.2 hold by
+// construction: insert is idempotent, extends the graph (G ⩽ insert(G,v,E)),
+// and preserves acyclicity. The block DAG of Definition 3.4 is built on
+// this type with K = block.Ref.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Insert errors.
+var (
+	// ErrMissingPred reports an edge source that is not yet a vertex.
+	// Definition 2.1 only permits edges {(v_i, v) | v_i ∈ V ⊆ G}.
+	ErrMissingPred = errors.New("graph: predecessor not in graph")
+	// ErrEdgeMismatch reports a re-insert of an existing vertex with a
+	// different edge set; Lemma 2.2(1) idempotence only covers E ⊆ EG.
+	ErrEdgeMismatch = errors.New("graph: vertex exists with different edges")
+)
+
+// DAG is a directed acyclic graph over comparable vertex keys. The zero
+// value is not ready to use; construct with New. A DAG is not safe for
+// concurrent mutation.
+type DAG[K comparable] struct {
+	index map[K]int // vertex -> position in order
+	order []K       // insertion order; a topological order by construction
+	preds map[K][]K // v -> direct predecessors (u with u ⇀ v), insert order
+	succs map[K][]K // v -> direct successors (w with v ⇀ w), insert order
+}
+
+// New returns an empty DAG.
+func New[K comparable]() *DAG[K] {
+	return &DAG[K]{
+		index: make(map[K]int),
+		preds: make(map[K][]K),
+		succs: make(map[K][]K),
+	}
+}
+
+// Len returns the number of vertices.
+func (g *DAG[K]) Len() int { return len(g.order) }
+
+// Contains reports whether v is a vertex of g.
+func (g *DAG[K]) Contains(v K) bool {
+	_, ok := g.index[v]
+	return ok
+}
+
+// Insert adds vertex v with edges from each vertex in preds to v,
+// implementing insert(G, v, E) of Definition 2.1. Duplicate entries in
+// preds are collapsed to a single edge (E is a set).
+//
+// Inserting an existing vertex with the same edge set is a no-op
+// (Lemma 2.2(1)); with a different edge set it returns ErrEdgeMismatch.
+// If any predecessor is absent it returns ErrMissingPred and leaves g
+// unchanged. Because edges only ever point at the new vertex, g remains
+// acyclic (Lemma 2.2(3)).
+func (g *DAG[K]) Insert(v K, preds []K) error {
+	uniq := dedup(preds)
+	if g.Contains(v) {
+		if sameSet(g.preds[v], uniq) {
+			return nil
+		}
+		return fmt.Errorf("%w: %v", ErrEdgeMismatch, v)
+	}
+	for _, p := range uniq {
+		if !g.Contains(p) {
+			return fmt.Errorf("%w: %v", ErrMissingPred, p)
+		}
+		if p == v {
+			// Cannot happen given !Contains(v), but guard the
+			// self-loop explicitly for clarity.
+			return fmt.Errorf("%w: self edge %v", ErrEdgeMismatch, v)
+		}
+	}
+	g.index[v] = len(g.order)
+	g.order = append(g.order, v)
+	g.preds[v] = uniq
+	for _, p := range uniq {
+		g.succs[p] = append(g.succs[p], v)
+	}
+	return nil
+}
+
+func dedup[K comparable](in []K) []K {
+	if len(in) <= 1 {
+		return append([]K(nil), in...)
+	}
+	seen := make(map[K]struct{}, len(in))
+	out := make([]K, 0, len(in))
+	for _, k := range in {
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, k)
+	}
+	return out
+}
+
+func sameSet[K comparable](a, b []K) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[K]struct{}, len(a))
+	for _, k := range a {
+		set[k] = struct{}{}
+	}
+	for _, k := range b {
+		if _, ok := set[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Preds returns the direct predecessors of v (vertices u with u ⇀ v) in
+// insertion order. The result is a copy.
+func (g *DAG[K]) Preds(v K) []K { return append([]K(nil), g.preds[v]...) }
+
+// Succs returns the direct successors of v (vertices w with v ⇀ w) in
+// insertion order. The result is a copy.
+func (g *DAG[K]) Succs(v K) []K { return append([]K(nil), g.succs[v]...) }
+
+// Order returns all vertices in insertion order, which is a valid
+// topological order (every vertex follows all of its predecessors). The
+// result is a copy.
+func (g *DAG[K]) Order() []K { return append([]K(nil), g.order...) }
+
+// Tips returns the vertices with no successors, in insertion order.
+func (g *DAG[K]) Tips() []K {
+	var tips []K
+	for _, v := range g.order {
+		if len(g.succs[v]) == 0 {
+			tips = append(tips, v)
+		}
+	}
+	return tips
+}
+
+// Reaches reports whether v is reachable from u in one or more steps,
+// written u ⇀+ v in the paper.
+func (g *DAG[K]) Reaches(u, v K) bool {
+	if !g.Contains(u) || !g.Contains(v) {
+		return false
+	}
+	// Walk backwards from v: the predecessor closure is typically
+	// smaller than the successor closure in an append-only DAG.
+	seen := map[K]struct{}{v: {}}
+	stack := []K{v}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range g.preds[cur] {
+			if p == u {
+				return true
+			}
+			if _, ok := seen[p]; ok {
+				continue
+			}
+			seen[p] = struct{}{}
+			stack = append(stack, p)
+		}
+	}
+	return false
+}
+
+// ReachesReflexive reports u ⇀* v: v is reachable from u in zero or more
+// steps.
+func (g *DAG[K]) ReachesReflexive(u, v K) bool {
+	if u == v {
+		return g.Contains(u)
+	}
+	return g.Reaches(u, v)
+}
+
+// Ancestry returns every vertex reachable backwards from v, including v
+// itself (the causal past of v), in unspecified order.
+func (g *DAG[K]) Ancestry(v K) []K {
+	if !g.Contains(v) {
+		return nil
+	}
+	seen := map[K]struct{}{v: {}}
+	out := []K{v}
+	stack := []K{v}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range g.preds[cur] {
+			if _, ok := seen[p]; ok {
+				continue
+			}
+			seen[p] = struct{}{}
+			out = append(out, p)
+			stack = append(stack, p)
+		}
+	}
+	return out
+}
+
+// Leq reports g ⩽ h per the paper's Section 2: V_g ⊆ V_h and
+// E_g = E_h ∩ (V_g × V_g). Note the equality: h must not contain extra
+// edges between vertices already in g.
+func (g *DAG[K]) Leq(h *DAG[K]) bool {
+	for _, v := range g.order {
+		if !h.Contains(v) {
+			return false
+		}
+		// E_g ⊆ E_h restricted to V_g is equivalent to comparing
+		// predecessor sets filtered to V_g, because all edges point
+		// into their endpoint vertex.
+		var hPredsInG []K
+		for _, p := range h.preds[v] {
+			if g.Contains(p) {
+				hPredsInG = append(hPredsInG, p)
+			}
+		}
+		if !sameSet(g.preds[v], hPredsInG) {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns a new DAG containing the union of vertices and edges of g
+// and h (paper Section 3, joint block DAG G_s ∪ G_s'). Union requires the
+// two graphs to agree on the predecessor set of every shared vertex — true
+// for block DAGs, where a block's edge set is determined by its content —
+// and returns ErrEdgeMismatch otherwise.
+func (g *DAG[K]) Union(h *DAG[K]) (*DAG[K], error) {
+	merged := New[K]()
+	mergedPreds := func(v K) ([]K, error) {
+		inG, inH := g.Contains(v), h.Contains(v)
+		switch {
+		case inG && inH:
+			if !sameSet(g.preds[v], h.preds[v]) {
+				return nil, fmt.Errorf("%w: %v", ErrEdgeMismatch, v)
+			}
+			return g.preds[v], nil
+		case inG:
+			return g.preds[v], nil
+		default:
+			return h.preds[v], nil
+		}
+	}
+	// Kahn-style repeated passes: insert any vertex whose predecessors
+	// are all present. Both inputs are acyclic, so this terminates.
+	pendingSet := make(map[K]struct{}, g.Len()+h.Len())
+	var pending []K
+	for _, v := range g.order {
+		pendingSet[v] = struct{}{}
+		pending = append(pending, v)
+	}
+	for _, v := range h.order {
+		if _, ok := pendingSet[v]; !ok {
+			pendingSet[v] = struct{}{}
+			pending = append(pending, v)
+		}
+	}
+	for len(pending) > 0 {
+		progressed := false
+		var next []K
+		for _, v := range pending {
+			preds, err := mergedPreds(v)
+			if err != nil {
+				return nil, err
+			}
+			ready := true
+			for _, p := range preds {
+				if !merged.Contains(p) {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, v)
+				continue
+			}
+			if err := merged.Insert(v, preds); err != nil {
+				return nil, err
+			}
+			progressed = true
+		}
+		if !progressed {
+			// Unreachable for acyclic inputs; report rather than
+			// spin forever if an invariant was broken upstream.
+			return nil, errors.New("graph: union did not converge; inputs not acyclic?")
+		}
+		pending = next
+	}
+	return merged, nil
+}
+
+// Clone returns a deep copy of g.
+func (g *DAG[K]) Clone() *DAG[K] {
+	cp := New[K]()
+	for _, v := range g.order {
+		if err := cp.Insert(v, g.preds[v]); err != nil {
+			// Inserting in topological order from a valid DAG
+			// cannot fail; a failure means g's invariants broke.
+			panic(fmt.Sprintf("graph: clone insert: %v", err))
+		}
+	}
+	return cp
+}

@@ -1,0 +1,186 @@
+package interpret
+
+import (
+	"math/rand"
+	"testing"
+
+	"blockdag/internal/block"
+	"blockdag/internal/dagtest"
+	"blockdag/internal/protocols/brb"
+	"blockdag/internal/protocols/courier"
+	"blockdag/internal/types"
+)
+
+// tipRound has every server build its next block referencing ONLY its
+// parent and the previous round's other tips — the sparse reference
+// pattern CompressReferences produces. With 2 servers this is identical
+// to a full round; the sparseness shows with chains (see below).
+//
+// buildSparseChain builds the scenario implicit inclusion exists for:
+//
+//	s0: A0 ← A1 ← A2 (a chain of three blocks, requests on each)
+//	s1: B0, then B1 referencing ONLY A2 (the tip) + parent B0.
+//
+// Under explicit (paper-default) semantics, B1 would receive only A2's
+// messages. Under implicit inclusion, B1 receives the messages of A0 and
+// A1 as well: referencing A2 includes its ancestry.
+func buildSparseChain(t *testing.T, h *dagtest.Harness) (a0, a1, a2, b0, b1 *block.Block) {
+	t.Helper()
+	a0 = h.Genesis(0, block.Request{Label: "m0", Data: courier.EncodeRequest(1, []byte("zero"))})
+	a1 = h.Next(0, nil, block.Request{Label: "m1", Data: courier.EncodeRequest(1, []byte("one"))})
+	a2 = h.Next(0, nil, block.Request{Label: "m2", Data: courier.EncodeRequest(1, []byte("two"))})
+	b0 = h.Genesis(1)
+	b1 = h.Next(1, []block.Ref{a2.Ref()})
+	return
+}
+
+func TestImplicitInclusionDeliversAncestry(t *testing.T) {
+	h := dagtest.NewHarness(2)
+	onInd, inds := collectInds()
+	it := New(courier.Protocol{}, 2, 0, onInd, WithImplicitInclusion())
+	buildSparseChain(t, h)
+	if err := it.InterpretDAG(h.DAG); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, ind := range *inds {
+		if ind.Server != 1 {
+			continue
+		}
+		_, data, err := courier.DecodeIndication(ind.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, string(data))
+	}
+	if len(got) != 3 {
+		t.Fatalf("implicit mode delivered %d messages %v, want all 3 from the ancestry", len(got), got)
+	}
+}
+
+func TestExplicitModeOnlyDirectEdges(t *testing.T) {
+	h := dagtest.NewHarness(2)
+	onInd, inds := collectInds()
+	it := New(courier.Protocol{}, 2, 0, onInd) // paper-default semantics
+	buildSparseChain(t, h)
+	if err := it.InterpretDAG(h.DAG); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, ind := range *inds {
+		if ind.Server == 1 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("explicit mode delivered %d messages, want only the direct edge's 1", count)
+	}
+}
+
+// TestImplicitNoDuplication: consuming an ancestor once moves the
+// watermark; later blocks referencing overlapping ancestry do not deliver
+// it again.
+func TestImplicitNoDuplication(t *testing.T) {
+	h := dagtest.NewHarness(2)
+	onInd, inds := collectInds()
+	it := New(courier.Protocol{}, 2, 0, onInd, WithImplicitInclusion())
+	a0, _, a2, _, _ := buildSparseChain(t, h)
+	_ = a0
+	// s1 keeps extending, re-referencing old s0 blocks directly (a
+	// byzantine-ish redundant reference) — watermark must suppress
+	// re-delivery.
+	h.Next(1, []block.Ref{a2.Ref(), a0.Ref()})
+	h.Next(1, []block.Ref{a0.Ref()})
+	if err := it.InterpretDAG(h.DAG); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, ind := range *inds {
+		if ind.Server == 1 {
+			count++
+		}
+	}
+	if count != 3 {
+		t.Fatalf("delivered %d messages, want exactly 3 (no duplication)", count)
+	}
+}
+
+// TestImplicitOrderIndependence: Lemma 4.2 holds in implicit mode too.
+func TestImplicitOrderIndependence(t *testing.T) {
+	h := dagtest.NewHarness(3)
+	// Build a sparse, irregular DAG with requests sprinkled in.
+	h.Genesis(0, block.Request{Label: "x", Data: []byte("vx")})
+	h.Genesis(1)
+	h.Genesis(2)
+	h.Next(0, nil)
+	h.Next(1, []block.Ref{h.Tip(0)}, block.Request{Label: "y", Data: []byte("vy")})
+	h.Next(2, []block.Ref{h.Tip(1)})
+	h.Next(0, []block.Ref{h.Tip(2)})
+	h.Next(1, []block.Ref{h.Tip(0)})
+	h.Next(2, []block.Ref{h.Tip(1)})
+
+	reference := New(brb.Protocol{}, 3, 0, nil, WithImplicitInclusion())
+	if err := reference.InterpretDAG(h.DAG); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		other := New(brb.Protocol{}, 3, 0, nil, WithImplicitInclusion())
+		for _, b := range randomTopoOrder(h.DAG, rng) {
+			if err := other.AddBlock(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, b := range h.DAG.Blocks() {
+			for _, label := range []types.Label{"x", "y"} {
+				m1 := reference.OutMessages(b.Ref(), label)
+				m2 := other.OutMessages(b.Ref(), label)
+				if len(m1) != len(m2) {
+					t.Fatalf("trial %d: out buffers differ at %v", trial, b.Ref())
+				}
+				d1, ok1 := reference.StateDigest(b.Ref(), label)
+				d2, ok2 := other.StateDigest(b.Ref(), label)
+				if ok1 != ok2 || string(d1) != string(d2) {
+					t.Fatalf("trial %d: digests differ at %v", trial, b.Ref())
+				}
+			}
+		}
+	}
+}
+
+// TestImplicitEndToEndBRB runs the full compressed stack: sparse blocks on
+// the wire, implicit interpretation, BRB still delivers exactly once
+// everywhere.
+func TestImplicitEndToEndBRB(t *testing.T) {
+	// Exercised at system level in internal/core (shim wiring); here we
+	// emulate compressed blocks by hand on a longer chain mix.
+	h := dagtest.NewHarness(4)
+	onInd, inds := collectInds()
+	it := New(brb.Protocol{}, 4, 1, onInd, WithImplicitInclusion())
+	h.Round(map[int][]block.Request{0: {{Label: "ℓ", Data: []byte("42")}}})
+	// Sparse rounds: each server references only server (i+1)%4's tip.
+	for r := 0; r < 12; r++ {
+		tips := make([]block.Ref, 4)
+		for i := 0; i < 4; i++ {
+			tips[i] = h.Tip(i)
+		}
+		for i := 0; i < 4; i++ {
+			h.Next(i, []block.Ref{tips[(i+1)%4]})
+		}
+	}
+	if err := it.InterpretDAG(h.DAG); err != nil {
+		t.Fatal(err)
+	}
+	perServer := make(map[int]int)
+	for _, ind := range *inds {
+		if string(ind.Value) != "42" || ind.Label != "ℓ" {
+			t.Fatalf("unexpected indication %+v", ind)
+		}
+		perServer[int(ind.Server)]++
+	}
+	for i := 0; i < 4; i++ {
+		if perServer[i] != 1 {
+			t.Fatalf("server %d delivered %d times: %v", i, perServer[i], perServer)
+		}
+	}
+}

@@ -1,0 +1,503 @@
+// Package interpret implements Algorithm 2 of the paper: interpreting a
+// deterministic protocol P embedded in a block DAG.
+//
+// The key task is to "get messages from one block and give them to the
+// next block". For every block B and every protocol instance ℓ the
+// interpreter tracks
+//
+//   - B.PIs[ℓ]      — the process instance of P(ℓ) of the server which
+//     built B, advanced from B.parent's instance, and
+//   - B.Ms[in/out,ℓ] — the messages materialized at B: out-going messages
+//     emitted by B's instances, and in-going messages
+//     collected from the out-buffers of B's direct
+//     predecessors addressed to B.n.
+//
+// None of these messages is ever sent over a network: they are locally
+// computed, functional results of P's determinism and the DAG structure
+// (paper Section 4, "message compression"). Interpreting the DAG this way
+// implements an authenticated perfect point-to-point link (Lemma 4.3),
+// and every server interpreting the same DAG prefix reaches the identical
+// state (Lemma 4.2) — properties the tests in this package verify.
+//
+// Interpretation is fully decoupled from building the DAG (Algorithm 1):
+// an Interpreter only ever reads blocks, so it can run online — fed by the
+// DAG's insert callback — or offline over a stored DAG.
+package interpret
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"blockdag/internal/block"
+	"blockdag/internal/crypto"
+	"blockdag/internal/dag"
+	"blockdag/internal/metrics"
+	"blockdag/internal/protocol"
+	"blockdag/internal/types"
+)
+
+// ErrNotEligible reports an attempt to interpret a block before all of its
+// predecessors were interpreted. Algorithm 2 only picks eligible blocks:
+// I[B_i] must hold for every B_i ∈ B.preds.
+var ErrNotEligible = errors.New("interpret: block has uninterpreted predecessors")
+
+// Indication is one indication i ∈ Inds_P surfaced during interpretation:
+// the simulated process instance of Server for instance Label indicated
+// Value while interpreting block Block (Algorithm 2 lines 13–14).
+type Indication struct {
+	Label  types.Label
+	Value  []byte
+	Server types.ServerID
+	Block  block.Ref
+}
+
+// Option configures an Interpreter.
+type Option func(*Interpreter)
+
+// WithMetrics attaches metric counters.
+func WithMetrics(m *metrics.Metrics) Option {
+	return func(it *Interpreter) { it.metrics = m }
+}
+
+// WithRetirement enables the instance-GC extension: once a process
+// instance reports Done, its successors drop the state and ignore further
+// inputs for that label. This addresses the unbounded-memory limitation
+// the paper discusses in Section 7; it is off by default to match the
+// paper's semantics exactly.
+func WithRetirement() Option {
+	return func(it *Interpreter) { it.retire = true }
+}
+
+// WithoutInBufferRecording stops retaining per-block in-buffers, which are
+// needed only for inspection (tests, figures, the dagviz tool). Out-buffers
+// are always retained: they are load-bearing — future blocks read them.
+func WithoutInBufferRecording() Option {
+	return func(it *Interpreter) { it.recordIn = false }
+}
+
+// WithImplicitInclusion switches message collection to the paper's
+// Section 7 "implicit block inclusion" semantics: referencing a block
+// implicitly includes its whole ancestry, so a block receives the messages
+// of every ancestor not yet consumed on its own chain — not only its
+// direct predecessors. Consumption is tracked with per-builder sequence
+// watermarks, preserving exactly-once delivery between correct servers
+// across restarts and sparse (tip-only) references.
+//
+// Must match the gossip side's CompressReferences (core wires both). One
+// semantic difference to the explicit mode, tolerated by any BFT protocol
+// P: when an equivocator's forks are first consumed, only branches visible
+// at that point deliver; later-referenced duplicate-seq branches are
+// skipped by the watermark.
+func WithImplicitInclusion() Option {
+	return func(it *Interpreter) { it.implicit = true }
+}
+
+// blockState is the interpretation state attached to one block.
+type blockState struct {
+	blk    *block.Block
+	parent *blockState // state of blk.parent; nil for genesis blocks
+
+	// pis holds the process instances advanced at this block — the
+	// overlay over the parent chain implementing "PIs := copy
+	// parent.PIs" (Algorithm 2 line 4) without copying: lookups walk
+	// the parent chain; instances are cloned on first advance at each
+	// block, so forked chains (equivocation) evolve independently.
+	pis map[types.Label]protocol.Process
+
+	// retired marks labels whose instance was dropped by the
+	// retirement extension at or before this block.
+	retired map[types.Label]struct{}
+
+	// out is B.Ms[out, ℓ]: messages emitted at this block, in emission
+	// order. Future blocks referencing this one read from here.
+	out map[types.Label][]protocol.Message
+
+	// in is B.Ms[in, ℓ]: messages received at this block in <M order.
+	// Retained only for inspection (recordIn).
+	in map[types.Label][]protocol.Message
+
+	// coveredSeq (implicit-inclusion mode only) is the consumption
+	// watermark of this block's chain: for each builder, the highest
+	// sequence number whose out-messages this chain has received.
+	coveredSeq map[types.ServerID]uint64
+}
+
+// Interpreter executes Algorithm 2 incrementally: AddBlock interprets one
+// eligible block. It is a deterministic state machine — not safe for
+// concurrent use; the owning server serializes access.
+type Interpreter struct {
+	proto    protocol.Protocol
+	n, f     int
+	onInd    func(Indication)
+	metrics  *metrics.Metrics
+	retire   bool
+	recordIn bool
+	implicit bool
+
+	states map[block.Ref]*blockState
+}
+
+// New creates an interpreter for protocol P in a system of n servers
+// tolerating f byzantine ones. onInd, if non-nil, receives every
+// indication of every simulated server — the shim filters for its own
+// (Algorithm 3 line 8).
+func New(proto protocol.Protocol, n, f int, onInd func(Indication), opts ...Option) *Interpreter {
+	it := &Interpreter{
+		proto:    proto,
+		n:        n,
+		f:        f,
+		onInd:    onInd,
+		recordIn: true,
+		states:   make(map[block.Ref]*blockState),
+	}
+	for _, opt := range opts {
+		opt(it)
+	}
+	return it
+}
+
+// Interpreted reports I[B]: whether the block was already interpreted.
+func (it *Interpreter) Interpreted(ref block.Ref) bool {
+	_, ok := it.states[ref]
+	return ok
+}
+
+// Blocks returns the number of blocks interpreted so far.
+func (it *Interpreter) Blocks() int { return len(it.states) }
+
+// AddBlock interprets block b (Algorithm 2 lines 4–12). Every predecessor
+// must have been interpreted already — feeding blocks in any topological
+// order of the DAG satisfies this, and by Lemma 4.2 all such orders yield
+// the same states. Re-adding an interpreted block is a no-op.
+func (it *Interpreter) AddBlock(b *block.Block) error {
+	ref := b.Ref()
+	if it.Interpreted(ref) {
+		return nil
+	}
+
+	// Resolve predecessor states and locate the parent (same builder,
+	// seq-1) among them; DAG validity guarantees exactly one for
+	// non-genesis blocks.
+	predRefs := dedupRefs(b.Preds)
+	preds := make([]*blockState, 0, len(predRefs))
+	var parent *blockState
+	for _, p := range predRefs {
+		ps, ok := it.states[p]
+		if !ok {
+			return fmt.Errorf("%w: block %v missing pred %v", ErrNotEligible, ref, p)
+		}
+		preds = append(preds, ps)
+		if b.ParentOf(ps.blk) {
+			parent = ps
+		}
+	}
+
+	st := &blockState{
+		blk:    b,
+		parent: parent,
+		pis:    make(map[types.Label]protocol.Process),
+		out:    make(map[types.Label][]protocol.Message),
+	}
+	if it.recordIn {
+		st.in = make(map[types.Label][]protocol.Message)
+	}
+
+	// Lines 5–6: feed the requests carried in B.rs to B.n's instances,
+	// in the order the block lists them.
+	for _, rq := range b.Requests {
+		proc := it.ownProcess(st, rq.Label)
+		if proc == nil {
+			continue // label retired
+		}
+		it.emit(st, rq.Label, proc.Request(rq.Data))
+	}
+
+	// Lines 7–9: collect B.Ms[in, ℓ] — messages addressed to B.n in the
+	// out-buffers of the source blocks: the direct predecessors
+	// (explicit mode), or the whole not-yet-consumed ancestry
+	// (implicit-inclusion mode). The paper's in-buffer is a set:
+	// identical messages materialized via two predecessors (e.g. across
+	// an equivocator's forks) collapse to one.
+	sources := preds
+	if it.implicit {
+		sources = it.uncoveredAncestry(preds, parent)
+		st.coveredSeq = advanceWatermark(parent, sources)
+	}
+	inbox := make(map[types.Label]map[string]protocol.Message)
+	for _, ps := range sources {
+		for label, msgs := range ps.out {
+			for _, m := range msgs {
+				if m.Receiver != b.Builder {
+					continue
+				}
+				set := inbox[label]
+				if set == nil {
+					set = make(map[string]protocol.Message)
+					inbox[label] = set
+				}
+				set[m.Key()] = m
+			}
+		}
+	}
+
+	// Lines 10–11: feed in-messages to B.n's instances in <M order,
+	// label by label (labels are independent instances; sorted label
+	// order keeps the trace canonical).
+	for _, label := range sortedLabels(inbox) {
+		msgs := make([]protocol.Message, 0, len(inbox[label]))
+		for _, m := range inbox[label] {
+			msgs = append(msgs, m)
+		}
+		protocol.Sort(msgs)
+		if it.recordIn {
+			st.in[label] = msgs
+		}
+		proc := it.ownProcess(st, label)
+		if proc == nil {
+			continue // label retired
+		}
+		for _, m := range msgs {
+			it.emit(st, label, proc.Receive(m))
+		}
+	}
+
+	// Lines 13–14: surface indications from the instances advanced at
+	// this block, attributed to B.n.
+	for _, label := range sortedOwned(st) {
+		proc := st.pis[label]
+		for _, value := range proc.Indications() {
+			it.metrics.AddIndications(1)
+			if it.onInd != nil {
+				it.onInd(Indication{Label: label, Value: value, Server: b.Builder, Block: ref})
+			}
+		}
+		if it.retire && proc.Done() {
+			if st.retired == nil {
+				st.retired = make(map[types.Label]struct{})
+			}
+			st.retired[label] = struct{}{}
+			delete(st.pis, label)
+		}
+	}
+
+	it.states[ref] = st // line 12: I[B] := true
+	it.metrics.AddBlocksInterpreted(1)
+	return nil
+}
+
+// uncoveredAncestry walks backwards from the direct predecessors and
+// collects every ancestor block not yet consumed by this block's chain,
+// per the parent's watermark. Eligibility guarantees all ancestor states
+// exist. A block's own parent chain is connected (Definition 3.3), so a
+// collected block implies its whole uncovered prefix is collected too —
+// which is what makes the per-builder watermark sound for correct
+// builders.
+func (it *Interpreter) uncoveredAncestry(preds []*blockState, parent *blockState) []*blockState {
+	var base map[types.ServerID]uint64
+	if parent != nil {
+		base = parent.coveredSeq
+	}
+	covered := func(s *blockState) bool {
+		w, ok := base[s.blk.Builder]
+		return ok && s.blk.Seq <= w
+	}
+	var collected []*blockState
+	seen := make(map[block.Ref]struct{}, len(preds))
+	stack := append([]*blockState(nil), preds...)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ref := s.blk.Ref()
+		if _, dup := seen[ref]; dup {
+			continue
+		}
+		seen[ref] = struct{}{}
+		if covered(s) {
+			continue
+		}
+		collected = append(collected, s)
+		for _, pr := range dedupRefs(s.blk.Preds) {
+			if ps, ok := it.states[pr]; ok {
+				stack = append(stack, ps)
+			}
+		}
+	}
+	return collected
+}
+
+// advanceWatermark derives a block's consumption watermark from its
+// parent's and the newly consumed blocks.
+func advanceWatermark(parent *blockState, consumed []*blockState) map[types.ServerID]uint64 {
+	wm := make(map[types.ServerID]uint64, len(consumed))
+	if parent != nil {
+		for id, seq := range parent.coveredSeq {
+			wm[id] = seq
+		}
+	}
+	for _, s := range consumed {
+		if cur, ok := wm[s.blk.Builder]; !ok || s.blk.Seq > cur {
+			wm[s.blk.Builder] = s.blk.Seq
+		}
+	}
+	return wm
+}
+
+// emit appends messages emitted by an instance at this block to
+// B.Ms[out, ℓ] and counts them as materialized (never sent) messages.
+func (it *Interpreter) emit(st *blockState, label types.Label, msgs []protocol.Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	st.out[label] = append(st.out[label], msgs...)
+	it.metrics.AddMsgsMaterialized(int64(len(msgs)))
+}
+
+// ownProcess returns the process instance for label owned by this block,
+// cloning the nearest ancestor's instance — or creating a fresh one at the
+// chain root — on first use (copy-on-write realization of Algorithm 2
+// line 4). It returns nil if the label was retired on this chain.
+//
+// EntropyAware instances receive a deterministic per-(block, label) seed
+// on first use at each block — the Section 7 de-randomization extension.
+func (it *Interpreter) ownProcess(st *blockState, label types.Label) protocol.Process {
+	if proc, ok := st.pis[label]; ok {
+		return proc
+	}
+	if _, dead := st.retired[label]; dead {
+		return nil
+	}
+	var proc protocol.Process
+	for anc := st.parent; anc != nil; anc = anc.parent {
+		if _, dead := anc.retired[label]; dead {
+			// Propagate the tombstone so future lookups stop early.
+			if st.retired == nil {
+				st.retired = make(map[types.Label]struct{})
+			}
+			st.retired[label] = struct{}{}
+			return nil
+		}
+		if p, ok := anc.pis[label]; ok {
+			proc = p.Clone()
+			break
+		}
+	}
+	if proc == nil {
+		// Base case: no ancestor ran this instance. The paper assumes
+		// instances running from the genesis block onwards; we create
+		// them lazily on first request or message, as its Section 4
+		// suggests for implementations.
+		proc = it.proto.NewProcess(protocol.Config{
+			Self:  st.blk.Builder,
+			Label: label,
+			N:     it.n,
+			F:     it.f,
+		})
+	}
+	if ea, ok := proc.(protocol.EntropyAware); ok {
+		ref := st.blk.Ref()
+		ea.SetEntropy(crypto.Hash(ref[:], []byte(label)))
+	}
+	st.pis[label] = proc
+	return proc
+}
+
+func dedupRefs(refs []block.Ref) []block.Ref {
+	if len(refs) <= 1 {
+		return refs
+	}
+	seen := make(map[block.Ref]struct{}, len(refs))
+	out := make([]block.Ref, 0, len(refs))
+	for _, r := range refs {
+		if _, dup := seen[r]; dup {
+			continue
+		}
+		seen[r] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+func sortedLabels(m map[types.Label]map[string]protocol.Message) []types.Label {
+	labels := make([]types.Label, 0, len(m))
+	for l := range m {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	return labels
+}
+
+func sortedOwned(st *blockState) []types.Label {
+	labels := make([]types.Label, 0, len(st.pis))
+	for l := range st.pis {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	return labels
+}
+
+// InterpretDAG interprets every block of d not yet interpreted, in d's
+// insertion order (a topological order). This is the offline path: a
+// stored DAG can be replayed at any time, independent of gossip.
+func (it *Interpreter) InterpretDAG(d *dag.DAG) error {
+	for _, b := range d.Blocks() {
+		if err := it.AddBlock(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OutMessages returns B.Ms[out, ℓ] in emission order.
+func (it *Interpreter) OutMessages(ref block.Ref, label types.Label) []protocol.Message {
+	st, ok := it.states[ref]
+	if !ok {
+		return nil
+	}
+	return append([]protocol.Message(nil), st.out[label]...)
+}
+
+// InMessages returns B.Ms[in, ℓ] in <M order. It returns nil if in-buffer
+// recording was disabled.
+func (it *Interpreter) InMessages(ref block.Ref, label types.Label) []protocol.Message {
+	st, ok := it.states[ref]
+	if !ok || st.in == nil {
+		return nil
+	}
+	return append([]protocol.Message(nil), st.in[label]...)
+}
+
+// OutLabels returns the labels with a non-empty out-buffer at the block,
+// sorted.
+func (it *Interpreter) OutLabels(ref block.Ref) []types.Label {
+	st, ok := it.states[ref]
+	if !ok {
+		return nil
+	}
+	labels := make([]types.Label, 0, len(st.out))
+	for l := range st.out {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	return labels
+}
+
+// StateDigest returns the deterministic digest of B.PIs[ℓ] — the state of
+// the simulated instance ℓ of B's builder after interpreting B. The second
+// result is false if the block is uninterpreted or no ancestor of the
+// block ever ran the instance.
+func (it *Interpreter) StateDigest(ref block.Ref, label types.Label) ([]byte, bool) {
+	st, ok := it.states[ref]
+	if !ok {
+		return nil, false
+	}
+	for s := st; s != nil; s = s.parent {
+		if _, dead := s.retired[label]; dead {
+			return nil, false
+		}
+		if p, ok := s.pis[label]; ok {
+			return p.StateDigest(), true
+		}
+	}
+	return nil, false
+}

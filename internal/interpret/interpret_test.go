@@ -1,0 +1,623 @@
+package interpret
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"blockdag/internal/block"
+	"blockdag/internal/dag"
+	"blockdag/internal/dagtest"
+	"blockdag/internal/metrics"
+	"blockdag/internal/protocol"
+	"blockdag/internal/protocols/brb"
+	"blockdag/internal/protocols/courier"
+	"blockdag/internal/types"
+)
+
+// collectInds returns an indication sink and the slice it fills.
+func collectInds() (func(Indication), *[]Indication) {
+	var inds []Indication
+	return func(i Indication) { inds = append(inds, i) }, &inds
+}
+
+// senders extracts the distinct sender set {m.Sender | m} of a message
+// slice, as a sorted string like "s0,s2".
+func senders(msgs []protocol.Message) string {
+	seen := make(map[types.ServerID]bool)
+	for _, m := range msgs {
+		seen[m.Sender] = true
+	}
+	var out string
+	for i := 0; i < 16; i++ {
+		if seen[types.ServerID(i)] {
+			if out != "" {
+				out += ","
+			}
+			out += fmt.Sprintf("s%d", i)
+		}
+	}
+	return out
+}
+
+// TestFigure4 reconstructs the paper's Figure 4 scenario: a block DAG of
+// four servers where s0's genesis block carries (ℓ1, broadcast(42)), and
+// the DAG proceeds in all-to-all rounds. The message buffers Ms[in/out,ℓ1]
+// materialized at each block must show the double-echo wave: the request
+// block emits ECHO to everyone; first-responder blocks show
+// in = ECHO from {s0} and emit their own ECHO; quorum blocks show
+// in = ECHO from {s1,s2,s3} and emit READY; the next round delivers.
+func TestFigure4(t *testing.T) {
+	h := dagtest.NewHarness(4)
+	onInd, inds := collectInds()
+	it := New(brb.Protocol{}, 4, 1, onInd)
+
+	val := []byte("42")
+	round0 := h.Round(map[int][]block.Request{
+		0: {{Label: "ℓ1", Data: val}},
+	})
+	round1 := h.Round(nil)
+	round2 := h.Round(nil)
+	round3 := h.Round(nil)
+	if err := it.InterpretDAG(h.DAG); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 0: the request block emits ECHO 42 to every server; its
+	// in-buffer is empty (matches Figure 4's B1 annotation).
+	b1 := round0[0]
+	if got := it.InMessages(b1.Ref(), "ℓ1"); len(got) != 0 {
+		t.Fatalf("B1 in = %v, want ∅", got)
+	}
+	out := it.OutMessages(b1.Ref(), "ℓ1")
+	if len(out) != 4 {
+		t.Fatalf("B1 out has %d messages, want ECHO to all 4", len(out))
+	}
+	for _, m := range out {
+		if m.Sender != 0 {
+			t.Fatalf("B1 out message sender %v, want s0", m.Sender)
+		}
+	}
+	// Other genesis blocks materialize nothing.
+	for i := 1; i < 4; i++ {
+		if got := it.OutMessages(round0[i].Ref(), "ℓ1"); len(got) != 0 {
+			t.Fatalf("genesis %d out = %v, want ∅", i, got)
+		}
+	}
+
+	// Round 1: servers s1..s3 see in = ECHO 42 from {s0} and echo to
+	// everyone; s0 sees its own echo back and stays quiet (already
+	// echoed).
+	for i := 1; i < 4; i++ {
+		in := it.InMessages(round1[i].Ref(), "ℓ1")
+		if got := senders(in); got != "s0" {
+			t.Fatalf("round1[%d] in from %q, want s0", i, got)
+		}
+		out := it.OutMessages(round1[i].Ref(), "ℓ1")
+		if len(out) != 4 {
+			t.Fatalf("round1[%d] out has %d messages, want ECHO to all", i, len(out))
+		}
+	}
+	if got := senders(it.InMessages(round1[0].Ref(), "ℓ1")); got != "s0" {
+		t.Fatalf("round1[0] in from %q, want s0 (self echo)", got)
+	}
+	if got := it.OutMessages(round1[0].Ref(), "ℓ1"); len(got) != 0 {
+		t.Fatalf("round1[0] out = %v, want ∅ (already echoed)", got)
+	}
+
+	// Round 2: every server has collected echoes from {s1,s2,s3} in
+	// this round (s0's echo arrived in round 1), crosses the 2f+1
+	// quorum, and emits READY to everyone — Figure 4's B6 annotation.
+	for i := 0; i < 4; i++ {
+		in := it.InMessages(round2[i].Ref(), "ℓ1")
+		if got := senders(in); got != "s1,s2,s3" {
+			t.Fatalf("round2[%d] in from %q, want s1,s2,s3", i, got)
+		}
+		out := it.OutMessages(round2[i].Ref(), "ℓ1")
+		if len(out) != 4 {
+			t.Fatalf("round2[%d] out has %d messages, want READY to all", i, len(out))
+		}
+	}
+
+	// Round 3: every server sees READY from all four, crosses 2f+1, and
+	// delivers 42.
+	if len(*inds) != 4 {
+		t.Fatalf("got %d indications, want one deliver per server: %v", len(*inds), *inds)
+	}
+	seen := make(map[types.ServerID]bool)
+	for _, ind := range *inds {
+		if ind.Label != "ℓ1" || !bytes.Equal(ind.Value, val) {
+			t.Fatalf("indication %+v, want deliver(42) on ℓ1", ind)
+		}
+		if seen[ind.Server] {
+			t.Fatalf("server %v delivered twice", ind.Server)
+		}
+		seen[ind.Server] = true
+		// Delivery happens at the server's own round-3 block.
+		if ind.Block != round3[ind.Server].Ref() {
+			t.Fatalf("server %v delivered at block %v, want its round-3 block", ind.Server, ind.Block)
+		}
+	}
+}
+
+// TestMessagesNeverLeaveInterpreter asserts the compression claim at the
+// API level: interpreting materializes messages (counted in metrics) with
+// no transport involved at all.
+func TestMessagesNeverLeaveInterpreter(t *testing.T) {
+	h := dagtest.NewHarness(4)
+	m := &metrics.Metrics{}
+	it := New(brb.Protocol{}, 4, 1, nil, WithMetrics(m))
+	h.Round(map[int][]block.Request{0: {{Label: "ℓ1", Data: []byte("v")}}})
+	for r := 0; r < 3; r++ {
+		h.Round(nil)
+	}
+	if err := it.InterpretDAG(h.DAG); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap.MsgsMaterialized == 0 {
+		t.Fatal("no messages materialized")
+	}
+	if snap.BlocksInterpreted != int64(h.DAG.Len()) {
+		t.Fatalf("interpreted %d blocks, DAG has %d", snap.BlocksInterpreted, h.DAG.Len())
+	}
+	if snap.WireMessages != 0 || snap.WireBytes != 0 {
+		t.Fatal("interpretation touched the wire")
+	}
+}
+
+// randomTopoOrder returns a random topological order of d's blocks.
+func randomTopoOrder(d *dag.DAG, rng *rand.Rand) []*block.Block {
+	blocks := d.Blocks()
+	present := make(map[block.Ref]bool, len(blocks))
+	var order []*block.Block
+	remaining := append([]*block.Block(nil), blocks...)
+	for len(remaining) > 0 {
+		var ready []int
+		for i, b := range remaining {
+			ok := true
+			for _, p := range b.Preds {
+				if !present[p] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, i)
+			}
+		}
+		pick := ready[rng.Intn(len(ready))]
+		b := remaining[pick]
+		order = append(order, b)
+		present[b.Ref()] = true
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+	}
+	return order
+}
+
+// buildContentiousDAG builds a DAG with multiple labels, an equivocating
+// server, and interleaved requests — a worst case for order sensitivity.
+func buildContentiousDAG(t *testing.T) *dagtest.Harness {
+	t.Helper()
+	h := dagtest.NewHarness(4)
+	h.Round(map[int][]block.Request{
+		0: {{Label: "a", Data: []byte("va")}},
+		1: {{Label: "b", Data: []byte("vb")}},
+	})
+	h.Round(map[int][]block.Request{
+		2: {{Label: "c", Data: []byte("vc")}},
+	})
+	// Server 3 equivocates: a fork of its seq-2 block with different
+	// requests, visible to others.
+	forkA := h.Next(3, []block.Ref{h.Tip(0)})
+	forkB := h.Seal(3, 2, []block.Ref{h.DAG.ByBuilder(3)[1].Ref(), h.Tip(1)},
+		block.Request{Label: "a", Data: []byte("evil")})
+	h.Insert(forkB)
+	// Correct servers reference both forks.
+	h.Next(0, []block.Ref{forkA.Ref(), forkB.Ref()})
+	h.Next(1, []block.Ref{forkA.Ref(), forkB.Ref()})
+	h.Round(nil)
+	h.Round(nil)
+	return h
+}
+
+// TestInterpretationIndependence verifies Lemma 4.2: interpreting the same
+// DAG in different eligible orders — as different servers with different
+// arrival schedules would — yields identical PIs states and identical
+// out-buffers at every block, for every label.
+func TestInterpretationIndependence(t *testing.T) {
+	h := buildContentiousDAG(t)
+	labels := []types.Label{"a", "b", "c"}
+
+	reference := New(brb.Protocol{}, 4, 1, nil)
+	if err := reference.InterpretDAG(h.DAG); err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		other := New(brb.Protocol{}, 4, 1, nil)
+		for _, b := range randomTopoOrder(h.DAG, rng) {
+			if err := other.AddBlock(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, b := range h.DAG.Blocks() {
+			for _, label := range labels {
+				d1, ok1 := reference.StateDigest(b.Ref(), label)
+				d2, ok2 := other.StateDigest(b.Ref(), label)
+				if ok1 != ok2 || !bytes.Equal(d1, d2) {
+					t.Fatalf("trial %d: block %v label %s: digests differ", trial, b.Ref(), label)
+				}
+				m1 := reference.OutMessages(b.Ref(), label)
+				m2 := other.OutMessages(b.Ref(), label)
+				if len(m1) != len(m2) {
+					t.Fatalf("trial %d: block %v label %s: out buffers differ", trial, b.Ref(), label)
+				}
+				for i := range m1 {
+					if protocol.Compare(m1[i], m2[i]) != 0 {
+						t.Fatalf("trial %d: block %v label %s: out[%d] differs", trial, b.Ref(), label, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPrefixExtension verifies the ⩽-monotonicity used throughout the
+// paper's proofs: interpreting a prefix G then extending to G' gives the
+// same states as interpreting G' from scratch.
+func TestPrefixExtension(t *testing.T) {
+	h := dagtest.NewHarness(4)
+	h.Round(map[int][]block.Request{0: {{Label: "x", Data: []byte("v")}}})
+	h.Round(nil)
+	prefix := h.DAG.Clone()
+	h.Round(nil)
+	h.Round(nil)
+
+	incremental := New(brb.Protocol{}, 4, 1, nil)
+	if err := incremental.InterpretDAG(prefix); err != nil {
+		t.Fatal(err)
+	}
+	if err := incremental.InterpretDAG(h.DAG); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(brb.Protocol{}, 4, 1, nil)
+	if err := fresh.InterpretDAG(h.DAG); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range h.DAG.Blocks() {
+		d1, ok1 := incremental.StateDigest(b.Ref(), "x")
+		d2, ok2 := fresh.StateDigest(b.Ref(), "x")
+		if ok1 != ok2 || !bytes.Equal(d1, d2) {
+			t.Fatalf("block %v: incremental and fresh interpretation differ", b.Ref())
+		}
+	}
+}
+
+// --- Lemma 4.3: the interpreted DAG is an authenticated perfect link ---
+
+// linkFixture embeds courier and runs rounds until quiescence.
+func linkFixture(t *testing.T, rounds int, reqs map[int][]block.Request) (*dagtest.Harness, *[]Indication) {
+	t.Helper()
+	h := dagtest.NewHarness(4)
+	onInd, inds := collectInds()
+	it := New(courier.Protocol{}, 4, 1, onInd)
+	h.Round(reqs)
+	for r := 0; r < rounds; r++ {
+		h.Round(nil)
+	}
+	if err := it.InterpretDAG(h.DAG); err != nil {
+		t.Fatal(err)
+	}
+	return h, inds
+}
+
+// TestLinkReliableDelivery: Lemma 4.3(1) — a message sent between correct
+// servers is eventually received, i.e. the courier indication appears at
+// the receiver.
+func TestLinkReliableDelivery(t *testing.T) {
+	_, inds := linkFixture(t, 3, map[int][]block.Request{
+		1: {{Label: "ℓ", Data: courier.EncodeRequest(2, []byte("hello"))}},
+	})
+	var hits int
+	for _, ind := range *inds {
+		if ind.Server != 2 {
+			continue
+		}
+		from, data, err := courier.DecodeIndication(ind.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if from == 1 && bytes.Equal(data, []byte("hello")) {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("receiver saw the message %d times, want exactly 1 (reliable delivery + no duplication)", hits)
+	}
+}
+
+// TestLinkNoDuplication: Lemma 4.3(2) — running many more rounds after
+// delivery must not deliver the message again.
+func TestLinkNoDuplication(t *testing.T) {
+	_, inds := linkFixture(t, 10, map[int][]block.Request{
+		0: {{Label: "ℓ", Data: courier.EncodeRequest(3, []byte("once"))}},
+	})
+	count := 0
+	for _, ind := range *inds {
+		if ind.Server == 3 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("message delivered %d times, want 1", count)
+	}
+}
+
+// TestLinkAuthenticity: Lemma 4.3(3) — every received message names its
+// true sender: the builder of the block whose interpretation emitted it.
+// A byzantine server can inject requests but cannot make its messages
+// carry another server's identity.
+func TestLinkAuthenticity(t *testing.T) {
+	// Byzantine server 3 embeds a request; the resulting courier
+	// message must arrive with sender s3, never any other identity.
+	_, inds := linkFixture(t, 3, map[int][]block.Request{
+		3: {{Label: "ℓ", Data: courier.EncodeRequest(0, []byte("i am legit"))}},
+	})
+	for _, ind := range *inds {
+		if ind.Server != 0 {
+			continue
+		}
+		from, _, err := courier.DecodeIndication(ind.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if from != 3 {
+			t.Fatalf("message attributed to %v, want the true sender s3", from)
+		}
+	}
+}
+
+// TestEquivocationForkSplitsState: interpreting an equivocator's two forks
+// yields two independent instance states (paper Section 4's discussion of
+// byzantine influence).
+func TestEquivocationForkSplitsState(t *testing.T) {
+	h := dagtest.NewHarness(4)
+	it := New(brb.Protocol{}, 4, 1, nil)
+	h.Round(nil)
+	// Server 3 forks at seq 1 with different requests.
+	forkA := h.Next(3, nil, block.Request{Label: "ℓ", Data: []byte("a")})
+	forkB := h.Seal(3, 1, []block.Ref{h.DAG.ByBuilder(3)[0].Ref()},
+		block.Request{Label: "ℓ", Data: []byte("b")})
+	h.Insert(forkB)
+	if err := it.InterpretDAG(h.DAG); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := it.StateDigest(forkA.Ref(), "ℓ"); !ok {
+		t.Fatal("fork A state missing")
+	}
+	if _, ok := it.StateDigest(forkB.Ref(), "ℓ"); !ok {
+		t.Fatal("fork B state missing")
+	}
+	// The two forks materialize conflicting messages: ECHO a vs ECHO b.
+	outA := it.OutMessages(forkA.Ref(), "ℓ")
+	outB := it.OutMessages(forkB.Ref(), "ℓ")
+	if len(outA) == 0 || len(outB) == 0 {
+		t.Fatal("forks emitted nothing")
+	}
+	if protocol.Compare(outA[0], outB[0]) == 0 {
+		t.Fatal("forks emitted identical messages despite different requests")
+	}
+}
+
+// TestDuplicateMessageAcrossForksCollapses: when an equivocator's two
+// forks materialize the identical message, a correct block referencing
+// both forks receives it once (set semantics of Ms[in], Algorithm 2
+// line 9).
+func TestDuplicateMessageAcrossForksCollapses(t *testing.T) {
+	h := dagtest.NewHarness(4)
+	onInd, inds := collectInds()
+	it := New(courier.Protocol{}, 4, 1, onInd)
+	h.Round(nil)
+	// Both forks carry the identical request — identical message.
+	req := block.Request{Label: "ℓ", Data: courier.EncodeRequest(0, []byte("dup?"))}
+	forkA := h.Next(3, nil, req)
+	forkB := h.Seal(3, 1, []block.Ref{h.DAG.ByBuilder(3)[0].Ref()}, req)
+	h.Insert(forkB)
+	// Server 0 references both forks in one block.
+	h.Next(0, []block.Ref{forkA.Ref(), forkB.Ref()})
+	if err := it.InterpretDAG(h.DAG); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, ind := range *inds {
+		if ind.Server == 0 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("identical forked message delivered %d times, want 1", count)
+	}
+}
+
+func TestAddBlockRequiresEligibility(t *testing.T) {
+	h := dagtest.NewHarness(2)
+	g := h.Genesis(0)
+	child := h.Next(0, nil)
+	it := New(brb.Protocol{}, 2, 0, nil)
+	if err := it.AddBlock(child); err == nil {
+		t.Fatal("interpreting child before parent succeeded")
+	}
+	if err := it.AddBlock(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.AddBlock(child); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddBlockIdempotent(t *testing.T) {
+	h := dagtest.NewHarness(2)
+	g := h.Genesis(0, block.Request{Label: "ℓ", Data: []byte("v")})
+	m := &metrics.Metrics{}
+	it := New(brb.Protocol{}, 2, 0, nil, WithMetrics(m))
+	for i := 0; i < 3; i++ {
+		if err := it.AddBlock(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Snapshot().BlocksInterpreted; got != 1 {
+		t.Fatalf("block interpreted %d times", got)
+	}
+}
+
+// TestParallelInstancesIndependent: requests for many labels in the same
+// blocks advance independent instances — the "instances in parallel for
+// free" claim. Each label's broadcast must deliver exactly once per
+// server, and instance states for different labels must not interfere.
+func TestParallelInstancesIndependent(t *testing.T) {
+	const labels = 8
+	h := dagtest.NewHarness(4)
+	onInd, inds := collectInds()
+	it := New(brb.Protocol{}, 4, 1, onInd)
+
+	reqs := make(map[int][]block.Request)
+	for i := 0; i < labels; i++ {
+		label := types.Label(fmt.Sprintf("inst-%d", i))
+		server := i % 4
+		reqs[server] = append(reqs[server], block.Request{
+			Label: label, Data: []byte(fmt.Sprintf("v%d", i)),
+		})
+	}
+	h.Round(reqs)
+	for r := 0; r < 3; r++ {
+		h.Round(nil)
+	}
+	if err := it.InterpretDAG(h.DAG); err != nil {
+		t.Fatal(err)
+	}
+
+	delivered := make(map[string]int)
+	for _, ind := range *inds {
+		delivered[fmt.Sprintf("%s@%v=%s", ind.Label, ind.Server, ind.Value)]++
+	}
+	for i := 0; i < labels; i++ {
+		for s := 0; s < 4; s++ {
+			key := fmt.Sprintf("inst-%d@s%d=v%d", i, s, i)
+			if delivered[key] != 1 {
+				t.Fatalf("delivery %q happened %d times, want 1", key, delivered[key])
+			}
+		}
+	}
+	if len(*inds) != labels*4 {
+		t.Fatalf("total indications %d, want %d", len(*inds), labels*4)
+	}
+}
+
+// TestRetirementExtension: with retirement on, a Done instance's state is
+// dropped and later inputs are ignored, without disturbing earlier
+// indications.
+func TestRetirementExtension(t *testing.T) {
+	h := dagtest.NewHarness(4)
+	onInd, inds := collectInds()
+	it := New(brb.Protocol{}, 4, 1, onInd, WithRetirement())
+	h.Round(map[int][]block.Request{0: {{Label: "ℓ", Data: []byte("v")}}})
+	for r := 0; r < 5; r++ {
+		h.Round(nil)
+	}
+	if err := it.InterpretDAG(h.DAG); err != nil {
+		t.Fatal(err)
+	}
+	if len(*inds) != 4 {
+		t.Fatalf("indications = %d, want 4", len(*inds))
+	}
+	// After delivery the instance is retired on every chain: the digest
+	// at the final tips must report absence.
+	for s := 0; s < 4; s++ {
+		if _, ok := it.StateDigest(h.Tip(s), "ℓ"); ok {
+			t.Fatalf("server %d still carries retired instance state", s)
+		}
+	}
+}
+
+// TestRetirementMatchesPaperSemanticsForDelivery: retirement must not
+// change what is delivered, only memory use.
+func TestRetirementMatchesPaperSemanticsForDelivery(t *testing.T) {
+	build := func(opts ...Option) []Indication {
+		h := dagtest.NewHarness(4)
+		onInd, inds := collectInds()
+		it := New(brb.Protocol{}, 4, 1, onInd, opts...)
+		h.Round(map[int][]block.Request{
+			0: {{Label: "x", Data: []byte("1")}},
+			1: {{Label: "y", Data: []byte("2")}},
+		})
+		for r := 0; r < 5; r++ {
+			h.Round(nil)
+		}
+		if err := it.InterpretDAG(h.DAG); err != nil {
+			t.Fatal(err)
+		}
+		return *inds
+	}
+	plain := build()
+	retired := build(WithRetirement())
+	if len(plain) != len(retired) {
+		t.Fatalf("retirement changed deliveries: %d vs %d", len(plain), len(retired))
+	}
+	key := func(i Indication) string {
+		return fmt.Sprintf("%s|%v|%s", i.Label, i.Server, i.Value)
+	}
+	seen := make(map[string]bool)
+	for _, i := range plain {
+		seen[key(i)] = true
+	}
+	for _, i := range retired {
+		if !seen[key(i)] {
+			t.Fatalf("retired run delivered %+v not present in plain run", i)
+		}
+	}
+}
+
+// TestGenesisWithPredsInterprets: a genesis block referencing other
+// servers' blocks (allowed by Definition 3.3) receives their messages.
+func TestGenesisWithPredsInterprets(t *testing.T) {
+	h := dagtest.NewHarness(3)
+	onInd, inds := collectInds()
+	it := New(courier.Protocol{}, 3, 0, onInd)
+	h.Genesis(0, block.Request{Label: "ℓ", Data: courier.EncodeRequest(1, []byte("late joiner"))})
+	// Server 1's genesis arrives later and references server 0's.
+	h.GenesisWithPreds(1, []block.Ref{h.Tip(0)})
+	if err := it.InterpretDAG(h.DAG); err != nil {
+		t.Fatal(err)
+	}
+	if len(*inds) != 1 || (*inds)[0].Server != 1 {
+		t.Fatalf("indications = %v, want delivery at s1's genesis", *inds)
+	}
+}
+
+func TestWithoutInBufferRecording(t *testing.T) {
+	h := dagtest.NewHarness(4)
+	it := New(brb.Protocol{}, 4, 1, nil, WithoutInBufferRecording())
+	h.Round(map[int][]block.Request{0: {{Label: "ℓ", Data: []byte("v")}}})
+	h.Round(nil)
+	if err := it.InterpretDAG(h.DAG); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range h.DAG.Blocks() {
+		if got := it.InMessages(b.Ref(), "ℓ"); got != nil {
+			t.Fatalf("in-buffer recorded despite option: %v", got)
+		}
+	}
+	// Out-buffers are still live.
+	found := false
+	for _, b := range h.DAG.Blocks() {
+		if len(it.OutMessages(b.Ref(), "ℓ")) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no out-buffers materialized")
+	}
+}

@@ -1,0 +1,165 @@
+// Package metrics collects the counters behind the paper's quantitative
+// claims: how many blocks and bytes actually cross the network versus how
+// many protocol messages are merely materialized locally by interpretation
+// (message compression), and how much interpretation work is done.
+//
+// All counters are atomic so the same Metrics value can be shared between
+// the deterministic state machines and concurrent transports. A nil
+// *Metrics is valid and discards all counts.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Metrics tallies one server's activity.
+type Metrics struct {
+	blocksBuilt       atomic.Int64
+	blocksReceived    atomic.Int64
+	blocksInserted    atomic.Int64
+	blocksDuplicate   atomic.Int64
+	blocksRejected    atomic.Int64
+	fwdRequestsSent   atomic.Int64
+	fwdRequestsServed atomic.Int64
+	wireMessages      atomic.Int64
+	wireBytes         atomic.Int64
+	requestsEmbedded  atomic.Int64
+	msgsMaterialized  atomic.Int64
+	blocksInterpreted atomic.Int64
+	indications       atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of all counters.
+type Snapshot struct {
+	BlocksBuilt       int64 // blocks this server built and disseminated
+	BlocksReceived    int64 // blocks received from the network
+	BlocksInserted    int64 // blocks inserted into the local DAG
+	BlocksDuplicate   int64 // received blocks already known
+	BlocksRejected    int64 // received blocks that failed validation
+	FwdRequestsSent   int64 // FWD requests issued for missing preds
+	FwdRequestsServed int64 // FWD requests answered with a block
+	WireMessages      int64 // network sends (blocks + FWD traffic)
+	WireBytes         int64 // payload bytes handed to the transport
+	RequestsEmbedded  int64 // (ℓ, r) pairs written into own blocks
+	MsgsMaterialized  int64 // protocol messages simulated, never sent
+	BlocksInterpreted int64 // blocks processed by Algorithm 2
+	Indications       int64 // indications surfaced by interpretation
+}
+
+// String formats the snapshot compactly for CLI output.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"blocks built=%d recv=%d ins=%d dup=%d rej=%d | fwd sent=%d served=%d | wire msgs=%d bytes=%d | reqs=%d simulated-msgs=%d interpreted=%d inds=%d",
+		s.BlocksBuilt, s.BlocksReceived, s.BlocksInserted, s.BlocksDuplicate, s.BlocksRejected,
+		s.FwdRequestsSent, s.FwdRequestsServed, s.WireMessages, s.WireBytes,
+		s.RequestsEmbedded, s.MsgsMaterialized, s.BlocksInterpreted, s.Indications)
+}
+
+// Snapshot returns a copy of all counters. Safe on a nil receiver.
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		BlocksBuilt:       m.blocksBuilt.Load(),
+		BlocksReceived:    m.blocksReceived.Load(),
+		BlocksInserted:    m.blocksInserted.Load(),
+		BlocksDuplicate:   m.blocksDuplicate.Load(),
+		BlocksRejected:    m.blocksRejected.Load(),
+		FwdRequestsSent:   m.fwdRequestsSent.Load(),
+		FwdRequestsServed: m.fwdRequestsServed.Load(),
+		WireMessages:      m.wireMessages.Load(),
+		WireBytes:         m.wireBytes.Load(),
+		RequestsEmbedded:  m.requestsEmbedded.Load(),
+		MsgsMaterialized:  m.msgsMaterialized.Load(),
+		BlocksInterpreted: m.blocksInterpreted.Load(),
+		Indications:       m.indications.Load(),
+	}
+}
+
+// AddBlocksBuilt counts blocks built and disseminated by this server.
+func (m *Metrics) AddBlocksBuilt(n int64) {
+	if m != nil {
+		m.blocksBuilt.Add(n)
+	}
+}
+
+// AddBlocksReceived counts blocks received from the network.
+func (m *Metrics) AddBlocksReceived(n int64) {
+	if m != nil {
+		m.blocksReceived.Add(n)
+	}
+}
+
+// AddBlocksInserted counts blocks inserted into the local DAG.
+func (m *Metrics) AddBlocksInserted(n int64) {
+	if m != nil {
+		m.blocksInserted.Add(n)
+	}
+}
+
+// AddBlocksDuplicate counts received blocks that were already known.
+func (m *Metrics) AddBlocksDuplicate(n int64) {
+	if m != nil {
+		m.blocksDuplicate.Add(n)
+	}
+}
+
+// AddBlocksRejected counts received blocks that failed validation.
+func (m *Metrics) AddBlocksRejected(n int64) {
+	if m != nil {
+		m.blocksRejected.Add(n)
+	}
+}
+
+// AddFwdRequestsSent counts FWD requests issued for missing predecessors.
+func (m *Metrics) AddFwdRequestsSent(n int64) {
+	if m != nil {
+		m.fwdRequestsSent.Add(n)
+	}
+}
+
+// AddFwdRequestsServed counts FWD requests answered with a block.
+func (m *Metrics) AddFwdRequestsServed(n int64) {
+	if m != nil {
+		m.fwdRequestsServed.Add(n)
+	}
+}
+
+// AddWireSend counts one network send of the given payload size.
+func (m *Metrics) AddWireSend(bytes int64) {
+	if m != nil {
+		m.wireMessages.Add(1)
+		m.wireBytes.Add(bytes)
+	}
+}
+
+// AddRequestsEmbedded counts (label, request) pairs written into blocks.
+func (m *Metrics) AddRequestsEmbedded(n int64) {
+	if m != nil {
+		m.requestsEmbedded.Add(n)
+	}
+}
+
+// AddMsgsMaterialized counts protocol messages simulated by interpretation
+// — the messages that were never sent over the network.
+func (m *Metrics) AddMsgsMaterialized(n int64) {
+	if m != nil {
+		m.msgsMaterialized.Add(n)
+	}
+}
+
+// AddBlocksInterpreted counts blocks processed by the interpreter.
+func (m *Metrics) AddBlocksInterpreted(n int64) {
+	if m != nil {
+		m.blocksInterpreted.Add(n)
+	}
+}
+
+// AddIndications counts indications surfaced to the interpreter callback.
+func (m *Metrics) AddIndications(n int64) {
+	if m != nil {
+		m.indications.Add(n)
+	}
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilMetricsSafe(t *testing.T) {
+	var m *Metrics
+	m.AddBlocksBuilt(1)
+	m.AddBlocksReceived(1)
+	m.AddBlocksInserted(1)
+	m.AddBlocksDuplicate(1)
+	m.AddBlocksRejected(1)
+	m.AddFwdRequestsSent(1)
+	m.AddFwdRequestsServed(1)
+	m.AddWireSend(10)
+	m.AddRequestsEmbedded(1)
+	m.AddMsgsMaterialized(1)
+	m.AddBlocksInterpreted(1)
+	m.AddIndications(1)
+	if m.Snapshot() != (Snapshot{}) {
+		t.Fatal("nil metrics returned nonzero snapshot")
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	m := &Metrics{}
+	m.AddBlocksBuilt(2)
+	m.AddWireSend(100)
+	m.AddWireSend(50)
+	m.AddMsgsMaterialized(7)
+	s := m.Snapshot()
+	if s.BlocksBuilt != 2 {
+		t.Errorf("BlocksBuilt = %d", s.BlocksBuilt)
+	}
+	if s.WireMessages != 2 || s.WireBytes != 150 {
+		t.Errorf("wire = %d msgs %d bytes", s.WireMessages, s.WireBytes)
+	}
+	if s.MsgsMaterialized != 7 {
+		t.Errorf("MsgsMaterialized = %d", s.MsgsMaterialized)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	m := &Metrics{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.AddWireSend(1)
+				m.AddIndications(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.WireMessages != 8000 || s.WireBytes != 8000 || s.Indications != 8000 {
+		t.Fatalf("lost updates: %+v", s)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	m := &Metrics{}
+	m.AddBlocksBuilt(3)
+	out := m.Snapshot().String()
+	if !strings.Contains(out, "built=3") {
+		t.Fatalf("String() = %q", out)
+	}
+}

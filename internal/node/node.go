@@ -1,0 +1,189 @@
+// Package node is the concurrent runtime for a core.Server: it owns the
+// single goroutine that drives the deterministic state machine and feeds
+// it network deliveries, user requests, and the periodic disseminate and
+// FWD-retry timers (Algorithm 3's "repeatedly gssp.disseminate()").
+//
+// The split keeps all protocol logic deterministic and single-threaded —
+// testable on the simulator — while this package confines the concurrency:
+// channels in, one loop goroutine, explicit shutdown, no fire-and-forget.
+package node
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"blockdag/internal/core"
+	"blockdag/internal/types"
+)
+
+// Config parameterizes the runtime.
+type Config struct {
+	// Server is the deterministic shim to drive. Required. The server's
+	// Clock should be the one returned by Clock().
+	Server *core.Server
+	// DisseminateEvery is the block production period (default 50ms).
+	DisseminateEvery time.Duration
+	// TickEvery is the FWD retry-timer period (default 100ms).
+	TickEvery time.Duration
+}
+
+// Clock returns a monotonic clock suitable for core.Config.Clock on the
+// real-time path.
+func Clock() func() time.Duration {
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}
+
+// inbound is one network delivery awaiting the loop.
+type inbound struct {
+	from    types.ServerID
+	payload []byte
+}
+
+// request is one user request awaiting the loop.
+type request struct {
+	label types.Label
+	data  []byte
+}
+
+// Node runs a core.Server on its own goroutine.
+type Node struct {
+	cfg Config
+
+	// The ingestion channels are buffered beyond the usual one-or-none
+	// guideline deliberately: they absorb network bursts while the loop
+	// is mid-block; senders (transport read goroutines) block when the
+	// buffer fills, which is the desired backpressure.
+	in   chan inbound
+	reqs chan request
+
+	cancel context.CancelFunc
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	started  bool
+	firstErr error
+}
+
+// New validates the config and prepares a node.
+func New(cfg Config) (*Node, error) {
+	if cfg.Server == nil {
+		return nil, errors.New("node: config needs a Server")
+	}
+	if cfg.DisseminateEvery <= 0 {
+		cfg.DisseminateEvery = 50 * time.Millisecond
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 100 * time.Millisecond
+	}
+	return &Node{
+		cfg:  cfg,
+		in:   make(chan inbound, 256),
+		reqs: make(chan request, 256),
+		done: make(chan struct{}),
+	}, nil
+}
+
+// Start launches the loop goroutine. It is an error to start twice.
+func (n *Node) Start() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return errors.New("node: already started")
+	}
+	n.started = true
+	ctx, cancel := context.WithCancel(context.Background())
+	n.cancel = cancel
+	n.wg.Add(1)
+	go n.loop(ctx)
+	return nil
+}
+
+// Stop terminates the loop and waits for it to exit.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	cancel := n.cancel
+	n.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	n.wg.Wait()
+}
+
+// Deliver implements transport.Endpoint: queue a network payload for the
+// loop. The payload is copied; transports may reuse their buffers.
+// Deliveries after Stop are discarded.
+func (n *Node) Deliver(from types.ServerID, payload []byte) {
+	select {
+	case n.in <- inbound{from: from, payload: append([]byte(nil), payload...)}:
+	case <-n.done:
+	}
+}
+
+// Request queues a user request (shim interface request(ℓ, r)). Requests
+// after Stop are discarded.
+func (n *Node) Request(label types.Label, data []byte) {
+	select {
+	case n.reqs <- request{label: label, data: append([]byte(nil), data...)}:
+	case <-n.done:
+	}
+}
+
+// Err returns the first runtime error observed by the loop, combined with
+// the server's own health.
+func (n *Node) Err() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.firstErr != nil {
+		return n.firstErr
+	}
+	return n.cfg.Server.Health()
+}
+
+func (n *Node) recordErr(err error) {
+	if err == nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.firstErr == nil {
+		n.firstErr = err
+	}
+}
+
+// Server exposes the underlying shim (read-only access such as DAG() and
+// Metrics() is safe only after Stop, or from the indication callback which
+// runs on the loop goroutine).
+func (n *Node) Server() *core.Server { return n.cfg.Server }
+
+func (n *Node) loop(ctx context.Context) {
+	defer n.wg.Done()
+	defer close(n.done)
+	srv := n.cfg.Server
+	disseminate := time.NewTicker(n.cfg.DisseminateEvery)
+	defer disseminate.Stop()
+	tick := time.NewTicker(n.cfg.TickEvery)
+	defer tick.Stop()
+	start := time.Now()
+
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case msg := <-n.in:
+			srv.Deliver(msg.from, msg.payload)
+		case rq := <-n.reqs:
+			srv.Request(rq.label, rq.data)
+		case <-disseminate.C:
+			// A failed disseminate means our own signer rejected
+			// our own block — unreachable without memory
+			// corruption; record for Err().
+			n.recordErr(srv.Disseminate())
+		case <-tick.C:
+			srv.Tick(time.Since(start))
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package node_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"blockdag/internal/core"
+	"blockdag/internal/crypto"
+	"blockdag/internal/node"
+	"blockdag/internal/protocols/brb"
+	"blockdag/internal/tcpnet"
+	"blockdag/internal/transport"
+	"blockdag/internal/types"
+)
+
+// tcpCluster stands up n full nodes over real TCP on loopback: the
+// production wiring path (tcpnet → node → core.Server).
+type tcpCluster struct {
+	nodes      []*node.Node
+	transports []*tcpnet.Transport
+
+	mu   sync.Mutex
+	inds map[int]map[types.Label][][]byte
+}
+
+func newTCPCluster(t *testing.T, n int) *tcpCluster {
+	t.Helper()
+	roster, signers, err := crypto.LocalRoster(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &tcpCluster{inds: make(map[int]map[types.Label][][]byte)}
+
+	// Phase 1: listeners with late-bound handlers.
+	lbs := make([]*transport.LateBound, n)
+	for i := 0; i < n; i++ {
+		lbs[i] = &transport.LateBound{}
+		tr, err := tcpnet.Listen(tcpnet.Config{
+			Self:        types.ServerID(i),
+			ListenAddr:  "127.0.0.1:0",
+			Handler:     lbs[i],
+			DialBackoff: 5 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.transports = append(c.transports, tr)
+	}
+	// Phase 2: full mesh.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if err := c.transports[i].Connect(types.ServerID(j), c.transports[j].Addr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Phase 3: servers and runtimes.
+	for i := 0; i < n; i++ {
+		idx := i
+		c.inds[i] = make(map[types.Label][][]byte)
+		srv, err := core.NewServer(core.Config{
+			Roster:    roster,
+			Signer:    signers[i],
+			Protocol:  brb.Protocol{},
+			Transport: c.transports[i],
+			Clock:     node.Clock(),
+			OnIndication: func(label types.Label, value []byte) {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				c.inds[idx][label] = append(c.inds[idx][label], value)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd, err := node.New(node.Config{
+			Server:           srv,
+			DisseminateEvery: 10 * time.Millisecond,
+			TickEvery:        20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lbs[i].Bind(nd)
+		c.nodes = append(c.nodes, nd)
+	}
+	for _, nd := range c.nodes {
+		if err := nd.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, nd := range c.nodes {
+			nd.Stop()
+		}
+		for _, tr := range c.transports {
+			_ = tr.Close()
+		}
+	})
+	return c
+}
+
+func (c *tcpCluster) deliveredAt(server int, label types.Label) [][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([][]byte, len(c.inds[server][label]))
+	copy(out, c.inds[server][label])
+	return out
+}
+
+// TestEndToEndOverTCP is the full-stack integration test: BRB embedded in
+// a block DAG, gossiped over real TCP connections, with the concurrent
+// node runtime — the deployment Figure 1 describes.
+func TestEndToEndOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test with real sockets")
+	}
+	const n = 4
+	c := newTCPCluster(t, n)
+	c.nodes[0].Request("ℓ1", []byte("42"))
+	c.nodes[2].Request("ℓ2", []byte("99"))
+
+	deadline := time.Now().Add(15 * time.Second)
+	allDone := func() bool {
+		for i := 0; i < n; i++ {
+			if len(c.deliveredAt(i, "ℓ1")) != 1 || len(c.deliveredAt(i, "ℓ2")) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	for !allDone() {
+		if time.Now().After(deadline) {
+			for i := 0; i < n; i++ {
+				t.Logf("server %d: ℓ1=%q ℓ2=%q", i,
+					c.deliveredAt(i, "ℓ1"), c.deliveredAt(i, "ℓ2"))
+			}
+			t.Fatal("not all servers delivered over TCP within 15s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := 0; i < n; i++ {
+		if got := c.deliveredAt(i, "ℓ1"); !bytes.Equal(got[0], []byte("42")) {
+			t.Fatalf("server %d delivered %q on ℓ1", i, got)
+		}
+		if got := c.deliveredAt(i, "ℓ2"); !bytes.Equal(got[0], []byte("99")) {
+			t.Fatalf("server %d delivered %q on ℓ2", i, got)
+		}
+	}
+	for i, nd := range c.nodes {
+		if err := nd.Err(); err != nil {
+			t.Fatalf("node %d unhealthy: %v", i, err)
+		}
+	}
+}
+
+// TestManyInstancesOverTCP pushes several parallel instances through the
+// real stack.
+func TestManyInstancesOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test with real sockets")
+	}
+	const n, instances = 4, 8
+	c := newTCPCluster(t, n)
+	for i := 0; i < instances; i++ {
+		c.nodes[i%n].Request(types.Label(fmt.Sprintf("inst/%d", i)), []byte{byte(i)})
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		done := true
+		for srv := 0; srv < n && done; srv++ {
+			for i := 0; i < instances; i++ {
+				if len(c.deliveredAt(srv, types.Label(fmt.Sprintf("inst/%d", i)))) != 1 {
+					done = false
+					break
+				}
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("parallel instances incomplete over TCP within 20s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestNodeLifecycle(t *testing.T) {
+	roster, signers, err := crypto.LocalRoster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := &transport.LateBound{}
+	tr, err := tcpnet.Listen(tcpnet.Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: lb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tr.Close() }()
+	srv, err := core.NewServer(core.Config{
+		Roster: roster, Signer: signers[0], Protocol: brb.Protocol{},
+		Transport: tr, Clock: node.Clock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := node.New(node.Config{Server: srv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb.Bind(nd)
+	if err := nd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.Start(); err == nil {
+		t.Fatal("double Start accepted")
+	}
+	nd.Stop()
+	nd.Stop() // idempotent
+	// Post-stop interactions must not hang.
+	nd.Request("x", []byte("late"))
+	nd.Deliver(0, []byte("late"))
+	if err := nd.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	if _, err := node.New(node.Config{}); err == nil {
+		t.Fatal("config without server accepted")
+	}
+}

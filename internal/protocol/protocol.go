@@ -1,0 +1,184 @@
+// Package protocol defines the black-box abstraction of a deterministic
+// BFT protocol P that the block DAG framework embeds (paper Section 4).
+//
+// A protocol exposes (i) a high-level interface to request r ∈ Rqsts_P and
+// an interface where it indicates i ∈ Inds_P, and (ii) a low-level
+// interface to receive a message m ∈ M_P. Requests and receives return the
+// triggered messages immediately — justified because the interpreter runs
+// all process instances locally (paper Section 4).
+//
+// Determinism is the load-bearing requirement: a state q and a sequence of
+// messages must determine the next state and emitted messages, with no
+// randomness. Every server interpreting the block DAG replays the same
+// deterministic steps and reaches identical conclusions (Lemma 4.2).
+package protocol
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"blockdag/internal/types"
+	"blockdag/internal/wire"
+)
+
+// Message is one protocol message m ∈ M_P with m.sender and m.receiver
+// (paper Section 2). The payload is the protocol's own canonical encoding.
+// In the embedding, messages are never transmitted: they are materialized
+// locally from DAG edges by the interpreter.
+type Message struct {
+	Label    types.Label
+	Sender   types.ServerID
+	Receiver types.ServerID
+	Payload  []byte
+}
+
+// Encode returns the canonical encoding of the message, used both for the
+// total order <M and for test digests.
+func (m Message) Encode() []byte {
+	w := wire.NewWriter(16 + len(m.Payload))
+	w.String(string(m.Label))
+	w.Uint16(uint16(m.Sender))
+	w.Uint16(uint16(m.Receiver))
+	w.VarBytes(m.Payload)
+	return w.Bytes()
+}
+
+// DecodeMessage parses a message encoded by Encode.
+func DecodeMessage(data []byte) (Message, error) {
+	r := wire.NewReader(data)
+	m := Message{
+		Label:    types.Label(r.String()),
+		Sender:   types.ServerID(r.Uint16()),
+		Receiver: types.ServerID(r.Uint16()),
+		Payload:  r.VarBytes(),
+	}
+	if err := r.Close(); err != nil {
+		return Message{}, fmt.Errorf("protocol: decode message: %w", err)
+	}
+	return m, nil
+}
+
+// Compare implements the arbitrary-but-fixed total order <M on messages
+// (paper Section 2): lexicographic on the canonical encoding. It returns
+// -1, 0, or +1.
+func Compare(a, b Message) int {
+	return bytes.Compare(a.Encode(), b.Encode())
+}
+
+// Sort orders messages by <M in place. The interpreter feeds in-buffer
+// messages to process instances in this order (Algorithm 2 line 10) so
+// that every server executes exactly the same steps.
+func Sort(msgs []Message) {
+	sort.Slice(msgs, func(i, j int) bool { return Compare(msgs[i], msgs[j]) < 0 })
+}
+
+// Key returns a map key identifying the message's full content. The
+// interpreter's in-buffers are sets (Algorithm 2 line 9); identical
+// messages materialized from equivocating forks collapse to one entry.
+func (m Message) Key() string { return string(m.Encode()) }
+
+// Config parameterizes one process instance of P: which server it
+// simulates, for which instance label, and the system size. Quorum sizes
+// derive from N and F as in the paper's system model (n = 3f+1).
+type Config struct {
+	Self  types.ServerID
+	Label types.Label
+	N     int
+	F     int
+}
+
+// Quorum returns the byzantine quorum 2f+1.
+func (c Config) Quorum() int { return 2*c.F + 1 }
+
+// Process is one process instance of the deterministic protocol P,
+// simulating server Self for instance Label. The interpreter drives it
+// exclusively through this interface, treating P as a black box.
+//
+// Implementations must be deterministic: identical call sequences produce
+// identical emitted messages, indications, and state digests. They must
+// not consult time, randomness, or any state outside the instance.
+type Process interface {
+	// Request injects a user request r (opaque payload read from a
+	// block's rs field) and returns the messages it triggers.
+	Request(data []byte) []Message
+
+	// Receive delivers one message and returns the messages it
+	// triggers. The interpreter guarantees messages arrive in <M order
+	// within each block interpretation step.
+	Receive(m Message) []Message
+
+	// Indications drains the indications i ∈ Inds_P emitted since the
+	// last call, in emission order.
+	Indications() [][]byte
+
+	// Done reports that the instance has reached a terminal state and
+	// its state may be retired (framework extension addressing the
+	// paper's unbounded-memory limitation; see DESIGN.md). A Done
+	// instance silently ignores further inputs after retirement.
+	Done() bool
+
+	// Clone returns a deep copy. The interpreter clones an instance
+	// before advancing it on a new block, so forked chains (Figure 3)
+	// evolve independent state.
+	Clone() Process
+
+	// StateDigest returns a deterministic digest of the full instance
+	// state. Lemma 4.2 tests compare digests across interpreters.
+	StateDigest() []byte
+}
+
+// EntropyAware is an optional extension interface for protocols whose
+// original specification uses server-local randomness (random peer
+// sampling, randomized backoff, ...). The paper's Section 7 sketches the
+// de-randomization: a server's "coin flips" must come from data recorded
+// in its blocks so that every interpreter reproduces them.
+//
+// The interpreter implements exactly that: before advancing an instance
+// at a block, it calls SetEntropy with a seed derived deterministically
+// from the block's reference and the instance label. The seed is
+// unpredictable before the block exists (it depends on the block's hash)
+// yet identical for every server interpreting the DAG, so Lemma 4.2
+// (interpretation independence) is preserved.
+//
+// Entropy derived this way is at the builder's discretion — a byzantine
+// builder can grind block contents to bias its own coin. That is the
+// paper's first randomness class; unbiasable shared coins need an
+// embedded coin protocol and are out of scope here as they are there.
+type EntropyAware interface {
+	// SetEntropy installs the deterministic seed for the steps driven
+	// by the current block. Called before Request/Receive batches.
+	SetEntropy(seed [32]byte)
+}
+
+// Protocol is the factory for process instances: the P the user passes to
+// shim(P).
+type Protocol interface {
+	// Name identifies the protocol (diagnostics only).
+	Name() string
+	// NewProcess creates the process instance of P for cfg.Self running
+	// instance cfg.Label.
+	NewProcess(cfg Config) Process
+}
+
+// FanOut builds one message carrying payload from cfg.Self to every server
+// in the system, including Self — "send to every s' ∈ Srvrs" in protocol
+// pseudocode. Self-addressed messages loop back through the DAG like any
+// other (received at the builder's next block via its parent edge).
+func FanOut(cfg Config, payload []byte) []Message {
+	msgs := make([]Message, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		msgs[i] = Message{
+			Label:    cfg.Label,
+			Sender:   cfg.Self,
+			Receiver: types.ServerID(i),
+			Payload:  payload,
+		}
+	}
+	return msgs
+}
+
+// Unicast builds a single message from cfg.Self to the given receiver.
+func Unicast(cfg Config, to types.ServerID, payload []byte) Message {
+	return Message{Label: cfg.Label, Sender: cfg.Self, Receiver: to, Payload: payload}
+}

@@ -1,0 +1,161 @@
+package protocol
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"blockdag/internal/types"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := Message{Label: "ℓ1", Sender: 1, Receiver: 2, Payload: []byte{0xca, 0xfe}}
+	dec, err := DecodeMessage(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Label != m.Label || dec.Sender != m.Sender || dec.Receiver != m.Receiver ||
+		!bytes.Equal(dec.Payload, m.Payload) {
+		t.Fatalf("round trip: %+v != %+v", dec, m)
+	}
+}
+
+func TestMessageRoundTripProperty(t *testing.T) {
+	f := func(label string, s, r uint16, payload []byte) bool {
+		m := Message{Label: types.Label(label), Sender: types.ServerID(s), Receiver: types.ServerID(r), Payload: payload}
+		dec, err := DecodeMessage(m.Encode())
+		if err != nil {
+			return false
+		}
+		return Compare(m, dec) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeMessageRejectsGarbage(t *testing.T) {
+	if _, err := DecodeMessage([]byte{0xff, 0xff, 0xff}); err == nil {
+		t.Fatal("decoded garbage")
+	}
+}
+
+// TestCompareIsTotalOrder checks the <M requirements: antisymmetry,
+// transitivity, and totality (trichotomy) on a generated message set.
+func TestCompareIsTotalOrder(t *testing.T) {
+	msgs := []Message{
+		{Label: "a", Sender: 0, Receiver: 0},
+		{Label: "a", Sender: 0, Receiver: 1},
+		{Label: "a", Sender: 1, Receiver: 0, Payload: []byte{1}},
+		{Label: "b", Sender: 0, Receiver: 0},
+		{Label: "b", Sender: 0, Receiver: 0, Payload: []byte{0}},
+		{Label: "", Sender: 9, Receiver: 9, Payload: []byte{9, 9}},
+	}
+	for _, a := range msgs {
+		if Compare(a, a) != 0 {
+			t.Fatalf("Compare(%v, %v) != 0", a, a)
+		}
+		for _, b := range msgs {
+			ab, ba := Compare(a, b), Compare(b, a)
+			if ab != -ba {
+				t.Fatalf("antisymmetry violated for %v, %v", a, b)
+			}
+			if ab == 0 && a.Key() != b.Key() {
+				t.Fatalf("distinct messages compare equal: %v, %v", a, b)
+			}
+			for _, c := range msgs {
+				if ab <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+					t.Fatalf("transitivity violated for %v, %v, %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// TestSortIsDeterministic: sorting any permutation yields the same order —
+// the property Algorithm 2 line 10 relies on.
+func TestSortIsDeterministic(t *testing.T) {
+	base := []Message{
+		{Label: "x", Sender: 2, Receiver: 1, Payload: []byte("m1")},
+		{Label: "x", Sender: 0, Receiver: 1, Payload: []byte("m2")},
+		{Label: "y", Sender: 1, Receiver: 1, Payload: []byte("m0")},
+		{Label: "x", Sender: 1, Receiver: 1, Payload: []byte("m3")},
+	}
+	want := append([]Message(nil), base...)
+	Sort(want)
+	// Try all 24 permutations via Heap's algorithm (small n).
+	perm := append([]Message(nil), base...)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			got := append([]Message(nil), perm...)
+			Sort(got)
+			for i := range got {
+				if Compare(got[i], want[i]) != 0 {
+					t.Fatalf("sort order depends on input permutation")
+				}
+			}
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				perm[i], perm[k-1] = perm[k-1], perm[i]
+			} else {
+				perm[0], perm[k-1] = perm[k-1], perm[0]
+			}
+		}
+	}
+	rec(len(perm))
+}
+
+func TestFanOut(t *testing.T) {
+	cfg := Config{Self: 1, Label: "ℓ", N: 4, F: 1}
+	msgs := FanOut(cfg, []byte("echo"))
+	if len(msgs) != 4 {
+		t.Fatalf("FanOut produced %d messages, want 4", len(msgs))
+	}
+	receivers := make([]int, 0, 4)
+	for _, m := range msgs {
+		if m.Sender != 1 || m.Label != "ℓ" || !bytes.Equal(m.Payload, []byte("echo")) {
+			t.Fatalf("bad message %+v", m)
+		}
+		receivers = append(receivers, int(m.Receiver))
+	}
+	sort.Ints(receivers)
+	for i, r := range receivers {
+		if r != i {
+			t.Fatalf("receivers = %v, want each server exactly once", receivers)
+		}
+	}
+}
+
+func TestUnicast(t *testing.T) {
+	cfg := Config{Self: 3, Label: "ℓ", N: 4, F: 1}
+	m := Unicast(cfg, 0, []byte("p"))
+	if m.Sender != 3 || m.Receiver != 0 || m.Label != "ℓ" {
+		t.Fatalf("Unicast = %+v", m)
+	}
+}
+
+func TestQuorum(t *testing.T) {
+	cfg := Config{N: 7, F: 2}
+	if cfg.Quorum() != 5 {
+		t.Fatalf("Quorum = %d, want 5", cfg.Quorum())
+	}
+}
+
+// TestMessageKeyCollisionFree: distinct messages (by any field) must have
+// distinct keys, since the interpreter's in-buffer set dedupes by Key.
+func TestMessageKeyCollisionFree(t *testing.T) {
+	f := func(l1, l2 string, s1, s2, r1, r2 uint16, p1, p2 []byte) bool {
+		a := Message{Label: types.Label(l1), Sender: types.ServerID(s1), Receiver: types.ServerID(r1), Payload: p1}
+		b := Message{Label: types.Label(l2), Sender: types.ServerID(s2), Receiver: types.ServerID(r2), Payload: p2}
+		same := l1 == l2 && s1 == s2 && r1 == r2 && bytes.Equal(p1, p2)
+		return (a.Key() == b.Key()) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package brb implements byzantine reliable broadcast — the paper's worked
+// example P (Section 5) — as authenticated double-echo broadcast after
+// Cachin–Guerraoui–Rodrigues [3, Module 3.12], reproduced in the paper's
+// Algorithm 4.
+//
+// Interface I: requests Rqsts = {broadcast(v)}, indications
+// Inds = {deliver(v)}. Messages M = {ECHO v, READY v}.
+//
+// Properties P (validity, no duplication, integrity, consistency,
+// totality) are proved for the protocol over an authenticated perfect
+// point-to-point link; Theorem 5.1 transfers them to the embedding, which
+// the integration tests in internal/core verify.
+//
+// The protocol is deterministic: state plus received message sequence
+// fully determine behaviour, as the embedding requires.
+package brb
+
+import (
+	"fmt"
+	"sort"
+
+	"blockdag/internal/crypto"
+	"blockdag/internal/protocol"
+	"blockdag/internal/types"
+	"blockdag/internal/wire"
+)
+
+// Message kinds carried in protocol.Message payloads.
+const (
+	msgEcho  byte = 1
+	msgReady byte = 2
+)
+
+// Protocol is the byzantine reliable broadcast protocol factory. The zero
+// value is ready to use.
+type Protocol struct{}
+
+var _ protocol.Protocol = Protocol{}
+
+// Name implements protocol.Protocol.
+func (Protocol) Name() string { return "brb" }
+
+// NewProcess implements protocol.Protocol.
+func (Protocol) NewProcess(cfg protocol.Config) protocol.Process {
+	return &process{
+		cfg:     cfg,
+		echoes:  make(map[string]map[types.ServerID]struct{}),
+		readies: make(map[string]map[types.ServerID]struct{}),
+	}
+}
+
+// process is one BRB process instance (Algorithm 4 state): the flags
+// echoed, readied, delivered, plus per-value quorum counting.
+type process struct {
+	cfg       protocol.Config
+	echoed    bool
+	readied   bool
+	delivered bool
+
+	// echoes[v] and readies[v] record the distinct senders from which an
+	// ECHO v / READY v has been received (quorums count distinct servers).
+	echoes  map[string]map[types.ServerID]struct{}
+	readies map[string]map[types.ServerID]struct{}
+
+	pending [][]byte // delivered values not yet drained by Indications
+}
+
+var _ protocol.Process = (*process)(nil)
+
+func encodePayload(kind byte, value []byte) []byte {
+	w := wire.NewWriter(1 + len(value))
+	w.Byte(kind)
+	w.VarBytes(value)
+	return w.Bytes()
+}
+
+func decodePayload(data []byte) (kind byte, value []byte, err error) {
+	r := wire.NewReader(data)
+	kind = r.Byte()
+	value = r.VarBytes()
+	if err := r.Close(); err != nil {
+		return 0, nil, fmt.Errorf("brb: decode payload: %w", err)
+	}
+	if kind != msgEcho && kind != msgReady {
+		return 0, nil, fmt.Errorf("brb: unknown message kind %d", kind)
+	}
+	return kind, value, nil
+}
+
+// Request implements broadcast(v) (Algorithm 4 lines 3–5): set echoed and
+// send ECHO v to every server. Authentication of the request is inherited
+// from the block signature that carried it (paper Section 5). A repeated
+// or post-echo request is ignored — the instance broadcasts at most once.
+func (p *process) Request(data []byte) []protocol.Message {
+	if p.echoed {
+		return nil
+	}
+	p.echoed = true
+	return protocol.FanOut(p.cfg, encodePayload(msgEcho, data))
+}
+
+// Receive implements the three message handlers of Algorithm 4 lines 6–17.
+// Malformed payloads (only byzantine servers produce them — correct
+// messages are materialized from correct interpretation) are dropped.
+func (p *process) Receive(m protocol.Message) []protocol.Message {
+	kind, value, err := decodePayload(m.Payload)
+	if err != nil {
+		return nil
+	}
+	var out []protocol.Message
+	key := string(value)
+	switch kind {
+	case msgEcho:
+		// Record the echo (distinct senders only).
+		set := p.echoes[key]
+		if set == nil {
+			set = make(map[types.ServerID]struct{})
+			p.echoes[key] = set
+		}
+		set[m.Sender] = struct{}{}
+
+		// Lines 6–8: first ECHO triggers our own echo.
+		if !p.echoed {
+			p.echoed = true
+			out = append(out, protocol.FanOut(p.cfg, encodePayload(msgEcho, value))...)
+		}
+		// Lines 9–11: 2f+1 echoes for v trigger READY v.
+		if len(set) >= p.cfg.Quorum() && !p.readied {
+			p.readied = true
+			out = append(out, protocol.FanOut(p.cfg, encodePayload(msgReady, value))...)
+		}
+	case msgReady:
+		set := p.readies[key]
+		if set == nil {
+			set = make(map[types.ServerID]struct{})
+			p.readies[key] = set
+		}
+		set[m.Sender] = struct{}{}
+
+		// Lines 12–14: f+1 readies amplify to our own READY.
+		if len(set) >= p.cfg.F+1 && !p.readied {
+			p.readied = true
+			out = append(out, protocol.FanOut(p.cfg, encodePayload(msgReady, value))...)
+		}
+		// Lines 15–17: 2f+1 readies deliver v.
+		if len(set) >= p.cfg.Quorum() && !p.delivered {
+			p.delivered = true
+			p.pending = append(p.pending, append([]byte(nil), value...))
+		}
+	}
+	return out
+}
+
+// Indications implements protocol.Process.
+func (p *process) Indications() [][]byte {
+	out := p.pending
+	p.pending = nil
+	return out
+}
+
+// Done reports whether the instance has delivered; a delivered BRB
+// instance never emits again except to help laggards, so retiring it is
+// safe for the GC extension (totality for other correct servers relies on
+// their own quorums, which exist in the DAG independently of this state).
+func (p *process) Done() bool { return p.delivered }
+
+// Clone implements protocol.Process with a deep copy.
+func (p *process) Clone() protocol.Process {
+	cp := &process{
+		cfg:       p.cfg,
+		echoed:    p.echoed,
+		readied:   p.readied,
+		delivered: p.delivered,
+		echoes:    cloneSets(p.echoes),
+		readies:   cloneSets(p.readies),
+	}
+	if len(p.pending) > 0 {
+		cp.pending = make([][]byte, len(p.pending))
+		for i, v := range p.pending {
+			cp.pending[i] = append([]byte(nil), v...)
+		}
+	}
+	return cp
+}
+
+func cloneSets(in map[string]map[types.ServerID]struct{}) map[string]map[types.ServerID]struct{} {
+	out := make(map[string]map[types.ServerID]struct{}, len(in))
+	for k, set := range in {
+		cp := make(map[types.ServerID]struct{}, len(set))
+		for id := range set {
+			cp[id] = struct{}{}
+		}
+		out[k] = cp
+	}
+	return out
+}
+
+// StateDigest implements protocol.Process with a canonical serialization:
+// map contents are emitted in sorted order so equal states hash equally.
+func (p *process) StateDigest() []byte {
+	w := wire.NewWriter(64)
+	w.Bool(p.echoed)
+	w.Bool(p.readied)
+	w.Bool(p.delivered)
+	digestSets(w, p.echoes)
+	digestSets(w, p.readies)
+	w.Uvarint(uint64(len(p.pending)))
+	for _, v := range p.pending {
+		w.VarBytes(v)
+	}
+	sum := crypto.Hash(w.Bytes())
+	return sum[:]
+}
+
+func digestSets(w *wire.Writer, sets map[string]map[types.ServerID]struct{}) {
+	keys := make([]string, 0, len(sets))
+	for k := range sets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+		ids := make([]int, 0, len(sets[k]))
+		for id := range sets[k] {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		w.Uvarint(uint64(len(ids)))
+		for _, id := range ids {
+			w.Uint16(uint16(id))
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package brb
+
+import (
+	"bytes"
+	"testing"
+
+	"blockdag/internal/protocol"
+	"blockdag/internal/types"
+)
+
+// cluster builds one BRB process per server for a single label and wires
+// them through an in-memory perfect point-to-point link: messages emitted
+// are delivered immediately, breadth first. This tests the protocol in
+// isolation, exactly the setting its properties are stated in.
+type cluster struct {
+	t     *testing.T
+	procs []protocol.Process
+	queue []protocol.Message
+	drops func(m protocol.Message) bool
+}
+
+func newCluster(t *testing.T, n int) *cluster {
+	t.Helper()
+	c := &cluster{t: t}
+	f := (n - 1) / 3
+	for i := 0; i < n; i++ {
+		cfg := protocol.Config{Self: types.ServerID(i), Label: "ℓ1", N: n, F: f}
+		c.procs = append(c.procs, Protocol{}.NewProcess(cfg))
+	}
+	return c
+}
+
+func (c *cluster) request(server int, data []byte) {
+	c.enqueue(c.procs[server].Request(data))
+	c.drain()
+}
+
+func (c *cluster) enqueue(msgs []protocol.Message) {
+	for _, m := range msgs {
+		if c.drops != nil && c.drops(m) {
+			continue
+		}
+		c.queue = append(c.queue, m)
+	}
+}
+
+func (c *cluster) drain() {
+	for len(c.queue) > 0 {
+		m := c.queue[0]
+		c.queue = c.queue[1:]
+		out := c.procs[m.Receiver].Receive(m)
+		c.enqueue(out)
+	}
+}
+
+func (c *cluster) delivered(server int) [][]byte {
+	return c.procs[server].Indications()
+}
+
+func TestBroadcastDeliversEverywhere(t *testing.T) {
+	for _, n := range []int{1, 4, 7, 10} {
+		c := newCluster(t, n)
+		c.request(0, []byte("42"))
+		for i := 0; i < n; i++ {
+			inds := c.delivered(i)
+			if len(inds) != 1 || !bytes.Equal(inds[0], []byte("42")) {
+				t.Fatalf("n=%d: server %d delivered %q", n, i, inds)
+			}
+		}
+	}
+}
+
+func TestNoDuplication(t *testing.T) {
+	c := newCluster(t, 4)
+	c.request(0, []byte("v"))
+	// Drain indications once, then re-inject a duplicate READY storm.
+	for i := range c.procs {
+		c.delivered(i)
+	}
+	for s := 0; s < 4; s++ {
+		for r := 0; r < 4; r++ {
+			c.enqueue([]protocol.Message{{
+				Label: "ℓ1", Sender: types.ServerID(s), Receiver: types.ServerID(r),
+				Payload: encodePayload(msgReady, []byte("v")),
+			}})
+		}
+	}
+	c.drain()
+	for i := range c.procs {
+		if inds := c.delivered(i); len(inds) != 0 {
+			t.Fatalf("server %d delivered twice: %q", i, inds)
+		}
+	}
+}
+
+func TestRepeatedRequestIgnored(t *testing.T) {
+	c := newCluster(t, 4)
+	c.request(0, []byte("a"))
+	c.request(0, []byte("b")) // second broadcast on same instance: ignored
+	for i := range c.procs {
+		inds := c.delivered(i)
+		if len(inds) != 1 || !bytes.Equal(inds[0], []byte("a")) {
+			t.Fatalf("server %d delivered %q, want only %q", i, inds, "a")
+		}
+	}
+}
+
+// TestConsistencyUnderEquivocation: a byzantine broadcaster sends ECHO a to
+// half the servers and ECHO b to the other half. No correct server may
+// deliver a value different from another correct server.
+func TestConsistencyUnderEquivocation(t *testing.T) {
+	n := 4
+	c := newCluster(t, n)
+	// Byzantine server 3 crafts conflicting echoes directly.
+	for r := 0; r < n; r++ {
+		v := []byte("a")
+		if r >= 2 {
+			v = []byte("b")
+		}
+		c.enqueue([]protocol.Message{{
+			Label: "ℓ1", Sender: 3, Receiver: types.ServerID(r),
+			Payload: encodePayload(msgEcho, v),
+		}})
+	}
+	c.drain()
+	var deliveredValues [][]byte
+	for i := 0; i < 3; i++ { // correct servers only
+		for _, v := range c.delivered(i) {
+			deliveredValues = append(deliveredValues, v)
+		}
+	}
+	for i := 1; i < len(deliveredValues); i++ {
+		if !bytes.Equal(deliveredValues[0], deliveredValues[i]) {
+			t.Fatalf("correct servers delivered conflicting values: %q", deliveredValues)
+		}
+	}
+}
+
+// TestAmplificationFromReadies: f+1 READY messages suffice for a server
+// that saw no echoes to become ready, and 2f+1 to deliver (totality
+// mechanism).
+func TestAmplificationFromReadies(t *testing.T) {
+	n, f := 4, 1
+	c := newCluster(t, n)
+	// Server 0 receives READY v from f+1 = 2 distinct servers.
+	for s := 1; s <= 2*f+1; s++ {
+		c.enqueue([]protocol.Message{{
+			Label: "ℓ1", Sender: types.ServerID(s), Receiver: 0,
+			Payload: encodePayload(msgReady, []byte("v")),
+		}})
+	}
+	// Do not drain into other servers: isolate server 0.
+	for len(c.queue) > 0 {
+		m := c.queue[0]
+		c.queue = c.queue[1:]
+		if m.Receiver == 0 {
+			c.procs[0].Receive(m)
+		}
+	}
+	inds := c.delivered(0)
+	if len(inds) != 1 || !bytes.Equal(inds[0], []byte("v")) {
+		t.Fatalf("server 0 delivered %q, want v", inds)
+	}
+}
+
+// TestEchoQuorumNotReachedWithoutQuorum: 2f echoes must not trigger READY.
+func TestEchoQuorumNotReachedWithoutQuorum(t *testing.T) {
+	n := 4
+	c := newCluster(t, n)
+	p := c.procs[0].(*process)
+	for s := 0; s < 2; s++ { // 2f = 2 echoes only
+		p.Receive(protocol.Message{
+			Label: "ℓ1", Sender: types.ServerID(s), Receiver: 0,
+			Payload: encodePayload(msgEcho, []byte("v")),
+		})
+	}
+	if p.readied {
+		t.Fatal("readied with only 2f echoes")
+	}
+}
+
+// TestDuplicateSendersDoNotInflateQuorum: the same sender echoing five
+// times counts once.
+func TestDuplicateSendersDoNotInflateQuorum(t *testing.T) {
+	c := newCluster(t, 4)
+	p := c.procs[0].(*process)
+	for i := 0; i < 5; i++ {
+		p.Receive(protocol.Message{
+			Label: "ℓ1", Sender: 1, Receiver: 0,
+			Payload: encodePayload(msgEcho, []byte("v")),
+		})
+	}
+	if p.readied {
+		t.Fatal("duplicate echoes from one sender reached quorum")
+	}
+}
+
+func TestMalformedPayloadDropped(t *testing.T) {
+	c := newCluster(t, 4)
+	out := c.procs[0].Receive(protocol.Message{
+		Label: "ℓ1", Sender: 1, Receiver: 0, Payload: []byte{0xff, 0x00},
+	})
+	if out != nil {
+		t.Fatalf("malformed payload produced output %v", out)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := newCluster(t, 4)
+	orig := c.procs[0]
+	orig.Receive(protocol.Message{
+		Label: "ℓ1", Sender: 1, Receiver: 0,
+		Payload: encodePayload(msgEcho, []byte("v")),
+	})
+	cp := orig.Clone()
+	if !bytes.Equal(cp.StateDigest(), orig.StateDigest()) {
+		t.Fatal("clone digest differs from original")
+	}
+	// Advance the clone; the original must not change.
+	before := orig.StateDigest()
+	cp.Receive(protocol.Message{
+		Label: "ℓ1", Sender: 2, Receiver: 0,
+		Payload: encodePayload(msgEcho, []byte("v")),
+	})
+	if !bytes.Equal(before, orig.StateDigest()) {
+		t.Fatal("advancing clone mutated original")
+	}
+	if bytes.Equal(cp.StateDigest(), orig.StateDigest()) {
+		t.Fatal("clone digest unchanged after advancing")
+	}
+}
+
+// TestDeterminism: two processes fed the identical message sequence end in
+// identical states and emit identical messages.
+func TestDeterminism(t *testing.T) {
+	cfg := protocol.Config{Self: 0, Label: "ℓ", N: 4, F: 1}
+	p1 := Protocol{}.NewProcess(cfg)
+	p2 := Protocol{}.NewProcess(cfg)
+	seq := []protocol.Message{
+		{Label: "ℓ", Sender: 1, Receiver: 0, Payload: encodePayload(msgEcho, []byte("v"))},
+		{Label: "ℓ", Sender: 2, Receiver: 0, Payload: encodePayload(msgEcho, []byte("v"))},
+		{Label: "ℓ", Sender: 3, Receiver: 0, Payload: encodePayload(msgEcho, []byte("v"))},
+		{Label: "ℓ", Sender: 1, Receiver: 0, Payload: encodePayload(msgReady, []byte("v"))},
+	}
+	for _, m := range seq {
+		o1 := p1.Receive(m)
+		o2 := p2.Receive(m)
+		if len(o1) != len(o2) {
+			t.Fatal("output lengths differ")
+		}
+		for i := range o1 {
+			if protocol.Compare(o1[i], o2[i]) != 0 {
+				t.Fatal("outputs differ")
+			}
+		}
+	}
+	if !bytes.Equal(p1.StateDigest(), p2.StateDigest()) {
+		t.Fatal("digests differ after identical input")
+	}
+}
+
+func TestDoneAfterDeliver(t *testing.T) {
+	c := newCluster(t, 4)
+	if c.procs[0].Done() {
+		t.Fatal("fresh process Done")
+	}
+	c.request(0, []byte("v"))
+	for i := range c.procs {
+		if !c.procs[i].Done() {
+			t.Fatalf("server %d not Done after delivery", i)
+		}
+	}
+}
+
+// TestF0SingleServer: the degenerate n=1 system must deliver to itself
+// (quorum 1).
+func TestF0SingleServer(t *testing.T) {
+	c := newCluster(t, 1)
+	c.request(0, []byte("solo"))
+	inds := c.delivered(0)
+	if len(inds) != 1 || !bytes.Equal(inds[0], []byte("solo")) {
+		t.Fatalf("delivered %q", inds)
+	}
+}

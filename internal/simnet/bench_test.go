@@ -1,0 +1,35 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"blockdag/internal/types"
+)
+
+type nullEndpoint struct{}
+
+func (nullEndpoint) Deliver(types.ServerID, []byte) {}
+
+// BenchmarkEventLoop measures raw simulator throughput: schedule and
+// deliver unicasts between four nodes.
+func BenchmarkEventLoop(b *testing.B) {
+	n := New(WithSeed(1), WithLatency(time.Millisecond, time.Millisecond))
+	for id := types.ServerID(0); id < 4; id++ {
+		n.Register(id, nullEndpoint{})
+	}
+	payload := make([]byte, 128)
+	handles := make([]types.ServerID, 4)
+	for i := range handles {
+		handles[i] = types.ServerID(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Transport(handles[i%4]).Send(handles[(i+1)%4], payload)
+		if i%1024 == 1023 {
+			n.Run()
+		}
+	}
+	n.Run()
+}

@@ -1,0 +1,252 @@
+// Package simnet is a deterministic discrete-event network simulator.
+//
+// Every experiment in EXPERIMENTS.md runs on simnet: it provides the
+// paper's Assumption 1 (eventual delivery between correct servers) while
+// letting tests and benchmarks control latency, jitter, reordering, drops,
+// and partitions — reproducibly, from a seed. Virtual time advances only
+// when events execute, so a simulated second costs microseconds of real
+// time and two runs with equal seeds produce byte-identical traces.
+//
+// Nodes are transport.Endpoints registered with the network; they are
+// invoked synchronously by the event loop, one event at a time, so node
+// state machines need no internal locking.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"blockdag/internal/transport"
+	"blockdag/internal/types"
+)
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithSeed fixes the RNG seed; runs with equal seeds are identical.
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithLatency sets the link latency model: each delivery is delayed by
+// base plus a uniformly random fraction of jitter. Jitter makes delivery
+// order differ across links, exercising DAG reordering paths.
+func WithLatency(base, jitter time.Duration) Option {
+	return func(n *Network) {
+		n.latBase, n.latJitter = base, jitter
+	}
+}
+
+// WithDrop makes each unicast be lost with probability p (0 ≤ p < 1).
+// Dropped sends violate per-message delivery, but the gossip layer's FWD
+// retry mechanism restores eventual block delivery, which tests verify.
+func WithDrop(p float64) Option {
+	return func(n *Network) { n.dropP = p }
+}
+
+// Stats counts network activity.
+type Stats struct {
+	Sends     int64 // Send calls observed
+	Delivered int64 // payloads delivered to endpoints
+	Dropped   int64 // payloads lost to WithDrop or partitions
+	Bytes     int64 // payload bytes accepted for transmission
+}
+
+// Network is the simulator. Not safe for concurrent use: the event loop
+// and all node logic run on the caller's goroutine.
+type Network struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+
+	latBase   time.Duration
+	latJitter time.Duration
+	dropP     float64
+
+	endpoints map[types.ServerID]transport.Endpoint
+	blocked   func(from, to types.ServerID) bool
+
+	stats Stats
+}
+
+// New creates a network with default parameters: seed 1, latency
+// 10ms ± 5ms, no drops.
+func New(opts ...Option) *Network {
+	n := &Network{
+		rng:       rand.New(rand.NewSource(1)),
+		latBase:   10 * time.Millisecond,
+		latJitter: 5 * time.Millisecond,
+		endpoints: make(map[types.ServerID]transport.Endpoint),
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
+}
+
+// Register attaches an endpoint for the given server.
+func (n *Network) Register(id types.ServerID, ep transport.Endpoint) {
+	n.endpoints[id] = ep
+}
+
+// SetDrop changes the drop probability at runtime. Tests use it to run a
+// lossy phase followed by a healed phase.
+func (n *Network) SetDrop(p float64) { n.dropP = p }
+
+// SetPartition installs a link filter: when blocked(from, to) returns
+// true, payloads on that link are dropped (counted in Stats.Dropped).
+// Pass nil to heal all partitions. Partitions combined with later healing
+// exercise the "gossip some more" convergence of Lemma 3.7.
+func (n *Network) SetPartition(blocked func(from, to types.ServerID) bool) {
+	n.blocked = blocked
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// Stats returns a copy of the activity counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Transport returns the transport handle for a registered server.
+func (n *Network) Transport(id types.ServerID) transport.Transport {
+	return &handle{net: n, id: id}
+}
+
+// handle implements transport.Transport for one server.
+type handle struct {
+	net *Network
+	id  types.ServerID
+}
+
+var _ transport.Transport = (*handle)(nil)
+
+// Self implements transport.Transport.
+func (h *handle) Self() types.ServerID { return h.id }
+
+// Send implements transport.Transport: schedule delivery after the link
+// latency, unless dropped or partitioned.
+func (h *handle) Send(to types.ServerID, payload []byte) {
+	n := h.net
+	n.stats.Sends++
+	n.stats.Bytes += int64(len(payload))
+	if n.blocked != nil && n.blocked(h.id, to) {
+		n.stats.Dropped++
+		return
+	}
+	if n.dropP > 0 && n.rng.Float64() < n.dropP {
+		n.stats.Dropped++
+		return
+	}
+	delay := n.latBase
+	if n.latJitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.latJitter)))
+	}
+	from := h.id
+	// Copy at the boundary: the sender may reuse its buffer.
+	data := append([]byte(nil), payload...)
+	n.schedule(delay, func() {
+		ep, ok := n.endpoints[to]
+		if !ok {
+			n.stats.Dropped++
+			return
+		}
+		n.stats.Delivered++
+		ep.Deliver(from, data)
+	})
+}
+
+// After schedules fn to run at Now()+d. Nodes use it for protocol timers
+// (disseminate pacing, FWD retries).
+func (n *Network) After(d time.Duration, fn func()) {
+	n.schedule(d, fn)
+}
+
+func (n *Network) schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	n.seq++
+	heap.Push(&n.events, event{at: n.now + d, seq: n.seq, fn: fn})
+}
+
+// Step executes the next event, if any, advancing virtual time.
+func (n *Network) Step() bool {
+	if n.events.Len() == 0 {
+		return false
+	}
+	ev, ok := heap.Pop(&n.events).(event)
+	if !ok {
+		panic("simnet: heap contained non-event")
+	}
+	n.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty (quiescence). Protocols
+// that schedule unconditional periodic timers never quiesce; bound those
+// runs with RunFor.
+func (n *Network) Run() {
+	for n.Step() {
+	}
+}
+
+// RunFor executes events until virtual time exceeds d from now or the
+// queue empties. Events scheduled beyond the horizon stay queued.
+func (n *Network) RunFor(d time.Duration) {
+	deadline := n.now + d
+	for n.events.Len() > 0 && n.events[0].at <= deadline {
+		n.Step()
+	}
+	if n.now < deadline {
+		n.now = deadline
+	}
+}
+
+// RunUntil executes events until cond returns true or the queue empties.
+// It reports whether cond was met.
+func (n *Network) RunUntil(cond func() bool) bool {
+	for !cond() {
+		if !n.Step() {
+			return cond()
+		}
+	}
+	return true
+}
+
+// event is one scheduled callback; seq breaks ties deterministically.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(event)
+	if !ok {
+		panic(fmt.Sprintf("simnet: pushed %T onto event heap", x))
+	}
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,264 @@
+// Package tcpnet is a real TCP implementation of transport.Transport,
+// satisfying the paper's Assumption 1 (reliable delivery between correct
+// servers) through persistent per-peer queues, automatic reconnection with
+// backoff, and at-least-once retransmission. Duplicates that arise from
+// retransmission are harmless: the gossip layer deduplicates blocks by
+// reference and FWD requests are idempotent.
+//
+// Wire format: after connecting, a peer sends one identification frame
+// carrying its ServerID, then length-prefixed frames (package wire). The
+// transport does not authenticate peers — authenticity of every block is
+// established by its signature at the gossip layer, so a misattributed
+// transport link can at worst waste bandwidth.
+package tcpnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"blockdag/internal/transport"
+	"blockdag/internal/types"
+	"blockdag/internal/wire"
+)
+
+// Config parameterizes a TCP transport.
+type Config struct {
+	// Self is this server's identity. Required.
+	Self types.ServerID
+	// ListenAddr is the local address to accept peers on (e.g.
+	// "127.0.0.1:7001"). Required.
+	ListenAddr string
+	// Handler receives inbound payloads. Required.
+	Handler transport.Endpoint
+	// DialBackoff is the initial reconnect backoff (default 50ms,
+	// doubling to a 2s cap).
+	DialBackoff time.Duration
+	// QueueSize bounds each peer's outbound queue (default 4096);
+	// sends beyond it block, applying backpressure.
+	QueueSize int
+}
+
+// Transport is a running TCP transport. Peers are attached with Connect
+// after Listen, once their addresses are known.
+type Transport struct {
+	cfg      Config
+	listener net.Listener
+	ctx      context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+
+	mu    sync.Mutex
+	conns []net.Conn // accepted connections, closed on shutdown
+	peers map[types.ServerID]*peer
+}
+
+var _ transport.Transport = (*Transport)(nil)
+
+// peer is one outbound connection manager.
+type peer struct {
+	id    types.ServerID
+	addr  string
+	queue chan []byte
+}
+
+// Listen starts the transport: it binds the listen address and starts the
+// accept loop. Attach peers with Connect.
+func Listen(cfg Config) (*Transport, error) {
+	switch {
+	case cfg.ListenAddr == "":
+		return nil, errors.New("tcpnet: config needs a ListenAddr")
+	case cfg.Handler == nil:
+		return nil, errors.New("tcpnet: config needs a Handler")
+	}
+	if cfg.DialBackoff <= 0 {
+		cfg.DialBackoff = 50 * time.Millisecond
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 4096
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", cfg.ListenAddr, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t := &Transport{
+		cfg:      cfg,
+		listener: ln,
+		ctx:      ctx,
+		cancel:   cancel,
+		peers:    make(map[types.ServerID]*peer),
+	}
+	t.wg.Add(1)
+	go t.runAcceptLoop()
+	return t, nil
+}
+
+// Connect attaches a peer's address and starts its sender goroutine.
+// Calling Connect twice for the same peer is an error.
+func (t *Transport) Connect(id types.ServerID, addr string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.peers[id]; dup {
+		return fmt.Errorf("tcpnet: peer %v already connected", id)
+	}
+	p := &peer{id: id, addr: addr, queue: make(chan []byte, t.cfg.QueueSize)}
+	t.peers[id] = p
+	t.wg.Add(1)
+	go t.runSender(p)
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (t *Transport) Addr() string { return t.listener.Addr().String() }
+
+// Self implements transport.Transport.
+func (t *Transport) Self() types.ServerID { return t.cfg.Self }
+
+// Send implements transport.Transport: enqueue for the peer's sender
+// goroutine. Unknown destinations are dropped (they cannot be correct
+// servers: the peer table covers the roster).
+func (t *Transport) Send(to types.ServerID, payload []byte) {
+	t.mu.Lock()
+	p, ok := t.peers[to]
+	t.mu.Unlock()
+	if !ok {
+		return
+	}
+	data := append([]byte(nil), payload...)
+	select {
+	case p.queue <- data:
+	case <-t.ctx.Done():
+	}
+}
+
+// Close shuts down the transport and waits for all goroutines.
+func (t *Transport) Close() error {
+	t.cancel()
+	err := t.listener.Close()
+	t.mu.Lock()
+	for _, c := range t.conns {
+		_ = c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return err
+}
+
+// runAcceptLoop accepts inbound connections and spawns readers.
+func (t *Transport) runAcceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			// Listener closed during shutdown, or a transient
+			// accept failure; either way, stop on shutdown.
+			select {
+			case <-t.ctx.Done():
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		t.track(conn)
+		t.wg.Add(1)
+		go t.runReader(conn)
+	}
+}
+
+func (t *Transport) track(conn net.Conn) {
+	t.mu.Lock()
+	t.conns = append(t.conns, conn)
+	t.mu.Unlock()
+}
+
+// runReader consumes frames from one inbound connection: first the peer
+// identification frame, then payloads.
+func (t *Transport) runReader(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() { _ = conn.Close() }()
+
+	idFrame, err := wire.ReadFrame(conn)
+	if err != nil || len(idFrame) != 2 {
+		return
+	}
+	r := wire.NewReader(idFrame)
+	from := types.ServerID(r.Uint16())
+	if r.Close() != nil {
+		return
+	}
+	for {
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		select {
+		case <-t.ctx.Done():
+			return
+		default:
+		}
+		t.cfg.Handler.Deliver(from, payload)
+	}
+}
+
+// runSender owns one peer's outbound connection: dial with backoff,
+// identify, then drain the queue. A payload is only dequeued after a
+// successful write; on write failure it is retransmitted on the next
+// connection (at-least-once).
+func (t *Transport) runSender(p *peer) {
+	defer t.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			_ = conn.Close()
+		}
+	}()
+	backoff := t.cfg.DialBackoff
+	const maxBackoff = 2 * time.Second
+
+	var pending []byte // payload awaiting a successful write
+	for {
+		if pending == nil {
+			select {
+			case <-t.ctx.Done():
+				return
+			case pending = <-p.queue:
+			}
+		}
+		if conn == nil {
+			c, err := net.Dial("tcp", p.addr)
+			if err != nil {
+				select {
+				case <-t.ctx.Done():
+					return
+				case <-time.After(backoff):
+				}
+				if backoff *= 2; backoff > maxBackoff {
+					backoff = maxBackoff
+				}
+				continue
+			}
+			// Identify ourselves on the fresh connection.
+			w := wire.NewWriter(2)
+			w.Uint16(uint16(t.cfg.Self))
+			if err := wire.WriteFrame(c, w.Bytes()); err != nil {
+				_ = c.Close()
+				continue
+			}
+			conn = c
+			backoff = t.cfg.DialBackoff
+		}
+		if err := wire.WriteFrame(conn, pending); err != nil {
+			_ = conn.Close()
+			conn = nil
+			continue // retransmit pending on the next connection
+		}
+		pending = nil
+	}
+}

@@ -1,0 +1,220 @@
+package tcpnet
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"blockdag/internal/types"
+)
+
+// sink records deliveries thread-safely.
+type sink struct {
+	mu  sync.Mutex
+	got []struct {
+		from    types.ServerID
+		payload string
+	}
+}
+
+func (s *sink) Deliver(from types.ServerID, payload []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.got = append(s.got, struct {
+		from    types.ServerID
+		payload string
+	}{from, string(payload)})
+}
+
+func (s *sink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.got)
+}
+
+func (s *sink) first() (types.ServerID, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.got) == 0 {
+		return types.NilServer, ""
+	}
+	return s.got[0].from, s.got[0].payload
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not met before timeout")
+}
+
+func TestSendReceive(t *testing.T) {
+	sa, sb := &sink{}, &sink{}
+	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: sa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ta.Close() }()
+	tb, err := Listen(Config{Self: 1, ListenAddr: "127.0.0.1:0", Handler: sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tb.Close() }()
+	if err := ta.Connect(1, tb.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Connect(0, ta.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	ta.Send(1, []byte("hello"))
+	waitFor(t, 2*time.Second, func() bool { return sb.count() == 1 })
+	from, payload := sb.first()
+	if from != 0 || payload != "hello" {
+		t.Fatalf("got (%v, %q)", from, payload)
+	}
+
+	tb.Send(0, []byte("world"))
+	waitFor(t, 2*time.Second, func() bool { return sa.count() == 1 })
+	from, payload = sa.first()
+	if from != 1 || payload != "world" {
+		t.Fatalf("got (%v, %q)", from, payload)
+	}
+}
+
+// TestRetransmitAcrossReconnect: sends queued before the peer exists are
+// delivered once the peer comes up (Assumption 1 with a late receiver).
+func TestRetransmitAcrossReconnect(t *testing.T) {
+	sa := &sink{}
+	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: sa, DialBackoff: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ta.Close() }()
+
+	// Reserve an address by listening and closing, then point the
+	// sender at it while nothing is there.
+	probe, err := Listen(Config{Self: 9, ListenAddr: "127.0.0.1:0", Handler: &sink{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr()
+	if err := probe.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ta.Connect(1, addr); err != nil {
+		t.Fatal(err)
+	}
+	ta.Send(1, []byte("early"))
+	time.Sleep(20 * time.Millisecond) // let a few dials fail
+
+	sb := &sink{}
+	tb, err := Listen(Config{Self: 1, ListenAddr: addr, Handler: sb})
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer func() { _ = tb.Close() }()
+
+	waitFor(t, 5*time.Second, func() bool { return sb.count() >= 1 })
+	if _, payload := sb.first(); payload != "early" {
+		t.Fatalf("payload = %q", payload)
+	}
+}
+
+func TestLargeFrames(t *testing.T) {
+	sb := &sink{}
+	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: &sink{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ta.Close() }()
+	tb, err := Listen(Config{Self: 1, ListenAddr: "127.0.0.1:0", Handler: sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tb.Close() }()
+	if err := ta.Connect(1, tb.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("x"), 1<<20)
+	ta.Send(1, big)
+	waitFor(t, 5*time.Second, func() bool { return sb.count() == 1 })
+	if _, payload := sb.first(); len(payload) != len(big) {
+		t.Fatalf("payload length = %d", len(payload))
+	}
+}
+
+func TestOrderingPerPeer(t *testing.T) {
+	sb := &sink{}
+	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: &sink{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ta.Close() }()
+	tb, err := Listen(Config{Self: 1, ListenAddr: "127.0.0.1:0", Handler: sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tb.Close() }()
+	if err := ta.Connect(1, tb.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	const msgs = 100
+	for i := 0; i < msgs; i++ {
+		ta.Send(1, []byte{byte(i)})
+	}
+	waitFor(t, 5*time.Second, func() bool { return sb.count() == msgs })
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	for i, rec := range sb.got {
+		if rec.payload[0] != byte(i) {
+			t.Fatalf("message %d out of order", i)
+		}
+	}
+}
+
+func TestCloseIsIdempotentAndClean(t *testing.T) {
+	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: &sink{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Connect(1, "127.0.0.1:1"); err != nil { // nothing there
+		t.Fatal(err)
+	}
+	ta.Send(1, []byte("doomed"))
+	if err := ta.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Sends after close must not block or panic.
+	ta.Send(1, []byte("after close"))
+}
+
+func TestConnectTwiceRejected(t *testing.T) {
+	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: &sink{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ta.Close() }()
+	if err := ta.Connect(1, "127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Connect(1, "127.0.0.1:2"); err == nil {
+		t.Fatal("duplicate Connect accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Listen(Config{Self: 0, Handler: &sink{}}); err == nil {
+		t.Fatal("missing ListenAddr accepted")
+	}
+	if _, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0"}); err == nil {
+		t.Fatal("missing Handler accepted")
+	}
+}

@@ -1,0 +1,175 @@
+// Package trace renders and persists block DAGs.
+//
+// It regenerates the paper's figures from live data: DOT output draws one
+// horizontal lane per server with blocks ordered by sequence number
+// (Figures 2–4), optionally annotated with the message buffers Ms[in/out]
+// that interpretation materialized at each block (Figure 4). It also
+// provides a length-prefixed dump format so a DAG can be written to disk
+// and re-interpreted offline — the decoupling of building and
+// interpretation the paper emphasizes.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"blockdag/internal/block"
+	"blockdag/internal/crypto"
+	"blockdag/internal/dag"
+	"blockdag/internal/interpret"
+	"blockdag/internal/protocol"
+	"blockdag/internal/types"
+	"blockdag/internal/wire"
+)
+
+// Annotator supplies per-block annotation lines for DOT rendering; the
+// interpreter-backed annotator below shows message buffers.
+type Annotator func(b *block.Block) []string
+
+// BufferAnnotator annotates each block with its materialized in/out
+// message buffers for one protocol instance, reproducing the Figure 4
+// presentation.
+func BufferAnnotator(it *interpret.Interpreter, label types.Label) Annotator {
+	return func(b *block.Block) []string {
+		var lines []string
+		if in := it.InMessages(b.Ref(), label); len(in) > 0 {
+			lines = append(lines, "in: "+summarize(in, true))
+		}
+		if out := it.OutMessages(b.Ref(), label); len(out) > 0 {
+			lines = append(lines, "out: "+summarize(out, false))
+		}
+		return lines
+	}
+}
+
+// summarize compresses a message list into "k msgs from {s1,s2}" /
+// "k msgs to {s1,s2,s3}" form.
+func summarize(msgs []protocol.Message, incoming bool) string {
+	seen := make(map[types.ServerID]struct{})
+	for _, m := range msgs {
+		if incoming {
+			seen[m.Sender] = struct{}{}
+		} else {
+			seen[m.Receiver] = struct{}{}
+		}
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("s%d", id)
+	}
+	dir := "to"
+	if incoming {
+		dir = "from"
+	}
+	return fmt.Sprintf("%d msgs %s {%s}", len(msgs), dir, strings.Join(parts, ","))
+}
+
+// DOT renders the DAG in Graphviz format: one subgraph lane per server,
+// blocks labeled "s<i>/k<seq>", edges following the preds relation, and
+// optional annotations. A nil annotator renders structure only.
+func DOT(d *dag.DAG, annotate Annotator) string {
+	var sb strings.Builder
+	sb.WriteString("digraph blockdag {\n")
+	sb.WriteString("  rankdir=LR;\n")
+	sb.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+
+	byBuilder := make(map[types.ServerID][]*block.Block)
+	for _, b := range d.Blocks() {
+		byBuilder[b.Builder] = append(byBuilder[b.Builder], b)
+	}
+	builders := make([]int, 0, len(byBuilder))
+	for id := range byBuilder {
+		builders = append(builders, int(id))
+	}
+	sort.Ints(builders)
+
+	for _, id := range builders {
+		fmt.Fprintf(&sb, "  subgraph cluster_s%d {\n", id)
+		fmt.Fprintf(&sb, "    label=\"s%d\";\n", id)
+		for _, b := range byBuilder[types.ServerID(id)] {
+			label := fmt.Sprintf("s%d/k%d\\n%s", b.Builder, b.Seq, b.Ref())
+			for _, rq := range b.Requests {
+				label += fmt.Sprintf("\\nrs: (%s, %d bytes)", rq.Label, len(rq.Data))
+			}
+			if annotate != nil {
+				for _, line := range annotate(b) {
+					label += "\\n" + line
+				}
+			}
+			fmt.Fprintf(&sb, "    %q [label=\"%s\"];\n", b.Ref().String(), label)
+		}
+		sb.WriteString("  }\n")
+	}
+	for _, b := range d.Blocks() {
+		for _, p := range b.Preds {
+			fmt.Fprintf(&sb, "  %q -> %q;\n", p.String(), b.Ref().String())
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// ASCII renders a compact textual view: one line per block in insertion
+// order, with chain position, predecessor refs, and requests.
+func ASCII(d *dag.DAG) string {
+	var sb strings.Builder
+	for i, b := range d.Blocks() {
+		preds := make([]string, len(b.Preds))
+		for j, p := range b.Preds {
+			preds[j] = p.String()
+		}
+		fmt.Fprintf(&sb, "%3d  %s  s%d/k%-3d preds=[%s]",
+			i, b.Ref(), b.Builder, b.Seq, strings.Join(preds, " "))
+		for _, rq := range b.Requests {
+			fmt.Fprintf(&sb, " rs=(%s,%dB)", rq.Label, len(rq.Data))
+		}
+		sb.WriteByte('\n')
+	}
+	if eqs := d.Equivocations(); len(eqs) > 0 {
+		for _, e := range eqs {
+			fmt.Fprintf(&sb, "EQUIVOCATION s%d at k%d: %s vs %s\n",
+				e.Builder, e.Seq, e.Refs[0], e.Refs[1])
+		}
+	}
+	return sb.String()
+}
+
+// WriteDAG persists all blocks of the DAG in insertion order as
+// length-prefixed frames.
+func WriteDAG(w io.Writer, d *dag.DAG) error {
+	for _, b := range d.Blocks() {
+		if err := wire.WriteFrame(w, b.Encode()); err != nil {
+			return fmt.Errorf("trace: write block %v: %w", b.Ref(), err)
+		}
+	}
+	return nil
+}
+
+// ReadDAG loads a dump written by WriteDAG, revalidating every block
+// against the roster (Definition 3.3 holds again after the round trip).
+func ReadDAG(r io.Reader, roster *crypto.Roster) (*dag.DAG, error) {
+	d := dag.New(roster)
+	for {
+		frame, err := wire.ReadFrame(r)
+		if err == io.EOF {
+			return d, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read dump: %w", err)
+		}
+		b, err := block.Decode(frame)
+		if err != nil {
+			return nil, fmt.Errorf("trace: decode block: %w", err)
+		}
+		if err := d.Insert(b); err != nil {
+			return nil, fmt.Errorf("trace: insert block %v: %w", b.Ref(), err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"blockdag/internal/block"
+	"blockdag/internal/dagtest"
+	"blockdag/internal/interpret"
+	"blockdag/internal/protocols/brb"
+)
+
+func figure4Harness(t *testing.T) (*dagtest.Harness, *interpret.Interpreter) {
+	t.Helper()
+	h := dagtest.NewHarness(4)
+	it := interpret.New(brb.Protocol{}, 4, 1, nil)
+	h.Round(map[int][]block.Request{0: {{Label: "ℓ1", Data: []byte("42")}}})
+	for r := 0; r < 3; r++ {
+		h.Round(nil)
+	}
+	if err := it.InterpretDAG(h.DAG); err != nil {
+		t.Fatal(err)
+	}
+	return h, it
+}
+
+func TestDOTStructure(t *testing.T) {
+	h, _ := figure4Harness(t)
+	dot := DOT(h.DAG, nil)
+	if !strings.HasPrefix(dot, "digraph blockdag {") {
+		t.Fatal("missing digraph header")
+	}
+	for _, want := range []string{"cluster_s0", "cluster_s3", "s0/k0", "s3/k3", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q", want)
+		}
+	}
+	// 16 blocks: every ref appears as a node.
+	if got := strings.Count(dot, "[label=\"s"); got != 16 {
+		t.Fatalf("DOT has %d block nodes, want 16", got)
+	}
+}
+
+func TestDOTWithBufferAnnotations(t *testing.T) {
+	h, it := figure4Harness(t)
+	dot := DOT(h.DAG, BufferAnnotator(it, "ℓ1"))
+	// The request block fans ECHO out to all four servers.
+	if !strings.Contains(dot, "out: 4 msgs to {s0,s1,s2,s3}") {
+		t.Fatalf("annotation for the broadcast block missing:\n%s", dot)
+	}
+	// First responders saw the echo from s0 only.
+	if !strings.Contains(dot, "in: 1 msgs from {s0}") {
+		t.Fatal("first-responder annotation missing")
+	}
+	// Quorum blocks collected echoes from s1,s2,s3.
+	if !strings.Contains(dot, "in: 3 msgs from {s1,s2,s3}") {
+		t.Fatal("quorum annotation missing")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	h, _ := figure4Harness(t)
+	out := ASCII(h.DAG)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 16 {
+		t.Fatalf("ASCII has %d lines, want 16", len(lines))
+	}
+	if !strings.Contains(out, "rs=(ℓ1,2B)") {
+		t.Fatal("request annotation missing")
+	}
+}
+
+func TestASCIIShowsEquivocation(t *testing.T) {
+	h := dagtest.NewHarness(2)
+	h.Genesis(0)
+	forkA := h.Seal(0, 1, []block.Ref{h.Tip(0)})
+	forkB := h.Seal(0, 1, []block.Ref{h.Tip(0)}, block.Request{Label: "x"})
+	h.Insert(forkA)
+	h.Insert(forkB)
+	out := ASCII(h.DAG)
+	if !strings.Contains(out, "EQUIVOCATION s0 at k1") {
+		t.Fatalf("equivocation not rendered:\n%s", out)
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	h, _ := figure4Harness(t)
+	var buf bytes.Buffer
+	if err := WriteDAG(&buf, h.DAG); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadDAG(&buf, h.Roster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != h.DAG.Len() {
+		t.Fatalf("loaded %d blocks, want %d", loaded.Len(), h.DAG.Len())
+	}
+	if !h.DAG.Leq(loaded) || !loaded.Leq(h.DAG) {
+		t.Fatal("round-tripped DAG differs")
+	}
+	// The reloaded DAG interprets identically.
+	it := interpret.New(brb.Protocol{}, 4, 1, nil)
+	if err := it.InterpretDAG(loaded); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadDAGRejectsCorruption(t *testing.T) {
+	h, _ := figure4Harness(t)
+	var buf bytes.Buffer
+	if err := WriteDAG(&buf, h.DAG); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-3] ^= 0xff // corrupt inside the last block
+	if _, err := ReadDAG(bytes.NewReader(data), h.Roster); err == nil {
+		t.Fatal("corrupted dump accepted")
+	}
+}
+
+func TestReadDAGEmpty(t *testing.T) {
+	h := dagtest.NewHarness(1)
+	d, err := ReadDAG(bytes.NewReader(nil), h.Roster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatal("empty dump produced blocks")
+	}
+}

@@ -1,0 +1,64 @@
+// Package transport defines the narrow interface between the block DAG
+// protocol stack and the network. The only assumption the framework makes
+// of it is the paper's Assumption 1 (reliable delivery): a payload sent
+// between two correct servers eventually arrives. Ordering, duplication,
+// and timing are unconstrained.
+//
+// Two implementations ship with the repository: package simnet, a
+// deterministic discrete-event simulator used by tests, benchmarks and
+// experiments, and package tcpnet, a real TCP transport used by the node
+// runtime.
+package transport
+
+import (
+	"sync"
+
+	"blockdag/internal/types"
+)
+
+// Endpoint consumes payloads delivered from the network. Implementations
+// are driven by a single goroutine (or the simulator loop) at a time.
+type Endpoint interface {
+	// Deliver hands one payload received from the given server to the
+	// protocol stack. The callee must not retain the slice.
+	Deliver(from types.ServerID, payload []byte)
+}
+
+// Transport sends payloads on behalf of one server.
+type Transport interface {
+	// Self returns the server this transport sends as.
+	Self() types.ServerID
+	// Send transmits payload to the given server, best effort with
+	// eventual delivery between correct servers (Assumption 1). Send
+	// must not block on the receiver; implementations queue internally.
+	Send(to types.ServerID, payload []byte)
+}
+
+// LateBound is an Endpoint whose target is attached after construction,
+// breaking the wiring cycle transport → server → runtime → handler when a
+// transport must be listening before the consumer exists. Deliveries
+// before Bind are dropped; with gossip that is harmless (lost blocks are
+// re-fetched via FWD once referenced).
+type LateBound struct {
+	mu sync.RWMutex
+	ep Endpoint
+}
+
+var _ Endpoint = (*LateBound)(nil)
+
+// Bind attaches the target endpoint.
+func (l *LateBound) Bind(ep Endpoint) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ep = ep
+}
+
+// Deliver implements Endpoint, forwarding to the bound target.
+func (l *LateBound) Deliver(from types.ServerID, payload []byte) {
+	l.mu.RLock()
+	ep := l.ep
+	l.mu.RUnlock()
+	if ep != nil {
+		ep.Deliver(from, payload)
+	}
+}

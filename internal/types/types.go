@@ -1,0 +1,29 @@
+// Package types defines the small set of identifiers shared by every layer
+// of the block DAG framework: server identities and protocol-instance
+// labels. It has no dependencies so that every other package can import it
+// without cycles.
+package types
+
+import "strconv"
+
+// ServerID identifies a server in the fixed set Srvrs (paper Section 2,
+// System Model). IDs are dense indices into a crypto.Roster: 0 <= id < N.
+type ServerID uint16
+
+// NilServer is a sentinel meaning "no server". It is never a valid roster
+// index.
+const NilServer ServerID = 0xffff
+
+// String returns the conventional rendering "s<i>" used throughout the
+// paper (s1, s2, ...), zero-based here.
+func (s ServerID) String() string {
+	if s == NilServer {
+		return "s?"
+	}
+	return "s" + strconv.Itoa(int(s))
+}
+
+// Label names one protocol instance ℓ ∈ L (paper Section 1). Labels are
+// opaque strings chosen by the user of shim(P); distinct labels denote
+// fully independent instances of the embedded protocol P.
+type Label string

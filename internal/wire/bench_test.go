@@ -1,0 +1,49 @@
+package wire
+
+import "testing"
+
+func BenchmarkWriterTypical(b *testing.B) {
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(300)
+		w.Uint16(3)
+		w.Uint64(uint64(i))
+		w.Uvarint(4)
+		var ref [32]byte
+		for j := 0; j < 4; j++ {
+			w.Bytes32(ref)
+		}
+		w.VarBytes(payload)
+		_ = w.Bytes()
+	}
+}
+
+func BenchmarkReaderTypical(b *testing.B) {
+	payload := make([]byte, 256)
+	w := NewWriter(300)
+	w.Uint16(3)
+	w.Uint64(9)
+	w.Uvarint(4)
+	var ref [32]byte
+	for j := 0; j < 4; j++ {
+		w.Bytes32(ref)
+	}
+	w.VarBytes(payload)
+	enc := w.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(enc)
+		r.Uint16()
+		r.Uint64()
+		n := int(r.Uvarint())
+		for j := 0; j < n; j++ {
+			r.Bytes32()
+		}
+		r.VarBytes()
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

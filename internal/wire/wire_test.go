@@ -1,0 +1,207 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	w := NewWriter(0)
+	w.Byte(0xab)
+	w.Bool(true)
+	w.Bool(false)
+	w.Uint16(0xbeef)
+	w.Uint32(0xdeadbeef)
+	w.Uint64(0x0123456789abcdef)
+	w.Uvarint(300)
+	w.String("hello")
+	w.VarBytes([]byte{1, 2, 3})
+	var fixed [32]byte
+	fixed[0], fixed[31] = 0x11, 0x99
+	w.Bytes32(fixed)
+
+	r := NewReader(w.Bytes())
+	if got := r.Byte(); got != 0xab {
+		t.Errorf("Byte = %#x, want 0xab", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Errorf("Bool round trip failed")
+	}
+	if got := r.Uint16(); got != 0xbeef {
+		t.Errorf("Uint16 = %#x", got)
+	}
+	if got := r.Uint32(); got != 0xdeadbeef {
+		t.Errorf("Uint32 = %#x", got)
+	}
+	if got := r.Uint64(); got != 0x0123456789abcdef {
+		t.Errorf("Uint64 = %#x", got)
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.VarBytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("VarBytes = %v", got)
+	}
+	if got := r.Bytes32(); got != fixed {
+		t.Errorf("Bytes32 = %v", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(a uint64, b uint16, s string, p []byte) bool {
+		w := NewWriter(0)
+		w.Uint64(a)
+		w.Uint16(b)
+		w.String(s)
+		w.VarBytes(p)
+		r := NewReader(w.Bytes())
+		ga, gb, gs, gp := r.Uint64(), r.Uint16(), r.String(), r.VarBytes()
+		if err := r.Close(); err != nil {
+			return false
+		}
+		return ga == a && gb == b && gs == s && bytes.Equal(gp, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodingIsDeterministic(t *testing.T) {
+	enc := func() []byte {
+		w := NewWriter(0)
+		w.Uint64(42)
+		w.String("label")
+		w.VarBytes([]byte("payload"))
+		return append([]byte(nil), w.Bytes()...)
+	}
+	if !bytes.Equal(enc(), enc()) {
+		t.Fatal("two encodings of the same value differ")
+	}
+}
+
+func TestTruncatedInput(t *testing.T) {
+	w := NewWriter(0)
+	w.Uint64(7)
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.Uint64()
+		if err := r.Close(); !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut=%d: Close = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r := NewReader([]byte{1})
+	r.Uint64() // fails: truncated
+	if got := r.Byte(); got != 0 {
+		t.Errorf("Byte after error = %v, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Errorf("Err = %v, want ErrTruncated", r.Err())
+	}
+}
+
+func TestTrailingBytes(t *testing.T) {
+	r := NewReader([]byte{0, 0})
+	r.Byte()
+	if err := r.Close(); !errors.Is(err, ErrTrailing) {
+		t.Errorf("Close = %v, want ErrTrailing", err)
+	}
+}
+
+func TestNonCanonicalBool(t *testing.T) {
+	r := NewReader([]byte{2})
+	r.Bool()
+	if r.Err() == nil {
+		t.Fatal("decoding bool byte 2 succeeded, want error")
+	}
+}
+
+func TestVarBytesHostileLength(t *testing.T) {
+	w := NewWriter(0)
+	w.Uvarint(1 << 40) // absurd length, no data
+	r := NewReader(w.Bytes())
+	r.VarBytes()
+	if !errors.Is(r.Err(), ErrTooLarge) {
+		t.Errorf("Err = %v, want ErrTooLarge", r.Err())
+	}
+}
+
+func TestCountHostileLength(t *testing.T) {
+	w := NewWriter(0)
+	w.Uvarint(1000)
+	r := NewReader(w.Bytes())
+	r.Count(1 << 30) // limit generous, but only 0 bytes remain
+	if !errors.Is(r.Err(), ErrTooLarge) {
+		t.Errorf("Err = %v, want ErrTooLarge", r.Err())
+	}
+}
+
+func TestCountWithinLimit(t *testing.T) {
+	w := NewWriter(0)
+	w.Uvarint(3)
+	w.Byte(1)
+	w.Byte(2)
+	w.Byte(3)
+	r := NewReader(w.Bytes())
+	if n := r.Count(10); n != 3 {
+		t.Errorf("Count = %d, want 3", n)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("ab"), 1000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame %d = %v, want %v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("ReadFrame at end = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("ReadFrame = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestNilVarBytesRoundTrip(t *testing.T) {
+	w := NewWriter(0)
+	w.VarBytes(nil)
+	w.VarBytes([]byte{})
+	r := NewReader(w.Bytes())
+	if got := r.VarBytes(); got != nil {
+		t.Errorf("nil VarBytes decoded to %v", got)
+	}
+	if got := r.VarBytes(); got != nil {
+		t.Errorf("empty VarBytes decoded to %v", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
