@@ -44,6 +44,7 @@ func run() error {
 		drop      = flag.Float64("drop", 0, "unicast drop probability [0,1)")
 		seed      = flag.Int64("seed", 1, "simulation seed (runs are reproducible)")
 		dump      = flag.String("dump", "", "write server 0's DAG to this file")
+		storeDir  = flag.String("store-dir", "", "journal every server's blocks to a durable store under this directory (inspect with dagstore)")
 		verbose   = flag.Bool("v", false, "print per-server metrics")
 	)
 	flag.Parse()
@@ -62,6 +63,7 @@ func run() error {
 		Drop:        *drop,
 		SigCounters: &sigs,
 		MaxBatch:    *instances + 1,
+		StoreDir:    *storeDir,
 	})
 	if err != nil {
 		return err
@@ -147,6 +149,27 @@ func run() error {
 	}
 	if eqs := c.Servers[c.CorrectServers()[0]].DAG().Equivocations(); len(eqs) > 0 {
 		fmt.Printf("equivocations          %d\n", len(eqs))
+	}
+
+	if *storeDir != "" {
+		var total int64
+		var blocks int
+		for _, st := range c.Stores {
+			if st == nil {
+				continue
+			}
+			if err := st.Sync(); err != nil {
+				return err
+			}
+			size, err := st.DiskSize()
+			if err != nil {
+				return err
+			}
+			total += size
+			blocks += st.Len()
+		}
+		fmt.Printf("\ndurable stores         %d blocks, %d bytes under %s (dagstore inspect -n %d -dir %s/s0)\n",
+			blocks, total, *storeDir, *n, *storeDir)
 	}
 
 	if *dump != "" {

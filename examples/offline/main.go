@@ -2,12 +2,14 @@
 // block DAG is built online by gossip, but interpreting it is a pure
 // function of the DAG — it can happen later, elsewhere, or repeatedly.
 //
-// The program runs a live cluster, persists one server's DAG to disk,
-// reloads it in a fresh process context (new roster object, new
-// interpreter, no network), re-interprets it, and verifies that the
-// offline replay reaches exactly the online conclusions — including the
-// indications of *other* servers' simulated instances, which an auditor
-// could use to check what any server must have delivered.
+// The program runs a live cluster, journals one server's DAG into a
+// durable block store (the same WAL-plus-checkpoint store a production
+// server recovers from), compacts it, reopens it in a fresh process
+// context (new roster object, new interpreter, no network), re-interprets
+// it, and verifies that the offline replay reaches exactly the online
+// conclusions — including the indications of *other* servers' simulated
+// instances, which an auditor could use to check what any server must
+// have delivered.
 package main
 
 import (
@@ -19,7 +21,7 @@ import (
 	"blockdag/internal/core"
 	"blockdag/internal/crypto"
 	"blockdag/internal/protocols/brb"
-	"blockdag/internal/trace"
+	"blockdag/internal/store"
 	"blockdag/internal/types"
 )
 
@@ -54,42 +56,53 @@ func run() error {
 	}
 	fmt.Println("online run complete; every server delivered x and y")
 
-	// Phase 2: persist s1's DAG.
-	path := filepath.Join(os.TempDir(), "blockdag-offline-example.bin")
-	f, err := os.Create(path)
+	// Phase 2: journal s1's DAG into a durable block store and compact
+	// it — the same store a crashed server restores from, here used as
+	// the persistence/audit format.
+	dir, err := os.MkdirTemp("", "blockdag-offline-example")
 	if err != nil {
 		return err
 	}
+	defer func() { _ = os.RemoveAll(dir) }()
 	d := c.Servers[1].DAG()
-	if err := trace.WriteDAG(f, d); err != nil {
-		_ = f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	info, err := os.Stat(path)
+	st, err := store.Open(filepath.Join(dir, "s1"), store.Options{Roster: c.Roster})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("persisted s1's DAG: %d blocks, %d bytes -> %s\n", d.Len(), info.Size(), path)
+	for _, b := range d.Blocks() {
+		if err := st.Append(b); err != nil {
+			_ = st.Close()
+			return err
+		}
+	}
+	stats, err := st.Checkpoint(d)
+	if err != nil {
+		_ = st.Close()
+		return err
+	}
+	if err := st.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("persisted s1's DAG: %d blocks; compaction %d -> %d bytes (%.0f%% of the WAL)\n",
+		d.Len(), stats.BytesBefore, stats.BytesAfter,
+		100*float64(stats.BytesAfter)/float64(stats.BytesBefore))
 
 	// Phase 3: reload and re-interpret offline. Only the roster (public
-	// keys) is needed — no signing keys, no network.
+	// keys) is needed — no signing keys, no network. Open revalidates
+	// every block (Definition 3.3, signatures included).
 	roster, _, err := crypto.LocalRoster(4)
 	if err != nil {
 		return err
 	}
-	g, err := os.Open(path)
+	loadedStore, err := store.Open(filepath.Join(dir, "s1"), store.Options{Roster: roster})
 	if err != nil {
 		return err
 	}
-	defer func() { _ = g.Close() }()
-	loaded, err := trace.ReadDAG(g, roster)
-	if err != nil {
+	loaded := loadedStore.Blocks()
+	if err := loadedStore.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("reloaded and revalidated %d blocks (every signature re-checked)\n", loaded.Len())
+	fmt.Printf("reloaded and revalidated %d blocks (every signature re-checked)\n", len(loaded))
 
 	type delivery struct {
 		server types.ServerID
@@ -104,7 +117,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	for _, b := range loaded.Blocks() {
+	for _, b := range loaded {
 		if err := fresh.Insert(b); err != nil {
 			return err
 		}

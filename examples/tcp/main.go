@@ -2,11 +2,18 @@
 // machine: four servers, each with its own TCP transport on loopback, a
 // concurrent node runtime, and shim(BRB) — no simulator anywhere. This is
 // the wiring a real multi-host deployment uses, minus the hosts.
+//
+// With -store-dir each server additionally journals every inserted block
+// to a durable store under <dir>/s<i> (fsync policy -fsync), and restores
+// from it on startup — run the command twice with the same directory and
+// the second run resumes every server's chain.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -14,6 +21,7 @@ import (
 	"blockdag/internal/crypto"
 	"blockdag/internal/node"
 	"blockdag/internal/protocols/brb"
+	"blockdag/internal/store"
 	"blockdag/internal/tcpnet"
 	"blockdag/internal/transport"
 	"blockdag/internal/types"
@@ -27,8 +35,18 @@ func main() {
 }
 
 func run() error {
+	var (
+		storeDir  = flag.String("store-dir", "", "journal each server's blocks under this directory and restore on startup")
+		fsyncMode = flag.String("fsync", "interval", "store fsync policy: always | interval | never")
+	)
+	flag.Parse()
+
 	const n = 4
 	roster, signers, err := crypto.LocalRoster(n)
+	if err != nil {
+		return err
+	}
+	syncPolicy, err := store.ParseSyncPolicy(*fsyncMode)
 	if err != nil {
 		return err
 	}
@@ -86,10 +104,26 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		nd, err := node.New(node.Config{
+		cfg := node.Config{
 			Server:           srv,
 			DisseminateEvery: 20 * time.Millisecond,
-		})
+		}
+		if *storeDir != "" {
+			st, err := store.Open(filepath.Join(*storeDir, fmt.Sprintf("s%d", i)), store.Options{
+				Roster: roster,
+				Sync:   syncPolicy,
+			})
+			if err != nil {
+				return err
+			}
+			defer func() { _ = st.Close() }()
+			if rep := st.Report(); rep.Blocks > 0 || rep.TornBytes > 0 {
+				fmt.Printf("s%d store: recovered %d blocks (torn tail: %d bytes)\n",
+					i, rep.Blocks, rep.TornBytes)
+			}
+			cfg.Store = st
+		}
+		nd, err := node.New(cfg)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,3 @@
+module blockdag
+
+go 1.24

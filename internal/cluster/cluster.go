@@ -12,6 +12,7 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"blockdag/internal/block"
@@ -21,6 +22,7 @@ import (
 	"blockdag/internal/metrics"
 	"blockdag/internal/protocol"
 	"blockdag/internal/simnet"
+	"blockdag/internal/store"
 	"blockdag/internal/types"
 )
 
@@ -64,6 +66,18 @@ type Options struct {
 	RetireInstances bool
 	// DisableInBufferRecording trades inspectability for memory.
 	DisableInBufferRecording bool
+
+	// StoreDir, if non-empty, gives every correct server a durable block
+	// store under StoreDir/s<i>: each inserted block is journaled before
+	// interpretation, and servers with pre-existing store contents
+	// restore from them on construction. Stores run with SyncNever
+	// (the simulation models power cuts by truncation, not by fsync) and
+	// the simulated clock.
+	StoreDir string
+	// StoreSegmentSize overrides the WAL rotation threshold
+	// (0 = store default). Tests use small segments to exercise
+	// rotation and compaction.
+	StoreSegmentSize int64
 }
 
 // Cluster is a running simulation.
@@ -76,7 +90,12 @@ type Cluster struct {
 	// Metrics holds each correct server's counters (nil for byzantine
 	// slots).
 	Metrics []*metrics.Metrics
+	// Stores holds each correct server's durable block store when
+	// Options.StoreDir was set (nil otherwise, and for byzantine and
+	// crashed slots).
+	Stores []*store.Store
 
+	opts     Options
 	interval time.Duration
 	inds     [][]Indication
 }
@@ -122,6 +141,8 @@ func New(opts Options) (*Cluster, error) {
 		Signers:  signers,
 		Servers:  make([]*core.Server, opts.N),
 		Metrics:  make([]*metrics.Metrics, opts.N),
+		Stores:   make([]*store.Store, opts.N),
+		opts:     opts,
 		interval: opts.Interval,
 		inds:     make([][]Indication, opts.N),
 	}
@@ -132,7 +153,11 @@ func New(opts Options) (*Cluster, error) {
 		id := types.ServerID(i)
 		m := &metrics.Metrics{}
 		idx := i
-		srv, err := core.NewServer(core.Config{
+		st, err := c.openStore(i)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.Config{
 			Roster:    roster,
 			Signer:    signers[i],
 			Protocol:  opts.Protocol,
@@ -148,15 +173,43 @@ func New(opts Options) (*Cluster, error) {
 			RetireInstances:          opts.RetireInstances,
 			DisableInBufferRecording: opts.DisableInBufferRecording,
 			CompressReferences:       opts.CompressReferences,
-		})
+		}
+		if st != nil {
+			cfg.OnPersist = st.Append
+		}
+		srv, err := core.NewServer(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: server %d: %w", i, err)
+		}
+		if st != nil {
+			if err := srv.Restore(st.Blocks()); err != nil {
+				return nil, fmt.Errorf("cluster: server %d: %w", i, err)
+			}
 		}
 		net.Register(id, srv)
 		c.Servers[i] = srv
 		c.Metrics[i] = m
+		c.Stores[i] = st
 	}
 	return c, nil
+}
+
+// openStore opens the durable block store for one slot if Options.StoreDir
+// is configured (nil store otherwise).
+func (c *Cluster) openStore(slot int) (*store.Store, error) {
+	if c.opts.StoreDir == "" {
+		return nil, nil
+	}
+	st, err := store.Open(filepath.Join(c.opts.StoreDir, fmt.Sprintf("s%d", slot)), store.Options{
+		Roster:      c.Roster,
+		SegmentSize: c.opts.StoreSegmentSize,
+		Sync:        store.SyncNever,
+		Clock:       c.Net.Now,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: store for server %d: %w", slot, err)
+	}
+	return st, nil
 }
 
 // Request submits a user request at the given correct server.
@@ -252,10 +305,13 @@ func (c *Cluster) Converged() bool {
 
 // Crash simulates a full stop of the given server: it stops disseminating
 // (its slot becomes nil) and its endpoint is replaced by a black hole, so
-// in-flight and future traffic to it is lost. Recover it with
-// RecoverServer.
+// in-flight and future traffic to it is lost. A store attached to the
+// slot is abandoned without Close or fsync — the power-cut model — and
+// can be reopened by RecoverServerFromStore. Recover the slot with
+// RecoverServer or RecoverServerFromStore.
 func (c *Cluster) Crash(slot int) {
 	c.Servers[slot] = nil
+	c.Stores[slot] = nil
 	c.Net.Register(types.ServerID(slot), blackhole{})
 }
 
@@ -278,10 +334,41 @@ func (c *Cluster) RecoverServer(slot int, proto protocol.Protocol, stored []*blo
 // RecoverServerWith is RecoverServer with the compression extension
 // toggled explicitly; the recovered server's mode must match the rest of
 // the deployment.
+//
+// On a cluster with Options.StoreDir both variants refuse: rebuilding the
+// slot without its store would journal nothing from then on, so a second
+// crash would restore a stale prefix and re-use published sequence
+// numbers — the self-equivocation the store exists to prevent. Use
+// RecoverServerFromStore there.
 func (c *Cluster) RecoverServerWith(slot int, proto protocol.Protocol, stored []*block.Block, compress bool) error {
+	if c.opts.StoreDir != "" {
+		return fmt.Errorf("cluster: recover server %d: cluster has durable stores, use RecoverServerFromStore", slot)
+	}
+	return c.recoverServer(slot, proto, stored, compress, nil)
+}
+
+// RecoverServerFromStore restarts a crashed slot from its on-disk store:
+// the store directory under Options.StoreDir is reopened (replaying the
+// WAL, truncating any torn tail, revalidating every block), the recovered
+// blocks are restored into a fresh server, and journaling resumes on the
+// same store — the full production crash-recovery path, in simulation.
+func (c *Cluster) RecoverServerFromStore(slot int, proto protocol.Protocol) error {
+	if c.opts.StoreDir == "" {
+		return fmt.Errorf("cluster: recover server %d from store: cluster has no StoreDir", slot)
+	}
+	st, err := c.openStore(slot)
+	if err != nil {
+		return err
+	}
+	return c.recoverServer(slot, proto, st.Blocks(), c.opts.CompressReferences, st)
+}
+
+// recoverServer rebuilds one slot from persisted blocks, optionally
+// resuming journaling on st.
+func (c *Cluster) recoverServer(slot int, proto protocol.Protocol, stored []*block.Block, compress bool, st *store.Store) error {
 	id := types.ServerID(slot)
 	m := &metrics.Metrics{}
-	srv, err := core.NewServer(core.Config{
+	cfg := core.Config{
 		Roster:             c.Roster,
 		Signer:             c.Signers[slot],
 		Protocol:           proto,
@@ -294,7 +381,11 @@ func (c *Cluster) RecoverServerWith(slot int, proto protocol.Protocol, stored []
 				Server: id, Label: label, Value: value,
 			})
 		},
-	})
+	}
+	if st != nil {
+		cfg.OnPersist = st.Append
+	}
+	srv, err := core.NewServer(cfg)
 	if err != nil {
 		return fmt.Errorf("cluster: recover server %d: %w", slot, err)
 	}
@@ -304,6 +395,7 @@ func (c *Cluster) RecoverServerWith(slot int, proto protocol.Protocol, stored []
 	c.Net.Register(id, srv)
 	c.Servers[slot] = srv
 	c.Metrics[slot] = m
+	c.Stores[slot] = st
 	return nil
 }
 

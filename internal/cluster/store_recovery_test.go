@@ -1,0 +1,248 @@
+package cluster_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"blockdag/internal/cluster"
+	"blockdag/internal/core"
+	"blockdag/internal/protocols/brb"
+	"blockdag/internal/store"
+	"blockdag/internal/types"
+)
+
+func deliveries(c *cluster.Cluster, server int, label types.Label) int {
+	n := 0
+	for _, ind := range c.Indications(server) {
+		if ind.Label == label {
+			n++
+		}
+	}
+	return n
+}
+
+func allDelivered(c *cluster.Cluster, label types.Label) bool {
+	for _, i := range c.CorrectServers() {
+		if deliveries(c, i, label) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestClusterRestartFromStore is the end-to-end acceptance test for the
+// durable block store: four servers journal every inserted block, one is
+// power-cut, its store is compacted and reopened offline, and the server
+// restarts from disk — resuming its own chain without equivocating,
+// replaying pre-crash deliveries (at-least-once), and reconverging with
+// the cluster.
+func TestClusterRestartFromStore(t *testing.T) {
+	dir := t.TempDir()
+	c, err := cluster.New(cluster.Options{
+		N:                4,
+		Protocol:         brb.Protocol{},
+		Seed:             21,
+		StoreDir:         dir,
+		StoreSegmentSize: 2048, // force rotation so compaction has work
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: a broadcast delivers everywhere; every insert was
+	// journaled before its indication.
+	c.Request(0, "before", []byte("pre-crash"))
+	ok, err := c.RunUntil(20, func() bool { return allDelivered(c, "before") })
+	if err != nil || !ok {
+		t.Fatalf("phase 1: ok=%v err=%v", ok, err)
+	}
+	for _, i := range c.CorrectServers() {
+		if got, want := c.Stores[i].Len(), c.Servers[i].DAG().Len(); got != want {
+			t.Fatalf("server %d journaled %d blocks, DAG has %d", i, got, want)
+		}
+	}
+
+	// Power-cut s3. Keep its store handle and DAG only to drive the
+	// offline compaction below — the cluster itself forgets both.
+	s3dag := c.Servers[3].DAG()
+	s3store := c.Stores[3]
+	preCrash := s3dag.ByBuilder(3)
+	if len(preCrash) == 0 {
+		t.Fatal("s3 built no blocks before the crash")
+	}
+	c.Crash(3)
+
+	// Phase 2: survivors progress; s3 misses a broadcast.
+	c.Request(1, "during", []byte("while down"))
+	ok, err = c.RunUntil(20, func() bool {
+		for _, i := range []int{0, 1, 2} {
+			if deliveries(c, i, "during") == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil || !ok {
+		t.Fatalf("phase 2: ok=%v err=%v", ok, err)
+	}
+	if deliveries(c, 3, "during") != 0 {
+		t.Fatal("crashed server delivered")
+	}
+
+	// Compact s3's store: snapshot the live DAG, drop older segments.
+	stats, err := s3store.Checkpoint(s3dag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BytesAfter >= stats.BytesBefore {
+		t.Fatalf("compaction did not reduce segment bytes: %d -> %d",
+			stats.BytesBefore, stats.BytesAfter)
+	}
+	if stats.SegmentsRemoved == 0 {
+		t.Fatal("compaction removed no segments")
+	}
+
+	// The compacted store must still recover an interpretable DAG: open
+	// it offline and replay the embedded protocol over it.
+	offline, err := store.Open(filepath.Join(dir, "s3"), store.Options{Roster: c.Roster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offline.Len() != s3dag.Len() {
+		t.Fatalf("offline open recovered %d blocks, want %d", offline.Len(), s3dag.Len())
+	}
+	sawBefore := false
+	it, fresh, err := core.OfflineInterpreter(c.Roster, brb.Protocol{},
+		func(server types.ServerID, label types.Label, value []byte) {
+			if server == 3 && label == "before" && string(value) == "pre-crash" {
+				sawBefore = true
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range offline.Blocks() {
+		if err := fresh.Insert(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := it.InterpretDAG(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if !sawBefore {
+		t.Fatal("compacted store no longer interprets to the pre-crash delivery")
+	}
+	if err := offline.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 3: restart s3 from its (compacted) store. The storeless
+	// recovery path is refused on a durable cluster — it would journal
+	// nothing and set up a future self-equivocation.
+	if err := c.RecoverServer(3, brb.Protocol{}, s3dag.Blocks()); err == nil {
+		t.Fatal("RecoverServer without a store accepted on a durable cluster")
+	}
+	// Restore replays the pre-crash delivery: at-least-once across the
+	// crash.
+	if err := c.RecoverServerFromStore(3, brb.Protocol{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := deliveries(c, 3, "before"); got < 2 {
+		t.Fatalf("expected replayed pre-crash delivery, got %d", got)
+	}
+
+	// Phase 4: the restarted server catches up, participates, and the
+	// cluster reconverges to one joint DAG.
+	c.Request(2, "after", []byte("post-recovery"))
+	ok, err = c.RunUntil(30, func() bool {
+		return deliveries(c, 3, "during") >= 1 && allDelivered(c, "after")
+	})
+	if err != nil || !ok {
+		t.Fatalf("phase 4: ok=%v err=%v", ok, err)
+	}
+	ok, err = c.RunUntil(10, c.Converged)
+	if err != nil || !ok {
+		t.Fatalf("cluster did not reconverge: ok=%v err=%v", ok, err)
+	}
+
+	// No self-equivocation: the restarted server continued its chain, so
+	// no DAG anywhere holds two s3 blocks with one sequence number.
+	for _, i := range c.CorrectServers() {
+		if eqs := c.Servers[i].DAG().Equivocations(); len(eqs) != 0 {
+			t.Fatalf("server %d observed equivocations after restart: %v", i, eqs)
+		}
+	}
+	// And the post-restart chain literally extends the pre-crash chain.
+	resumed := c.Servers[0].DAG().ByBuilder(3)
+	if len(resumed) <= len(preCrash) {
+		t.Fatalf("s3 chain did not grow: %d -> %d", len(preCrash), len(resumed))
+	}
+	for i, b := range preCrash {
+		if resumed[i].Ref() != b.Ref() {
+			t.Fatalf("s3 chain diverged at seq %d", b.Seq)
+		}
+	}
+
+	// The restarted server keeps journaling: its store tracks its DAG.
+	if got, want := c.Stores[3].Len(), c.Servers[3].DAG().Len(); got != want {
+		t.Fatalf("restarted server journaled %d blocks, DAG has %d", got, want)
+	}
+}
+
+// TestStoreRestartPreservesDeterminism: two clusters with identical seeds,
+// one journaling to disk and one not, produce identical DAGs — the store
+// is a pure observer of the deterministic state machine.
+func TestStoreRestartPreservesDeterminism(t *testing.T) {
+	run := func(storeDir string) *cluster.Cluster {
+		c, err := cluster.New(cluster.Options{
+			N: 4, Protocol: brb.Protocol{}, Seed: 7, StoreDir: storeDir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Request(0, "x", []byte("v"))
+		if err := c.RunRounds(10); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	plain := run("")
+	durable := run(t.TempDir())
+	for _, i := range plain.CorrectServers() {
+		a, b := plain.Servers[i].DAG(), durable.Servers[i].DAG()
+		if a.Len() != b.Len() || !a.Leq(b) || !b.Leq(a) {
+			t.Fatalf("server %d: journaling changed the DAG (%d vs %d blocks)", i, a.Len(), b.Len())
+		}
+	}
+}
+
+// TestStoreSurvivesDoubleRestart: crash, recover, crash again, recover
+// again — the second recovery sees the first recovery's appends too.
+func TestStoreSurvivesDoubleRestart(t *testing.T) {
+	dir := t.TempDir()
+	c, err := cluster.New(cluster.Options{N: 4, Protocol: brb.Protocol{}, Seed: 5, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		label := types.Label([]string{"one", "two"}[round])
+		c.Request(0, label, []byte("payload"))
+		ok, err := c.RunUntil(25, func() bool { return allDelivered(c, label) })
+		if err != nil || !ok {
+			t.Fatalf("round %d: ok=%v err=%v", round, ok, err)
+		}
+		c.Crash(2)
+		if err := c.RecoverServerFromStore(2, brb.Protocol{}); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	ok, err := c.RunUntil(10, c.Converged)
+	if err != nil || !ok {
+		t.Fatalf("no reconvergence after double restart: ok=%v err=%v", ok, err)
+	}
+	for _, i := range c.CorrectServers() {
+		if eqs := c.Servers[i].DAG().Equivocations(); len(eqs) != 0 {
+			t.Fatalf("server %d observed equivocations: %v", i, eqs)
+		}
+	}
+}

@@ -52,6 +52,16 @@ type Config struct {
 	// OnIndication receives every indication (ℓ, i) of this server's own
 	// simulated instance — Algorithm 3 lines 8–9. Optional.
 	OnIndication func(label types.Label, value []byte)
+	// OnPersist, if non-nil, journals every block inserted into the DAG
+	// (own and received alike) before the block is interpreted — i.e.
+	// before any indication it causes becomes user-visible, the
+	// write-ahead discipline crash recovery relies on. package store's
+	// Store.Append is the intended sink; node.Config.Store wires it.
+	// A persist error marks the server unhealthy (Health) but does not
+	// stop interpretation: the embedded protocol's state must advance
+	// identically on every correct server regardless of local disk
+	// trouble.
+	OnPersist func(*block.Block) error
 
 	// Metrics, optional.
 	Metrics *metrics.Metrics
@@ -192,6 +202,11 @@ func (s *Server) Tick(now time.Duration) { s.gsp.Tick(now) }
 // paper's Figure 1) but share the insertion feed, which is a topological
 // order and hence eligible.
 func (s *Server) onInsert(b *block.Block) {
+	if s.cfg.OnPersist != nil {
+		if err := s.cfg.OnPersist(b); err != nil && s.firstErr == nil {
+			s.firstErr = fmt.Errorf("core: persist block %v: %w", b.Ref(), err)
+		}
+	}
 	if err := s.interp.AddBlock(b); err != nil && s.firstErr == nil {
 		// Insertion order guarantees eligibility; an error here means
 		// an invariant was broken, not a runtime condition.
@@ -211,17 +226,30 @@ func (s *Server) onIndication(ind interpret.Indication) {
 }
 
 // Restore replays persisted blocks into a freshly constructed server —
-// the crash-recovery path of the paper's Section 7 discussion. Blocks are
-// fully revalidated (Definition 3.3), interpreted, and the gossip chain
-// state is recovered so the next disseminated block continues the old
-// chain and references exactly the blocks no pre-crash block referenced.
+// the crash-recovery path of the paper's Section 7 discussion, fed by
+// package store's recovered log. Blocks are fully revalidated
+// (Definition 3.3), interpreted, and all of gossip's volatile state is
+// re-derived deterministically from the restored DAG (Gossip.Recover):
+// the next disseminated block continues the old chain — no
+// self-equivocation — and references exactly the blocks no pre-crash
+// block referenced, while the FWD/retry bookkeeping restarts empty, so
+// any block that was in flight (or lost with an unsynced WAL tail) is
+// simply re-received or re-requested from peers.
 //
-// Restore must be called before the server processes network traffic.
-// Interpretation replays all indications of the stored DAG, so users see
-// pre-crash deliveries again: delivery is at-least-once across crashes,
-// and applications deduplicate by instance label (as examples/payments
-// does).
+// Restore must be called on a fresh server, before any network traffic,
+// request, or dissemination; calling it later returns an error. Blocks
+// replayed here do not pass through Config.OnPersist — they came from
+// the store — and store.Store.Append ignores re-journaled blocks anyway.
+//
+// This is the authoritative statement of the recovery delivery contract:
+// interpretation replays all indications of the stored DAG, so users see
+// pre-crash deliveries again. Indications are therefore at-least-once
+// across crashes, exactly-once only between them; applications
+// deduplicate by instance label (as examples/payments does).
 func (s *Server) Restore(blocks []*block.Block) error {
+	if s.dag.Len() > 0 {
+		return errors.New("core: restore on a server that already has blocks")
+	}
 	for _, b := range blocks {
 		if err := s.dag.Insert(b); err != nil {
 			return fmt.Errorf("core: restore block %v: %w", b.Ref(), err)
@@ -231,6 +259,21 @@ func (s *Server) Restore(blocks []*block.Block) error {
 		}
 	}
 	s.gsp.Recover()
+	return nil
+}
+
+// SetPersist installs the persistence sink after construction — the hook
+// node.Config.Store uses, since the node receives an already-built
+// Server. It must be called on a fresh server (no blocks yet, no sink
+// installed), so no insertion can slip past the journal.
+func (s *Server) SetPersist(sink func(*block.Block) error) error {
+	if s.cfg.OnPersist != nil {
+		return errors.New("core: persistence sink already set")
+	}
+	if s.dag.Len() > 0 {
+		return errors.New("core: persistence sink set after blocks were inserted")
+	}
+	s.cfg.OnPersist = sink
 	return nil
 }
 

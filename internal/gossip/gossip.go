@@ -188,14 +188,27 @@ func New(cfg Config) (*Gossip, error) {
 // Self returns this server's identity.
 func (g *Gossip) Self() types.ServerID { return g.self }
 
-// Recover initializes the block-building state from a restored, non-empty
-// DAG after a crash — the crash-recovery path the paper discusses in
-// Section 7. The next block continues the own chain (curSeq = last own
-// seq + 1, parent = own tip) and references exactly the blocks no earlier
-// own block referenced, preserving the at-most-once reference discipline
-// of Lemma A.6 across the restart (and with it no-duplication,
+// Recover initializes the block-building state from a restored DAG after
+// a crash — the crash-recovery path the paper discusses in Section 7.
+// The next block continues the own chain (curSeq = last own seq + 1,
+// parent = own tip) and references exactly the blocks no earlier own
+// block referenced, preserving the at-most-once reference discipline of
+// Lemma A.6 across the restart (and with it no-duplication,
 // Lemma 4.3(2)).
+//
+// All volatile bookkeeping — the pending-block buffer, FWD waiters, the
+// outstanding-request table with its retry clocks and attempt counters,
+// and the invalid-reference cache — restarts empty. This is the only
+// deterministic choice: none of it survives a crash, it is all derivable
+// from future traffic, and re-arming FWD from a clean slate means a
+// block lost with an unsynced WAL tail is simply re-requested as soon as
+// some peer references it (delivery semantics are documented at
+// core.Server.Restore).
 func (g *Gossip) Recover() {
+	g.pending = make(map[block.Ref]*block.Block)
+	g.waiters = make(map[block.Ref][]block.Ref)
+	g.missing = make(map[block.Ref]*missingState)
+	g.invalid = make(map[block.Ref]struct{})
 	var ownTip *block.Block
 	referenced := make(map[block.Ref]struct{})
 	for _, b := range g.cfg.DAG.Blocks() {

@@ -11,10 +11,12 @@ package node
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"blockdag/internal/core"
+	"blockdag/internal/store"
 	"blockdag/internal/types"
 )
 
@@ -27,6 +29,15 @@ type Config struct {
 	DisseminateEvery time.Duration
 	// TickEvery is the FWD retry-timer period (default 100ms).
 	TickEvery time.Duration
+	// Store, if non-nil, makes the server durable: New installs the
+	// store as the server's persistence sink, replays the store's
+	// recovered blocks through core.Server.Restore (resuming the
+	// pre-crash chain), and the loop drives interval fsync alongside the
+	// FWD timer. The store must be freshly opened (store.Open) and the
+	// server freshly built; the caller keeps ownership and closes the
+	// store after Stop. On a clean shutdown Stop leaves the WAL fully
+	// synced.
+	Store *store.Store
 }
 
 // Clock returns a monotonic clock suitable for core.Config.Clock on the
@@ -68,7 +79,10 @@ type Node struct {
 	firstErr error
 }
 
-// New validates the config and prepares a node.
+// New validates the config and prepares a node. With Config.Store set,
+// New performs the recover-resume handshake: the persistence sink is
+// installed before any block can be inserted, then the store's recovered
+// log is replayed so the server continues its pre-crash chain.
 func New(cfg Config) (*Node, error) {
 	if cfg.Server == nil {
 		return nil, errors.New("node: config needs a Server")
@@ -78,6 +92,14 @@ func New(cfg Config) (*Node, error) {
 	}
 	if cfg.TickEvery <= 0 {
 		cfg.TickEvery = 100 * time.Millisecond
+	}
+	if cfg.Store != nil {
+		if err := cfg.Server.SetPersist(cfg.Store.Append); err != nil {
+			return nil, fmt.Errorf("node: %w", err)
+		}
+		if err := cfg.Server.Restore(cfg.Store.Blocks()); err != nil {
+			return nil, fmt.Errorf("node: restore from store: %w", err)
+		}
 	}
 	return &Node{
 		cfg:  cfg,
@@ -162,6 +184,10 @@ func (n *Node) Server() *core.Server { return n.cfg.Server }
 func (n *Node) loop(ctx context.Context) {
 	defer n.wg.Done()
 	defer close(n.done)
+	if n.cfg.Store != nil {
+		// Clean shutdowns leave no unsynced tail, whatever the policy.
+		defer func() { n.recordErr(n.cfg.Store.Sync()) }()
+	}
 	srv := n.cfg.Server
 	disseminate := time.NewTicker(n.cfg.DisseminateEvery)
 	defer disseminate.Stop()
@@ -184,6 +210,9 @@ func (n *Node) loop(ctx context.Context) {
 			n.recordErr(srv.Disseminate())
 		case <-tick.C:
 			srv.Tick(time.Since(start))
+			if n.cfg.Store != nil {
+				n.recordErr(n.cfg.Store.Tick())
+			}
 		}
 	}
 }

@@ -1,0 +1,79 @@
+// Package store is the durable block store: an append-only, segmented
+// write-ahead log (WAL) of blocks plus checkpoint/compaction, giving a
+// server the persisted DAG that core.Server.Restore replays after a crash
+// (the paper's Section 7 crash-recovery discussion made operational).
+//
+// # On-disk layout
+//
+// A store is a directory of segment files named by a monotonically
+// increasing hexadecimal index:
+//
+//	0000000000000001.wal    live WAL segment(s), record-framed
+//	0000000000000007.snap   checkpoint snapshot (at most one survives)
+//	0000000000000008.wal    WAL tail written after the checkpoint
+//
+// Every segment starts with a 9-byte header: the 8-byte magic "BDSTOR1\n"
+// and a kind byte. Segments sort by index; recovery reads the
+// highest-index snapshot (if any) followed by all WAL segments with a
+// higher index. Stale segments left behind by a checkpoint that crashed
+// between rename and cleanup are deleted on Open.
+//
+// # WAL segments
+//
+// A WAL segment is a sequence of records, each framed as
+//
+//	[length uint32 BE][crc32(IEEE) of payload uint32 BE][payload]
+//
+// where the payload is the canonical block encoding (block.Encode). The
+// per-record CRC exists because WAL tails are written incrementally and a
+// power cut can tear the last record: Open scans forward and, when the
+// final segment ends in a truncated or corrupt record, truncates the file
+// back to the last whole record instead of failing — the torn-tail
+// property tested exhaustively in TestOpenTornTail. A corrupt record in
+// any non-final position is not a torn write and surfaces as ErrCorrupt.
+//
+// WAL segments rotate when they exceed Options.SegmentSize, so deleting
+// history (compaction) is cheap file removal, never rewriting.
+//
+// # Snapshot segments and compaction
+//
+// Checkpoint(dag) writes the live DAG into a single snapshot segment and
+// then deletes every strictly older segment, bounding disk usage to
+// O(live DAG) instead of O(append history): duplicate records, torn
+// bytes, and records for blocks no longer in the caller's DAG are all
+// dropped. Snapshots are written whole (temp file, fsync, atomic rename),
+// so they need no per-record tear tolerance; a single CRC32 trailer
+// covers the segment body.
+//
+// Snapshots also store blocks more compactly than the WAL: blocks are
+// laid out in topological order and each predecessor reference — a
+// 32-byte hash on the wire and in the WAL — is replaced by a uvarint
+// index into the snapshot itself (typically 1–2 bytes). Decoding
+// re-derives the canonical block encoding, and with it ref(B), so
+// signatures still verify end to end; compaction never weakens the
+// Definition 3.3 revalidation that Open performs.
+//
+// # Fsync policy
+//
+// Options.Sync picks the durability/latency trade-off:
+//
+//   - SyncInterval (default): appends are flushed to the OS immediately
+//     but fsynced at most once per Options.SyncEvery (driven by Append
+//     and by Tick from the node runtime). A power cut can lose up to the
+//     last interval of blocks; gossip's FWD retries refetch them from
+//     peers, so this only ever costs re-download, never safety.
+//   - SyncAlways: fsync after every append. The block is durable before
+//     the interpreter can emit its indications — the strongest guarantee,
+//     and the slowest (see BenchmarkStoreAppend).
+//   - SyncNever: leave flushing to the OS entirely. For simulations,
+//     tests, and workloads where the store is a cache of the cluster.
+//
+// Losing recent unsynced blocks is safe in every policy because the WAL
+// holds only blocks that are (or were about to be) in the cluster's joint
+// DAG: recovery yields a valid prefix of the pre-crash DAG, Restore
+// resumes the own chain without equivocating (gossip.Recover), and
+// anything lost is refetched. Indications replayed from the store repeat
+// pre-crash deliveries — the at-least-once indication semantics
+// documented at core.Server.Restore, which is the authoritative statement
+// of the recovery contract.
+package store

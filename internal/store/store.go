@@ -1,0 +1,611 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"blockdag/internal/block"
+	"blockdag/internal/crypto"
+	"blockdag/internal/dag"
+)
+
+// SyncPolicy selects when Append fsyncs the live WAL segment. See the
+// package documentation for the trade-offs.
+type SyncPolicy int
+
+const (
+	// SyncInterval fsyncs at most once per Options.SyncEvery (default).
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs after every appended block.
+	SyncAlways
+	// SyncNever leaves flushing entirely to the operating system.
+	SyncNever
+)
+
+// String renders the policy for logs and CLI output.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncInterval:
+		return "interval"
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy inverts SyncPolicy.String, for CLI flags.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "interval":
+		return SyncInterval, nil
+	case "always":
+		return SyncAlways, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("store: unknown fsync policy %q (want always, interval, or never)", s)
+	}
+}
+
+// Defaults for Options.
+const (
+	DefaultSegmentSize = 8 << 20 // 8 MiB per WAL segment
+	DefaultSyncEvery   = 200 * time.Millisecond
+)
+
+// Options configures Open.
+type Options struct {
+	// Roster revalidates every recovered block (Definition 3.3) before
+	// it is handed back. Required.
+	Roster *crypto.Roster
+	// SegmentSize is the rotation threshold for WAL segments in bytes
+	// (default DefaultSegmentSize). Records are never split: a segment
+	// may exceed the threshold by up to one record.
+	SegmentSize int64
+	// Sync is the fsync policy (default SyncInterval).
+	Sync SyncPolicy
+	// SyncEvery bounds the fsync lag under SyncInterval (default
+	// DefaultSyncEvery).
+	SyncEvery time.Duration
+	// Clock supplies the current time for SyncInterval bookkeeping. The
+	// node runtime injects its clock; nil defaults to wall time.
+	Clock func() time.Duration
+	// ReadOnly opens the store for offline inspection: recovery reports
+	// torn tails and stale segments without repairing them, and Append
+	// and Checkpoint are refused. The dagstore CLI uses this for
+	// inspect/verify so examining a store never changes it.
+	ReadOnly bool
+}
+
+// OpenReport describes what Open found and repaired.
+type OpenReport struct {
+	// Segments is the number of segment files read (snapshot included).
+	Segments int
+	// SnapshotIndex is the index of the snapshot recovered from, if
+	// HasSnapshot.
+	SnapshotIndex uint64
+	HasSnapshot   bool
+	// Blocks is the number of distinct blocks recovered.
+	Blocks int
+	// Duplicates counts WAL records dropped because an identical block
+	// was already recovered (e.g. re-journaled around a checkpoint).
+	Duplicates int
+	// TornBytes is the size of the torn tail truncated from the final
+	// WAL segment, 0 if the log ended cleanly.
+	TornBytes int64
+	// StaleSegments counts files deleted because a crashed checkpoint
+	// left them behind: segments made unreachable before cleanup
+	// finished, and orphaned snapshot temp files.
+	StaleSegments int
+}
+
+// Store is a durable block store rooted at one directory. Like the rest
+// of the deterministic stack it is not safe for concurrent use; the node
+// runtime (or the simulator's event loop) serializes access.
+type Store struct {
+	dir  string
+	opts Options
+
+	recovered []*block.Block
+	present   map[block.Ref]struct{}
+	report    OpenReport
+
+	cur      *os.File
+	curIndex uint64
+	curSize  int64
+	nextIdx  uint64
+
+	dirty    bool
+	lastSync time.Duration
+	closed   bool
+	// failed latches a write error the store could not repair (the
+	// segment may end in a partial record that later appends must not
+	// bury); every subsequent Append refuses with this error.
+	failed error
+}
+
+// Open creates or recovers the store in dir. It scans segments in index
+// order — the newest snapshot first, then the WAL tail — truncates a torn
+// final record instead of failing, revalidates every block against the
+// roster by replaying into a fresh DAG, and leaves the store ready to
+// Append. The recovered blocks (in a topological order, ready for
+// core.Server.Restore) are available from Blocks.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.Roster == nil {
+		return nil, errors.New("store: options need a Roster")
+	}
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = DefaultSegmentSize
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = DefaultSyncEvery
+	}
+	if opts.Clock == nil {
+		start := time.Now()
+		opts.Clock = func() time.Duration { return time.Since(start) }
+	}
+	if opts.ReadOnly {
+		if _, err := os.Stat(dir); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		opts:    opts,
+		present: make(map[block.Ref]struct{}),
+		nextIdx: 1,
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover scans the directory and rebuilds in-memory state.
+func (s *Store) recover() error {
+	// A checkpoint that crashed between writing its temp file and the
+	// rename leaves an orphan no segment listing will ever see; sweep
+	// them so crashed checkpoints cannot accumulate unbounded disk.
+	if !s.opts.ReadOnly {
+		tmps, err := filepath.Glob(filepath.Join(s.dir, "*.tmp"))
+		if err != nil {
+			return fmt.Errorf("store: list temp files: %w", err)
+		}
+		for _, tmp := range tmps {
+			if err := os.Remove(tmp); err != nil {
+				return fmt.Errorf("store: remove orphaned temp file: %w", err)
+			}
+			s.report.StaleSegments++
+		}
+	}
+	segs, err := listSegments(s.dir)
+	if err != nil {
+		return err
+	}
+	// Recovery starts at the newest snapshot; anything older is
+	// unreachable garbage from a checkpoint that crashed mid-cleanup.
+	start := 0
+	for i, sf := range segs {
+		if sf.snap {
+			start = i
+		}
+	}
+	for _, sf := range segs[:start] {
+		if !s.opts.ReadOnly {
+			if err := os.Remove(sf.path); err != nil {
+				return fmt.Errorf("store: remove stale segment: %w", err)
+			}
+		}
+		s.report.StaleSegments++
+	}
+	segs = segs[start:]
+
+	// A power cut during segment creation can tear even the header; for
+	// the final WAL segment that is a torn tail (drop the file), anywhere
+	// else it is corruption, surfaced by checkHeader below.
+	if n := len(segs); n > 0 && !segs[n-1].snap && segs[n-1].size < int64(headerSize) {
+		last := segs[n-1]
+		if !s.opts.ReadOnly {
+			if err := os.Remove(last.path); err != nil {
+				return fmt.Errorf("store: remove torn segment: %w", err)
+			}
+		}
+		s.report.TornBytes += last.size
+		if last.index >= s.nextIdx {
+			s.nextIdx = last.index + 1
+		}
+		segs = segs[:n-1]
+	}
+
+	// Replaying into a fresh DAG revalidates every block (signature,
+	// parent rule, predecessor closure — Definition 3.3) and yields the
+	// recovered blocks in a topological order.
+	d := dag.New(s.opts.Roster)
+	lastWalGood := int64(-1) // good-bytes offset of the final WAL segment
+	for i, sf := range segs {
+		data, err := os.ReadFile(sf.path)
+		if err != nil {
+			return fmt.Errorf("store: read segment: %w", err)
+		}
+		kind, err := checkHeader(data, sf.path)
+		if err != nil {
+			return err
+		}
+		s.report.Segments++
+		switch kind {
+		case kindSnap:
+			if !sf.snap {
+				return fmt.Errorf("%w: %s: kind/extension mismatch", ErrCorrupt, sf.path)
+			}
+			blocks, err := decodeSnapshot(data, sf.path)
+			if err != nil {
+				return err
+			}
+			if err := s.admit(d, blocks); err != nil {
+				return err
+			}
+			s.report.HasSnapshot = true
+			s.report.SnapshotIndex = sf.index
+		case kindWAL:
+			if sf.snap {
+				return fmt.Errorf("%w: %s: kind/extension mismatch", ErrCorrupt, sf.path)
+			}
+			scan := scanWAL(data)
+			if scan.torn && i != len(segs)-1 {
+				return fmt.Errorf("%w: %s: bad record before final segment", ErrCorrupt, sf.path)
+			}
+			if err := s.admit(d, scan.blocks); err != nil {
+				return err
+			}
+			if scan.torn {
+				s.report.TornBytes += int64(len(data)) - scan.goodLen
+				if !s.opts.ReadOnly {
+					if err := os.Truncate(sf.path, scan.goodLen); err != nil {
+						return fmt.Errorf("store: truncate torn tail: %w", err)
+					}
+				}
+			}
+			lastWalGood = scan.goodLen
+		}
+		if sf.index >= s.nextIdx {
+			s.nextIdx = sf.index + 1
+		}
+	}
+	s.recovered = d.Blocks()
+	s.report.Blocks = len(s.recovered)
+
+	// Resume the final WAL segment if it has room, else start fresh.
+	// Its post-truncation size is the segment's own scan result, not the
+	// report's TornBytes total (which may include bytes from a removed
+	// torn-header segment).
+	if n := len(segs); !s.opts.ReadOnly && n > 0 && !segs[n-1].snap && lastWalGood >= 0 {
+		last := segs[n-1]
+		size := lastWalGood
+		if size < s.opts.SegmentSize {
+			f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("store: reopen segment: %w", err)
+			}
+			s.cur = f
+			s.curIndex = last.index
+			s.curSize = size
+		}
+	}
+	s.lastSync = s.opts.Clock()
+	return nil
+}
+
+// admit inserts recovered blocks into the validation DAG and the present
+// set, dropping duplicates.
+func (s *Store) admit(d *dag.DAG, blocks []*block.Block) error {
+	for _, b := range blocks {
+		if _, dup := s.present[b.Ref()]; dup {
+			s.report.Duplicates++
+			continue
+		}
+		if err := d.Insert(b); err != nil {
+			return fmt.Errorf("store: recovered block %v failed revalidation: %w", b.Ref(), err)
+		}
+		s.present[b.Ref()] = struct{}{}
+	}
+	return nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Report returns what Open found and repaired.
+func (s *Store) Report() OpenReport { return s.report }
+
+// Blocks returns the blocks recovered by Open, in a topological order
+// suitable for core.Server.Restore. The slice is shared; treat it as
+// read-only.
+func (s *Store) Blocks() []*block.Block { return s.recovered }
+
+// Len returns the number of distinct blocks the store holds (recovered
+// plus appended).
+func (s *Store) Len() int { return len(s.present) }
+
+// Contains reports whether the block is already journaled.
+func (s *Store) Contains(ref block.Ref) bool {
+	_, ok := s.present[ref]
+	return ok
+}
+
+// DiskSize returns the total size in bytes of all segment files — the
+// quantity Checkpoint compaction bounds to O(live DAG).
+func (s *Store) DiskSize() (int64, error) {
+	segs, err := listSegments(s.dir)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, sf := range segs {
+		total += sf.size
+	}
+	return total, nil
+}
+
+// Append journals one block. Appending a block the store already holds is
+// a no-op, so the core persistence hook and Restore replay compose
+// without double-journaling. Durability follows the configured fsync
+// policy; use Sync to force the strongest point.
+func (s *Store) Append(b *block.Block) error {
+	if s.closed {
+		return errors.New("store: append after Close")
+	}
+	if s.opts.ReadOnly {
+		return errors.New("store: append to read-only store")
+	}
+	if s.failed != nil {
+		return fmt.Errorf("store: unusable after write failure: %w", s.failed)
+	}
+	ref := b.Ref()
+	if _, dup := s.present[ref]; dup {
+		return nil
+	}
+	rec := appendRecord(nil, b.Encode())
+	if s.cur != nil && s.curSize+int64(len(rec)) > s.opts.SegmentSize && s.curSize > int64(headerSize) {
+		if err := s.rotate(); err != nil {
+			return err
+		}
+	}
+	if s.cur == nil {
+		if err := s.newSegment(); err != nil {
+			return err
+		}
+	}
+	if _, err := s.cur.Write(rec); err != nil {
+		// The segment may now end in a partial record. Truncate back to
+		// the last good offset so a later append cannot bury torn bytes
+		// mid-segment (recovery would then stop there and silently drop
+		// everything after, or fail the whole segment). If the repair
+		// also fails, latch: refusing further appends keeps every
+		// record recovery does return trustworthy.
+		if terr := s.cur.Truncate(s.curSize); terr != nil {
+			s.failed = err
+		}
+		return fmt.Errorf("store: append block %v: %w", ref, err)
+	}
+	s.curSize += int64(len(rec))
+	s.present[ref] = struct{}{}
+	s.dirty = true
+
+	switch s.opts.Sync {
+	case SyncAlways:
+		return s.Sync()
+	case SyncInterval:
+		if now := s.opts.Clock(); now-s.lastSync >= s.opts.SyncEvery {
+			return s.Sync()
+		}
+	}
+	return nil
+}
+
+// Sync fsyncs the live WAL segment if it has unsynced appends.
+func (s *Store) Sync() error {
+	if !s.dirty || s.cur == nil {
+		return nil
+	}
+	if err := s.cur.Sync(); err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	s.dirty = false
+	s.lastSync = s.opts.Clock()
+	return nil
+}
+
+// Tick drives interval fsync from the owner's timer loop, so blocks
+// appended during a lull still become durable within SyncEvery. Time
+// comes from Options.Clock, keeping Append and Tick on one timeline.
+func (s *Store) Tick() error {
+	if s.opts.Sync != SyncInterval || !s.dirty {
+		return nil
+	}
+	if s.opts.Clock()-s.lastSync < s.opts.SyncEvery {
+		return nil
+	}
+	return s.Sync()
+}
+
+// newSegment starts WAL segment nextIdx.
+func (s *Store) newSegment() error {
+	path := filepath.Join(s.dir, segName(s.nextIdx, false))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create segment: %w", err)
+	}
+	if _, err := f.Write(segHeader(kindWAL)); err != nil {
+		// Remove the stillborn segment so a retried append can
+		// recreate it (O_EXCL would otherwise refuse forever).
+		_ = f.Close()
+		_ = os.Remove(path)
+		return fmt.Errorf("store: write segment header: %w", err)
+	}
+	s.cur = f
+	s.curIndex = s.nextIdx
+	s.curSize = int64(headerSize)
+	s.nextIdx++
+	return nil
+}
+
+// rotate seals the live segment (fsynced unless the policy is SyncNever)
+// and lets the next Append start a fresh one.
+func (s *Store) rotate() error {
+	if s.cur == nil {
+		return nil
+	}
+	if s.opts.Sync != SyncNever {
+		if err := s.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := s.cur.Close(); err != nil {
+		return fmt.Errorf("store: close segment: %w", err)
+	}
+	s.cur = nil
+	s.dirty = false
+	s.curSize = 0
+	return nil
+}
+
+// CompactStats reports the effect of one Checkpoint.
+type CompactStats struct {
+	// BytesBefore and BytesAfter are total segment bytes on disk around
+	// the checkpoint.
+	BytesBefore, BytesAfter int64
+	// SegmentsRemoved counts deleted segment files.
+	SegmentsRemoved int
+	// Blocks is the number of blocks in the snapshot.
+	Blocks int
+}
+
+// Checkpoint writes d's blocks as a snapshot segment and deletes every
+// strictly older segment, bounding the store to O(live DAG) bytes: WAL
+// framing overhead, duplicate records, torn garbage, and blocks absent
+// from d are all dropped, and predecessor references are stored as
+// snapshot-internal indexes instead of 32-byte hashes.
+//
+// The snapshot becomes durable (written to a temp file, fsynced, renamed)
+// before any old segment is deleted, so a crash at any point leaves a
+// recoverable store: either the old segments still rule, or the snapshot
+// does and Open sweeps the leftovers. After Checkpoint the store holds
+// exactly d's blocks; callers pass the server's live DAG (or a verified
+// copy of it).
+func (s *Store) Checkpoint(d *dag.DAG) (CompactStats, error) {
+	if s.closed {
+		return CompactStats{}, errors.New("store: checkpoint after Close")
+	}
+	if s.opts.ReadOnly {
+		return CompactStats{}, errors.New("store: checkpoint on read-only store")
+	}
+	var stats CompactStats
+	before, err := s.DiskSize()
+	if err != nil {
+		return stats, err
+	}
+	stats.BytesBefore = before
+
+	blocks := d.Blocks()
+	enc, err := encodeSnapshot(blocks)
+	if err != nil {
+		return stats, err
+	}
+	// Seal the live WAL segment first so the snapshot index is strictly
+	// newer than every record written so far.
+	if err := s.rotate(); err != nil {
+		return stats, err
+	}
+	index := s.nextIdx
+	s.nextIdx++
+	path := filepath.Join(s.dir, segName(index, true))
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, enc); err != nil {
+		return stats, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return stats, fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return stats, err
+	}
+
+	segs, err := listSegments(s.dir)
+	if err != nil {
+		return stats, err
+	}
+	for _, sf := range segs {
+		if sf.index >= index {
+			continue
+		}
+		if err := os.Remove(sf.path); err != nil {
+			return stats, fmt.Errorf("store: remove compacted segment: %w", err)
+		}
+		stats.SegmentsRemoved++
+	}
+	s.present = make(map[block.Ref]struct{}, len(blocks))
+	for _, b := range blocks {
+		s.present[b.Ref()] = struct{}{}
+	}
+	after, err := s.DiskSize()
+	if err != nil {
+		return stats, err
+	}
+	stats.BytesAfter = after
+	stats.Blocks = len(blocks)
+	return stats, nil
+}
+
+// Close seals the live segment, fsyncing unless the policy is SyncNever.
+// The store is unusable afterwards.
+func (s *Store) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.rotate()
+}
+
+// writeFileSync writes data to path and fsyncs it before returning.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create %s: %w", filepath.Base(path), err)
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("store: write %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("store: fsync %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and removals within it are
+// durable. Best effort on platforms where directories cannot be synced.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir: %w", err)
+	}
+	// Directory fsync is not supported everywhere; ignore the error and
+	// keep the close error, which would indicate a real problem.
+	_ = f.Sync()
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close dir: %w", err)
+	}
+	return nil
+}

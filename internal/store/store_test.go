@@ -1,0 +1,646 @@
+package store_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"blockdag/internal/block"
+	"blockdag/internal/crypto"
+	"blockdag/internal/dag"
+	"blockdag/internal/store"
+	"blockdag/internal/types"
+)
+
+// chain builds a valid single-builder chain of n blocks (genesis first)
+// together with the roster that validates it.
+func chain(t testing.TB, n int) (*crypto.Roster, []*block.Block) {
+	t.Helper()
+	roster, signers, err := crypto.LocalRoster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := make([]*block.Block, n)
+	var prev *block.Block
+	for k := 0; k < n; k++ {
+		var preds []block.Ref
+		if prev != nil {
+			preds = []block.Ref{prev.Ref()}
+		}
+		b := block.New(0, uint64(k), preds, []block.Request{
+			{Label: types.Label("inst"), Data: []byte{byte(k), 1, 2, 3}},
+		})
+		if err := b.Seal(signers[0]); err != nil {
+			t.Fatal(err)
+		}
+		blocks[k] = b
+		prev = b
+	}
+	return roster, blocks
+}
+
+// crossDAG builds a two-builder DAG whose blocks cross-reference each
+// other, exercising the snapshot's pred-index encoding on more than
+// parent edges. Returns the DAG's blocks in a topological order.
+func crossDAG(t testing.TB, rounds int) (*crypto.Roster, []*block.Block) {
+	t.Helper()
+	roster, signers, err := crypto.LocalRoster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocks []*block.Block
+	tips := make([]*block.Block, 2)
+	for k := 0; k < rounds; k++ {
+		for i := 0; i < 2; i++ {
+			var preds []block.Ref
+			if tips[i] != nil {
+				preds = append(preds, tips[i].Ref())
+			}
+			if other := tips[1-i]; other != nil && k > 0 {
+				preds = append(preds, other.Ref())
+			}
+			b := block.New(types.ServerID(i), uint64(k), preds, nil)
+			if err := b.Seal(signers[i]); err != nil {
+				t.Fatal(err)
+			}
+			blocks = append(blocks, b)
+			tips[i] = b
+		}
+	}
+	return roster, blocks
+}
+
+func openStore(t testing.TB, dir string, roster *crypto.Roster, opts store.Options) *store.Store {
+	t.Helper()
+	opts.Roster = roster
+	st, err := store.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func appendAll(t testing.TB, st *store.Store, blocks []*block.Block) {
+	t.Helper()
+	for _, b := range blocks {
+		if err := st.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func sameRefs(a, b []*block.Block) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[block.Ref]struct{}, len(a))
+	for _, x := range a {
+		set[x.Ref()] = struct{}{}
+	}
+	for _, y := range b {
+		if _, ok := set[y.Ref()]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOpenEmpty(t *testing.T) {
+	roster, _ := chain(t, 1)
+	st := openStore(t, t.TempDir(), roster, store.Options{})
+	if got := len(st.Blocks()); got != 0 {
+		t.Fatalf("fresh store recovered %d blocks", got)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(nil); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+}
+
+func TestAppendReopen(t *testing.T) {
+	roster, blocks := chain(t, 10)
+	dir := t.TempDir()
+
+	st := openStore(t, dir, roster, store.Options{})
+	appendAll(t, st, blocks)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir, roster, store.Options{})
+	defer func() { _ = st2.Close() }()
+	got := st2.Blocks()
+	if len(got) != len(blocks) {
+		t.Fatalf("recovered %d blocks, want %d", len(got), len(blocks))
+	}
+	for i, b := range got {
+		if b.Ref() != blocks[i].Ref() {
+			t.Fatalf("block %d: got %v want %v", i, b.Ref(), blocks[i].Ref())
+		}
+	}
+	rep := st2.Report()
+	if rep.TornBytes != 0 || rep.Duplicates != 0 || rep.HasSnapshot {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+}
+
+func TestAppendIdempotent(t *testing.T) {
+	roster, blocks := chain(t, 3)
+	dir := t.TempDir()
+	st := openStore(t, dir, roster, store.Options{})
+	appendAll(t, st, blocks)
+	size1, err := st.DiskSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, st, blocks) // every append is a duplicate
+	size2, err := st.DiskSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size1 != size2 {
+		t.Fatalf("duplicate appends grew the store: %d -> %d", size1, size2)
+	}
+	if st.Len() != len(blocks) {
+		t.Fatalf("Len = %d, want %d", st.Len(), len(blocks))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	roster, blocks := chain(t, 40)
+	dir := t.TempDir()
+	st := openStore(t, dir, roster, store.Options{SegmentSize: 512})
+	appendAll(t, st, blocks)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(entries))
+	}
+
+	st2 := openStore(t, dir, roster, store.Options{SegmentSize: 512})
+	defer func() { _ = st2.Close() }()
+	if !sameRefs(st2.Blocks(), blocks) {
+		t.Fatalf("rotation round trip lost blocks: got %d want %d", len(st2.Blocks()), len(blocks))
+	}
+	if st2.Report().Segments != len(entries) {
+		t.Fatalf("report.Segments = %d, want %d", st2.Report().Segments, len(entries))
+	}
+}
+
+// TestOpenTornTail is the power-cut property test: for every byte offset
+// within the final record (and a few before it), truncating the WAL there
+// and reopening must recover exactly the blocks whose records survived
+// whole, truncate the torn bytes, and leave the store appendable.
+func TestOpenTornTail(t *testing.T) {
+	roster, blocks := chain(t, 5)
+
+	// Reference store to learn the record boundaries.
+	refDir := t.TempDir()
+	sizes := make([]int64, 0, len(blocks)+1)
+	st := openStore(t, refDir, roster, store.Options{})
+	size, err := st.DiskSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes = append(sizes, size) // header only
+	for _, b := range blocks {
+		if err := st.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		if size, err = st.DiskSize(); err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, size)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := os.ReadDir(refDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("expected a single segment, got %d", len(segs))
+	}
+	segName := segs[0].Name()
+	data, err := os.ReadFile(filepath.Join(refDir, segName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// wholeRecords(cut) = number of fully persisted records at size cut.
+	wholeRecords := func(cut int64) int {
+		n := 0
+		for i := 1; i < len(sizes); i++ {
+			if sizes[i] <= cut {
+				n = i
+			}
+		}
+		return n
+	}
+
+	for cut := sizes[len(sizes)-2]; cut <= sizes[len(sizes)-1]; cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := store.Open(dir, store.Options{Roster: roster})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		want := wholeRecords(cut)
+		if got := len(st.Blocks()); got != want {
+			t.Fatalf("cut %d: recovered %d blocks, want %d", cut, got, want)
+		}
+		wantTorn := cut - sizes[want]
+		if rep := st.Report(); rep.TornBytes != wantTorn {
+			t.Fatalf("cut %d: torn bytes %d, want %d", cut, rep.TornBytes, wantTorn)
+		}
+		// The store must resume cleanly: append the missing suffix and
+		// reopen to check a complete recovery.
+		for _, b := range blocks[want:] {
+			if err := st.Append(b); err != nil {
+				t.Fatalf("cut %d: append after tear: %v", cut, err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st2, err := store.Open(dir, store.Options{Roster: roster})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if !sameRefs(st2.Blocks(), blocks) {
+			t.Fatalf("cut %d: final recovery has %d blocks, want %d", cut, len(st2.Blocks()), len(blocks))
+		}
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The same property holds at the very start of the log: a power cut
+	// during the first ever append can tear the segment header itself.
+	// Every such prefix must open as an empty-but-usable store (or, at
+	// the exact record boundary, recover the first block).
+	for cut := int64(0); cut <= sizes[1]; cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := store.Open(dir, store.Options{Roster: roster})
+		if err != nil {
+			t.Fatalf("head cut %d: %v", cut, err)
+		}
+		if got := len(st.Blocks()); got != wholeRecords(cut) {
+			t.Fatalf("head cut %d: recovered %d blocks, want %d", cut, got, wholeRecords(cut))
+		}
+		appendAll(t, st, blocks)
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st2, err := store.Open(dir, store.Options{Roster: roster})
+		if err != nil {
+			t.Fatalf("head cut %d: reopen: %v", cut, err)
+		}
+		if !sameRefs(st2.Blocks(), blocks) {
+			t.Fatalf("head cut %d: final recovery has %d blocks, want %d", cut, len(st2.Blocks()), len(blocks))
+		}
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCorruptEarlySegmentFails: a bad record that is not the tail of the
+// final segment is corruption, not a torn write, and must fail Open.
+func TestCorruptEarlySegmentFails(t *testing.T) {
+	roster, blocks := chain(t, 40)
+	dir := t.TempDir()
+	st := openStore(t, dir, roster, store.Options{SegmentSize: 512})
+	appendAll(t, st, blocks)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("need at least 2 segments, got %d", len(segs))
+	}
+	first := filepath.Join(dir, segs[0].Name())
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Open(dir, store.Options{Roster: roster}); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("Open on corrupt early segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCheckpointCompaction(t *testing.T) {
+	roster, blocks := crossDAG(t, 30)
+	dir := t.TempDir()
+	st := openStore(t, dir, roster, store.Options{SegmentSize: 1024})
+	appendAll(t, st, blocks)
+
+	d := dag.New(roster)
+	for _, b := range blocks {
+		if err := d.Insert(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := st.Checkpoint(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BytesAfter >= stats.BytesBefore {
+		t.Fatalf("compaction did not shrink the store: %d -> %d", stats.BytesBefore, stats.BytesAfter)
+	}
+	if stats.Blocks != len(blocks) {
+		t.Fatalf("snapshot holds %d blocks, want %d", stats.Blocks, len(blocks))
+	}
+	if stats.SegmentsRemoved == 0 {
+		t.Fatal("compaction removed no segments")
+	}
+
+	// The store stays appendable after a checkpoint.
+	_, signers, err := crypto.LocalRoster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := blocks[len(blocks)-1]
+	more := block.New(last.Builder, last.Seq+1, []block.Ref{last.Ref()}, nil)
+	if err := more.Seal(signers[int(last.Builder)]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(more); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-compaction recovery: snapshot + WAL tail.
+	st2 := openStore(t, dir, roster, store.Options{})
+	defer func() { _ = st2.Close() }()
+	if !sameRefs(st2.Blocks(), append(append([]*block.Block(nil), blocks...), more)) {
+		t.Fatalf("post-compaction recovery mismatch: %d blocks", len(st2.Blocks()))
+	}
+	rep := st2.Report()
+	if !rep.HasSnapshot {
+		t.Fatalf("report misses snapshot: %+v", rep)
+	}
+}
+
+// TestCheckpointPrunes: checkpointing a DAG that is an ancestry-closed
+// subset of the journaled history drops the rest — disk is O(live DAG),
+// not O(history).
+func TestCheckpointPrunes(t *testing.T) {
+	roster, blocks := chain(t, 20)
+	dir := t.TempDir()
+	st := openStore(t, dir, roster, store.Options{})
+	appendAll(t, st, blocks)
+
+	live := dag.New(roster)
+	for _, b := range blocks[:5] {
+		if err := live.Insert(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.Checkpoint(live); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openStore(t, dir, roster, store.Options{})
+	defer func() { _ = st2.Close() }()
+	if !sameRefs(st2.Blocks(), blocks[:5]) {
+		t.Fatalf("pruned store recovered %d blocks, want 5", len(st2.Blocks()))
+	}
+}
+
+// TestCheckpointCrashCleanup: segments a checkpoint failed to delete
+// before crashing are swept on the next Open.
+func TestCheckpointCrashCleanup(t *testing.T) {
+	roster, blocks := chain(t, 8)
+	dir := t.TempDir()
+	st := openStore(t, dir, roster, store.Options{SegmentSize: 256})
+	appendAll(t, st, blocks)
+	if _, err := st.Checkpoint(func() *dag.DAG {
+		d := dag.New(roster)
+		for _, b := range blocks {
+			if err := d.Insert(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d
+	}()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-create a stale pre-checkpoint segment, as if the crash hit
+	// between snapshot rename and cleanup.
+	stale := filepath.Join(dir, "0000000000000001.wal")
+	if err := os.WriteFile(stale, []byte("BDSTOR1\n\x01garbage-that-would-corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openStore(t, dir, roster, store.Options{})
+	defer func() { _ = st2.Close() }()
+	if !sameRefs(st2.Blocks(), blocks) {
+		t.Fatalf("recovered %d blocks, want %d", len(st2.Blocks()), len(blocks))
+	}
+	if st2.Report().StaleSegments != 1 {
+		t.Fatalf("StaleSegments = %d, want 1", st2.Report().StaleSegments)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("stale segment not removed")
+	}
+}
+
+// TestTornHeaderSegmentResume: a crash during segment creation leaves a
+// final segment shorter than its header next to a clean full segment.
+// Open must drop the stub, resume the clean segment at its own length
+// (not length minus the stub's torn bytes), and stay consistent across
+// another reopen.
+func TestTornHeaderSegmentResume(t *testing.T) {
+	roster, blocks := chain(t, 6)
+	dir := t.TempDir()
+	st := openStore(t, dir, roster, store.Options{})
+	appendAll(t, st, blocks[:4])
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Stub of a next segment: 5 bytes, shorter than the 9-byte header.
+	if err := os.WriteFile(filepath.Join(dir, "0000000000000002.wal"), []byte("BDSTO"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir, roster, store.Options{})
+	if got := len(st2.Blocks()); got != 4 {
+		t.Fatalf("recovered %d blocks, want 4", got)
+	}
+	if rep := st2.Report(); rep.TornBytes != 5 {
+		t.Fatalf("TornBytes = %d, want 5", rep.TornBytes)
+	}
+	appendAll(t, st2, blocks[4:])
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3 := openStore(t, dir, roster, store.Options{})
+	defer func() { _ = st3.Close() }()
+	if !sameRefs(st3.Blocks(), blocks) {
+		t.Fatalf("final recovery has %d blocks, want %d", len(st3.Blocks()), len(blocks))
+	}
+	if rep := st3.Report(); rep.TornBytes != 0 {
+		t.Fatalf("reopen after repair reports %d torn bytes", rep.TornBytes)
+	}
+}
+
+// TestOrphanedSnapshotTmpSwept: a checkpoint that crashed before its
+// rename leaves a .tmp orphan; a read-write Open removes it, a read-only
+// Open leaves it alone.
+func TestOrphanedSnapshotTmpSwept(t *testing.T) {
+	roster, blocks := chain(t, 3)
+	dir := t.TempDir()
+	st := openStore(t, dir, roster, store.Options{})
+	appendAll(t, st, blocks)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, "0000000000000002.snap.tmp")
+	if err := os.WriteFile(orphan, []byte("half-written snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ro := openStore(t, dir, roster, store.Options{ReadOnly: true})
+	if err := ro.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); err != nil {
+		t.Fatal("read-only open touched the orphaned temp file")
+	}
+
+	rw := openStore(t, dir, roster, store.Options{})
+	defer func() { _ = rw.Close() }()
+	if _, err := os.Stat(orphan); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("read-write open did not sweep the orphaned temp file")
+	}
+	if rw.Report().StaleSegments != 1 {
+		t.Fatalf("StaleSegments = %d, want 1", rw.Report().StaleSegments)
+	}
+	if !sameRefs(rw.Blocks(), blocks) {
+		t.Fatalf("recovered %d blocks, want %d", len(rw.Blocks()), len(blocks))
+	}
+}
+
+// TestSnapshotEquivocation: snapshots round-trip DAGs containing
+// equivocating blocks (two blocks, same builder and seq).
+func TestSnapshotEquivocation(t *testing.T) {
+	roster, signers, err := crypto.LocalRoster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := block.New(0, 0, nil, nil)
+	if err := g.Seal(signers[0]); err != nil {
+		t.Fatal(err)
+	}
+	b1 := block.New(0, 1, []block.Ref{g.Ref()}, []block.Request{{Label: "a", Data: []byte("x")}})
+	if err := b1.Seal(signers[0]); err != nil {
+		t.Fatal(err)
+	}
+	b2 := block.New(0, 1, []block.Ref{g.Ref()}, []block.Request{{Label: "a", Data: []byte("y")}})
+	if err := b2.Seal(signers[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	d := dag.New(roster)
+	for _, b := range []*block.Block{g, b1, b2} {
+		if err := d.Insert(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	st := openStore(t, dir, roster, store.Options{})
+	if _, err := st.Checkpoint(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openStore(t, dir, roster, store.Options{})
+	defer func() { _ = st2.Close() }()
+	if len(st2.Blocks()) != 3 {
+		t.Fatalf("recovered %d blocks, want 3", len(st2.Blocks()))
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	roster, blocks := chain(t, 6)
+	for _, policy := range []store.SyncPolicy{store.SyncAlways, store.SyncInterval, store.SyncNever} {
+		t.Run(policy.String(), func(t *testing.T) {
+			now := time.Duration(0)
+			dir := t.TempDir()
+			st := openStore(t, dir, roster, store.Options{
+				Sync:      policy,
+				SyncEvery: 100 * time.Millisecond,
+				Clock:     func() time.Duration { return now },
+			})
+			for _, b := range blocks {
+				if err := st.Append(b); err != nil {
+					t.Fatal(err)
+				}
+				now += 30 * time.Millisecond
+				if err := st.Tick(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := st.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st2 := openStore(t, dir, roster, store.Options{})
+			if !sameRefs(st2.Blocks(), blocks) {
+				t.Fatalf("recovered %d blocks, want %d", len(st2.Blocks()), len(blocks))
+			}
+			if err := st2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, policy := range []store.SyncPolicy{store.SyncAlways, store.SyncInterval, store.SyncNever} {
+		got, err := store.ParseSyncPolicy(policy.String())
+		if err != nil || got != policy {
+			t.Fatalf("round trip %v: got %v err %v", policy, got, err)
+		}
+	}
+	if _, err := store.ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseSyncPolicy accepted garbage")
+	}
+}

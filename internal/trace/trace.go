@@ -7,6 +7,11 @@
 // provides a length-prefixed dump format so a DAG can be written to disk
 // and re-interpreted offline — the decoupling of building and
 // interpretation the paper emphasizes.
+//
+// WriteDAG/ReadDAG are one-shot dumps for visualization tooling (dagviz
+// reads them). For crash-safe, incremental persistence — journaling
+// blocks as they are inserted, with segment rotation, torn-tail
+// recovery, and checkpoint/compaction — use package store instead.
 package trace
 
 import (
