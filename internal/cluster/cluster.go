@@ -69,10 +69,11 @@ type Options struct {
 
 	// StoreDir, if non-empty, gives every correct server a durable block
 	// store under StoreDir/s<i>: each inserted block is journaled before
-	// interpretation, and servers with pre-existing store contents
-	// restore from them on construction. Stores run with SyncNever
-	// (the simulation models power cuts by truncation, not by fsync) and
-	// the simulated clock.
+	// interpretation (through store.Store.PersistSink, so own blocks are
+	// synced before dissemination exactly as in production), and servers
+	// with pre-existing store contents restore from them on construction.
+	// Stores otherwise run with SyncNever (the simulation models power
+	// cuts by truncation, not by fsync) and the simulated clock.
 	StoreDir string
 	// StoreSegmentSize overrides the WAL rotation threshold
 	// (0 = store default). Tests use small segments to exercise
@@ -175,7 +176,7 @@ func New(opts Options) (*Cluster, error) {
 			CompressReferences:       opts.CompressReferences,
 		}
 		if st != nil {
-			cfg.OnPersist = st.Append
+			cfg.OnPersist = st.PersistSink(id)
 		}
 		srv, err := core.NewServer(cfg)
 		if err != nil {
@@ -306,11 +307,16 @@ func (c *Cluster) Converged() bool {
 // Crash simulates a full stop of the given server: it stops disseminating
 // (its slot becomes nil) and its endpoint is replaced by a black hole, so
 // in-flight and future traffic to it is lost. A store attached to the
-// slot is abandoned without Close or fsync — the power-cut model — and
-// can be reopened by RecoverServerFromStore. Recover the slot with
-// RecoverServer or RecoverServerFromStore.
+// slot is abandoned (store.Store.Abandon) without sealing or fsyncing the
+// live segment — the power-cut model — releasing its file handle so
+// crash/recover loops do not leak descriptors; reopen the directory via
+// RecoverServerFromStore (or store.Open for offline work). Recover the
+// slot with RecoverServer or RecoverServerFromStore.
 func (c *Cluster) Crash(slot int) {
 	c.Servers[slot] = nil
+	if st := c.Stores[slot]; st != nil {
+		st.Abandon()
+	}
 	c.Stores[slot] = nil
 	c.Net.Register(types.ServerID(slot), blackhole{})
 }
@@ -383,7 +389,7 @@ func (c *Cluster) recoverServer(slot int, proto protocol.Protocol, stored []*blo
 		},
 	}
 	if st != nil {
-		cfg.OnPersist = st.Append
+		cfg.OnPersist = st.PersistSink(id)
 	}
 	srv, err := core.NewServer(cfg)
 	if err != nil {

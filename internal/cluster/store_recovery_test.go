@@ -62,8 +62,9 @@ func TestClusterRestartFromStore(t *testing.T) {
 		}
 	}
 
-	// Power-cut s3. Keep its store handle and DAG only to drive the
-	// offline compaction below — the cluster itself forgets both.
+	// Power-cut s3. Keep its DAG to drive the offline compaction below;
+	// the store handle itself is abandoned by Crash (power-cut model,
+	// file handle released) and must refuse further use.
 	s3dag := c.Servers[3].DAG()
 	s3store := c.Stores[3]
 	preCrash := s3dag.ByBuilder(3)
@@ -71,6 +72,9 @@ func TestClusterRestartFromStore(t *testing.T) {
 		t.Fatal("s3 built no blocks before the crash")
 	}
 	c.Crash(3)
+	if err := s3store.Append(preCrash[0]); err == nil {
+		t.Fatal("abandoned store accepted an append")
+	}
 
 	// Phase 2: survivors progress; s3 misses a broadcast.
 	c.Request(1, "during", []byte("while down"))
@@ -89,9 +93,20 @@ func TestClusterRestartFromStore(t *testing.T) {
 		t.Fatal("crashed server delivered")
 	}
 
-	// Compact s3's store: snapshot the live DAG, drop older segments.
-	stats, err := s3store.Checkpoint(s3dag)
+	// Compact s3's store offline: reopen the abandoned directory,
+	// snapshot the live DAG, drop older segments.
+	compactor, err := store.Open(filepath.Join(dir, "s3"), store.Options{
+		Roster:      c.Roster,
+		SegmentSize: 2048,
+	})
 	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := compactor.Checkpoint(s3dag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compactor.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if stats.BytesAfter >= stats.BytesBefore {

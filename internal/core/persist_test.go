@@ -1,0 +1,151 @@
+package core_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"blockdag/internal/block"
+	"blockdag/internal/core"
+	"blockdag/internal/crypto"
+	"blockdag/internal/protocols/brb"
+	"blockdag/internal/types"
+)
+
+// recordingTransport counts payloads handed to the network, so tests can
+// observe whether a block was externalized.
+type recordingTransport struct {
+	self  types.ServerID
+	sends int
+}
+
+func (r *recordingTransport) Self() types.ServerID { return r.self }
+
+func (r *recordingTransport) Send(types.ServerID, []byte) { r.sends++ }
+
+// TestPersistFailureWithholdsBroadcast: once the persistence sink fails,
+// the own block it failed on must not reach the network — a non-durable
+// own block that peers have seen is a post-crash self-equivocation waiting
+// to happen — and the unhealthy server must refuse to build further
+// blocks while continuing to serve the rest of the protocol.
+func TestPersistFailureWithholdsBroadcast(t *testing.T) {
+	roster, signers, err := crypto.LocalRoster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &recordingTransport{self: 0}
+	diskFull := errors.New("disk full")
+	healthy := true
+	srv, err := core.NewServer(core.Config{
+		Roster:    roster,
+		Signer:    signers[0],
+		Protocol:  brb.Protocol{},
+		Transport: tr,
+		Clock:     func() time.Duration { return 0 },
+		OnPersist: func(*block.Block) error {
+			if healthy {
+				return nil
+			}
+			return diskFull
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := srv.Disseminate(); err != nil {
+		t.Fatal(err)
+	}
+	sentWhileHealthy := tr.sends
+	if sentWhileHealthy == 0 {
+		t.Fatal("healthy disseminate sent nothing")
+	}
+
+	healthy = false
+	srv.Request("lost?", []byte("payload"))
+	if err := srv.Disseminate(); !errors.Is(err, diskFull) {
+		t.Fatalf("disseminate over a failing sink returned %v, want the persist error", err)
+	}
+	if tr.sends != sentWhileHealthy {
+		t.Fatal("non-durable own block was broadcast")
+	}
+	// The requests drained into the withheld block are requeued, not
+	// silently lost with it.
+	if got := srv.PendingRequests(); got != 1 {
+		t.Fatalf("withheld block's request not requeued: %d pending", got)
+	}
+	if srv.Health() == nil {
+		t.Fatal("persist failure did not mark the server unhealthy")
+	}
+	// The withheld block advanced the local chain: it is in the DAG, and
+	// its sequence number is burned even though nobody saw it.
+	if got := len(srv.DAG().ByBuilder(0)); got != 2 {
+		t.Fatalf("own chain has %d blocks, want 2 (one broadcast, one withheld)", got)
+	}
+
+	// Further dissemination refuses outright, even if the disk recovers:
+	// the operator must restart over a working store.
+	healthy = true
+	err = srv.Disseminate()
+	if err == nil || !strings.Contains(err.Error(), "unhealthy") {
+		t.Fatalf("unhealthy server disseminated: %v", err)
+	}
+	if tr.sends != sentWhileHealthy {
+		t.Fatal("unhealthy server sent to the network")
+	}
+}
+
+// TestRestoreFailureLeavesServerFresh: a restore rejected during
+// validation must not touch the server — same-server retry with repaired
+// input succeeds, and the persistence sink can still be installed.
+func TestRestoreFailureLeavesServerFresh(t *testing.T) {
+	roster, signers, err := crypto.LocalRoster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := make([]*block.Block, 2)
+	var preds []block.Ref
+	for k := range good {
+		b := block.New(0, uint64(k), preds, nil)
+		if err := b.Seal(signers[0]); err != nil {
+			t.Fatal(err)
+		}
+		good[k] = b
+		preds = []block.Ref{b.Ref()}
+	}
+	// Tamper with the second block only: the first replays fine, so a
+	// non-atomic restore would leave it behind in the DAG.
+	enc := good[1].Encode()
+	enc[len(enc)-1] ^= 0xff
+	bad, err := block.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := core.NewServer(core.Config{
+		Roster:    roster,
+		Signer:    signers[0],
+		Protocol:  brb.Protocol{},
+		Transport: &recordingTransport{self: 0},
+		Clock:     func() time.Duration { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Restore([]*block.Block{good[0], bad}); err == nil {
+		t.Fatal("restore accepted a tampered block")
+	}
+	if got := srv.DAG().Len(); got != 0 {
+		t.Fatalf("failed restore left %d blocks in the DAG", got)
+	}
+	if err := srv.Restore(good); err != nil {
+		t.Fatalf("retry after failed restore: %v", err)
+	}
+	if err := srv.SetPersist(func(*block.Block) error { return nil }); err != nil {
+		t.Fatalf("SetPersist after successful restore: %v", err)
+	}
+	if got := len(srv.DAG().ByBuilder(0)); got != 2 {
+		t.Fatalf("restored chain has %d blocks, want 2", got)
+	}
+}

@@ -54,13 +54,18 @@ type Config struct {
 	OnIndication func(label types.Label, value []byte)
 	// OnPersist, if non-nil, journals every block inserted into the DAG
 	// (own and received alike) before the block is interpreted — i.e.
-	// before any indication it causes becomes user-visible, the
-	// write-ahead discipline crash recovery relies on. package store's
-	// Store.Append is the intended sink; node.Config.Store wires it.
-	// A persist error marks the server unhealthy (Health) but does not
-	// stop interpretation: the embedded protocol's state must advance
-	// identically on every correct server regardless of local disk
-	// trouble.
+	// before any indication it causes becomes user-visible, and, for own
+	// blocks, before gossip broadcasts them — the write-ahead discipline
+	// crash recovery relies on. package store's Store.PersistSink is the
+	// intended sink (it makes own blocks durable before they are
+	// externalized, so a post-crash restart cannot self-equivocate);
+	// node.Config.Store wires it.
+	// A persist error marks the server unhealthy (Health), withholds the
+	// broadcast of the own block it failed on, and stops further
+	// dissemination (Disseminate refuses on an unhealthy server) — but
+	// it does not stop interpretation: the embedded protocol's state
+	// must advance identically on every correct server regardless of
+	// local disk trouble.
 	OnPersist func(*block.Block) error
 
 	// Metrics, optional.
@@ -94,6 +99,11 @@ type Server struct {
 	rqsts  *requestQueue
 	gsp    *gossip.Gossip
 	interp *interpret.Interpreter
+
+	// restored is the number of blocks replayed by Restore. They came
+	// from the store, so SetPersist tolerates them when checking that no
+	// insertion slipped past the journal.
+	restored int
 
 	// firstErr records the first internal invariant violation (never
 	// expected; exposed for diagnosis rather than panicking).
@@ -189,7 +199,16 @@ func (s *Server) Deliver(from types.ServerID, payload []byte) {
 // Disseminate implements Algorithm 3 lines 10–11: seal and broadcast the
 // current block. The caller controls pacing (timer, payload pressure, or
 // falling behind — the paper leaves this to the implementation).
+//
+// An unhealthy server refuses to disseminate: once a persist (or other
+// internal) error is latched, building further blocks that could not be
+// journaled would leave the whole own chain suffix non-durable, so block
+// production stops until the operator restarts the server over a working
+// store. Delivering, interpreting, and serving FWD requests continue.
 func (s *Server) Disseminate() error {
+	if s.firstErr != nil {
+		return fmt.Errorf("core: disseminate on unhealthy server: %w", s.firstErr)
+	}
 	_, err := s.gsp.Disseminate()
 	return err
 }
@@ -200,11 +219,28 @@ func (s *Server) Tick(now time.Duration) { s.gsp.Tick(now) }
 // onInsert chains every inserted block into the interpreter: building the
 // DAG and interpreting it stay logically decoupled (the dotted line in the
 // paper's Figure 1) but share the insertion feed, which is a topological
-// order and hence eligible.
-func (s *Server) onInsert(b *block.Block) {
+// order and hence eligible. The returned persist error tells gossip the
+// block is not durable, so the broadcast of an own block is withheld.
+// Received blocks are interpreted even when their persist failed — the
+// embedded protocol's state must advance identically on every correct
+// server whatever the local disk does; an own block that failed to
+// persist is not interpreted, because it is withheld from the network
+// and absent from the journal, so neither a peer nor a post-restart self
+// will ever hold it — indications from it would describe state the
+// cluster never reaches. Nothing ever references the skipped block (the
+// own chain halts with the latched error), so the interpreter's feed
+// stays a valid topological order without it.
+func (s *Server) onInsert(b *block.Block) error {
+	var perr error
 	if s.cfg.OnPersist != nil {
-		if err := s.cfg.OnPersist(b); err != nil && s.firstErr == nil {
-			s.firstErr = fmt.Errorf("core: persist block %v: %w", b.Ref(), err)
+		if perr = s.cfg.OnPersist(b); perr != nil {
+			perr = fmt.Errorf("core: persist block %v: %w", b.Ref(), perr)
+			if s.firstErr == nil {
+				s.firstErr = perr
+			}
+			if b.Builder == s.self {
+				return perr
+			}
 		}
 	}
 	if err := s.interp.AddBlock(b); err != nil && s.firstErr == nil {
@@ -212,6 +248,7 @@ func (s *Server) onInsert(b *block.Block) {
 		// an invariant was broken, not a runtime condition.
 		s.firstErr = fmt.Errorf("core: interpret block %v: %w", b.Ref(), err)
 	}
+	return perr
 }
 
 // onIndication filters interpretation indications down to this server's
@@ -230,14 +267,24 @@ func (s *Server) onIndication(ind interpret.Indication) {
 // package store's recovered log. Blocks are fully revalidated
 // (Definition 3.3), interpreted, and all of gossip's volatile state is
 // re-derived deterministically from the restored DAG (Gossip.Recover):
-// the next disseminated block continues the old chain — no
-// self-equivocation — and references exactly the blocks no pre-crash
-// block referenced, while the FWD/retry bookkeeping restarts empty, so
-// any block that was in flight (or lost with an unsynced WAL tail) is
-// simply re-received or re-requested from peers.
+// the next disseminated block continues the old chain and references
+// exactly the blocks no pre-crash block referenced, while the FWD/retry
+// bookkeeping restarts empty, so any block that was in flight (or lost
+// with an unsynced WAL tail) is simply re-received or re-requested from
+// peers.
+//
+// No-self-equivocation has a precondition: the replayed blocks must
+// include every own block any peer may have seen, since the resumed
+// chain continues from the highest replayed own sequence number. The
+// store guarantees this when the pre-crash server journaled through
+// store.Store.PersistSink, which makes own blocks durable before gossip
+// broadcasts them; only received blocks can be lost with an unsynced
+// tail, and those are refetched.
 //
 // Restore must be called on a fresh server, before any network traffic,
-// request, or dissemination; calling it later returns an error. Blocks
+// request, or dissemination; calling it later returns an error. The
+// blocks are validated in full before any server state is touched, so a
+// rejected restore leaves the server fresh and retryable. Blocks
 // replayed here do not pass through Config.OnPersist — they came from
 // the store — and store.Store.Append ignores re-journaled blocks anyway.
 //
@@ -250,27 +297,45 @@ func (s *Server) Restore(blocks []*block.Block) error {
 	if s.dag.Len() > 0 {
 		return errors.New("core: restore on a server that already has blocks")
 	}
+	// Validate the whole replay against a scratch DAG first, so a bad
+	// block (wrong roster, broken closure, bad signature) rejects the
+	// restore without touching the server: no partially populated DAG, no
+	// half-emitted indications, and the caller is free to retry on the
+	// same server with repaired input.
+	scratch := dag.New(s.cfg.Roster)
 	for _, b := range blocks {
-		if err := s.dag.Insert(b); err != nil {
+		if err := scratch.Insert(b); err != nil {
+			return fmt.Errorf("core: restore block %v: %w", b.Ref(), err)
+		}
+	}
+	for _, b := range blocks {
+		// InsertVerified: the scratch pass already paid the Ed25519
+		// verification; the structural checks of Definition 3.3 still
+		// run, and validation is deterministic, so an error here is an
+		// invariant break, not bad input.
+		if err := s.dag.InsertVerified(b); err != nil {
 			return fmt.Errorf("core: restore block %v: %w", b.Ref(), err)
 		}
 		if err := s.interp.AddBlock(b); err != nil {
 			return fmt.Errorf("core: restore interpret %v: %w", b.Ref(), err)
 		}
 	}
+	s.restored = s.dag.Len()
 	s.gsp.Recover()
 	return nil
 }
 
 // SetPersist installs the persistence sink after construction — the hook
 // node.Config.Store uses, since the node receives an already-built
-// Server. It must be called on a fresh server (no blocks yet, no sink
-// installed), so no insertion can slip past the journal.
+// Server. It must be called before any block is inserted through gossip,
+// so no insertion can slip past the journal; blocks replayed by Restore
+// are exempt (they came from the store), which lets callers restore
+// first and install the sink only once the replay has succeeded.
 func (s *Server) SetPersist(sink func(*block.Block) error) error {
 	if s.cfg.OnPersist != nil {
 		return errors.New("core: persistence sink already set")
 	}
-	if s.dag.Len() > 0 {
+	if s.dag.Len() > s.restored {
 		return errors.New("core: persistence sink set after blocks were inserted")
 	}
 	s.cfg.OnPersist = sink
@@ -330,6 +395,13 @@ func (q *requestQueue) Put(label types.Label, data []byte) {
 		Label: label,
 		Data:  append([]byte(nil), data...),
 	})
+}
+
+// Requeue returns drained requests to the front of the buffer in their
+// original order, ahead of anything buffered since — the path gossip
+// takes when a built block is withheld from the network.
+func (q *requestQueue) Requeue(reqs []block.Request) {
+	q.items = append(append([]block.Request(nil), reqs...), q.items...)
 }
 
 // Next implements rqsts.get(): remove and return up to max requests.

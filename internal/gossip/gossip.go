@@ -61,6 +61,11 @@ func EncodeFwdMsg(ref block.Ref) []byte {
 type RequestSource interface {
 	// Next returns and removes up to max buffered requests.
 	Next(max int) []block.Request
+	// Requeue returns drained requests to the front of the buffer —
+	// Disseminate uses it when the block they were embedded in is
+	// withheld from the network, so accepted requests are not silently
+	// lost with it.
+	Requeue(reqs []block.Request)
 }
 
 // Config parameterizes a gossip instance.
@@ -78,8 +83,14 @@ type Config struct {
 	// Transport sends wire messages. Required.
 	Transport transport.Transport
 	// OnInsert, if non-nil, observes every block inserted into the DAG
-	// in insertion order; the shim chains the interpreter here.
-	OnInsert func(*block.Block)
+	// in insertion order; the shim chains the interpreter and the
+	// persistence hook here. A non-nil error means the block was not
+	// safely persisted: Disseminate then withholds the broadcast of the
+	// own block it just built — an own block must never be externalized
+	// before it is durable, or a crash re-signs its sequence number
+	// (self-equivocation). Received blocks are unaffected; they are
+	// already externalized by their builders.
+	OnInsert func(*block.Block) error
 	// Clock supplies the current time for FWD retry bookkeeping. The
 	// simulator injects virtual time. Required.
 	Clock func() time.Duration
@@ -204,6 +215,12 @@ func (g *Gossip) Self() types.ServerID { return g.self }
 // block lost with an unsynced WAL tail is simply re-requested as soon as
 // some peer references it (delivery semantics are documented at
 // core.Server.Restore).
+//
+// Resuming at "last own seq + 1" is only equivocation-free if the DAG
+// being recovered from holds every own block a peer may have seen — the
+// persistence layer must make own blocks durable before they are
+// broadcast (store.Store.PersistSink's externalization barrier); received
+// blocks may be lost freely.
 func (g *Gossip) Recover() {
 	g.pending = make(map[block.Ref]*block.Block)
 	g.waiters = make(map[block.Ref][]block.Ref)
@@ -380,15 +397,19 @@ func (g *Gossip) tryInsert(b *block.Block) bool {
 		g.markInvalid(ref)
 		return true
 	}
-	g.noteInserted(b)
+	// A persist error on a received block never stops insertion (the
+	// builder already externalized it); the shim records it as a health
+	// problem.
+	_ = g.noteInserted(b)
 	return true
 }
 
 // noteInserted runs the post-insert duties for a block now in G: add a
 // reference to the current block (line 8, at most once per block —
 // Lemma A.6, guaranteed because insertion happens once), notify the
-// interpreter, and wake blocks waiting on it.
-func (g *Gossip) noteInserted(b *block.Block) {
+// interpreter, and wake blocks waiting on it. It returns the OnInsert
+// hook's error so Disseminate can gate externalization of own blocks.
+func (g *Gossip) noteInserted(b *block.Block) error {
 	ref := b.Ref()
 	g.cfg.Metrics.AddBlocksInserted(1)
 	if b.Builder != g.self {
@@ -408,8 +429,9 @@ func (g *Gossip) noteInserted(b *block.Block) {
 			g.curPreds = append(g.curPreds, ref)
 		}
 	}
+	var hookErr error
 	if g.cfg.OnInsert != nil {
-		g.cfg.OnInsert(b)
+		hookErr = g.cfg.OnInsert(b)
 	}
 	waiting := g.waiters[ref]
 	delete(g.waiters, ref)
@@ -418,6 +440,7 @@ func (g *Gossip) noteInserted(b *block.Block) {
 			g.tryInsert(wb)
 		}
 	}
+	return hookErr
 }
 
 // markInvalid records an unvalidatable reference and transitively poisons
@@ -450,7 +473,10 @@ func (g *Gossip) handleFwd(from types.ServerID, ref block.Ref) {
 // Disseminate implements lines 14–18: seal the current block with the
 // buffered requests, insert it into the local DAG, send it to every other
 // server, and start the next block with the parent reference. It returns
-// the disseminated block.
+// the disseminated block. If the OnInsert hook reports the block was not
+// safely persisted, the broadcast is withheld (the block must not be
+// externalized before it is durable) and an error is returned; chain
+// state still advances past the block, which remains local-only.
 func (g *Gossip) Disseminate() (*block.Block, error) {
 	var reqs []block.Request
 	if g.cfg.Requests != nil {
@@ -474,17 +500,27 @@ func (g *Gossip) Disseminate() (*block.Block, error) {
 		return nil, fmt.Errorf("gossip: insert own block: %w", err)
 	}
 	g.cfg.Metrics.AddBlocksBuilt(1)
-	g.cfg.Metrics.AddRequestsEmbedded(int64(len(reqs)))
-	g.noteInserted(b)
+	hookErr := g.noteInserted(b)
 
-	enc := EncodeBlockMsg(b)
-	for _, id := range g.cfg.Roster.IDs() {
-		if id == g.self {
-			continue
+	if hookErr == nil {
+		g.cfg.Metrics.AddRequestsEmbedded(int64(len(reqs)))
+		enc := EncodeBlockMsg(b)
+		for _, id := range g.cfg.Roster.IDs() {
+			if id == g.self {
+				continue
+			}
+			g.send(id, enc)
 		}
-		g.send(id, enc)
+	} else if g.cfg.Requests != nil && len(reqs) > 0 {
+		// The block carrying these requests will never reach a peer;
+		// put them back so they are still observable (PendingRequests)
+		// rather than silently gone.
+		g.cfg.Requests.Requeue(reqs)
 	}
 
+	// Chain state advances even when the broadcast is withheld: the block
+	// is in the local DAG, so the next own block — if the owner ever
+	// disseminates again — must not reuse its sequence number.
 	g.curSeq++
 	if g.cfg.CompressReferences {
 		parent := b.Ref()
@@ -493,6 +529,12 @@ func (g *Gossip) Disseminate() (*block.Block, error) {
 		g.curTips = nil
 	} else {
 		g.curPreds = []block.Ref{b.Ref()}
+	}
+	if hookErr != nil {
+		// The own block failed to persist, so it was not broadcast: no
+		// peer can ever see this sequence number, and a post-crash
+		// restart that lost the block cannot equivocate by reusing it.
+		return nil, fmt.Errorf("gossip: block %v withheld, not safely persisted: %w", b.Ref(), hookErr)
 	}
 	return b, nil
 }

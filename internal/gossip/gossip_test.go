@@ -29,6 +29,10 @@ func (q *queueSource) Next(max int) []block.Request {
 	return out
 }
 
+func (q *queueSource) Requeue(reqs []block.Request) {
+	q.reqs = append(append([]block.Request(nil), reqs...), q.reqs...)
+}
+
 // testNode bundles one server's gossip instance with its plumbing.
 type testNode struct {
 	g       *Gossip
@@ -435,9 +439,10 @@ func TestOnInsertObservesTopologicalOrder(t *testing.T) {
 	c := newCluster(t, 4, simnet.WithLatency(5*time.Millisecond, 80*time.Millisecond))
 	var seen []*block.Block
 	pos := make(map[block.Ref]int)
-	c.nodes[0].g.cfg.OnInsert = func(b *block.Block) {
+	c.nodes[0].g.cfg.OnInsert = func(b *block.Block) error {
 		pos[b.Ref()] = len(seen)
 		seen = append(seen, b)
+		return nil
 	}
 	c.disseminateRounds(4, 20*time.Millisecond)
 	for _, b := range seen {

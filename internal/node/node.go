@@ -29,11 +29,12 @@ type Config struct {
 	DisseminateEvery time.Duration
 	// TickEvery is the FWD retry-timer period (default 100ms).
 	TickEvery time.Duration
-	// Store, if non-nil, makes the server durable: New installs the
-	// store as the server's persistence sink, replays the store's
-	// recovered blocks through core.Server.Restore (resuming the
-	// pre-crash chain), and the loop drives interval fsync alongside the
-	// FWD timer. The store must be freshly opened (store.Open) and the
+	// Store, if non-nil, makes the server durable: New replays the
+	// store's recovered blocks through core.Server.Restore (resuming the
+	// pre-crash chain), installs the store's persistence sink
+	// (store.Store.PersistSink, which force-syncs own blocks before
+	// gossip broadcasts them), and the loop drives interval fsync
+	// alongside the FWD timer. The store must be freshly opened (store.Open) and the
 	// server freshly built; the caller keeps ownership and closes the
 	// store after Stop. On a clean shutdown Stop leaves the WAL fully
 	// synced.
@@ -80,9 +81,11 @@ type Node struct {
 }
 
 // New validates the config and prepares a node. With Config.Store set,
-// New performs the recover-resume handshake: the persistence sink is
-// installed before any block can be inserted, then the store's recovered
-// log is replayed so the server continues its pre-crash chain.
+// New performs the recover-resume handshake: the store's recovered log is
+// replayed so the server continues its pre-crash chain, then the store's
+// persistence sink is installed — before any other block can be inserted,
+// and only once the replay has succeeded, so a failed New leaves the
+// caller-owned server without a sink and free to retry.
 func New(cfg Config) (*Node, error) {
 	if cfg.Server == nil {
 		return nil, errors.New("node: config needs a Server")
@@ -94,11 +97,14 @@ func New(cfg Config) (*Node, error) {
 		cfg.TickEvery = 100 * time.Millisecond
 	}
 	if cfg.Store != nil {
-		if err := cfg.Server.SetPersist(cfg.Store.Append); err != nil {
-			return nil, fmt.Errorf("node: %w", err)
-		}
 		if err := cfg.Server.Restore(cfg.Store.Blocks()); err != nil {
 			return nil, fmt.Errorf("node: restore from store: %w", err)
+		}
+		// PersistSink, not a bare Append: own blocks must be durable
+		// before gossip broadcasts them, or a power cut sets up a
+		// post-crash self-equivocation (see the store package docs).
+		if err := cfg.Server.SetPersist(cfg.Store.PersistSink(cfg.Server.ID())); err != nil {
+			return nil, fmt.Errorf("node: %w", err)
 		}
 	}
 	return &Node{
@@ -204,9 +210,11 @@ func (n *Node) loop(ctx context.Context) {
 		case rq := <-n.reqs:
 			srv.Request(rq.label, rq.data)
 		case <-disseminate.C:
-			// A failed disseminate means our own signer rejected
-			// our own block — unreachable without memory
-			// corruption; record for Err().
+			// A failed disseminate means the block could not be
+			// persisted (broadcast withheld, server unhealthy) or
+			// an internal invariant broke; record for Err(). The
+			// loop keeps running: delivery, interpretation, and
+			// FWD service stay up on an unhealthy server.
 			n.recordErr(srv.Disseminate())
 		case <-tick.C:
 			srv.Tick(time.Since(start))

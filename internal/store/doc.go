@@ -16,7 +16,8 @@
 // and a kind byte. Segments sort by index; recovery reads the
 // highest-index snapshot (if any) followed by all WAL segments with a
 // higher index. Stale segments left behind by a checkpoint that crashed
-// between rename and cleanup are deleted on Open.
+// between rename and cleanup are deleted on Open (read-only opens report
+// them but leave them in place).
 //
 // # WAL segments
 //
@@ -55,25 +56,49 @@
 //
 // # Fsync policy
 //
-// Options.Sync picks the durability/latency trade-off:
+// Options.Sync picks the durability/latency trade-off for Append:
 //
 //   - SyncInterval (default): appends are flushed to the OS immediately
 //     but fsynced at most once per Options.SyncEvery (driven by Append
 //     and by Tick from the node runtime). A power cut can lose up to the
-//     last interval of blocks; gossip's FWD retries refetch them from
-//     peers, so this only ever costs re-download, never safety.
+//     last interval of appends.
 //   - SyncAlways: fsync after every append. The block is durable before
 //     the interpreter can emit its indications — the strongest guarantee,
 //     and the slowest (see BenchmarkStoreAppend).
 //   - SyncNever: leave flushing to the OS entirely. For simulations,
 //     tests, and workloads where the store is a cache of the cluster.
 //
-// Losing recent unsynced blocks is safe in every policy because the WAL
-// holds only blocks that are (or were about to be) in the cluster's joint
-// DAG: recovery yields a valid prefix of the pre-crash DAG, Restore
-// resumes the own chain without equivocating (gossip.Recover), and
-// anything lost is refetched. Indications replayed from the store repeat
-// pre-crash deliveries — the at-least-once indication semantics
-// documented at core.Server.Restore, which is the authoritative statement
-// of the recovery contract.
+// # Own blocks: the externalization barrier
+//
+// The policy alone bounds what a power cut can lose, but whether that
+// loss is safe depends on who built the lost blocks:
+//
+//   - Received blocks are refetched: gossip's FWD retries pull anything a
+//     peer still references, so losing an unsynced tail of them only ever
+//     costs re-download.
+//   - Own blocks are different. The server broadcasts its own block the
+//     moment it is built; if the block is then lost with an unsynced WAL
+//     tail, recovery resumes the own chain at the highest *recovered* own
+//     sequence number (gossip.Recover) and re-signs a different block at
+//     a number peers have already seen — self-equivocation by a correct
+//     server, a safety violation no refetch can repair.
+//
+// PersistSink is therefore the required hook for a store backing a live
+// server: it force-syncs own blocks before the persistence hook returns,
+// and since core runs the hook before gossip's broadcast loop, an own
+// block is durable before it is externalized under every policy. Wired
+// that way (node.Config.Store and package cluster do it automatically),
+// unsynced-tail loss is confined to received blocks and costs re-download,
+// never safety. A bare Append sink does not provide this barrier: under
+// SyncInterval or SyncNever it risks exactly the post-crash
+// self-equivocation above.
+//
+// Losing recent unsynced received blocks is safe in every policy because
+// the WAL holds only blocks that are (or were about to be) in the
+// cluster's joint DAG: recovery yields a valid prefix of the pre-crash
+// DAG, Restore resumes the own chain without equivocating (durable up to
+// the published head by the barrier), and anything lost is refetched.
+// Indications replayed from the store repeat pre-crash deliveries — the
+// at-least-once indication semantics documented at core.Server.Restore,
+// which is the authoritative statement of the recovery contract.
 package store

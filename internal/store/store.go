@@ -10,6 +10,7 @@ import (
 	"blockdag/internal/block"
 	"blockdag/internal/crypto"
 	"blockdag/internal/dag"
+	"blockdag/internal/types"
 )
 
 // SyncPolicy selects when Append fsyncs the live WAL segment. See the
@@ -99,9 +100,10 @@ type OpenReport struct {
 	// TornBytes is the size of the torn tail truncated from the final
 	// WAL segment, 0 if the log ended cleanly.
 	TornBytes int64
-	// StaleSegments counts files deleted because a crashed checkpoint
-	// left them behind: segments made unreachable before cleanup
-	// finished, and orphaned snapshot temp files.
+	// StaleSegments counts files a crashed checkpoint left behind:
+	// segments made unreachable before cleanup finished, and orphaned
+	// snapshot temp files. Read-write opens delete them; ReadOnly opens
+	// only report them.
 	StaleSegments int
 }
 
@@ -121,7 +123,13 @@ type Store struct {
 	curSize  int64
 	nextIdx  uint64
 
-	dirty    bool
+	dirty bool
+	// dirDirty records that the live segment's directory entry is not
+	// yet durable (the file was created since the last directory fsync):
+	// fsyncing a newly created file does not persist its name, so Sync
+	// must also fsync the directory or a power cut can drop the whole
+	// segment.
+	dirDirty bool
 	lastSync time.Duration
 	closed   bool
 	// failed latches a write error the store could not repair (the
@@ -174,17 +182,19 @@ func (s *Store) recover() error {
 	// A checkpoint that crashed between writing its temp file and the
 	// rename leaves an orphan no segment listing will ever see; sweep
 	// them so crashed checkpoints cannot accumulate unbounded disk.
-	if !s.opts.ReadOnly {
-		tmps, err := filepath.Glob(filepath.Join(s.dir, "*.tmp"))
-		if err != nil {
-			return fmt.Errorf("store: list temp files: %w", err)
-		}
-		for _, tmp := range tmps {
+	// ReadOnly opens still count them (dagstore verify must flag a store
+	// a read-write open would repair) but leave the files in place.
+	tmps, err := filepath.Glob(filepath.Join(s.dir, "*.tmp"))
+	if err != nil {
+		return fmt.Errorf("store: list temp files: %w", err)
+	}
+	for _, tmp := range tmps {
+		if !s.opts.ReadOnly {
 			if err := os.Remove(tmp); err != nil {
 				return fmt.Errorf("store: remove orphaned temp file: %w", err)
 			}
-			s.report.StaleSegments++
 		}
+		s.report.StaleSegments++
 	}
 	segs, err := listSegments(s.dir)
 	if err != nil {
@@ -387,9 +397,12 @@ func (s *Store) Append(b *block.Block) error {
 		// The segment may now end in a partial record. Truncate back to
 		// the last good offset so a later append cannot bury torn bytes
 		// mid-segment (recovery would then stop there and silently drop
-		// everything after, or fail the whole segment). If the repair
-		// also fails, latch: refusing further appends keeps every
-		// record recovery does return trustworthy.
+		// everything after, or fail the whole segment). Segments are
+		// opened O_APPEND, so the next write lands at the truncated EOF
+		// rather than the stale offset past it, which would leave a
+		// zero-filled gap recovery stops at. If the repair also fails,
+		// latch: refusing further appends keeps every record recovery
+		// does return trustworthy.
 		if terr := s.cur.Truncate(s.curSize); terr != nil {
 			s.failed = err
 		}
@@ -410,13 +423,47 @@ func (s *Store) Append(b *block.Block) error {
 	return nil
 }
 
-// Sync fsyncs the live WAL segment if it has unsynced appends.
+// PersistSink returns the persistence hook (core.Config.OnPersist) for
+// the server owning this store: it journals every inserted block and, for
+// blocks built by self, forces the WAL durable before returning —
+// whatever the fsync policy. The hook runs before gossip broadcasts an
+// own block, so by the time any peer can observe one of our sequence
+// numbers the block is on disk: a power cut can never make a restarted
+// server re-sign a different block at an already-published sequence
+// number (self-equivocation, which DAGs flag and correct servers must
+// never commit). Received blocks stay on the configured policy — losing
+// an unsynced tail of them only costs refetching from peers.
+//
+// Use this, not a bare Append, whenever the store backs a live server;
+// node.Config.Store and package cluster wire it automatically.
+func (s *Store) PersistSink(self types.ServerID) func(*block.Block) error {
+	return func(b *block.Block) error {
+		if err := s.Append(b); err != nil {
+			return err
+		}
+		if b.Builder == self {
+			return s.Sync()
+		}
+		return nil
+	}
+}
+
+// Sync fsyncs the live WAL segment if it has unsynced appends, and the
+// store directory if the segment file itself was created since the last
+// sync (a new file's directory entry is not made durable by fsyncing the
+// file).
 func (s *Store) Sync() error {
 	if !s.dirty || s.cur == nil {
 		return nil
 	}
 	if err := s.cur.Sync(); err != nil {
 		return fmt.Errorf("store: fsync: %w", err)
+	}
+	if s.dirDirty {
+		if err := syncDir(s.dir); err != nil {
+			return err
+		}
+		s.dirDirty = false
 	}
 	s.dirty = false
 	s.lastSync = s.opts.Clock()
@@ -436,10 +483,12 @@ func (s *Store) Tick() error {
 	return s.Sync()
 }
 
-// newSegment starts WAL segment nextIdx.
+// newSegment starts WAL segment nextIdx. O_APPEND keeps every write at
+// EOF, so the torn-write repair in Append (truncate back to the last good
+// record) composes with later appends without gaps.
 func (s *Store) newSegment() error {
 	path := filepath.Join(s.dir, segName(s.nextIdx, false))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: create segment: %w", err)
 	}
@@ -454,6 +503,7 @@ func (s *Store) newSegment() error {
 	s.curIndex = s.nextIdx
 	s.curSize = int64(headerSize)
 	s.nextIdx++
+	s.dirDirty = true
 	return nil
 }
 
@@ -572,6 +622,25 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	return s.rotate()
+}
+
+// Abandon releases the live segment's file handle without sealing or
+// syncing it — the power-cut model: the file is left exactly as the
+// operating system last saw it, unsynced tail included. Simulations
+// (cluster.Crash) use it so crash/recover loops do not leak a descriptor
+// per crash while a reopen truncates the same file the stale handle still
+// aliases. The store is unusable afterwards; reopen the directory with
+// Open to recover.
+func (s *Store) Abandon() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.cur != nil {
+		_ = s.cur.Close()
+		s.cur = nil
+		s.dirty = false
+	}
 }
 
 // writeFileSync writes data to path and fsyncs it before returning.

@@ -535,6 +535,11 @@ func TestOrphanedSnapshotTmpSwept(t *testing.T) {
 	}
 
 	ro := openStore(t, dir, roster, store.Options{ReadOnly: true})
+	// Read-only opens still report the orphan — dagstore verify must
+	// flag a store a read-write open would repair — without touching it.
+	if ro.Report().StaleSegments != 1 {
+		t.Fatalf("read-only StaleSegments = %d, want 1", ro.Report().StaleSegments)
+	}
 	if err := ro.Close(); err != nil {
 		t.Fatal(err)
 	}
