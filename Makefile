@@ -1,0 +1,26 @@
+# Developer entry points. CI runs the same targets (.github/workflows/ci.yml).
+
+# BENCHTIME bounds each benchmark's measuring time; raise it for stabler
+# numbers, lower it for a quick smoke run. BENCH_OUT overrides the output
+# path (CI writes to a dedicated file so the artifact never mixes with
+# checked-in baselines).
+BENCHTIME ?= 1s
+BENCH_OUT ?= BENCH_$(shell date +%F).json
+
+.PHONY: test
+test:
+	go build ./...
+	go test ./...
+
+.PHONY: bench
+# bench runs the full benchmark suite with allocation counts and writes
+# the machine-readable result to BENCH_<date>.json — the perf trajectory
+# artifact ROADMAP.md tracks. Check the file in with the change that
+# produced it. The test run's exit status is preserved: a failing or
+# non-compiling benchmark fails the target, not just thins the output.
+bench:
+	go test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	cat bench.out
+	go run ./cmd/benchjson < bench.out > $(BENCH_OUT)
+	rm -f bench.out
+	@echo "wrote $(BENCH_OUT)"

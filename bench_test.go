@@ -417,3 +417,58 @@ func BenchmarkE3_Figure4Interpretation(b *testing.B) {
 		}
 	}
 }
+
+// buildDeepFixedLoadDAG builds a DAG `rounds` all-to-all rounds deep with
+// a fixed request load (32 BRB instances, all injected in the first eight
+// rounds): varying depth varies only DAG structure, so per-block
+// interpretation cost across the variants isolates the collection
+// machinery from protocol work.
+func buildDeepFixedLoadDAG(rounds int) *dagtest.Harness {
+	h := dagtest.NewHarness(4)
+	label := 0
+	for r := 0; r < rounds; r++ {
+		reqs := make(map[int][]block.Request)
+		if r < 8 {
+			for k := 0; k < 4; k++ {
+				reqs[label%4] = append(reqs[label%4], block.Request{
+					Label: types.Label(fmt.Sprintf("l/%d", label)),
+					Data:  []byte("v"),
+				})
+				label++
+			}
+		}
+		h.Round(reqs)
+	}
+	return h
+}
+
+// BenchmarkE12_DeepDAG extends E12 to deep DAGs (hundreds of all-to-all
+// rounds) under a fixed request load: per-block interpretation cost must
+// stay flat in DAG depth. Run in both inclusion modes — implicit mode
+// exercises the ancestry-watermark collection on top of the explicit-mode
+// baseline.
+func BenchmarkE12_DeepDAG(b *testing.B) {
+	for _, mode := range []string{"explicit", "implicit"} {
+		for _, rounds := range []int{40, 160, 480} {
+			b.Run(fmt.Sprintf("%s/rounds=%d", mode, rounds), func(b *testing.B) {
+				h := buildDeepFixedLoadDAG(rounds)
+				blocks := h.DAG.Len()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					opts := []interpret.Option{interpret.WithoutInBufferRecording()}
+					if mode == "implicit" {
+						opts = append(opts, interpret.WithImplicitInclusion())
+					}
+					it := interpret.New(brb.Protocol{}, 4, 1, nil, opts...)
+					if err := it.InterpretDAG(h.DAG); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(blocks), "ns/block")
+				b.ReportMetric(float64(blocks)*float64(b.N)/b.Elapsed().Seconds(), "blocks/s")
+			})
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package dag
 
 import (
+	"fmt"
 	"testing"
 
 	"blockdag/internal/block"
 	"blockdag/internal/crypto"
+	"blockdag/internal/types"
 )
 
 // buildChain seals a linear chain of n blocks for benchmark input.
@@ -59,4 +61,96 @@ func BenchmarkInsertVerified(b *testing.B) {
 		}
 	}
 	b.ReportMetric(256, "blocks/op")
+}
+
+// buildDeepDAG seals a two-builder DAG `depth` rounds deep: each builder
+// extends its chain referencing the other's previous tip, so every block's
+// ancestry covers nearly the whole DAG — the worst case for a traversal-
+// based reachability and the flat case for the causal summary.
+func buildDeepDAG(b *testing.B, depth int) (*DAG, []*block.Block) {
+	b.Helper()
+	roster, signers, err := crypto.LocalRoster(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := New(roster)
+	var blocks []*block.Block
+	tips := make([]block.Ref, 2)
+	for r := 0; r < depth; r++ {
+		for i := 0; i < 2; i++ {
+			var preds []block.Ref
+			if r > 0 {
+				preds = []block.Ref{tips[i], tips[1-i]}
+			}
+			blk := block.New(types.ServerID(i), uint64(r), preds, nil)
+			if err := blk.Seal(signers[i]); err != nil {
+				b.Fatal(err)
+			}
+			if err := d.Insert(blk); err != nil {
+				b.Fatal(err)
+			}
+			blocks = append(blocks, blk)
+		}
+		for i := 0; i < 2; i++ {
+			tips[i] = blocks[len(blocks)-2+i].Ref()
+		}
+	}
+	return d, blocks
+}
+
+// BenchmarkReaches measures reachability queries across DAG depths. With
+// the causal summary the cost must stay flat (O(1), zero allocations)
+// however deep the ancestry between the two blocks is.
+func BenchmarkReaches(b *testing.B) {
+	for _, depth := range []int{128, 1024, 8192} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			d, blocks := buildDeepDAG(b, depth)
+			genesis := blocks[0].Ref()
+			mid := blocks[len(blocks)/2].Ref()
+			tip := blocks[len(blocks)-1].Ref()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !d.Reaches(genesis, tip) || !d.Reaches(mid, tip) {
+					b.Fatal("deep ancestry not reached")
+				}
+				if d.Reaches(tip, genesis) {
+					b.Fatal("reachability inverted")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReachesForkedFallback measures the same query shape when the
+// source block's builder has equivocated — the flagged chain drops to the
+// backwards BFS, so this is the O(ancestry) contrast to BenchmarkReaches.
+func BenchmarkReachesForkedFallback(b *testing.B) {
+	for _, depth := range []int{128, 1024} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			d, blocks := buildDeepDAG(b, depth)
+			// Builder 0 equivocates at seq 1: a sibling of its second
+			// block, forking from its genesis.
+			_, signers, err := crypto.LocalRoster(2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fork := block.New(0, 1, []block.Ref{blocks[0].Ref()}, []block.Request{{Label: "x", Data: []byte("fork")}})
+			if err := fork.Seal(signers[0]); err != nil {
+				b.Fatal(err)
+			}
+			if err := d.Insert(fork); err != nil {
+				b.Fatal(err)
+			}
+			genesis := blocks[0].Ref()
+			tip := blocks[len(blocks)-1].Ref()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !d.Reaches(genesis, tip) {
+					b.Fatal("deep ancestry not reached")
+				}
+			}
+		})
+	}
 }

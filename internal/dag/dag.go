@@ -6,11 +6,28 @@
 // The package provides validation, insertion (which preserves the block
 // DAG property, Lemma A.3/A.5), equivocation detection (Figure 3), and the
 // joint block DAG construction of Lemma A.7 used in tests of Lemma 3.7.
+//
+// # Causal summary invariant
+//
+// Every insert annotates the underlying graph vertex with the block's
+// (builder, seq) chain position, feeding the graph's incremental causal
+// summary: each block carries a per-builder watermark vector — the highest
+// ancestor sequence number on each builder's chain — built at insert time
+// from the parent vector and a predecessor-vector join, with no traversal.
+// The parent rule (Definition 3.3(ii)) is exactly the chain-connectivity
+// invariant the index needs: an honest builder's blocks form a path, so
+// Reaches, HappenedBefore, and Concurrent are O(1), allocation-free
+// watermark compares. Builders with an observed equivocation (two blocks
+// in one (builder, seq) slot, Figure 3) are flagged in the index; only
+// queries starting from a flagged builder's block fall back to the
+// backwards BFS, so byzantine forks cost their own queries — not everyone
+// else's.
 package dag
 
 import (
 	"errors"
 	"fmt"
+	"iter"
 	"sort"
 
 	"blockdag/internal/block"
@@ -117,10 +134,31 @@ func (d *DAG) Get(ref block.Ref) (*block.Block, bool) {
 	return b, ok
 }
 
+// smallPreds is the predecessor-list size below which dedup runs as an
+// allocation-free linear scan. Honest blocks stay below it (≤ roster
+// size + 1 references in compress mode, ≤ recent-block count otherwise);
+// oversized byzantine lists keep the map-backed O(k) path so quadratic
+// scans cannot be provoked.
+const smallPreds = 16
+
 // MissingPreds returns the references in b.Preds not yet in the DAG, in
 // block order without duplicates. Gossip uses this to issue FWD requests.
+// It returns nil — without allocating — when nothing is missing, the hot
+// case on the insert path.
 func (d *DAG) MissingPreds(b *block.Block) []block.Ref {
 	var missing []block.Ref
+	if len(b.Preds) <= smallPreds {
+		for i, p := range b.Preds {
+			if d.Contains(p) {
+				continue
+			}
+			if dupRef(b.Preds[:i], p) {
+				continue
+			}
+			missing = append(missing, p)
+		}
+		return missing
+	}
 	seen := make(map[block.Ref]struct{}, len(b.Preds))
 	for _, p := range b.Preds {
 		if _, dup := seen[p]; dup {
@@ -132,6 +170,17 @@ func (d *DAG) MissingPreds(b *block.Block) []block.Ref {
 		}
 	}
 	return missing
+}
+
+// dupRef reports whether ref occurs in refs — the allocation-free dedup
+// for predecessor-sized lists.
+func dupRef(refs []block.Ref, ref block.Ref) bool {
+	for _, r := range refs {
+		if r == ref {
+			return true
+		}
+	}
+	return false
 }
 
 // Validate implements valid(s, B) of Definition 3.3 for a block whose
@@ -162,12 +211,19 @@ func (d *DAG) validate(b *block.Block, checkSig bool) error {
 // same builder with sequence number Seq-1.
 func (d *DAG) checkParentRule(b *block.Block) error {
 	parents := 0
-	seen := make(map[block.Ref]struct{}, len(b.Preds))
-	for _, p := range b.Preds {
-		if _, dup := seen[p]; dup {
+	var seen map[block.Ref]struct{}
+	if len(b.Preds) > smallPreds {
+		seen = make(map[block.Ref]struct{}, len(b.Preds))
+	}
+	for i, p := range b.Preds {
+		if seen != nil {
+			if _, dup := seen[p]; dup {
+				continue
+			}
+			seen[p] = struct{}{}
+		} else if dupRef(b.Preds[:i], p) {
 			continue
 		}
-		seen[p] = struct{}{}
 		pb, ok := d.blocks[p]
 		if !ok {
 			return fmt.Errorf("%w: pred %v of block %v", ErrMissingPreds, p, b.Ref())
@@ -212,7 +268,7 @@ func (d *DAG) insert(b *block.Block, checkSig bool) error {
 	if err := d.validate(b, checkSig); err != nil {
 		return err
 	}
-	if err := d.g.Insert(b.Ref(), b.Preds); err != nil {
+	if err := d.g.InsertChained(b.Ref(), b.Preds, int(b.Builder), b.Seq); err != nil {
 		// Preds were just validated as present; failure means the
 		// graph and block store diverged.
 		return fmt.Errorf("dag: graph insert: %w", err)
@@ -237,8 +293,26 @@ func (d *DAG) insert(b *block.Block, checkSig bool) error {
 }
 
 // Blocks returns all blocks in insertion order (a topological order). The
-// slice is a copy; the blocks are shared and must be treated as immutable.
+// slice is a fresh copy on every call — external callers may retain and
+// reorder it freely; the blocks themselves are shared and must be treated
+// as immutable. Hot paths that only iterate should use All (no copy)
+// instead.
 func (d *DAG) Blocks() []*block.Block { return append([]*block.Block(nil), d.order...) }
+
+// All returns a no-copy iterator over the blocks in insertion order (a
+// topological order). The DAG must not be mutated during iteration; the
+// yielded blocks are shared and immutable. This is the allocation-free
+// counterpart of Blocks for the interpreter, recovery, and convergence
+// scans that walk the whole DAG.
+func (d *DAG) All() iter.Seq[*block.Block] {
+	return func(yield func(*block.Block) bool) {
+		for _, b := range d.order {
+			if !yield(b) {
+				return
+			}
+		}
+	}
+}
 
 // BlockAt returns the i-th inserted block.
 func (d *DAG) BlockAt(i int) *block.Block { return d.order[i] }
@@ -246,11 +320,18 @@ func (d *DAG) BlockAt(i int) *block.Block { return d.order[i] }
 // Refs returns all block references in insertion order.
 func (d *DAG) Refs() []block.Ref { return d.g.Order() }
 
-// Tips returns the blocks no other block references yet.
+// Tips returns the blocks no other block references yet, in insertion
+// order. The tip set is maintained incrementally by the graph; this call
+// only copies it.
 func (d *DAG) Tips() []block.Ref { return d.g.Tips() }
 
-// Reaches reports B ⇀+ B' on the underlying graph.
+// Reaches reports B ⇀+ B' on the underlying graph: O(1) via the causal
+// summary when from's builder has not equivocated, a backwards BFS
+// otherwise (see the package doc).
 func (d *DAG) Reaches(from, to block.Ref) bool { return d.g.Reaches(from, to) }
+
+// ReachesReflexive reports B ⇀* B' (zero or more steps).
+func (d *DAG) ReachesReflexive(from, to block.Ref) bool { return d.g.ReachesReflexive(from, to) }
 
 // Succs returns the direct successors of the given block.
 func (d *DAG) Succs(ref block.Ref) []block.Ref { return d.g.Succs(ref) }
@@ -260,11 +341,13 @@ func (d *DAG) Ancestry(ref block.Ref) []block.Ref { return d.g.Ancestry(ref) }
 
 // HappenedBefore reports the Lamport happened-before relation the block
 // DAG encodes (paper Section 1): a → b iff a is reachable from... iff b's
-// reference chain reaches back to a (a ⇀+ b).
+// reference chain reaches back to a (a ⇀+ b). O(1) for non-equivocating
+// builders, like Reaches.
 func (d *DAG) HappenedBefore(a, b block.Ref) bool { return d.g.Reaches(a, b) }
 
 // Concurrent reports that neither block causally precedes the other —
-// the parallelism a DAG admits and a chain forbids.
+// the parallelism a DAG admits and a chain forbids. O(1) for
+// non-equivocating builders, like Reaches.
 func (d *DAG) Concurrent(a, b block.Ref) bool {
 	return a != b && !d.g.Reaches(a, b) && !d.g.Reaches(b, a)
 }

@@ -313,7 +313,7 @@ func E13ReferenceOverhead() (*Table, error) {
 			return nil, err
 		}
 		var refs, bytes, blocks int64
-		for _, b := range c.Servers[0].DAG().Blocks() {
+		for b := range c.Servers[0].DAG().All() {
 			if b.Seq == 0 {
 				continue // genesis blocks reference fewer
 			}
@@ -429,7 +429,7 @@ func E5GossipConvergence() (*Table, error) {
 			for _, i := range c.CorrectServers() {
 				for _, j := range c.CorrectServers() {
 					di, dj := c.Servers[i].DAG(), c.Servers[j].DAG()
-					for _, b := range di.Blocks() {
+					for b := range di.All() {
 						if b.Seq < contentRounds && !dj.Contains(b.Ref()) {
 							return false
 						}

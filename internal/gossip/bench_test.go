@@ -1,6 +1,7 @@
 package gossip
 
 import (
+	"fmt"
 	"testing"
 
 	"blockdag/internal/block"
@@ -79,4 +80,81 @@ func BenchmarkHandleBlockIngest(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(payloads)), "blocks/op")
+}
+
+// BenchmarkTipRetirement measures compress-mode ingest across DAG depths:
+// every insert retires covered tips via DAG reachability, so per-block
+// cost must stay flat in depth now that retirement is an O(1) watermark
+// compare instead of a per-insert backwards BFS.
+func BenchmarkTipRetirement(b *testing.B) {
+	for _, rounds := range []int{64, 256, 512} {
+		b.Run(fmt.Sprintf("rounds=%d", rounds), func(b *testing.B) {
+			payloads, roster := benchBlocks(b, rounds)
+			_, signers, err := crypto.LocalRoster(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			net := simnet.New()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := dag.New(roster)
+				g, err := New(Config{
+					Signer:             signers[0],
+					Roster:             roster,
+					DAG:                d,
+					Transport:          net.Transport(0),
+					Clock:              net.Now,
+					CompressReferences: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range payloads {
+					g.HandleMessage(1, p)
+				}
+				if d.Len() != len(payloads) {
+					b.Fatalf("inserted %d of %d", d.Len(), len(payloads))
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(payloads)), "ns/block")
+		})
+	}
+}
+
+// BenchmarkRecoverCompressed measures crash-recovery chain-state
+// reconstruction in compress mode — coverage checks ride the causal
+// summary instead of materializing the own tip's ancestry.
+func BenchmarkRecoverCompressed(b *testing.B) {
+	for _, rounds := range []int{64, 512} {
+		b.Run(fmt.Sprintf("rounds=%d", rounds), func(b *testing.B) {
+			payloads, roster := benchBlocks(b, rounds)
+			_, signers, err := crypto.LocalRoster(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			net := simnet.New()
+			d := dag.New(roster)
+			g, err := New(Config{
+				Signer:             signers[0],
+				Roster:             roster,
+				DAG:                d,
+				Transport:          net.Transport(0),
+				Clock:              net.Now,
+				CompressReferences: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range payloads {
+				g.HandleMessage(1, p)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Recover()
+			}
+		})
+	}
 }

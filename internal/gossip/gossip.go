@@ -109,6 +109,13 @@ type Config struct {
 	// correctness; it is useful in practice). 0 means
 	// DefaultFwdFallbackAfter; negative disables fallback.
 	FwdFallbackAfter int
+	// InvalidCacheSize bounds the remembered-invalid reference set, which
+	// would otherwise grow without bound under a byzantine flood of
+	// garbage blocks. The cache is an optimization — it only saves
+	// re-validating a resent invalid block — so FIFO eviction is safe: an
+	// evicted reference that resurfaces fails validation again. 0 means
+	// DefaultInvalidCache; negative means unbounded (tests only).
+	InvalidCacheSize int
 
 	// CompressReferences enables the paper's Section 7 "implicit block
 	// inclusion" extension: blocks reference only the current DAG tips
@@ -127,6 +134,7 @@ const (
 	DefaultMaxBatch         = 256
 	DefaultResendAfter      = 200 * time.Millisecond
 	DefaultFwdFallbackAfter = 3
+	DefaultInvalidCache     = 4096
 )
 
 // missingState tracks one outstanding FWD request.
@@ -151,7 +159,12 @@ type Gossip struct {
 	missing map[block.Ref]*missingState
 	// invalid remembers references of blocks that failed validation;
 	// anything referencing them can never become valid (Def. 3.3(iii)).
-	invalid map[block.Ref]struct{}
+	// Bounded by Config.InvalidCacheSize: invalidFIFO holds the same
+	// references in remember order (from invalidHead on), and the oldest
+	// is evicted when the cache overflows.
+	invalid     map[block.Ref]struct{}
+	invalidFIFO []block.Ref
+	invalidHead int
 
 	// Current block B under construction (lines 2, 14–18).
 	curSeq   uint64
@@ -185,6 +198,9 @@ func New(cfg Config) (*Gossip, error) {
 	}
 	if cfg.FwdFallbackAfter == 0 {
 		cfg.FwdFallbackAfter = DefaultFwdFallbackAfter
+	}
+	if cfg.InvalidCacheSize == 0 {
+		cfg.InvalidCacheSize = DefaultInvalidCache
 	}
 	return &Gossip{
 		cfg:     cfg,
@@ -226,9 +242,11 @@ func (g *Gossip) Recover() {
 	g.waiters = make(map[block.Ref][]block.Ref)
 	g.missing = make(map[block.Ref]*missingState)
 	g.invalid = make(map[block.Ref]struct{})
+	g.invalidFIFO = nil
+	g.invalidHead = 0
 	var ownTip *block.Block
 	referenced := make(map[block.Ref]struct{})
-	for _, b := range g.cfg.DAG.Blocks() {
+	for b := range g.cfg.DAG.All() {
 		if b.Builder != g.self {
 			continue
 		}
@@ -252,7 +270,7 @@ func (g *Gossip) Recover() {
 		g.curPreds = append(g.curPreds, ownTip.Ref())
 		referenced[ownTip.Ref()] = struct{}{}
 	}
-	for _, b := range g.cfg.DAG.Blocks() {
+	for b := range g.cfg.DAG.All() {
 		if b.Builder == g.self {
 			continue
 		}
@@ -265,25 +283,27 @@ func (g *Gossip) Recover() {
 
 // recoverCompressed rebuilds compress-mode chain state: the parent is the
 // own tip, and the tip set is the blocks outside the own tip's ancestry
-// closure with no successors outside it either.
+// closure with no successors outside it either. Coverage is decided with
+// the DAG's causal summary (B ⇀* ownTip), a per-block O(1) check — no
+// ancestry materialization.
 func (g *Gossip) recoverCompressed(ownTip *block.Block) {
-	covered := make(map[block.Ref]struct{})
+	var ownRef block.Ref
 	if ownTip != nil {
 		g.curSeq = ownTip.Seq + 1
-		parent := ownTip.Ref()
-		g.curParent = &parent
-		for _, ref := range g.cfg.DAG.Ancestry(ownTip.Ref()) {
-			covered[ref] = struct{}{}
-		}
+		ownRef = ownTip.Ref()
+		g.curParent = &ownRef
 	}
-	for _, b := range g.cfg.DAG.Blocks() {
+	covered := func(ref block.Ref) bool {
+		return ownTip != nil && g.cfg.DAG.ReachesReflexive(ref, ownRef)
+	}
+	for b := range g.cfg.DAG.All() {
 		ref := b.Ref()
-		if _, ok := covered[ref]; ok {
+		if covered(ref) {
 			continue
 		}
 		tip := true
 		for _, succ := range g.cfg.DAG.Succs(ref) {
-			if _, ok := covered[succ]; !ok {
+			if !covered(succ) {
 				tip = false
 				break
 			}
@@ -382,8 +402,9 @@ func (g *Gossip) tryInsert(b *block.Block) bool {
 		for _, p := range b.Preds {
 			if _, bad := g.invalid[p]; bad {
 				// A predecessor can never validate, so neither
-				// can this block (Definition 3.3(iii)).
-				delete(g.pending, ref)
+				// can this block (Definition 3.3(iii)); markInvalid
+				// drops it from pending and clears its waiter
+				// registrations.
 				g.cfg.Metrics.AddBlocksRejected(1)
 				g.markInvalid(ref)
 				return true
@@ -444,18 +465,73 @@ func (g *Gossip) noteInserted(b *block.Block) error {
 }
 
 // markInvalid records an unvalidatable reference and transitively poisons
-// pending blocks that reference it.
+// pending blocks that reference it. A poisoned block is removed from the
+// pending buffer and from every waiter list it registered on — its other
+// missing predecessors may never arrive, and without the purge those
+// entries (and the FWD retry state for predecessors nobody else waits on)
+// would leak under a byzantine flood.
 func (g *Gossip) markInvalid(ref block.Ref) {
-	g.invalid[ref] = struct{}{}
+	g.rememberInvalid(ref)
 	delete(g.missing, ref)
+	if wb := g.pending[ref]; wb != nil {
+		delete(g.pending, ref)
+		g.purgeWaiterEntries(wb, ref)
+	}
 	waiting := g.waiters[ref]
 	delete(g.waiters, ref)
 	for _, wref := range waiting {
-		if wb := g.pending[wref]; wb != nil {
-			delete(g.pending, wref)
+		if g.pending[wref] != nil {
 			g.cfg.Metrics.AddBlocksRejected(1)
 			g.markInvalid(wref)
 		}
+	}
+}
+
+// purgeWaiterEntries removes wref from the waiter list of every
+// predecessor of wb. A predecessor left with no waiters also loses its
+// FWD retry state: nobody needs it anymore, so re-requesting it would be
+// wasted traffic (it is re-armed if a future block references it).
+func (g *Gossip) purgeWaiterEntries(wb *block.Block, wref block.Ref) {
+	for _, p := range wb.Preds {
+		ws, ok := g.waiters[p]
+		if !ok {
+			continue
+		}
+		kept := ws[:0]
+		for _, w := range ws {
+			if w != wref {
+				kept = append(kept, w)
+			}
+		}
+		if len(kept) == 0 {
+			delete(g.waiters, p)
+			delete(g.missing, p)
+		} else {
+			g.waiters[p] = kept
+		}
+	}
+}
+
+// rememberInvalid adds ref to the bounded invalid cache, evicting the
+// oldest remembered reference when the cap is exceeded.
+func (g *Gossip) rememberInvalid(ref block.Ref) {
+	if _, dup := g.invalid[ref]; dup {
+		return
+	}
+	g.invalid[ref] = struct{}{}
+	if g.cfg.InvalidCacheSize < 0 {
+		return // unbounded
+	}
+	g.invalidFIFO = append(g.invalidFIFO, ref)
+	for len(g.invalid) > g.cfg.InvalidCacheSize {
+		delete(g.invalid, g.invalidFIFO[g.invalidHead])
+		g.invalidHead++
+	}
+	// Compact the FIFO once the dead prefix dominates, so the backing
+	// array does not grow without bound either.
+	if g.invalidHead > len(g.invalidFIFO)/2 && g.invalidHead > 0 {
+		g.invalidFIFO = append(g.invalidFIFO[:0:0], g.invalidFIFO[g.invalidHead:]...)
+		g.invalidHead = 0
 	}
 }
 

@@ -1,0 +1,246 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// oracleReaches is the index-free reference: forward DFS over succs.
+func oracleReaches(preds map[int][]int, u, v int) bool {
+	seen := map[int]struct{}{v: {}}
+	stack := []int{v}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range preds[cur] {
+			if p == u {
+				return true
+			}
+			if _, ok := seen[p]; ok {
+				continue
+			}
+			seen[p] = struct{}{}
+			stack = append(stack, p)
+		}
+	}
+	return false
+}
+
+// randomChainedDAG builds a random annotated DAG over `chains` chains with
+// ~size vertices. Each chain grows as a parent-linked path; with
+// probability forkP a chain forks: a new branch restarts from an earlier
+// chain vertex, creating a duplicate (chain, seq) slot. Every vertex also
+// picks random extra predecessors among existing vertices. It returns the
+// graph, the raw predecessor lists (for the oracle), and each vertex's
+// annotation.
+func randomChainedDAG(rng *rand.Rand, chains, size int, forkP float64) (*DAG[int], map[int][]int, map[int]chainPos) {
+	g := New[int]()
+	rawPreds := make(map[int][]int)
+	annot := make(map[int]chainPos)
+	// Per chain: all vertices in seq order per branch. branches[c] holds
+	// (vertex, seq) tips.
+	type tip struct {
+		v   int
+		seq uint64
+	}
+	branches := make([][]tip, chains)
+	var all []int
+	next := 0
+	for next < size {
+		c := rng.Intn(chains)
+		v := next
+		next++
+		var preds []int
+		var seq uint64
+		switch {
+		case len(branches[c]) == 0:
+			// genesis
+			branches[c] = append(branches[c], tip{v: v, seq: 0})
+		case rng.Float64() < forkP && branches[c][0].seq > 0:
+			// fork: branch off the chain at a random earlier seq,
+			// duplicating the slot at thatSeq+1 (the existing branch
+			// already holds a vertex there or will).
+			base := branches[c][rng.Intn(len(branches[c]))]
+			// Find the parent of base's branch vertex at seq-1 if
+			// possible; simplest valid fork: a second vertex at
+			// base.seq+1 with base as parent.
+			seq = base.seq + 1
+			preds = append(preds, base.v)
+			branches[c] = append(branches[c], tip{v: v, seq: seq})
+		default:
+			// extend a random branch
+			bi := rng.Intn(len(branches[c]))
+			b := branches[c][bi]
+			seq = b.seq + 1
+			preds = append(preds, b.v)
+			branches[c][bi] = tip{v: v, seq: seq}
+		}
+		// Random extra predecessors among existing vertices.
+		for _, cand := range all {
+			if rng.Float64() < 0.08 && cand != v {
+				preds = append(preds, cand)
+			}
+		}
+		if err := g.InsertChained(v, preds, c, seq); err != nil {
+			panic(fmt.Sprintf("insert %d: %v", v, err))
+		}
+		rawPreds[v] = append([]int(nil), preds...)
+		annot[v] = chainPos{chain: c, seq: seq}
+		all = append(all, v)
+	}
+	return g, rawPreds, annot
+}
+
+// TestCausalIndexMatchesOracle checks the O(1) watermark answers against
+// the traversal oracle on random DAGs with equivocating chains: every
+// (u, v) pair must agree, whether u's chain is honest or forked.
+func TestCausalIndexMatchesOracle(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		chains := 2 + rng.Intn(4)
+		g, rawPreds, _ := randomChainedDAG(rng, chains, 60, 0.15)
+		n := g.Len()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				want := oracleReaches(rawPreds, u, v)
+				if got := g.Reaches(u, v); got != want {
+					t.Fatalf("seed %d: Reaches(%d, %d) = %v, oracle %v (forked=%v)",
+						seed, u, v, got, want, g.ChainForked(0))
+				}
+				wantR := want || (u == v)
+				if got := g.ReachesReflexive(u, v); got != wantR {
+					t.Fatalf("seed %d: ReachesReflexive(%d, %d) = %v, oracle %v",
+						seed, u, v, got, wantR)
+				}
+			}
+		}
+	}
+}
+
+// TestCausalIndexForkFlag checks that a duplicate (chain, seq) slot flags
+// the chain and only that chain.
+func TestCausalIndexForkFlag(t *testing.T) {
+	g := New[string]()
+	// Chain 0: a0 -> a1. Chain 1: b0.
+	mustChain := func(v string, preds []string, chain int, seq uint64) {
+		t.Helper()
+		if err := g.InsertChained(v, preds, chain, seq); err != nil {
+			t.Fatalf("insert %s: %v", v, err)
+		}
+	}
+	mustChain("a0", nil, 0, 0)
+	mustChain("a1", []string{"a0"}, 0, 1)
+	mustChain("b0", []string{"a1"}, 1, 0)
+	if g.ChainForked(0) || g.ChainForked(1) {
+		t.Fatal("no fork yet")
+	}
+	// Equivocation: a second vertex in slot (0, 1).
+	mustChain("a1'", []string{"a0"}, 0, 1)
+	if !g.ChainForked(0) {
+		t.Fatal("chain 0 fork not flagged")
+	}
+	if g.ChainForked(1) {
+		t.Fatal("honest chain 1 flagged")
+	}
+	// Queries from the forked chain fall back to BFS and stay correct:
+	// a1 and a1' are concurrent, both reach from a0.
+	if g.Reaches("a1", "a1'") || g.Reaches("a1'", "a1") {
+		t.Fatal("fork branches must be unordered")
+	}
+	if !g.Reaches("a0", "a1'") || !g.Reaches("a0", "a1") {
+		t.Fatal("fork root must reach both branches")
+	}
+	// Queries from the honest chain keep working.
+	if g.Reaches("b0", "a1") || !g.Reaches("a1", "b0") {
+		t.Fatal("honest chain answers wrong")
+	}
+}
+
+// TestIncrementalTips checks the maintained tip set against a full scan
+// on random DAGs.
+func TestIncrementalTips(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		g, rawPreds, _ := randomChainedDAG(rng, 3, 50, 0.1)
+		// Oracle: vertices that appear in no predecessor list... i.e.
+		// with no successors.
+		hasSucc := make(map[int]bool)
+		for _, preds := range rawPreds {
+			for _, p := range preds {
+				hasSucc[p] = true
+			}
+		}
+		var want []int
+		for i := 0; i < g.Len(); i++ {
+			v := g.At(i)
+			if !hasSucc[v] {
+				want = append(want, v)
+			}
+		}
+		got := g.Tips()
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: tips = %v, want %v", seed, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: tips = %v, want %v", seed, got, want)
+			}
+		}
+		if g.NumTips() != len(want) {
+			t.Fatalf("seed %d: NumTips = %d, want %d", seed, g.NumTips(), len(want))
+		}
+	}
+}
+
+// TestWatermark checks the summary accessor on a small shape.
+func TestWatermark(t *testing.T) {
+	g := New[string]()
+	if err := g.InsertChained("a0", nil, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InsertChained("a1", []string{"a0"}, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InsertChained("b0", []string{"a1"}, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := g.Watermark("b0", 0); !ok || w != 1 {
+		t.Fatalf("Watermark(b0, 0) = %d, %v; want 1, true", w, ok)
+	}
+	if w, ok := g.Watermark("b0", 1); !ok || w != 0 {
+		t.Fatalf("Watermark(b0, 1) = %d, %v; want 0, true", w, ok)
+	}
+	if _, ok := g.Watermark("a0", 1); ok {
+		t.Fatal("a0 has no chain-1 ancestor")
+	}
+	if _, ok := g.Watermark("missing", 0); ok {
+		t.Fatal("absent vertex has no watermark")
+	}
+}
+
+// TestCloneAndUnionPreserveIndex checks that Clone and Union carry the
+// annotations: O(1) answers on the copies stay correct.
+func TestCloneAndUnionPreserveIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, rawPreds, _ := randomChainedDAG(rng, 3, 40, 0.1)
+	cp := g.Clone()
+	for u := 0; u < g.Len(); u++ {
+		for v := 0; v < g.Len(); v++ {
+			if cp.Reaches(u, v) != oracleReaches(rawPreds, u, v) {
+				t.Fatalf("clone Reaches(%d, %d) diverges", u, v)
+			}
+		}
+	}
+	un, err := g.Union(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.Len(); u++ {
+		for v := 0; v < g.Len(); v++ {
+			if un.Reaches(u, v) != oracleReaches(rawPreds, u, v) {
+				t.Fatalf("union Reaches(%d, %d) diverges", u, v)
+			}
+		}
+	}
+}

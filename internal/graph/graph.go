@@ -8,6 +8,34 @@
 // construction: insert is idempotent, extends the graph (G ⩽ insert(G,v,E)),
 // and preserves acyclicity. The block DAG of Definition 3.4 is built on
 // this type with K = block.Ref.
+//
+// # Causal summary index
+//
+// Vertices inserted through InsertChained carry a (chain, seq) annotation —
+// for block DAGs, (builder, sequence number). The graph maintains an
+// incremental causal summary for every vertex: a per-chain watermark vector
+// holding the highest annotated sequence number found in the vertex's
+// ancestry (itself included). The vector is computed once at insert by
+// joining the predecessors' vectors (element-wise max) and raising the
+// vertex's own chain entry — O(chains) per insert, no traversal.
+//
+// The summary makes reachability O(1) for well-formed chains. The caller
+// must guarantee the chain-connectivity invariant: an annotated vertex
+// (c, s) with s > 0 has the vertex (c, s-1) in its ancestry at insert time
+// (the block DAG's parent rule, Definition 3.3(ii), guarantees exactly
+// this). Then the vertices of chain c form a path, (c, s') is an ancestor
+// of (c, s) whenever s' < s, and
+//
+//	u ⇀+ v  ⇔  u ≠ v ∧ summary(v)[u.chain] ≥ u.seq
+//
+// A chain stops being well-formed when two distinct vertices claim the same
+// (chain, seq) slot — an equivocation — or when connectivity is violated.
+// Such chains are flagged, and only queries whose source vertex lies on a
+// flagged chain fall back to the backwards BFS; honest chains keep the O(1)
+// path. Flagging is monotone and insert-order independent for the answers
+// given: a query answered via the summary before a chain was flagged is the
+// same answer the BFS gives, because at that moment the chain's vertices in
+// the graph still formed a path.
 package graph
 
 import (
@@ -25,6 +53,17 @@ var (
 	ErrEdgeMismatch = errors.New("graph: vertex exists with different edges")
 )
 
+// smallLen is the list size below which dedup and set comparison use
+// allocation-free linear scans instead of map-backed sets. Block
+// predecessor lists are almost always below it (≤ roster size in practice).
+const smallLen = 16
+
+// chainPos is a vertex annotation: position seq on chain chain.
+type chainPos struct {
+	chain int
+	seq   uint64
+}
+
 // DAG is a directed acyclic graph over comparable vertex keys. The zero
 // value is not ready to use; construct with New. A DAG is not safe for
 // concurrent mutation.
@@ -33,14 +72,28 @@ type DAG[K comparable] struct {
 	order []K       // insertion order; a topological order by construction
 	preds map[K][]K // v -> direct predecessors (u with u ⇀ v), insert order
 	succs map[K][]K // v -> direct successors (w with v ⇀ w), insert order
+
+	// Incremental tip set: vertices with no successors, in insertion
+	// order, maintained at insert instead of scanning all of order.
+	tips   []K
+	tipIdx map[K]int // vertex -> position in tips
+
+	// Causal summary index (see package doc). summary[v][c] holds
+	// 1 + the highest chain-c seq in v's ancestry-or-self, 0 for none,
+	// so the zero value of a short vector means "no such ancestor".
+	chains  map[K]chainPos // annotated vertices
+	summary map[K][]uint64 // watermark vectors; nil when all-zero
+	slots   map[chainPos]K // first vertex per (chain, seq): fork detection
+	forked  map[int]struct{}
 }
 
 // New returns an empty DAG.
 func New[K comparable]() *DAG[K] {
 	return &DAG[K]{
-		index: make(map[K]int),
-		preds: make(map[K][]K),
-		succs: make(map[K][]K),
+		index:  make(map[K]int),
+		preds:  make(map[K][]K),
+		succs:  make(map[K][]K),
+		tipIdx: make(map[K]int),
 	}
 }
 
@@ -63,6 +116,24 @@ func (g *DAG[K]) Contains(v K) bool {
 // unchanged. Because edges only ever point at the new vertex, g remains
 // acyclic (Lemma 2.2(3)).
 func (g *DAG[K]) Insert(v K, preds []K) error {
+	return g.insert(v, preds, false, 0, 0)
+}
+
+// InsertChained is Insert for a vertex annotated with a chain position:
+// vertex v is element seq of chain chain (for block DAGs: builder and
+// sequence number). The annotation feeds the causal summary index; see the
+// package doc for the chain-connectivity invariant the caller guarantees
+// and the equivocation fallback. Chain identifiers must be small,
+// non-negative integers (they index the watermark vectors); a negative
+// chain inserts the vertex unannotated.
+func (g *DAG[K]) InsertChained(v K, preds []K, chain int, seq uint64) error {
+	if chain < 0 {
+		return g.insert(v, preds, false, 0, 0)
+	}
+	return g.insert(v, preds, true, chain, seq)
+}
+
+func (g *DAG[K]) insert(v K, preds []K, annotated bool, chain int, seq uint64) error {
 	uniq := dedup(preds)
 	if g.Contains(v) {
 		if sameSet(g.preds[v], uniq) {
@@ -86,12 +157,134 @@ func (g *DAG[K]) Insert(v K, preds []K) error {
 	for _, p := range uniq {
 		g.succs[p] = append(g.succs[p], v)
 	}
+	// Tip maintenance: every predecessor stops being a tip; v starts as
+	// one. Removal preserves insertion order.
+	for _, p := range uniq {
+		g.removeTip(p)
+	}
+	g.tipIdx[v] = len(g.tips)
+	g.tips = append(g.tips, v)
+
+	g.indexVertex(v, uniq, annotated, chain, seq)
 	return nil
+}
+
+// removeTip deletes p from the ordered tip set if present, shifting later
+// tips left. The tip set is small (bounded by the graph's width), so the
+// shift is cheap.
+func (g *DAG[K]) removeTip(p K) {
+	idx, ok := g.tipIdx[p]
+	if !ok {
+		return
+	}
+	delete(g.tipIdx, p)
+	copy(g.tips[idx:], g.tips[idx+1:])
+	g.tips = g.tips[:len(g.tips)-1]
+	for i := idx; i < len(g.tips); i++ {
+		g.tipIdx[g.tips[i]] = i
+	}
+}
+
+// indexVertex computes v's causal summary from its predecessors' and
+// records the chain annotation, flagging chains that stop being
+// well-formed (duplicate slot or broken connectivity).
+func (g *DAG[K]) indexVertex(v K, preds []K, annotated bool, chain int, seq uint64) {
+	width := 0
+	if annotated {
+		width = chain + 1
+	}
+	for _, p := range preds {
+		if pv := g.summary[p]; len(pv) > width {
+			width = len(pv)
+		}
+	}
+	if width == 0 {
+		return // no annotations anywhere in the ancestry
+	}
+	vec := make([]uint64, width)
+	for _, p := range preds {
+		for c, w := range g.summary[p] {
+			if w > vec[c] {
+				vec[c] = w
+			}
+		}
+	}
+	if annotated {
+		if g.chains == nil {
+			g.chains = make(map[K]chainPos)
+			g.slots = make(map[chainPos]K)
+		}
+		pos := chainPos{chain: chain, seq: seq}
+		g.chains[v] = pos
+		if first, taken := g.slots[pos]; taken && first != v {
+			g.markForked(chain)
+		} else {
+			g.slots[pos] = v
+		}
+		// Connectivity check: after the join, the chain watermark of a
+		// well-formed chain is exactly seq — the parent (c, seq-1)
+		// contributes seq, and no higher chain element can already be
+		// an ancestor of the newest one. Genesis (seq 0) must see no
+		// prior chain element at all.
+		if vec[chain] != seq {
+			g.markForked(chain)
+		}
+		if seq+1 > vec[chain] {
+			vec[chain] = seq + 1
+		}
+	}
+	if g.summary == nil {
+		g.summary = make(map[K][]uint64)
+	}
+	g.summary[v] = vec
+}
+
+func (g *DAG[K]) markForked(chain int) {
+	if g.forked == nil {
+		g.forked = make(map[int]struct{})
+	}
+	g.forked[chain] = struct{}{}
+}
+
+// ChainForked reports whether the chain lost its O(1) reachability fast
+// path: a duplicate (chain, seq) slot (equivocation) or a connectivity
+// violation was observed. Queries from vertices of a forked chain use the
+// backwards BFS.
+func (g *DAG[K]) ChainForked(chain int) bool {
+	_, bad := g.forked[chain]
+	return bad
+}
+
+// Watermark returns the causal summary entry of v for the given chain: the
+// highest chain seq in v's ancestry-or-self. ok is false if v has no
+// ancestor on the chain (or is not a vertex).
+func (g *DAG[K]) Watermark(v K, chain int) (seq uint64, ok bool) {
+	vec := g.summary[v]
+	if chain < 0 || chain >= len(vec) || vec[chain] == 0 {
+		return 0, false
+	}
+	return vec[chain] - 1, true
 }
 
 func dedup[K comparable](in []K) []K {
 	if len(in) <= 1 {
 		return append([]K(nil), in...)
+	}
+	if len(in) <= smallLen {
+		out := make([]K, 0, len(in))
+		for _, k := range in {
+			dup := false
+			for _, seen := range out {
+				if seen == k {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, k)
+			}
+		}
+		return out
 	}
 	seen := make(map[K]struct{}, len(in))
 	out := make([]K, 0, len(in))
@@ -105,9 +298,26 @@ func dedup[K comparable](in []K) []K {
 	return out
 }
 
+// sameSet compares two duplicate-free lists as sets. All callers pass
+// dedup'd slices, so equal length plus one-way containment suffices.
 func sameSet[K comparable](a, b []K) bool {
 	if len(a) != len(b) {
 		return false
+	}
+	if len(a) <= smallLen {
+		for _, k := range a {
+			found := false
+			for _, o := range b {
+				if o == k {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
 	}
 	set := make(map[K]struct{}, len(a))
 	for _, k := range a {
@@ -134,25 +344,47 @@ func (g *DAG[K]) Succs(v K) []K { return append([]K(nil), g.succs[v]...) }
 // result is a copy.
 func (g *DAG[K]) Order() []K { return append([]K(nil), g.order...) }
 
-// Tips returns the vertices with no successors, in insertion order.
+// At returns the i-th inserted vertex (no-copy indexed access; pair with
+// Len to iterate without materializing Order).
+func (g *DAG[K]) At(i int) K { return g.order[i] }
+
+// Tips returns the vertices with no successors, in insertion order. The
+// tip set is maintained incrementally at insert; this call only copies it.
 func (g *DAG[K]) Tips() []K {
-	var tips []K
-	for _, v := range g.order {
-		if len(g.succs[v]) == 0 {
-			tips = append(tips, v)
-		}
+	if len(g.tips) == 0 {
+		return nil
 	}
-	return tips
+	return append([]K(nil), g.tips...)
 }
+
+// NumTips returns the number of tips without copying.
+func (g *DAG[K]) NumTips() int { return len(g.tips) }
 
 // Reaches reports whether v is reachable from u in one or more steps,
 // written u ⇀+ v in the paper.
+//
+// When u was inserted with a chain annotation (InsertChained) and its
+// chain is well-formed, the answer is a single watermark compare — O(1),
+// allocation-free. Vertices of flagged (equivocating) chains and
+// unannotated vertices fall back to a backwards BFS from v.
 func (g *DAG[K]) Reaches(u, v K) bool {
+	if u == v {
+		return false
+	}
+	if pos, ok := g.chains[u]; ok && !g.ChainForked(pos.chain) {
+		vec := g.summary[v]
+		return pos.chain < len(vec) && vec[pos.chain] > pos.seq
+	}
+	return g.reachesBFS(u, v)
+}
+
+// reachesBFS is the traversal fallback: walk backwards from v — the
+// predecessor closure is typically smaller than the successor closure in
+// an append-only DAG.
+func (g *DAG[K]) reachesBFS(u, v K) bool {
 	if !g.Contains(u) || !g.Contains(v) {
 		return false
 	}
-	// Walk backwards from v: the predecessor closure is typically
-	// smaller than the successor closure in an append-only DAG.
 	seen := map[K]struct{}{v: {}}
 	stack := []K{v}
 	for len(stack) > 0 {
@@ -233,7 +465,8 @@ func (g *DAG[K]) Leq(h *DAG[K]) bool {
 // and h (paper Section 3, joint block DAG G_s ∪ G_s'). Union requires the
 // two graphs to agree on the predecessor set of every shared vertex — true
 // for block DAGs, where a block's edge set is determined by its content —
-// and returns ErrEdgeMismatch otherwise.
+// and returns ErrEdgeMismatch otherwise. Chain annotations are carried
+// over (g's takes precedence on shared vertices).
 func (g *DAG[K]) Union(h *DAG[K]) (*DAG[K], error) {
 	merged := New[K]()
 	mergedPreds := func(v K) ([]K, error) {
@@ -249,6 +482,13 @@ func (g *DAG[K]) Union(h *DAG[K]) (*DAG[K], error) {
 		default:
 			return h.preds[v], nil
 		}
+	}
+	annotation := func(v K) (chainPos, bool) {
+		if pos, ok := g.chains[v]; ok {
+			return pos, true
+		}
+		pos, ok := h.chains[v]
+		return pos, ok
 	}
 	// Kahn-style repeated passes: insert any vertex whose predecessors
 	// are all present. Both inputs are acyclic, so this terminates.
@@ -283,8 +523,14 @@ func (g *DAG[K]) Union(h *DAG[K]) (*DAG[K], error) {
 				next = append(next, v)
 				continue
 			}
-			if err := merged.Insert(v, preds); err != nil {
-				return nil, err
+			var ierr error
+			if pos, ok := annotation(v); ok {
+				ierr = merged.InsertChained(v, preds, pos.chain, pos.seq)
+			} else {
+				ierr = merged.Insert(v, preds)
+			}
+			if ierr != nil {
+				return nil, ierr
 			}
 			progressed = true
 		}
@@ -298,11 +544,17 @@ func (g *DAG[K]) Union(h *DAG[K]) (*DAG[K], error) {
 	return merged, nil
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g, chain annotations included.
 func (g *DAG[K]) Clone() *DAG[K] {
 	cp := New[K]()
 	for _, v := range g.order {
-		if err := cp.Insert(v, g.preds[v]); err != nil {
+		var err error
+		if pos, ok := g.chains[v]; ok {
+			err = cp.InsertChained(v, g.preds[v], pos.chain, pos.seq)
+		} else {
+			err = cp.Insert(v, g.preds[v])
+		}
+		if err != nil {
 			// Inserting in topological order from a valid DAG
 			// cannot fail; a failure means g's invariants broke.
 			panic(fmt.Sprintf("graph: clone insert: %v", err))

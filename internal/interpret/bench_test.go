@@ -91,3 +91,26 @@ func BenchmarkImplicitVsExplicit(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkImplicitDeep measures implicit-inclusion interpretation over
+// deep DAGs (hundreds of all-to-all rounds): with the ancestry-watermark
+// enumeration the per-block collection cost must stay flat in depth.
+func BenchmarkImplicitDeep(b *testing.B) {
+	for _, rounds := range []int{64, 256, 512} {
+		b.Run(fmt.Sprintf("rounds=%d", rounds), func(b *testing.B) {
+			h := benchDAG(rounds)
+			blocks := h.DAG.Len()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				it := New(brb.Protocol{}, 4, 1, nil,
+					WithoutInBufferRecording(), WithImplicitInclusion())
+				if err := it.InterpretDAG(h.DAG); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(blocks), "ns/block")
+		})
+	}
+}

@@ -121,6 +121,23 @@ type blockState struct {
 	// watermark of this block's chain: for each builder, the highest
 	// sequence number whose out-messages this chain has received.
 	coveredSeq map[types.ServerID]uint64
+
+	// anc (implicit-inclusion mode only) is the ancestry watermark of
+	// this block: anc[builder] holds 1 + the highest sequence number of
+	// that builder found in the block's ancestry (itself included), 0
+	// for none. Joined from the predecessors' vectors at AddBlock — the
+	// same incremental causal summary the DAG keeps — it lets
+	// uncoveredAncestry enumerate the genuinely-uncovered blocks
+	// chain-by-chain instead of walking the graph, as long as no
+	// equivocation has been observed.
+	anc []uint64
+}
+
+// chainSlot addresses one (builder, seq) position across the interpreted
+// blocks; two states in one slot expose an equivocation.
+type chainSlot struct {
+	builder types.ServerID
+	seq     uint64
 }
 
 // Interpreter executes Algorithm 2 incrementally: AddBlock interprets one
@@ -136,6 +153,16 @@ type Interpreter struct {
 	implicit bool
 
 	states map[block.Ref]*blockState
+
+	// slots and anyFork (implicit-inclusion mode only) back the
+	// uncoveredAncestry fast path: slots finds a builder's block by
+	// sequence number; anyFork latches once two interpreted blocks
+	// claim the same slot (or a parent-chain gap appears), after which
+	// collection falls back to the exact pruned walk — the fast
+	// enumeration and the walk provably agree only on fork-free
+	// ancestries.
+	slots   map[chainSlot]*blockState
+	anyFork bool
 }
 
 // New creates an interpreter for protocol P in a system of n servers
@@ -193,14 +220,15 @@ func (it *Interpreter) AddBlock(b *block.Block) error {
 		}
 	}
 
+	// pis, out, and in are allocated lazily on first use: most blocks of
+	// a busy DAG carry no requests and receive messages for few labels,
+	// so eager maps are pure allocation overhead on the hot path.
 	st := &blockState{
 		blk:    b,
 		parent: parent,
-		pis:    make(map[types.Label]protocol.Process),
-		out:    make(map[types.Label][]protocol.Message),
 	}
-	if it.recordIn {
-		st.in = make(map[types.Label][]protocol.Message)
+	if it.implicit {
+		it.indexChain(st, preds)
 	}
 
 	// Lines 5–6: feed the requests carried in B.rs to B.n's instances,
@@ -221,15 +249,18 @@ func (it *Interpreter) AddBlock(b *block.Block) error {
 	// an equivocator's forks) collapse to one.
 	sources := preds
 	if it.implicit {
-		sources = it.uncoveredAncestry(preds, parent)
+		sources = it.uncoveredAncestry(st, preds, parent)
 		st.coveredSeq = advanceWatermark(parent, sources)
 	}
-	inbox := make(map[types.Label]map[string]protocol.Message)
+	var inbox map[types.Label]map[string]protocol.Message
 	for _, ps := range sources {
 		for label, msgs := range ps.out {
 			for _, m := range msgs {
 				if m.Receiver != b.Builder {
 					continue
+				}
+				if inbox == nil {
+					inbox = make(map[types.Label]map[string]protocol.Message)
 				}
 				set := inbox[label]
 				if set == nil {
@@ -251,6 +282,9 @@ func (it *Interpreter) AddBlock(b *block.Block) error {
 		}
 		protocol.Sort(msgs)
 		if it.recordIn {
+			if st.in == nil {
+				st.in = make(map[types.Label][]protocol.Message)
+			}
 			st.in[label] = msgs
 		}
 		proc := it.ownProcess(st, label)
@@ -286,17 +320,76 @@ func (it *Interpreter) AddBlock(b *block.Block) error {
 	return nil
 }
 
-// uncoveredAncestry walks backwards from the direct predecessors and
-// collects every ancestor block not yet consumed by this block's chain,
-// per the parent's watermark. Eligibility guarantees all ancestor states
-// exist. A block's own parent chain is connected (Definition 3.3), so a
-// collected block implies its whole uncovered prefix is collected too —
-// which is what makes the per-builder watermark sound for correct
-// builders.
-func (it *Interpreter) uncoveredAncestry(preds []*blockState, parent *blockState) []*blockState {
+// indexChain computes st's ancestry watermark from its predecessors' —
+// the per-builder join that mirrors the DAG's causal summary — and
+// registers the block in the slot index, latching anyFork on an observed
+// equivocation (duplicate slot) or parent-chain gap.
+func (it *Interpreter) indexChain(st *blockState, preds []*blockState) {
+	b := st.blk
+	width := int(b.Builder) + 1
+	for _, ps := range preds {
+		if len(ps.anc) > width {
+			width = len(ps.anc)
+		}
+	}
+	anc := make([]uint64, width)
+	for _, ps := range preds {
+		for c, w := range ps.anc {
+			if w > anc[c] {
+				anc[c] = w
+			}
+		}
+	}
+	// For a well-formed chain the joined own-builder entry is exactly
+	// Seq: the parent contributes Seq ((Seq-1)+1), a genesis block sees
+	// nothing, and no higher own-chain block can already be an ancestor
+	// of the newest one. Anything else is a fork (or a feed that skipped
+	// the parent rule) — drop to the exact walk from here on.
+	if anc[b.Builder] != b.Seq {
+		it.anyFork = true
+	}
+	if anc[b.Builder] < b.Seq+1 {
+		anc[b.Builder] = b.Seq + 1
+	}
+	st.anc = anc
+
+	if it.slots == nil {
+		it.slots = make(map[chainSlot]*blockState)
+	}
+	slot := chainSlot{builder: b.Builder, seq: b.Seq}
+	if prior, taken := it.slots[slot]; taken {
+		if prior != st {
+			it.anyFork = true
+		}
+	} else {
+		it.slots[slot] = st
+	}
+}
+
+// uncoveredAncestry collects every ancestor block (direct predecessors
+// included) not yet consumed by this block's chain, per the parent's
+// watermark. Eligibility guarantees all ancestor states exist.
+//
+// While no equivocation has been observed, the ancestry watermark makes
+// this a pure enumeration: for each builder, the uncovered blocks are
+// exactly the sequence numbers between the consumption watermark and the
+// ancestry watermark, found by slot lookup — no traversal, no visited
+// set. Once a fork is known, collection falls back to the pruned
+// backwards walk, which is the defining semantics. The two agree on every
+// fork-free ancestry (a block's own parent chain is connected by
+// Definition 3.3, so the consumed set stays ancestry-closed and
+// chain-contiguous), which also makes the choice of path insert-order
+// independent: a fork elsewhere in the DAG cannot change the result for a
+// block whose own ancestry is clean.
+func (it *Interpreter) uncoveredAncestry(st *blockState, preds []*blockState, parent *blockState) []*blockState {
 	var base map[types.ServerID]uint64
 	if parent != nil {
 		base = parent.coveredSeq
+	}
+	if !it.anyFork {
+		if collected, ok := it.enumerateUncovered(st, base); ok {
+			return collected
+		}
 	}
 	covered := func(s *blockState) bool {
 		w, ok := base[s.blk.Builder]
@@ -326,6 +419,37 @@ func (it *Interpreter) uncoveredAncestry(preds []*blockState, parent *blockState
 	return collected
 }
 
+// enumerateUncovered is the fork-free fast path: list the blocks between
+// the consumption and ancestry watermarks builder by builder. ok is false
+// if a slot lookup comes up empty (an invariant break — never expected
+// from a valid DAG feed); the caller then uses the walk.
+func (it *Interpreter) enumerateUncovered(st *blockState, base map[types.ServerID]uint64) ([]*blockState, bool) {
+	var collected []*blockState
+	for c, hi := range st.anc {
+		if hi == 0 {
+			continue // no ancestor on this builder's chain
+		}
+		builder := types.ServerID(c)
+		lo := uint64(0)
+		if w, ok := base[builder]; ok {
+			lo = w + 1
+		}
+		if builder == st.blk.Builder && hi == st.blk.Seq+1 {
+			// The own entry includes the block itself; only its
+			// ancestors are sources.
+			hi--
+		}
+		for s := lo; s < hi; s++ {
+			ps := it.slots[chainSlot{builder: builder, seq: s}]
+			if ps == nil {
+				return nil, false
+			}
+			collected = append(collected, ps)
+		}
+	}
+	return collected, true
+}
+
 // advanceWatermark derives a block's consumption watermark from its
 // parent's and the newly consumed blocks.
 func advanceWatermark(parent *blockState, consumed []*blockState) map[types.ServerID]uint64 {
@@ -348,6 +472,9 @@ func advanceWatermark(parent *blockState, consumed []*blockState) map[types.Serv
 func (it *Interpreter) emit(st *blockState, label types.Label, msgs []protocol.Message) {
 	if len(msgs) == 0 {
 		return
+	}
+	if st.out == nil {
+		st.out = make(map[types.Label][]protocol.Message)
 	}
 	st.out[label] = append(st.out[label], msgs...)
 	it.metrics.AddMsgsMaterialized(int64(len(msgs)))
@@ -398,13 +525,52 @@ func (it *Interpreter) ownProcess(st *blockState, label types.Label) protocol.Pr
 		ref := st.blk.Ref()
 		ea.SetEntropy(crypto.Hash(ref[:], []byte(label)))
 	}
+	if st.pis == nil {
+		st.pis = make(map[types.Label]protocol.Process)
+	}
 	st.pis[label] = proc
 	return proc
 }
 
+// smallRefs bounds the linear-scan dedup; larger (byzantine-sized) lists
+// keep the map-backed path so quadratic scans cannot be provoked.
+const smallRefs = 16
+
 func dedupRefs(refs []block.Ref) []block.Ref {
 	if len(refs) <= 1 {
 		return refs
+	}
+	if len(refs) <= smallRefs {
+		// Duplicate-free lists — the overwhelmingly common case — are
+		// returned as-is without allocating.
+		firstDup := -1
+	scan:
+		for i := 1; i < len(refs); i++ {
+			for _, prior := range refs[:i] {
+				if prior == refs[i] {
+					firstDup = i
+					break scan
+				}
+			}
+		}
+		if firstDup < 0 {
+			return refs
+		}
+		out := make([]block.Ref, firstDup, len(refs)-1)
+		copy(out, refs[:firstDup])
+		for i := firstDup + 1; i < len(refs); i++ {
+			dup := false
+			for _, prior := range out {
+				if prior == refs[i] {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, refs[i])
+			}
+		}
+		return out
 	}
 	seen := make(map[block.Ref]struct{}, len(refs))
 	out := make([]block.Ref, 0, len(refs))
@@ -438,9 +604,10 @@ func sortedOwned(st *blockState) []types.Label {
 
 // InterpretDAG interprets every block of d not yet interpreted, in d's
 // insertion order (a topological order). This is the offline path: a
-// stored DAG can be replayed at any time, independent of gossip.
+// stored DAG can be replayed at any time, independent of gossip. The DAG
+// is iterated in place (dag.DAG.All) — no block-slice copy per call.
 func (it *Interpreter) InterpretDAG(d *dag.DAG) error {
-	for _, b := range d.Blocks() {
+	for b := range d.All() {
 		if err := it.AddBlock(b); err != nil {
 			return err
 		}

@@ -86,7 +86,7 @@ func DOT(d *dag.DAG, annotate Annotator) string {
 	sb.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
 
 	byBuilder := make(map[types.ServerID][]*block.Block)
-	for _, b := range d.Blocks() {
+	for b := range d.All() {
 		byBuilder[b.Builder] = append(byBuilder[b.Builder], b)
 	}
 	builders := make([]int, 0, len(byBuilder))
@@ -112,7 +112,7 @@ func DOT(d *dag.DAG, annotate Annotator) string {
 		}
 		sb.WriteString("  }\n")
 	}
-	for _, b := range d.Blocks() {
+	for b := range d.All() {
 		for _, p := range b.Preds {
 			fmt.Fprintf(&sb, "  %q -> %q;\n", p.String(), b.Ref().String())
 		}
@@ -125,13 +125,15 @@ func DOT(d *dag.DAG, annotate Annotator) string {
 // order, with chain position, predecessor refs, and requests.
 func ASCII(d *dag.DAG) string {
 	var sb strings.Builder
-	for i, b := range d.Blocks() {
+	i := 0
+	for b := range d.All() {
 		preds := make([]string, len(b.Preds))
 		for j, p := range b.Preds {
 			preds[j] = p.String()
 		}
 		fmt.Fprintf(&sb, "%3d  %s  s%d/k%-3d preds=[%s]",
 			i, b.Ref(), b.Builder, b.Seq, strings.Join(preds, " "))
+		i++
 		for _, rq := range b.Requests {
 			fmt.Fprintf(&sb, " rs=(%s,%dB)", rq.Label, len(rq.Data))
 		}
@@ -149,7 +151,7 @@ func ASCII(d *dag.DAG) string {
 // WriteDAG persists all blocks of the DAG in insertion order as
 // length-prefixed frames.
 func WriteDAG(w io.Writer, d *dag.DAG) error {
-	for _, b := range d.Blocks() {
+	for b := range d.All() {
 		if err := wire.WriteFrame(w, b.Encode()); err != nil {
 			return fmt.Errorf("trace: write block %v: %w", b.Ref(), err)
 		}
