@@ -24,3 +24,17 @@ bench:
 	go run ./cmd/benchjson < bench.out > $(BENCH_OUT)
 	rm -f bench.out
 	@echo "wrote $(BENCH_OUT)"
+
+# HOT_BENCH names the hot-path benchmarks whose ns/op regressions fail
+# bench-compare (sub-benchmarks included; see benchjson -hot matching).
+HOT_BENCH ?= BenchmarkReaches,BenchmarkTipRetirement,BenchmarkE12_DeepDAG,BenchmarkCatchUp,BenchmarkAppend
+
+.PHONY: bench-compare
+# bench-compare diffs a fresh benchmark document (BENCH_OUT) against the
+# newest checked-in BENCH_<date>.json baseline, failing on >30% ns/op
+# regressions on $(HOT_BENCH). CI runs it after its bench job; run it
+# locally after `make bench BENCH_OUT=bench-new.json`.
+bench-compare:
+	@baseline=$$(ls BENCH_*.json | sort | tail -1); \
+	if [ -z "$$baseline" ]; then echo "no checked-in baseline"; exit 1; fi; \
+	go run ./cmd/benchjson -compare $$baseline -hot '$(HOT_BENCH)' < $(BENCH_OUT)

@@ -122,7 +122,7 @@ func BenchmarkE9_MessageCompression(b *testing.B) {
 				net := simnet.New(simnet.WithSeed(42))
 				c, err := direct.NewCluster(brb.Protocol{}, n,
 					func(id types.ServerID) transport.Transport { return net.Transport(id) },
-					func(id types.ServerID, ep transport.Endpoint) { net.Register(id, ep) },
+					func(id types.ServerID, ep transport.Endpoint) { net.Register(id, transport.ChanGossip, ep) },
 					nil,
 				)
 				if err != nil {
@@ -163,7 +163,7 @@ func BenchmarkE10_SignatureBatching(b *testing.B) {
 			net := simnet.New(simnet.WithSeed(42))
 			c, err := direct.NewCluster(brb.Protocol{}, n,
 				func(id types.ServerID) transport.Transport { return net.Transport(id) },
-				func(id types.ServerID, ep transport.Endpoint) { net.Register(id, ep) },
+				func(id types.ServerID, ep transport.Endpoint) { net.Register(id, transport.ChanGossip, ep) },
 				&sigs,
 			)
 			if err != nil {

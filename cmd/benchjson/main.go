@@ -9,13 +9,25 @@
 //
 // Lines that are not benchmark results (package headers, PASS/ok) are
 // folded into the environment header or skipped.
+//
+// Compare mode diffs two documents instead of converting:
+//
+//	benchjson -compare BENCH_2026-07-30.json -hot 'BenchmarkReaches,BenchmarkTipRetirement' < bench-new.json
+//
+// It prints a per-benchmark delta table and exits non-zero when any
+// benchmark matched by -hot regresses in ns/op by more than -threshold
+// (default 0.30, i.e. 30%) — the CI guardrail for the named hot paths.
+// Benchmarks present on only one side are reported but never fail the
+// comparison (new benchmarks appear, old ones are retired).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -48,6 +60,20 @@ type Document struct {
 }
 
 func main() {
+	var (
+		compare   = flag.String("compare", "", "baseline JSON document; compare stdin (JSON) against it instead of converting")
+		hot       = flag.String("hot", "", "comma-separated benchmark name prefixes whose ns/op regressions fail the comparison (default: all)")
+		threshold = flag.Float64("threshold", 0.30, "relative ns/op regression tolerated on hot benchmarks")
+	)
+	flag.Parse()
+	if *compare != "" {
+		os.Exit(runCompare(*compare, *hot, *threshold))
+	}
+	convert()
+}
+
+// convert is the original mode: bench text on stdin, JSON on stdout.
+func convert() {
 	doc := Document{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -79,6 +105,94 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare diffs the JSON document on stdin against the baseline file
+// and returns the process exit code.
+func runCompare(baselinePath, hot string, threshold float64) int {
+	baseline, err := readDoc(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	var current Document
+	if err := json.NewDecoder(bufio.NewReader(os.Stdin)).Decode(&current); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: decode stdin: %v\n", err)
+		return 1
+	}
+	var hotPrefixes []string
+	for _, p := range strings.Split(hot, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			hotPrefixes = append(hotPrefixes, p)
+		}
+	}
+	isHot := func(name string) bool {
+		if len(hotPrefixes) == 0 {
+			return true
+		}
+		// Match whole name components so "BenchmarkReaches" does not
+		// also guard "BenchmarkReachesForkedFallback".
+		for _, p := range hotPrefixes {
+			if name == p || strings.HasPrefix(name, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+	// Benchmarks can recur across packages; key on package + name.
+	key := func(r Result) string { return r.Package + " " + r.Name }
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[key(r)] = r
+	}
+	failed := false
+	var lines []string
+	for _, r := range current.Results {
+		b, ok := base[key(r)]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("  new      %-60s %12.1f ns/op", r.Name, r.NsPerOp))
+			continue
+		}
+		delete(base, key(r))
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		rel := (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+		status := "ok"
+		if rel > threshold && isHot(r.Name) {
+			status = "REGRESSED"
+			failed = true
+		}
+		lines = append(lines, fmt.Sprintf("  %-8s %-60s %12.1f -> %12.1f ns/op (%+.1f%%)",
+			status, r.Name, b.NsPerOp, r.NsPerOp, rel*100))
+	}
+	for k, b := range base {
+		lines = append(lines, fmt.Sprintf("  removed  %-60s %12.1f ns/op", strings.TrimSpace(k), b.NsPerOp))
+	}
+	sort.Strings(lines)
+	fmt.Printf("benchjson: comparing against %s (threshold %.0f%%)\n", baselinePath, threshold*100)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchjson: hot-path benchmarks regressed beyond the threshold")
+		return 1
+	}
+	return 0
+}
+
+// readDoc loads one JSON document from disk.
+func readDoc(path string) (Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Document{}, err
+	}
+	defer func() { _ = f.Close() }()
+	var doc Document
+	if err := json.NewDecoder(bufio.NewReader(f)).Decode(&doc); err != nil {
+		return Document{}, fmt.Errorf("decode %s: %w", path, err)
+	}
+	return doc, nil
 }
 
 // parseResult parses one benchmark line of the form

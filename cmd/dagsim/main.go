@@ -45,6 +45,7 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "simulation seed (runs are reproducible)")
 		dump      = flag.String("dump", "", "write server 0's DAG to this file")
 		storeDir  = flag.String("store-dir", "", "journal every server's blocks to a durable store under this directory (inspect with dagstore)")
+		ckptSegs  = flag.Int("checkpoint-segments", 0, "with -store-dir: checkpoint a server's store after a round leaves it with at least N WAL segments (0 disables)")
 		verbose   = flag.Bool("v", false, "print per-server metrics")
 	)
 	flag.Parse()
@@ -64,6 +65,8 @@ func run() error {
 		SigCounters: &sigs,
 		MaxBatch:    *instances + 1,
 		StoreDir:    *storeDir,
+
+		CheckpointEverySegments: *ckptSegs,
 	})
 	if err != nil {
 		return err

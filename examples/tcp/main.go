@@ -4,9 +4,14 @@
 // the wiring a real multi-host deployment uses, minus the hosts.
 //
 // With -store-dir each server additionally journals every inserted block
-// to a durable store under <dir>/s<i> (fsync policy -fsync), and restores
-// from it on startup — run the command twice with the same directory and
-// the second run resumes every server's chain.
+// to a durable store under <dir>/s<i> (fsync policy -fsync), serves bulk
+// catch-up streams from it on the sync channel, and restores from it on
+// startup — after first asking its peers for any blocks it is missing
+// (-catchup). Run the command twice with the same directory and the
+// second run resumes every server's chain; delete one server's
+// subdirectory in between and it bulk-syncs the backlog from a peer
+// instead of re-fetching it block by block. -checkpoint-segments keeps
+// each store compacted so those streams start from a snapshot.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"blockdag/internal/node"
 	"blockdag/internal/protocols/brb"
 	"blockdag/internal/store"
+	"blockdag/internal/syncsvc"
 	"blockdag/internal/tcpnet"
 	"blockdag/internal/transport"
 	"blockdag/internal/types"
@@ -38,6 +44,9 @@ func run() error {
 	var (
 		storeDir  = flag.String("store-dir", "", "journal each server's blocks under this directory and restore on startup")
 		fsyncMode = flag.String("fsync", "interval", "store fsync policy: always | interval | never")
+		catchup   = flag.Bool("catchup", true, "with -store-dir: bulk-sync missing blocks from peers at startup")
+		ckptSegs  = flag.Int("checkpoint-segments", 4, "with -store-dir: checkpoint the store every N WAL segments (0 disables)")
+		ckptBytes = flag.Int64("checkpoint-bytes", 0, "with -store-dir: checkpoint the store when it exceeds N bytes (0 disables)")
 	)
 	flag.Parse()
 
@@ -51,17 +60,42 @@ func run() error {
 		return err
 	}
 
-	// Phase 1: bind all listeners (handlers late-bound, since the node
-	// that consumes traffic is built after the transport).
+	// Phase 1: open stores (if durable) and bind all listeners. The
+	// gossip endpoint is late-bound — the node that consumes traffic is
+	// built after the transport — with pre-Bind deliveries buffered; the
+	// sync handler serves straight from the store's directory, so it can
+	// be live from the first accepted connection.
+	stores := make([]*store.Store, n)
 	handlers := make([]*transport.LateBound, n)
 	transports := make([]*tcpnet.Transport, n)
 	for i := 0; i < n; i++ {
-		handlers[i] = &transport.LateBound{}
-		tr, err := tcpnet.Listen(tcpnet.Config{
+		cfg := tcpnet.Config{
 			Self:       types.ServerID(i),
 			ListenAddr: "127.0.0.1:0",
-			Handler:    handlers[i],
-		})
+		}
+		handlers[i] = &transport.LateBound{}
+		cfg.Endpoints = map[transport.Channel]transport.Endpoint{
+			transport.ChanGossip: handlers[i],
+		}
+		if *storeDir != "" {
+			st, err := store.Open(filepath.Join(*storeDir, fmt.Sprintf("s%d", i)), store.Options{
+				Roster: roster,
+				Sync:   syncPolicy,
+			})
+			if err != nil {
+				return err
+			}
+			defer func() { _ = st.Close() }()
+			stores[i] = st
+			if rep := st.Report(); rep.Blocks > 0 || rep.TornBytes > 0 {
+				fmt.Printf("s%d store: recovered %d blocks (torn tail: %d bytes)\n",
+					i, rep.Blocks, rep.TornBytes)
+			}
+			cfg.Handlers = map[transport.Channel]transport.Handler{
+				transport.ChanSync: &syncsvc.Server{Store: st},
+			}
+		}
+		tr, err := tcpnet.Listen(cfg)
 		if err != nil {
 			return err
 		}
@@ -108,24 +142,31 @@ func run() error {
 			Server:           srv,
 			DisseminateEvery: 20 * time.Millisecond,
 		}
-		if *storeDir != "" {
-			st, err := store.Open(filepath.Join(*storeDir, fmt.Sprintf("s%d", i)), store.Options{
-				Roster: roster,
-				Sync:   syncPolicy,
-			})
-			if err != nil {
-				return err
+		if stores[i] != nil {
+			cfg.Store = stores[i]
+			cfg.CheckpointEverySegments = *ckptSegs
+			cfg.CheckpointEveryBytes = *ckptBytes
+			if *catchup {
+				var peers []types.ServerID
+				for j := 0; j < n; j++ {
+					if j != i {
+						peers = append(peers, types.ServerID(j))
+					}
+				}
+				cfg.CatchUp = &syncsvc.FetchConfig{
+					Transport: transports[i],
+					Roster:    roster,
+					Peers:     peers,
+					Timeout:   5 * time.Second,
+				}
 			}
-			defer func() { _ = st.Close() }()
-			if rep := st.Report(); rep.Blocks > 0 || rep.TornBytes > 0 {
-				fmt.Printf("s%d store: recovered %d blocks (torn tail: %d bytes)\n",
-					i, rep.Blocks, rep.TornBytes)
-			}
-			cfg.Store = st
 		}
 		nd, err := node.New(cfg)
 		if err != nil {
 			return err
+		}
+		if rep := nd.CatchUpReport(); rep.Ran && (rep.Blocks > 0 || rep.Err != nil) {
+			fmt.Printf("s%d catch-up: %d blocks in bulk (err: %v)\n", i, rep.Blocks, rep.Err)
 		}
 		handlers[i].Bind(nd)
 		nodes[i] = nd

@@ -1,0 +1,303 @@
+package cluster_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"blockdag/internal/block"
+	"blockdag/internal/cluster"
+	"blockdag/internal/protocols/brb"
+	"blockdag/internal/syncsvc"
+	"blockdag/internal/transport"
+	"blockdag/internal/types"
+)
+
+// deliveredValue returns the first value delivered for a label at one
+// server, nil if none.
+func deliveredValue(c *cluster.Cluster, server int, label types.Label) []byte {
+	for _, ind := range c.Indications(server) {
+		if ind.Label == label {
+			return ind.Value
+		}
+	}
+	return nil
+}
+
+// TestClusterCatchUpAfterDiskLoss is the acceptance test for bulk state
+// transfer: a node crashes AND loses its entire store; on restart it
+// pulls a peer's store over the sync channel in one deterministic stream,
+// journals it, reconverges with the live nodes, and its interpretation
+// matches theirs — without re-fetching the backlog one FWD round trip at
+// a time.
+func TestClusterCatchUpAfterDiskLoss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := cluster.New(cluster.Options{
+		N:                4,
+		Protocol:         brb.Protocol{},
+		Seed:             33,
+		StoreDir:         dir,
+		StoreSegmentSize: 2048, // rotation + compaction in play
+
+		CheckpointEverySegments: 3, // keep a fresh snapshot to stream
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: a working cluster with history.
+	const pre = 6
+	for i := 0; i < pre; i++ {
+		c.Request(i%4, types.Label(fmt.Sprintf("pre/%d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	ok, err := c.RunUntil(30, func() bool {
+		for i := 0; i < pre; i++ {
+			if !allDelivered(c, types.Label(fmt.Sprintf("pre/%d", i))) {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil || !ok {
+		t.Fatalf("phase 1: ok=%v err=%v", ok, err)
+	}
+
+	// Phase 2: server 2 dies and its disk is wiped — the total-loss
+	// scenario FWD-only recovery handles one block at a time.
+	c.Crash(2)
+	if err := os.RemoveAll(filepath.Join(dir, "s2")); err != nil {
+		t.Fatal(err)
+	}
+	// The survivors keep making progress while 2 is down.
+	const during = 4
+	for i := 0; i < during; i++ {
+		c.Request(i%2, types.Label(fmt.Sprintf("during/%d", i)), []byte(fmt.Sprintf("d%d", i)))
+	}
+	if err := c.RunRounds(12); err != nil {
+		t.Fatal(err)
+	}
+	backlog := c.Servers[0].DAG().Len()
+	if backlog == 0 {
+		t.Fatal("no backlog accumulated")
+	}
+
+	// Phase 3: restart via bulk sync from server 0's store.
+	sendsBefore := c.Net.Stats().Sends
+	if err := c.RecoverServerViaSync(2, brb.Protocol{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	stats := c.Net.Stats()
+	if stats.Calls == 0 {
+		t.Fatal("recovery did not use the sync channel")
+	}
+	// The point of bulk transfer: the backlog crossed as a handful of
+	// streamed frames, not per-block gossip round trips.
+	if gossipSends := stats.Sends - sendsBefore; gossipSends > int64(backlog/10) {
+		t.Fatalf("recovery cost %d gossip sends for a %d-block backlog; bulk sync should not FWD per block",
+			gossipSends, backlog)
+	}
+	if got := c.Servers[2].DAG().Len(); got < backlog {
+		t.Fatalf("recovered DAG has %d blocks, want at least the %d-block backlog", got, backlog)
+	}
+	// The wiped store was refilled by the stream.
+	if got := c.Stores[2].Len(); got < backlog {
+		t.Fatalf("recovered store journals %d blocks, want ≥ %d", got, backlog)
+	}
+
+	// Phase 4: the recovered server participates again and converges to
+	// the same interpretation as the live nodes.
+	c.Request(2, "post", []byte("after recovery"))
+	ok, err = c.RunUntil(30, func() bool { return allDelivered(c, "post") && c.Converged() })
+	if err != nil || !ok {
+		t.Fatalf("phase 4: ok=%v err=%v converged=%v", ok, err, c.Converged())
+	}
+	for i := 0; i < pre; i++ {
+		label := types.Label(fmt.Sprintf("pre/%d", i))
+		want := deliveredValue(c, 0, label)
+		if got := deliveredValue(c, 2, label); !bytes.Equal(got, want) {
+			t.Fatalf("server 2 interprets %s as %q, live nodes as %q", label, got, want)
+		}
+	}
+	for i := 0; i < during; i++ {
+		label := types.Label(fmt.Sprintf("during/%d", i))
+		want := deliveredValue(c, 0, label)
+		if got := deliveredValue(c, 2, label); !bytes.Equal(got, want) {
+			t.Fatalf("server 2 interprets %s as %q, live nodes as %q", label, got, want)
+		}
+	}
+	if err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterCatchUpDeterministic: the same seed gives byte-identical
+// recovery traces (block counts, network stats) — the sync stream rides
+// the simulator's event loop like everything else.
+func TestClusterCatchUpDeterministic(t *testing.T) {
+	run := func() (int, int64, int64) {
+		dir := t.TempDir()
+		c, err := cluster.New(cluster.Options{
+			N: 4, Protocol: brb.Protocol{}, Seed: 7,
+			StoreDir: dir, StoreSegmentSize: 1024,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Request(0, "x", []byte("1"))
+		if _, err := c.RunUntil(20, func() bool { return allDelivered(c, "x") }); err != nil {
+			t.Fatal(err)
+		}
+		c.Crash(3)
+		if err := os.RemoveAll(filepath.Join(dir, "s3")); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RunRounds(5); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RecoverServerViaSync(3, brb.Protocol{}, 1); err != nil {
+			t.Fatal(err)
+		}
+		s := c.Net.Stats()
+		return c.Servers[3].DAG().Len(), s.CallFrames, s.CallBytes
+	}
+	l1, f1, b1 := run()
+	l2, f2, b2 := run()
+	if l1 != l2 || f1 != f2 || b1 != b2 {
+		t.Fatalf("recovery diverges across identical seeds: (%d,%d,%d) vs (%d,%d,%d)", l1, f1, b1, l2, f2, b2)
+	}
+}
+
+// TestClusterCatchUpRejectsMaliciousServer: a byzantine catch-up server
+// streaming tampered blocks is rejected outright — the recovering client
+// keeps nothing from it, stays down, and a subsequent sync from an honest
+// peer succeeds cleanly.
+func TestClusterCatchUpRejectsMaliciousServer(t *testing.T) {
+	dir := t.TempDir()
+	c, err := cluster.New(cluster.Options{
+		N:        4,
+		Protocol: brb.Protocol{},
+		Seed:     13,
+		StoreDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Request(1, "payload", []byte("real"))
+	ok, err := c.RunUntil(20, func() bool { return allDelivered(c, "payload") })
+	if err != nil || !ok {
+		t.Fatalf("setup: ok=%v err=%v", ok, err)
+	}
+
+	c.Crash(2)
+	if err := os.RemoveAll(filepath.Join(dir, "s2")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server 3 turns malicious on the sync channel: it serves the real
+	// history with one mid-stream block's signature flipped — exactly
+	// what a compromised peer would try to smuggle into a recovering
+	// replica.
+	honest := c.Servers[3].DAG().Blocks()
+	tampered := append([]*block.Block(nil), honest...)
+	mid := len(tampered) / 2
+	forged := *tampered[mid]
+	forged.Sig = append([]byte(nil), forged.Sig...)
+	forged.Sig[0] ^= 0x01
+	tampered[mid] = &forged
+	c.Net.RegisterHandler(3, transport.ChanSync, &syncsvc.Server{
+		Source: func() ([]*block.Block, error) { return tampered, nil },
+	})
+
+	err = c.RecoverServerViaSync(2, brb.Protocol{}, 3)
+	if err == nil {
+		t.Fatal("tampered stream recovered a server")
+	}
+	if !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("err = %v, want a validation rejection", err)
+	}
+	if c.Servers[2] != nil {
+		t.Fatal("slot 2 came up despite the failed sync")
+	}
+	// Nothing from the malicious stream reached the slot's disk: a
+	// fresh open must see an empty store.
+	if entries, err := os.ReadDir(filepath.Join(dir, "s2")); err == nil {
+		for _, e := range entries {
+			t.Fatalf("failed sync left %s on disk", e.Name())
+		}
+	}
+
+	// An honest peer completes the same recovery.
+	if err := c.RecoverServerViaSync(2, brb.Protocol{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Request(2, "post", []byte("back"))
+	ok, err = c.RunUntil(30, func() bool { return allDelivered(c, "post") && c.Converged() })
+	if err != nil || !ok {
+		t.Fatalf("post-recovery: ok=%v err=%v", ok, err)
+	}
+	if err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterAutomaticCheckpointing: the per-round checkpoint policy
+// keeps every durable server's WAL bounded, so catch-up streams start
+// from a snapshot instead of a long segment chain.
+func TestClusterAutomaticCheckpointing(t *testing.T) {
+	dir := t.TempDir()
+	const limit = 2
+	c, err := cluster.New(cluster.Options{
+		N:                4,
+		Protocol:         brb.Protocol{},
+		Seed:             5,
+		StoreDir:         dir,
+		StoreSegmentSize: 512, // tiny segments: rotation every few blocks
+
+		CheckpointEverySegments: limit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		c.Request(i%4, types.Label(fmt.Sprintf("l/%d", i)), []byte("v"))
+	}
+	if err := c.RunRounds(25); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range c.CorrectServers() {
+		// The policy runs post-round, so a server can be mid-window; it
+		// must never exceed the threshold plus the current round's
+		// growth by a wide margin.
+		if got := c.Stores[i].WALSegments(); got > limit+2 {
+			t.Fatalf("server %d has %d WAL segments; checkpoint policy idle", i, got)
+		}
+	}
+	// At least one store actually checkpointed (has a snapshot): reopen
+	// offline and check.
+	snapshots := 0
+	for _, i := range c.CorrectServers() {
+		if err := c.Stores[i].Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, i := range c.CorrectServers() {
+		entries, err := os.ReadDir(filepath.Join(dir, fmt.Sprintf("s%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".snap") {
+				snapshots++
+			}
+		}
+	}
+	if snapshots == 0 {
+		t.Fatal("no snapshot written by the automatic checkpoint policy")
+	}
+	if err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -23,6 +23,8 @@ import (
 	"blockdag/internal/protocol"
 	"blockdag/internal/simnet"
 	"blockdag/internal/store"
+	"blockdag/internal/syncsvc"
+	"blockdag/internal/transport"
 	"blockdag/internal/types"
 )
 
@@ -79,6 +81,13 @@ type Options struct {
 	// (0 = store default). Tests use small segments to exercise
 	// rotation and compaction.
 	StoreSegmentSize int64
+	// CheckpointEverySegments, with StoreDir set, applies the automatic
+	// checkpoint policy after every dissemination round: a server whose
+	// WAL has at least this many segments snapshots and compacts its
+	// store — mirroring node.Config.CheckpointEverySegments on the
+	// simulator, so catch-up servers have a fresh snapshot to stream.
+	// 0 disables.
+	CheckpointEverySegments int
 }
 
 // Cluster is a running simulation.
@@ -187,12 +196,23 @@ func New(opts Options) (*Cluster, error) {
 				return nil, fmt.Errorf("cluster: server %d: %w", i, err)
 			}
 		}
-		net.Register(id, srv)
+		c.register(i, srv, st)
 		c.Servers[i] = srv
 		c.Metrics[i] = m
 		c.Stores[i] = st
 	}
 	return c, nil
+}
+
+// register attaches one slot's consumers to the network: the server on
+// the gossip channel and — when the slot is durable — a catch-up server
+// on the sync channel, so any peer can bulk-sync from this slot's store.
+func (c *Cluster) register(slot int, srv *core.Server, st *store.Store) {
+	id := types.ServerID(slot)
+	c.Net.Register(id, transport.ChanGossip, srv)
+	if st != nil {
+		c.Net.RegisterHandler(id, transport.ChanSync, &syncsvc.Server{Store: st})
+	}
 }
 
 // openStore opens the durable block store for one slot if Options.StoreDir
@@ -229,6 +249,7 @@ func (c *Cluster) RunRounds(rounds int) error {
 				continue
 			}
 			srv := srv
+			slot := i
 			stagger := time.Duration(i) * time.Millisecond
 			c.Net.After(at+stagger, func() {
 				srv.Tick(c.Net.Now())
@@ -237,6 +258,7 @@ func (c *Cluster) RunRounds(rounds int) error {
 					// of a correct server cannot fail.
 					_ = err
 				}
+				c.maybeCheckpoint(slot)
 			})
 		}
 	}
@@ -256,6 +278,21 @@ func (c *Cluster) RunUntil(maxRounds int, cond func() bool) (bool, error) {
 		}
 	}
 	return cond(), nil
+}
+
+// maybeCheckpoint applies the automatic checkpoint policy to one slot —
+// the simulator's mirror of the node runtime's segment-count trigger.
+func (c *Cluster) maybeCheckpoint(slot int) {
+	if c.opts.CheckpointEverySegments <= 0 {
+		return
+	}
+	st, srv := c.Stores[slot], c.Servers[slot]
+	if st == nil || srv == nil || st.WALSegments() < c.opts.CheckpointEverySegments {
+		return
+	}
+	// A checkpoint failure would surface on the next append or the
+	// test's own store assertions; the simulation keeps running.
+	_, _ = st.Checkpoint(srv.DAG())
 }
 
 // Health surfaces the first internal error of any correct server.
@@ -305,27 +342,23 @@ func (c *Cluster) Converged() bool {
 }
 
 // Crash simulates a full stop of the given server: it stops disseminating
-// (its slot becomes nil) and its endpoint is replaced by a black hole, so
-// in-flight and future traffic to it is lost. A store attached to the
-// slot is abandoned (store.Store.Abandon) without sealing or fsyncing the
-// live segment — the power-cut model — releasing its file handle so
+// (its slot becomes nil) and it is deregistered from the network, so
+// future traffic to it is dropped and any catch-up stream it was serving
+// aborts with transport.ErrStreamLost at the client. A store attached to
+// the slot is abandoned (store.Store.Abandon) without sealing or fsyncing
+// the live segment — the power-cut model — releasing its file handle so
 // crash/recover loops do not leak descriptors; reopen the directory via
 // RecoverServerFromStore (or store.Open for offline work). Recover the
-// slot with RecoverServer or RecoverServerFromStore.
+// slot with RecoverServer, RecoverServerFromStore, or — to exercise the
+// bulk sync path — RecoverServerViaSync.
 func (c *Cluster) Crash(slot int) {
 	c.Servers[slot] = nil
 	if st := c.Stores[slot]; st != nil {
 		st.Abandon()
 	}
 	c.Stores[slot] = nil
-	c.Net.Register(types.ServerID(slot), blackhole{})
+	c.Net.Deregister(types.ServerID(slot))
 }
-
-// blackhole drops all deliveries (a crashed server).
-type blackhole struct{}
-
-// Deliver implements transport.Endpoint by discarding the payload.
-func (blackhole) Deliver(types.ServerID, []byte) {}
 
 // RecoverServer restarts a crashed slot from persisted blocks: a fresh
 // core.Server is built, Restore replays the blocks (re-validating and
@@ -369,6 +402,59 @@ func (c *Cluster) RecoverServerFromStore(slot int, proto protocol.Protocol) erro
 	return c.recoverServer(slot, proto, st.Blocks(), c.opts.CompressReferences, st)
 }
 
+// RecoverServerViaSync restarts a crashed slot through bulk catch-up: the
+// slot's store is reopened (possibly empty — the disk-loss model), a
+// catch-up stream is pulled from the given peer's store over
+// transport.ChanSync, every streamed block is validated against the
+// roster and the DAG rules, the validated blocks are journaled, and the
+// server restores store plus stream in one replay. The network is driven
+// until the stream terminates, so the call is deterministic.
+//
+// The serving peer is untrusted: a stream carrying a tampered or
+// ill-ordered block aborts with its validation error, the slot stays
+// down, and nothing invalid touches the slot's store or server — the
+// caller retries against another peer or falls back to
+// RecoverServerFromStore (per-block FWD then fills any gap).
+func (c *Cluster) RecoverServerViaSync(slot int, proto protocol.Protocol, from int) error {
+	if c.opts.StoreDir == "" {
+		return fmt.Errorf("cluster: recover server %d via sync: cluster has no StoreDir", slot)
+	}
+	st, err := c.openStore(slot)
+	if err != nil {
+		return err
+	}
+	seed := st.Blocks()
+	pull, err := syncsvc.NewPull(c.Roster, seed, 0)
+	if err != nil {
+		st.Abandon()
+		return fmt.Errorf("cluster: recover server %d via sync: %w", slot, err)
+	}
+	tr := c.Net.Transport(types.ServerID(slot))
+	cancel := tr.Call(types.ServerID(from), transport.ChanSync, pull.Request(), pull)
+	if !c.Net.RunUntil(pull.Done) {
+		cancel()
+		st.Abandon()
+		return fmt.Errorf("cluster: recover server %d via sync: network quiesced before the stream ended", slot)
+	}
+	fetched, perr := pull.Result()
+	if perr != nil {
+		st.Abandon()
+		return fmt.Errorf("cluster: recover server %d via sync from %d: %w", slot, from, perr)
+	}
+	for _, b := range fetched {
+		if err := st.Append(b); err != nil {
+			st.Abandon()
+			return fmt.Errorf("cluster: recover server %d via sync: journal: %w", slot, err)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		st.Abandon()
+		return fmt.Errorf("cluster: recover server %d via sync: %w", slot, err)
+	}
+	replay := append(append([]*block.Block(nil), seed...), fetched...)
+	return c.recoverServer(slot, proto, replay, c.opts.CompressReferences, st)
+}
+
 // recoverServer rebuilds one slot from persisted blocks, optionally
 // resuming journaling on st.
 func (c *Cluster) recoverServer(slot int, proto protocol.Protocol, stored []*block.Block, compress bool, st *store.Store) error {
@@ -398,7 +484,7 @@ func (c *Cluster) recoverServer(slot int, proto protocol.Protocol, stored []*blo
 	if err := srv.Restore(stored); err != nil {
 		return fmt.Errorf("cluster: recover server %d: %w", slot, err)
 	}
-	c.Net.Register(id, srv)
+	c.register(slot, srv, st)
 	c.Servers[slot] = srv
 	c.Metrics[slot] = m
 	c.Stores[slot] = st
@@ -421,6 +507,6 @@ func (c *Cluster) Send(from int, b *block.Block, to ...int) {
 	payload := gossip.EncodeBlockMsg(b)
 	tr := c.Net.Transport(types.ServerID(from))
 	for _, dst := range to {
-		tr.Send(types.ServerID(dst), payload)
+		tr.Send(types.ServerID(dst), transport.ChanGossip, payload)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"blockdag/internal/core"
 	"blockdag/internal/crypto"
 	"blockdag/internal/protocols/brb"
+	"blockdag/internal/transport"
 	"blockdag/internal/types"
 )
 
@@ -22,7 +23,12 @@ type recordingTransport struct {
 
 func (r *recordingTransport) Self() types.ServerID { return r.self }
 
-func (r *recordingTransport) Send(types.ServerID, []byte) { r.sends++ }
+func (r *recordingTransport) Send(types.ServerID, transport.Channel, []byte) { r.sends++ }
+
+func (r *recordingTransport) Call(_ types.ServerID, _ transport.Channel, _ []byte, sink transport.CallSink) func() {
+	sink.OnDone(transport.ErrUnreachable)
+	return func() {}
+}
 
 // TestPersistFailureWithholdsBroadcast: once the persistence sink fails,
 // the own block it failed on must not reach the network — a non-durable

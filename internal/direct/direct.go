@@ -125,7 +125,9 @@ func (s *Server) dispatch(msgs []protocol.Message) {
 		payload := s.seal(m)
 		s.cfg.Metrics.AddWireSend(int64(len(payload)))
 		s.cfg.Metrics.AddMsgsMaterialized(1)
-		s.cfg.Transport.Send(m.Receiver, payload)
+		// The baseline's materialized messages are its protocol
+		// traffic, so they ride the same channel gossip blocks would.
+		s.cfg.Transport.Send(m.Receiver, transport.ChanGossip, payload)
 	}
 }
 

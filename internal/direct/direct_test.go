@@ -17,7 +17,7 @@ func newBRBCluster(t *testing.T, n int) (*Cluster, *simnet.Network) {
 	net := simnet.New(simnet.WithSeed(5))
 	c, err := NewCluster(brb.Protocol{}, n,
 		func(id types.ServerID) transport.Transport { return net.Transport(id) },
-		func(id types.ServerID, ep transport.Endpoint) { net.Register(id, ep) },
+		func(id types.ServerID, ep transport.Endpoint) { net.Register(id, transport.ChanGossip, ep) },
 		nil,
 	)
 	if err != nil {

@@ -136,7 +136,7 @@ func directWorkload(n, broadcasts int, counters *crypto.Counters) (*direct.Clust
 	net := simnet.New(simnet.WithSeed(42))
 	c, err := direct.NewCluster(brb.Protocol{}, n,
 		func(id types.ServerID) transport.Transport { return net.Transport(id) },
-		func(id types.ServerID, ep transport.Endpoint) { net.Register(id, ep) },
+		func(id types.ServerID, ep transport.Endpoint) { net.Register(id, transport.ChanGossip, ep) },
 		counters,
 	)
 	if err != nil {

@@ -646,7 +646,10 @@ func (g *Gossip) sendFwd(to types.ServerID, ref block.Ref) {
 	g.send(to, EncodeFwdMsg(ref))
 }
 
+// send transmits one gossip payload. All of Algorithm 1's traffic rides
+// transport.ChanGossip, whose fire-and-forget Send carries exactly the
+// Assumption 1 semantics the algorithm's proofs rely on.
 func (g *Gossip) send(to types.ServerID, payload []byte) {
 	g.cfg.Metrics.AddWireSend(int64(len(payload)))
-	g.cfg.Transport.Send(to, payload)
+	g.cfg.Transport.Send(to, transport.ChanGossip, payload)
 }

@@ -10,6 +10,7 @@ import (
 	"blockdag/internal/dag"
 	"blockdag/internal/metrics"
 	"blockdag/internal/simnet"
+	"blockdag/internal/transport"
 	"blockdag/internal/types"
 )
 
@@ -82,7 +83,7 @@ func newCluster(t *testing.T, n int, opts ...simnet.Option) *cluster {
 		}
 		node := &testNode{g: g, d: d, m: m, src: src, metrics: m}
 		c.nodes = append(c.nodes, node)
-		net.Register(types.ServerID(i), node)
+		net.Register(types.ServerID(i), transport.ChanGossip, node)
 	}
 	return c
 }

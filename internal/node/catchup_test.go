@@ -1,0 +1,208 @@
+package node_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"blockdag/internal/core"
+	"blockdag/internal/crypto"
+	"blockdag/internal/metrics"
+	"blockdag/internal/node"
+	"blockdag/internal/protocols/brb"
+	"blockdag/internal/simnet"
+	"blockdag/internal/store"
+	"blockdag/internal/syncsvc"
+	"blockdag/internal/tcpnet"
+	"blockdag/internal/transport"
+	"blockdag/internal/types"
+)
+
+// TestNodeAutomaticCheckpointing: the loop's checkpoint policy compacts
+// the store while the node runs, without operator involvement.
+func TestNodeAutomaticCheckpointing(t *testing.T) {
+	dir := t.TempDir()
+	roster, signers, err := crypto.LocalRoster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir, store.Options{
+		Roster:      roster,
+		Sync:        store.SyncInterval,
+		SyncEvery:   time.Millisecond,
+		SegmentSize: 512, // rotate every couple of blocks
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = st.Close() }()
+	m := &metrics.Metrics{}
+	srv, err := core.NewServer(core.Config{
+		Roster:    roster,
+		Signer:    signers[0],
+		Protocol:  brb.Protocol{},
+		Transport: simnet.New().Transport(0),
+		Clock:     node.Clock(),
+		Metrics:   m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := node.New(node.Config{
+		Server:           srv,
+		DisseminateEvery: 2 * time.Millisecond,
+		TickEvery:        2 * time.Millisecond,
+		Store:            st,
+
+		CheckpointEverySegments: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Run long enough that, without checkpointing, far more than two
+	// segments would pile up; then verify a snapshot appeared and the
+	// WAL stayed bounded.
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Snapshot().BlocksBuilt < 60 {
+		if time.Now().After(deadline) {
+			t.Fatal("node built too few blocks")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	nd.Stop()
+	if err := nd.Err(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, wals := 0, 0
+	for _, e := range entries {
+		switch {
+		case len(e.Name()) > 5 && e.Name()[len(e.Name())-5:] == ".snap":
+			snaps++
+		case len(e.Name()) > 4 && e.Name()[len(e.Name())-4:] == ".wal":
+			wals++
+		}
+	}
+	if snaps == 0 {
+		t.Fatal("automatic checkpointing never wrote a snapshot")
+	}
+	// Bounded: the post-checkpoint residue, not the whole history.
+	if wals > 4 {
+		t.Fatalf("%d WAL segments survived; checkpoint policy not bounding disk", wals)
+	}
+	// And the compacted store must still recover.
+	reopened, err := store.Open(dir, store.Options{Roster: roster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = reopened.Close() }()
+	if reopened.Len() == 0 {
+		t.Fatal("compacted store lost the chain")
+	}
+}
+
+// TestNodeCatchUpFromPeerStore: a node with an empty store bulk-syncs a
+// peer's store at startup over TCP and restores the full chain before its
+// loop starts — then a restart replays the journaled stream from disk
+// without re-syncing.
+func TestNodeCatchUpFromPeerStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test with real sockets")
+	}
+	roster, signers, err := crypto.LocalRoster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build history on server 0's store by running a solo durable node.
+	peerDir := t.TempDir()
+	chainLen := runDurableNode(t, peerDir, roster, signers[0])
+	if chainLen < 3 {
+		t.Fatalf("peer built only %d blocks", chainLen)
+	}
+	peerStore, err := store.Open(peerDir, store.Options{Roster: roster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = peerStore.Close() }()
+
+	ep := map[transport.Channel]transport.Endpoint{transport.ChanGossip: &transport.LateBound{}}
+	peerTr, err := tcpnet.Listen(tcpnet.Config{
+		Self: 0, ListenAddr: "127.0.0.1:0", Endpoints: ep,
+		Handlers: map[transport.Channel]transport.Handler{
+			transport.ChanSync: &syncsvc.Server{Store: peerStore},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = peerTr.Close() }()
+	myTr, err := tcpnet.Listen(tcpnet.Config{
+		Self: 1, ListenAddr: "127.0.0.1:0",
+		Endpoints: map[transport.Channel]transport.Endpoint{transport.ChanGossip: &transport.LateBound{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = myTr.Close() }()
+	if err := myTr.Connect(0, peerTr.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	myDir := t.TempDir()
+	myStore, err := store.Open(myDir, store.Options{Roster: roster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := core.NewServer(core.Config{
+		Roster:    roster,
+		Signer:    signers[1],
+		Protocol:  brb.Protocol{},
+		Transport: myTr,
+		Clock:     node.Clock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := node.New(node.Config{
+		Server: srv,
+		Store:  myStore,
+		CatchUp: &syncsvc.FetchConfig{
+			Transport: myTr,
+			Roster:    roster,
+			Peers:     []types.ServerID{0},
+			Timeout:   10 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := nd.CatchUpReport()
+	if !rep.Ran || rep.Err != nil {
+		t.Fatalf("catch-up report = %+v", rep)
+	}
+	if rep.Blocks != chainLen {
+		t.Fatalf("caught up %d blocks, want %d", rep.Blocks, chainLen)
+	}
+	if got := srv.DAG().Len(); got != chainLen {
+		t.Fatalf("restored DAG has %d blocks, want %d", got, chainLen)
+	}
+	// The stream was journaled: a restart replays it from disk with no
+	// peer in sight.
+	if err := myStore.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := store.Open(myDir, store.Options{Roster: roster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = reopened.Close() }()
+	if got := len(reopened.Blocks()); got != chainLen {
+		t.Fatalf("journal replays %d blocks after restart, want %d", got, chainLen)
+	}
+}

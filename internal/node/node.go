@@ -15,8 +15,10 @@ import (
 	"sync"
 	"time"
 
+	"blockdag/internal/block"
 	"blockdag/internal/core"
 	"blockdag/internal/store"
+	"blockdag/internal/syncsvc"
 	"blockdag/internal/types"
 )
 
@@ -39,6 +41,42 @@ type Config struct {
 	// store after Stop. On a clean shutdown Stop leaves the WAL fully
 	// synced.
 	Store *store.Store
+	// CatchUp, if non-nil, bulk-syncs the server before the loop starts:
+	// New asks the configured peers for every block the store does not
+	// already hold (transport.ChanSync, package syncsvc), validates the
+	// stream against the roster, journals the result, and restores the
+	// server from store plus stream in one replay. A node with an empty
+	// or stale store thus starts within one streamed round trip of the
+	// cluster instead of re-fetching the backlog one FWD request at a
+	// time. Catch-up failure is not fatal — the fetched prefix is kept
+	// and gossip's FWD path fills the remainder; CatchUpReport records
+	// what happened.
+	CatchUp *syncsvc.FetchConfig
+	// CheckpointEverySegments, with Store set, makes the loop call
+	// Store.Checkpoint whenever the WAL has accumulated that many
+	// segments since the last snapshot — bounding disk, recovery time,
+	// and the stream a catch-up server sends, and keeping a fresh
+	// snapshot available for peers that sync from this node. 0 disables
+	// segment-triggered checkpoints.
+	CheckpointEverySegments int
+	// CheckpointEveryBytes additionally triggers a checkpoint when the
+	// store has grown this many bytes past its last compacted size (its
+	// startup size initially) — growth past the compaction floor, not
+	// absolute size: a DAG whose snapshot alone exceeds the threshold
+	// must not re-snapshot on every tick. 0 disables the size trigger.
+	CheckpointEveryBytes int64
+}
+
+// CatchUpReport records what startup catch-up did.
+type CatchUpReport struct {
+	// Ran reports that catch-up was configured and attempted.
+	Ran bool
+	// Blocks is the number of validated blocks received in bulk.
+	Blocks int
+	// Err is the terminal fetch error, nil after a clean stream. A
+	// non-nil Err still leaves the node fully functional: the remainder
+	// arrives via FWD.
+	Err error
 }
 
 // Clock returns a monotonic clock suitable for core.Config.Clock on the
@@ -78,6 +116,12 @@ type Node struct {
 	mu       sync.Mutex
 	started  bool
 	firstErr error
+
+	catchUp CatchUpReport
+	// ckptFloor is the store's on-disk size after the last checkpoint
+	// (or at startup): the baseline CheckpointEveryBytes growth is
+	// measured from. Loop-goroutine only.
+	ckptFloor int64
 }
 
 // New validates the config and prepares a node. With Config.Store set,
@@ -85,7 +129,9 @@ type Node struct {
 // replayed so the server continues its pre-crash chain, then the store's
 // persistence sink is installed — before any other block can be inserted,
 // and only once the replay has succeeded, so a failed New leaves the
-// caller-owned server without a sink and free to retry.
+// caller-owned server without a sink and free to retry. With
+// Config.CatchUp additionally set, the bulk sync runs between recovery
+// and replay, so the server restores store and stream in one pass.
 func New(cfg Config) (*Node, error) {
 	if cfg.Server == nil {
 		return nil, errors.New("node: config needs a Server")
@@ -96,24 +142,63 @@ func New(cfg Config) (*Node, error) {
 	if cfg.TickEvery <= 0 {
 		cfg.TickEvery = 100 * time.Millisecond
 	}
+	n := &Node{
+		cfg:  cfg,
+		in:   make(chan inbound, 256),
+		reqs: make(chan request, 256),
+		done: make(chan struct{}),
+	}
+	var replay []*block.Block
 	if cfg.Store != nil {
-		if err := cfg.Server.Restore(cfg.Store.Blocks()); err != nil {
+		replay = cfg.Store.Blocks()
+	}
+	if cfg.CatchUp != nil {
+		fetched, err := syncsvc.Fetch(*cfg.CatchUp, replay)
+		n.catchUp = CatchUpReport{Ran: true, Blocks: len(fetched), Err: err}
+		if len(fetched) > 0 {
+			replay = append(append([]*block.Block(nil), replay...), fetched...)
+			if cfg.Store != nil {
+				// Journal the bulk stream so the next restart replays
+				// it from disk instead of re-syncing. These are
+				// received blocks; the interval/never fsync policy
+				// applies, and the final Sync forces the batch out.
+				for _, b := range fetched {
+					if err := cfg.Store.Append(b); err != nil {
+						return nil, fmt.Errorf("node: journal catch-up block: %w", err)
+					}
+				}
+				if err := cfg.Store.Sync(); err != nil {
+					return nil, fmt.Errorf("node: sync catch-up blocks: %w", err)
+				}
+			}
+		}
+	}
+	if len(replay) > 0 {
+		if err := cfg.Server.Restore(replay); err != nil {
 			return nil, fmt.Errorf("node: restore from store: %w", err)
 		}
+	}
+	if cfg.Store != nil {
 		// PersistSink, not a bare Append: own blocks must be durable
 		// before gossip broadcasts them, or a power cut sets up a
 		// post-crash self-equivocation (see the store package docs).
 		if err := cfg.Server.SetPersist(cfg.Store.PersistSink(cfg.Server.ID())); err != nil {
 			return nil, fmt.Errorf("node: %w", err)
 		}
+		if cfg.CheckpointEveryBytes > 0 {
+			floor, err := cfg.Store.DiskSize()
+			if err != nil {
+				return nil, fmt.Errorf("node: %w", err)
+			}
+			n.ckptFloor = floor
+		}
 	}
-	return &Node{
-		cfg:  cfg,
-		in:   make(chan inbound, 256),
-		reqs: make(chan request, 256),
-		done: make(chan struct{}),
-	}, nil
+	return n, nil
 }
+
+// CatchUpReport returns what startup catch-up did (zero value when
+// Config.CatchUp was nil).
+func (n *Node) CatchUpReport() CatchUpReport { return n.catchUp }
 
 // Start launches the loop goroutine. It is an error to start twice.
 func (n *Node) Start() error {
@@ -220,7 +305,35 @@ func (n *Node) loop(ctx context.Context) {
 			srv.Tick(time.Since(start))
 			if n.cfg.Store != nil {
 				n.recordErr(n.cfg.Store.Tick())
+				n.maybeCheckpoint()
 			}
 		}
 	}
+}
+
+// maybeCheckpoint runs the automatic checkpoint policy: snapshot and
+// compact the store once the WAL segment count, or the growth in on-disk
+// bytes since the last compaction, crosses its configured threshold. It
+// runs on the loop goroutine, which owns both the server's DAG and the
+// store, so the snapshot is taken at a consistent point between events.
+func (n *Node) maybeCheckpoint() {
+	st := n.cfg.Store
+	trigger := n.cfg.CheckpointEverySegments > 0 &&
+		st.WALSegments() >= n.cfg.CheckpointEverySegments
+	if !trigger && n.cfg.CheckpointEveryBytes > 0 {
+		size, err := st.DiskSize()
+		if err != nil {
+			n.recordErr(err)
+			return
+		}
+		trigger = size >= n.ckptFloor+n.cfg.CheckpointEveryBytes
+	}
+	if !trigger {
+		return
+	}
+	stats, err := st.Checkpoint(n.cfg.Server.DAG())
+	if err == nil {
+		n.ckptFloor = stats.BytesAfter
+	}
+	n.recordErr(err)
 }

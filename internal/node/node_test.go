@@ -39,9 +39,11 @@ func newTCPCluster(t *testing.T, n int) *tcpCluster {
 	for i := 0; i < n; i++ {
 		lbs[i] = &transport.LateBound{}
 		tr, err := tcpnet.Listen(tcpnet.Config{
-			Self:        types.ServerID(i),
-			ListenAddr:  "127.0.0.1:0",
-			Handler:     lbs[i],
+			Self:       types.ServerID(i),
+			ListenAddr: "127.0.0.1:0",
+			Endpoints: map[transport.Channel]transport.Endpoint{
+				transport.ChanGossip: lbs[i],
+			},
 			DialBackoff: 5 * time.Millisecond,
 		})
 		if err != nil {
@@ -198,7 +200,7 @@ func TestNodeLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	lb := &transport.LateBound{}
-	tr, err := tcpnet.Listen(tcpnet.Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: lb})
+	tr, err := tcpnet.Listen(tcpnet.Config{Self: 0, ListenAddr: "127.0.0.1:0", Endpoints: map[transport.Channel]transport.Endpoint{transport.ChanGossip: lb}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"blockdag/internal/transport"
 	"blockdag/internal/types"
 )
 
@@ -16,7 +17,7 @@ func (nullEndpoint) Deliver(types.ServerID, []byte) {}
 func BenchmarkEventLoop(b *testing.B) {
 	n := New(WithSeed(1), WithLatency(time.Millisecond, time.Millisecond))
 	for id := types.ServerID(0); id < 4; id++ {
-		n.Register(id, nullEndpoint{})
+		n.Register(id, transport.ChanGossip, nullEndpoint{})
 	}
 	payload := make([]byte, 128)
 	handles := make([]types.ServerID, 4)
@@ -26,7 +27,7 @@ func BenchmarkEventLoop(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n.Transport(handles[i%4]).Send(handles[(i+1)%4], payload)
+		n.Transport(handles[i%4]).Send(handles[(i+1)%4], transport.ChanGossip, payload)
 		if i%1024 == 1023 {
 			n.Run()
 		}

@@ -7,13 +7,18 @@
 // when events execute, so a simulated second costs microseconds of real
 // time and two runs with equal seeds produce byte-identical traces.
 //
-// Nodes are transport.Endpoints registered with the network; they are
+// Nodes register a transport.Endpoint per channel (and a
+// transport.Handler per channel for request/response streams); all are
 // invoked synchronously by the event loop, one event at a time, so node
-// state machines need no internal locking.
+// state machines need no internal locking. Call streams deliver each
+// response frame as its own event, FIFO within the stream, which lets
+// cluster tests drive bulk catch-up scenarios — including a server
+// crashing mid-stream (Deregister) — fully deterministically.
 package simnet
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -48,10 +53,19 @@ func WithDrop(p float64) Option {
 
 // Stats counts network activity.
 type Stats struct {
-	Sends     int64 // Send calls observed
-	Delivered int64 // payloads delivered to endpoints
-	Dropped   int64 // payloads lost to WithDrop or partitions
-	Bytes     int64 // payload bytes accepted for transmission
+	Sends      int64 // Send calls observed
+	Delivered  int64 // payloads delivered to endpoints
+	Dropped    int64 // payloads lost to WithDrop or partitions
+	Bytes      int64 // payload bytes accepted for transmission
+	Calls      int64 // Call streams opened
+	CallFrames int64 // response frames delivered on call streams
+	CallBytes  int64 // request + response bytes on call streams
+}
+
+// registration holds one server's per-channel consumers.
+type registration struct {
+	endpoints [transport.ChanSync + 1]transport.Endpoint
+	handlers  [transport.ChanSync + 1]transport.Handler
 }
 
 // Network is the simulator. Not safe for concurrent use: the event loop
@@ -66,8 +80,10 @@ type Network struct {
 	latJitter time.Duration
 	dropP     float64
 
-	endpoints map[types.ServerID]transport.Endpoint
-	blocked   func(from, to types.ServerID) bool
+	nodes   map[types.ServerID]*registration
+	gens    map[types.ServerID]uint64 // survives Deregister
+	streams []*simStream              // open call streams, pruned lazily
+	blocked func(from, to types.ServerID) bool
 
 	stats Stats
 }
@@ -79,7 +95,8 @@ func New(opts ...Option) *Network {
 		rng:       rand.New(rand.NewSource(1)),
 		latBase:   10 * time.Millisecond,
 		latJitter: 5 * time.Millisecond,
-		endpoints: make(map[types.ServerID]transport.Endpoint),
+		nodes:     make(map[types.ServerID]*registration),
+		gens:      make(map[types.ServerID]uint64),
 	}
 	for _, opt := range opts {
 		opt(n)
@@ -87,9 +104,77 @@ func New(opts ...Option) *Network {
 	return n
 }
 
-// Register attaches an endpoint for the given server.
-func (n *Network) Register(id types.ServerID, ep transport.Endpoint) {
-	n.endpoints[id] = ep
+// node returns (creating if needed) the registration for a server.
+func (n *Network) node(id types.ServerID) *registration {
+	reg, ok := n.nodes[id]
+	if !ok {
+		reg = &registration{}
+		n.nodes[id] = reg
+	}
+	return reg
+}
+
+// Register attaches the endpoint consuming one-way payloads on one
+// channel of the given server.
+func (n *Network) Register(id types.ServerID, ch transport.Channel, ep transport.Endpoint) {
+	if !ch.Valid() {
+		panic(fmt.Sprintf("simnet: register on invalid channel %v", ch))
+	}
+	n.node(id).endpoints[ch] = ep
+}
+
+// RegisterHandler attaches the call handler serving request/response
+// streams on one channel of the given server.
+func (n *Network) RegisterHandler(id types.ServerID, ch transport.Channel, h transport.Handler) {
+	if !ch.Valid() {
+		panic(fmt.Sprintf("simnet: register handler on invalid channel %v", ch))
+	}
+	n.node(id).handlers[ch] = h
+}
+
+// Deregister detaches all of a server's endpoints and handlers — the
+// crash model. Future deliveries to it are dropped. Call streams the
+// server was serving but had not yet closed are aborted: the client
+// observes ErrStreamLost after a link delay (frames already in flight
+// still arrive first). Re-registering later models a restarted server.
+func (n *Network) Deregister(id types.ServerID) {
+	n.gens[id]++
+	delete(n.nodes, id)
+	kept := n.streams[:0]
+	for _, st := range n.streams {
+		if st.done || st.canceled {
+			continue // prune settled streams
+		}
+		if st.server == id && st.open && !st.closed {
+			st.closed = true
+			at := st.deliverAt()
+			stream := st
+			n.schedule(at-n.now, func() { stream.finish(transport.ErrStreamLost) })
+			continue
+		}
+		kept = append(kept, st)
+	}
+	n.streams = kept
+}
+
+// pruneStreams drops settled call streams from the tracking list, so a
+// long-lived network issuing many calls does not retain every sink (a
+// syncsvc pull's sink holds a whole scratch DAG) for its lifetime. Runs
+// on each call open; Deregister prunes too.
+func (n *Network) pruneStreams() {
+	kept := n.streams[:0]
+	for _, st := range n.streams {
+		if st.done || st.canceled {
+			continue
+		}
+		kept = append(kept, st)
+	}
+	// Zero the dropped tail so the backing array does not pin settled
+	// streams.
+	for i := len(kept); i < len(n.streams); i++ {
+		n.streams[i] = nil
+	}
+	n.streams = kept
 }
 
 // SetDrop changes the drop probability at runtime. Tests use it to run a
@@ -126,9 +211,9 @@ var _ transport.Transport = (*handle)(nil)
 // Self implements transport.Transport.
 func (h *handle) Self() types.ServerID { return h.id }
 
-// Send implements transport.Transport: schedule delivery after the link
-// latency, unless dropped or partitioned.
-func (h *handle) Send(to types.ServerID, payload []byte) {
+// Send implements transport.Transport: schedule delivery to the remote
+// channel endpoint after the link latency, unless dropped or partitioned.
+func (h *handle) Send(to types.ServerID, ch transport.Channel, payload []byte) {
 	n := h.net
 	n.stats.Sends++
 	n.stats.Bytes += int64(len(payload))
@@ -140,22 +225,158 @@ func (h *handle) Send(to types.ServerID, payload []byte) {
 		n.stats.Dropped++
 		return
 	}
-	delay := n.latBase
-	if n.latJitter > 0 {
-		delay += time.Duration(n.rng.Int63n(int64(n.latJitter)))
-	}
 	from := h.id
 	// Copy at the boundary: the sender may reuse its buffer.
 	data := append([]byte(nil), payload...)
-	n.schedule(delay, func() {
-		ep, ok := n.endpoints[to]
-		if !ok {
+	n.schedule(n.linkDelay(), func() {
+		reg, ok := n.nodes[to]
+		if !ok || !ch.Valid() || reg.endpoints[ch] == nil {
 			n.stats.Dropped++
 			return
 		}
 		n.stats.Delivered++
-		ep.Deliver(from, data)
+		reg.endpoints[ch].Deliver(from, data)
 	})
+}
+
+// linkDelay draws one delivery latency from the link model.
+func (n *Network) linkDelay() time.Duration {
+	delay := n.latBase
+	if n.latJitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.latJitter)))
+	}
+	return delay
+}
+
+// Call implements transport.Transport: after one link latency the remote
+// handler runs inside a simulator event; each response frame travels back
+// as its own delivery event, in order. Failures — partitioned link, no
+// such server, no handler on the channel, server deregistered mid-stream
+// — surface through sink.OnDone, giving calls the explicit
+// failure-or-result semantics Send deliberately lacks. The random drop
+// model applies only to call setup (a lost "dial"), never to individual
+// response frames: an established stream either progresses or fails,
+// like a connection.
+func (h *handle) Call(to types.ServerID, ch transport.Channel, req []byte, sink transport.CallSink) func() {
+	n := h.net
+	n.stats.Calls++
+	n.stats.CallBytes += int64(len(req))
+	st := &simStream{net: n, caller: h.id, server: to, sink: sink}
+	fail := func(err error) {
+		n.schedule(n.linkDelay(), func() { st.finish(err) })
+	}
+	switch {
+	case n.blocked != nil && n.blocked(h.id, to):
+		fail(transport.ErrUnreachable)
+	case n.dropP > 0 && n.rng.Float64() < n.dropP:
+		fail(transport.ErrUnreachable)
+	default:
+		from := h.id
+		data := append([]byte(nil), req...)
+		n.schedule(n.linkDelay(), func() {
+			reg, ok := n.nodes[to]
+			if !ok {
+				st.finish(transport.ErrUnreachable)
+				return
+			}
+			if !ch.Valid() || reg.handlers[ch] == nil {
+				st.finish(transport.ErrNoHandler)
+				return
+			}
+			st.gen = n.gens[to]
+			st.open = true
+			n.pruneStreams()
+			n.streams = append(n.streams, st)
+			reg.handlers[ch].ServeCall(from, data, st)
+		})
+	}
+	return st.cancel
+}
+
+// simStream is one in-flight call: the handler's ServerStream on the
+// serving side and the pending frame deliveries toward the caller's sink.
+type simStream struct {
+	net            *Network
+	caller, server types.ServerID
+	sink           transport.CallSink
+	gen            uint64 // server generation at open; bumped by Deregister
+	open           bool   // handler was invoked
+	lastAt         time.Duration
+	closed         bool // handler closed its side
+	done           bool // sink saw OnDone
+	canceled       bool // caller abandoned the call
+}
+
+var _ transport.ServerStream = (*simStream)(nil)
+
+// dead reports whether the serving side should stop: the caller canceled,
+// the stream completed, or the serving server was deregistered since the
+// stream opened.
+func (s *simStream) dead() bool {
+	if s.canceled || s.done {
+		return true
+	}
+	return s.open && s.net.gens[s.server] != s.gen
+}
+
+// deliverAt sequences stream events FIFO: each is scheduled one link
+// delay out, but never before the previously scheduled one (jitter must
+// not reorder frames within a stream).
+func (s *simStream) deliverAt() time.Duration {
+	at := s.net.now + s.net.linkDelay()
+	if at < s.lastAt {
+		at = s.lastAt
+	}
+	s.lastAt = at
+	return at
+}
+
+// Send implements transport.ServerStream.
+func (s *simStream) Send(frame []byte) error {
+	if s.closed {
+		return errors.New("simnet: send on closed stream")
+	}
+	if s.dead() {
+		return transport.ErrStreamLost
+	}
+	n := s.net
+	n.stats.CallBytes += int64(len(frame))
+	data := append([]byte(nil), frame...)
+	at := s.deliverAt()
+	n.schedule(at-n.now, func() {
+		if s.done || s.canceled {
+			return
+		}
+		n.stats.CallFrames++
+		s.sink.OnFrame(data)
+	})
+	return nil
+}
+
+// Close implements transport.ServerStream.
+func (s *simStream) Close(err error) {
+	if s.closed || s.dead() {
+		s.closed = true
+		return
+	}
+	s.closed = true
+	at := s.deliverAt()
+	s.net.schedule(at-s.net.now, func() { s.finish(err) })
+}
+
+// finish delivers the terminal OnDone exactly once.
+func (s *simStream) finish(err error) {
+	if s.done || s.canceled {
+		return
+	}
+	s.done = true
+	s.sink.OnDone(err)
+}
+
+// cancel abandons the call from the caller's side: pending frames are
+// discarded and no OnDone is delivered (the caller has moved on).
+func (s *simStream) cancel() {
+	s.canceled = true
 }
 
 // After schedules fn to run at Now()+d. Nodes use it for protocol timers

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"blockdag/internal/transport"
 	"blockdag/internal/types"
 )
 
@@ -21,8 +22,8 @@ func (r *recorder) Deliver(from types.ServerID, payload []byte) {
 func TestDeliveryWithLatency(t *testing.T) {
 	n := New(WithSeed(7), WithLatency(10*time.Millisecond, 0))
 	r := &recorder{net: n}
-	n.Register(1, r)
-	n.Transport(0).Send(1, []byte("x"))
+	n.Register(1, transport.ChanGossip, r)
+	n.Transport(0).Send(1, transport.ChanGossip, []byte("x"))
 	n.Run()
 	if len(r.log) != 1 {
 		t.Fatalf("deliveries = %v", r.log)
@@ -37,12 +38,12 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 		n := New(WithSeed(42), WithLatency(5*time.Millisecond, 20*time.Millisecond))
 		r := &recorder{net: n}
 		for id := types.ServerID(0); id < 4; id++ {
-			n.Register(id, r)
+			n.Register(id, transport.ChanGossip, r)
 		}
 		for i := 0; i < 20; i++ {
 			from := types.ServerID(i % 4)
 			to := types.ServerID((i + 1) % 4)
-			n.Transport(from).Send(to, []byte{byte(i)})
+			n.Transport(from).Send(to, transport.ChanGossip, []byte{byte(i)})
 		}
 		n.Run()
 		return r.log
@@ -61,9 +62,9 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 func TestJitterReordersDeliveries(t *testing.T) {
 	n := New(WithSeed(3), WithLatency(time.Millisecond, 50*time.Millisecond))
 	r := &recorder{net: n}
-	n.Register(1, r)
+	n.Register(1, transport.ChanGossip, r)
 	for i := 0; i < 10; i++ {
-		n.Transport(0).Send(1, []byte{byte('a' + i)})
+		n.Transport(0).Send(1, transport.ChanGossip, []byte{byte('a' + i)})
 	}
 	n.Run()
 	if len(r.log) != 10 {
@@ -85,8 +86,8 @@ func TestJitterReordersDeliveries(t *testing.T) {
 func TestDrop(t *testing.T) {
 	n := New(WithSeed(1), WithDrop(1.0))
 	r := &recorder{net: n}
-	n.Register(1, r)
-	n.Transport(0).Send(1, []byte("x"))
+	n.Register(1, transport.ChanGossip, r)
+	n.Transport(0).Send(1, transport.ChanGossip, []byte("x"))
 	n.Run()
 	if len(r.log) != 0 {
 		t.Fatalf("delivery despite 100%% drop: %v", r.log)
@@ -99,15 +100,15 @@ func TestDrop(t *testing.T) {
 func TestPartitionAndHeal(t *testing.T) {
 	n := New(WithSeed(1), WithLatency(time.Millisecond, 0))
 	r := &recorder{net: n}
-	n.Register(1, r)
+	n.Register(1, transport.ChanGossip, r)
 	n.SetPartition(func(from, to types.ServerID) bool { return from == 0 })
-	n.Transport(0).Send(1, []byte("blocked"))
+	n.Transport(0).Send(1, transport.ChanGossip, []byte("blocked"))
 	n.Run()
 	if len(r.log) != 0 {
 		t.Fatal("partition leaked a payload")
 	}
 	n.SetPartition(nil)
-	n.Transport(0).Send(1, []byte("healed"))
+	n.Transport(0).Send(1, transport.ChanGossip, []byte("healed"))
 	n.Run()
 	if len(r.log) != 1 {
 		t.Fatalf("deliveries after heal = %v", r.log)
@@ -163,9 +164,9 @@ func TestRunUntil(t *testing.T) {
 func TestSendCopiesPayload(t *testing.T) {
 	n := New(WithSeed(1), WithLatency(time.Millisecond, 0))
 	r := &recorder{net: n}
-	n.Register(1, r)
+	n.Register(1, transport.ChanGossip, r)
 	buf := []byte("orig")
-	n.Transport(0).Send(1, buf)
+	n.Transport(0).Send(1, transport.ChanGossip, buf)
 	copy(buf, "XXXX") // mutate after send
 	n.Run()
 	if len(r.log) != 1 || r.log[0] != "s0:orig@1ms" {
@@ -175,7 +176,7 @@ func TestSendCopiesPayload(t *testing.T) {
 
 func TestSendToUnregisteredCountsDropped(t *testing.T) {
 	n := New(WithSeed(1))
-	n.Transport(0).Send(9, []byte("void"))
+	n.Transport(0).Send(9, transport.ChanGossip, []byte("void"))
 	n.Run()
 	if n.Stats().Dropped != 1 {
 		t.Fatalf("Dropped = %d", n.Stats().Dropped)
@@ -188,14 +189,14 @@ func TestReentrantSendDuringDelivery(t *testing.T) {
 	var relay relayEndpoint
 	relay = relayEndpoint{fn: func(from types.ServerID, payload []byte) {
 		if string(payload) == "ping" {
-			n.Transport(1).Send(0, []byte("pong"))
+			n.Transport(1).Send(0, transport.ChanGossip, []byte("pong"))
 			return
 		}
 		done = true
 	}}
-	n.Register(0, relay)
-	n.Register(1, relay)
-	n.Transport(0).Send(1, []byte("ping"))
+	n.Register(0, transport.ChanGossip, relay)
+	n.Register(1, transport.ChanGossip, relay)
+	n.Transport(0).Send(1, transport.ChanGossip, []byte("ping"))
 	n.Run()
 	if !done {
 		t.Fatal("reentrant send was not delivered")
@@ -211,8 +212,8 @@ func (r relayEndpoint) Deliver(from types.ServerID, payload []byte) { r.fn(from,
 func TestStats(t *testing.T) {
 	n := New(WithSeed(1), WithLatency(time.Millisecond, 0))
 	r := &recorder{net: n}
-	n.Register(1, r)
-	n.Transport(0).Send(1, []byte("abcd"))
+	n.Register(1, transport.ChanGossip, r)
+	n.Transport(0).Send(1, transport.ChanGossip, []byte("abcd"))
 	n.Run()
 	s := n.Stats()
 	if s.Sends != 1 || s.Delivered != 1 || s.Bytes != 4 {

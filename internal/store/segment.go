@@ -190,6 +190,70 @@ func scanWAL(data []byte) walScan {
 	return res
 }
 
+// ScanDir reads the blocks currently on disk in dir without opening the
+// store: the newest snapshot first, then the WAL segments in index order,
+// duplicates dropped — a topological order, exactly what recovery replays.
+// This is the serving side of bulk catch-up (package syncsvc): decode-only
+// and CRC-checked, but signatures are NOT verified — the receiving client
+// must revalidate every block, which it does anyway because it treats the
+// serving peer as untrusted.
+//
+// ScanDir may run concurrently with a live writer on the same directory:
+// a partial record at the tail of a segment (an append in progress, or a
+// torn tail a future open will repair) simply ends that segment's
+// contribution, and a file deleted mid-scan (a concurrent Checkpoint)
+// returns an error — the caller reports a transient failure and the
+// client retries.
+func ScanDir(dir string) ([]*block.Block, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	start := 0
+	for i, sf := range segs {
+		if sf.snap {
+			start = i
+		}
+	}
+	var (
+		blocks []*block.Block
+		seen   = make(map[block.Ref]struct{})
+	)
+	admit := func(bs []*block.Block) {
+		for _, b := range bs {
+			if _, dup := seen[b.Ref()]; dup {
+				continue
+			}
+			seen[b.Ref()] = struct{}{}
+			blocks = append(blocks, b)
+		}
+	}
+	for _, sf := range segs[start:] {
+		data, err := os.ReadFile(sf.path)
+		if err != nil {
+			return nil, fmt.Errorf("store: scan segment: %w", err)
+		}
+		if len(data) < headerSize {
+			continue // segment creation in progress (or torn header)
+		}
+		kind, err := checkHeader(data, sf.path)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case kindSnap:
+			bs, err := decodeSnapshot(data, sf.path)
+			if err != nil {
+				return nil, err
+			}
+			admit(bs)
+		case kindWAL:
+			admit(scanWAL(data).blocks)
+		}
+	}
+	return blocks, nil
+}
+
 // encodeSnapshot renders blocks (a topological order: every predecessor
 // that is itself in the snapshot appears earlier) as a snapshot segment,
 // header and CRC trailer included. Predecessor references are encoded as

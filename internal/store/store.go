@@ -122,6 +122,10 @@ type Store struct {
 	curIndex uint64
 	curSize  int64
 	nextIdx  uint64
+	// walSegs counts the WAL segments on disk newer than the last
+	// snapshot — the quantity automatic checkpoint scheduling thresholds
+	// on (node.Config.CheckpointEverySegments).
+	walSegs int
 
 	dirty bool
 	// dirDirty records that the live segment's directory entry is not
@@ -291,6 +295,11 @@ func (s *Store) recover() error {
 	}
 	s.recovered = d.Blocks()
 	s.report.Blocks = len(s.recovered)
+	for _, sf := range segs {
+		if !sf.snap {
+			s.walSegs++
+		}
+	}
 
 	// Resume the final WAL segment if it has room, else start fresh.
 	// Its post-truncation size is the segment's own scan result, not the
@@ -349,6 +358,13 @@ func (s *Store) Contains(ref block.Ref) bool {
 	_, ok := s.present[ref]
 	return ok
 }
+
+// WALSegments returns the number of WAL segments written since the last
+// snapshot (live segment included). Automatic checkpoint scheduling
+// triggers on it: each segment is up to Options.SegmentSize bytes of
+// journal a recovering peer would have to replay, so bounding the count
+// keeps both recovery time and the bulk catch-up stream short.
+func (s *Store) WALSegments() int { return s.walSegs }
 
 // DiskSize returns the total size in bytes of all segment files — the
 // quantity Checkpoint compaction bounds to O(live DAG).
@@ -503,6 +519,7 @@ func (s *Store) newSegment() error {
 	s.curIndex = s.nextIdx
 	s.curSize = int64(headerSize)
 	s.nextIdx++
+	s.walSegs++
 	s.dirDirty = true
 	return nil
 }
@@ -605,6 +622,7 @@ func (s *Store) Checkpoint(d *dag.DAG) (CompactStats, error) {
 	for _, b := range blocks {
 		s.present[b.Ref()] = struct{}{}
 	}
+	s.walSegs = 0
 	after, err := s.DiskSize()
 	if err != nil {
 		return stats, err

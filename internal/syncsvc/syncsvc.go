@@ -1,0 +1,519 @@
+// Package syncsvc is the bulk state-transfer (catch-up) service — the
+// first non-gossip protocol surface on the multi-channel transport.
+//
+// A replica that lost its disk, or a fresh one joining late, previously
+// rebuilt the DAG one FWD round trip per block. The sync service instead
+// streams a peer's durable store in bulk over transport.ChanSync: the
+// client states what it already holds (per-builder sequence watermarks),
+// the server answers with the missing blocks — snapshot first, then WAL
+// order, chunked into batches under wire.MaxFrame — and the client
+// replays them.
+//
+// The serving peer is untrusted: the client revalidates every streamed
+// block (roster signature, parent rule, predecessor closure) by inserting
+// it into a scratch DAG seeded with the blocks it already holds, exactly
+// the validation a block must pass to enter the live DAG. A tampered,
+// forged, or ill-ordered stream aborts the pull with an error; blocks
+// validated before the abort are genuine (their signatures verified) and
+// may be kept, so a malicious server can at worst serve less than it
+// promised — never corrupt the client. Missing remainder arrives via the
+// gossip layer's per-block FWD path, which stays the fallback whenever
+// bulk sync fails.
+package syncsvc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"blockdag/internal/block"
+	"blockdag/internal/crypto"
+	"blockdag/internal/dag"
+	"blockdag/internal/store"
+	"blockdag/internal/transport"
+	"blockdag/internal/types"
+	"blockdag/internal/wire"
+)
+
+// Wire constants of the sync protocol (inside transport call frames).
+const (
+	// reqVersion versions the request encoding, independently of the
+	// transport version.
+	reqVersion byte = 1
+
+	// frameBlocks carries a batch of encoded blocks.
+	frameBlocks byte = 1
+	// frameDone ends the stream with the total number of blocks sent,
+	// letting the client flag a server that closed early.
+	frameDone byte = 2
+
+	// maxWatermarks bounds a request's watermark list (a roster is
+	// uint16-indexed, so this is generous).
+	maxWatermarks = 1 << 16
+	// maxBatch bounds the declared per-frame block count.
+	maxBatch = 1 << 20
+)
+
+// DefaultChunkBytes is the target size of one streamed batch frame —
+// comfortably under wire.MaxFrame while amortizing per-frame overhead.
+const DefaultChunkBytes = 512 << 10
+
+// DefaultMaxBlocks bounds how many blocks a client accepts from one pull
+// before aborting (a hostile server must not stream forever).
+const DefaultMaxBlocks = 1 << 20
+
+// Watermark states that the requester holds every block by Builder with
+// Seq < NextSeq.
+type Watermark struct {
+	Builder types.ServerID
+	NextSeq uint64
+}
+
+// EncodeRequest renders a catch-up request.
+func EncodeRequest(wms []Watermark) []byte {
+	w := wire.NewWriter(2 + len(wms)*6)
+	w.Byte(reqVersion)
+	w.Uvarint(uint64(len(wms)))
+	for _, wm := range wms {
+		w.Uint16(uint16(wm.Builder))
+		w.Uvarint(wm.NextSeq)
+	}
+	return w.Bytes()
+}
+
+// DecodeRequest inverts EncodeRequest.
+func DecodeRequest(data []byte) ([]Watermark, error) {
+	r := wire.NewReader(data)
+	if v := r.Byte(); r.Err() == nil && v != reqVersion {
+		return nil, fmt.Errorf("syncsvc: unknown request version %d", v)
+	}
+	n := r.Count(maxWatermarks)
+	wms := make([]Watermark, 0, n)
+	for i := 0; i < n; i++ {
+		wms = append(wms, Watermark{
+			Builder: types.ServerID(r.Uint16()),
+			NextSeq: r.Uvarint(),
+		})
+	}
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("syncsvc: bad request: %w", err)
+	}
+	return wms, nil
+}
+
+// Watermarks summarizes the blocks a requester already holds, per
+// builder: the watermark for a builder is max seq + 1 when its held
+// blocks form a single unbroken chain from 0, and is omitted (ask for
+// everything) when the builder is absent, forked, or gappy — watermarks
+// are a bandwidth optimization, and only an exact chain prefix can be
+// skipped safely.
+func Watermarks(blocks []*block.Block) []Watermark {
+	type chain struct {
+		count  int
+		maxSeq uint64
+		forked bool
+	}
+	chains := make(map[types.ServerID]*chain)
+	seen := make(map[block.Ref]struct{}, len(blocks))
+	slots := make(map[[2]uint64]struct{}, len(blocks))
+	for _, b := range blocks {
+		if _, dup := seen[b.Ref()]; dup {
+			continue
+		}
+		seen[b.Ref()] = struct{}{}
+		c := chains[b.Builder]
+		if c == nil {
+			c = &chain{}
+			chains[b.Builder] = c
+		}
+		slot := [2]uint64{uint64(b.Builder), b.Seq}
+		if _, dup := slots[slot]; dup {
+			c.forked = true
+		}
+		slots[slot] = struct{}{}
+		c.count++
+		if b.Seq > c.maxSeq {
+			c.maxSeq = b.Seq
+		}
+	}
+	var wms []Watermark
+	for builder, c := range chains {
+		if c.forked || uint64(c.count) != c.maxSeq+1 {
+			continue
+		}
+		wms = append(wms, Watermark{Builder: builder, NextSeq: c.maxSeq + 1})
+	}
+	return wms
+}
+
+// EncodeBatchFrame renders one stream frame carrying a batch of blocks —
+// exposed for alternative servers and for tests that hand-craft streams
+// (including hostile ones).
+func EncodeBatchFrame(blocks []*block.Block) []byte {
+	encs := make([][]byte, len(blocks))
+	for i, b := range blocks {
+		encs[i] = b.Encode()
+	}
+	return encodeBatchFromEncodings(encs)
+}
+
+// encodeBatchFromEncodings frames pre-encoded blocks, letting the server
+// pay each block's serialization exactly once.
+func encodeBatchFromEncodings(encs [][]byte) []byte {
+	size := 16
+	for _, e := range encs {
+		size += len(e) + 4
+	}
+	w := wire.NewWriter(size)
+	w.Byte(frameBlocks)
+	w.Uvarint(uint64(len(encs)))
+	for _, e := range encs {
+		w.VarBytes(e)
+	}
+	return w.Bytes()
+}
+
+// EncodeDoneFrame renders the terminal summary frame.
+func EncodeDoneFrame(total uint64) []byte {
+	w := wire.NewWriter(10)
+	w.Byte(frameDone)
+	w.Uvarint(total)
+	return w.Bytes()
+}
+
+// Server serves catch-up requests on transport.ChanSync. It is safe for
+// concurrent use (tcpnet invokes handlers on per-connection goroutines):
+// serving reads segment files from disk, never the owning Store's mutable
+// state.
+type Server struct {
+	// Store is the durable store to stream (its directory is re-scanned
+	// per request, so the stream reflects the disk at request time).
+	Store *store.Store
+	// Source overrides the block source when non-nil — tests and
+	// memory-backed deployments. Called once per request.
+	Source func() ([]*block.Block, error)
+	// ChunkBytes is the target batch frame size (default
+	// DefaultChunkBytes, capped under wire.MaxFrame).
+	ChunkBytes int
+}
+
+var _ transport.Handler = (*Server)(nil)
+
+// ServeCall implements transport.Handler: decode the watermarks, stream
+// every block on disk they do not cover, close with a done summary.
+func (s *Server) ServeCall(from types.ServerID, req []byte, st transport.ServerStream) {
+	wms, err := DecodeRequest(req)
+	if err != nil {
+		st.Close(err)
+		return
+	}
+	blocks, err := s.load()
+	if err != nil {
+		st.Close(fmt.Errorf("syncsvc: load store: %w", err))
+		return
+	}
+	next := make(map[types.ServerID]uint64, len(wms))
+	for _, wm := range wms {
+		next[wm.Builder] = wm.NextSeq
+	}
+	chunk := s.ChunkBytes
+	if chunk <= 0 {
+		chunk = DefaultChunkBytes
+	}
+	if chunk > wire.MaxFrame/2 {
+		chunk = wire.MaxFrame / 2
+	}
+
+	var (
+		batch      [][]byte // encoded once, accounted and framed from this
+		batchBytes int
+		total      uint64
+	)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := st.Send(encodeBatchFromEncodings(batch))
+		batch, batchBytes = batch[:0], 0
+		return err
+	}
+	for _, b := range blocks {
+		if b.Seq < next[b.Builder] {
+			continue // the client already holds the chain prefix
+		}
+		enc := b.Encode()
+		batch = append(batch, enc)
+		batchBytes += len(enc)
+		total++
+		if batchBytes >= chunk {
+			if err := flush(); err != nil {
+				return // stream lost; nothing left to tell anyone
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return
+	}
+	if err := st.Send(EncodeDoneFrame(total)); err != nil {
+		return
+	}
+	st.Close(nil)
+}
+
+// load fetches the blocks to serve.
+func (s *Server) load() ([]*block.Block, error) {
+	if s.Source != nil {
+		return s.Source()
+	}
+	if s.Store == nil {
+		return nil, errors.New("syncsvc: server has no Store or Source")
+	}
+	return store.ScanDir(s.Store.Dir())
+}
+
+// Pull is the client side of one catch-up stream: a transport.CallSink
+// that validates every received block against the roster and the DAG
+// rules before accepting it. Safe for concurrent sink invocation and
+// inspection (tcpnet drives it from a connection goroutine).
+type Pull struct {
+	mu       sync.Mutex
+	scratch  *dag.DAG
+	got      []*block.Block
+	limit    int
+	streamed uint64 // blocks decoded off the stream (duplicates included)
+	claimed  uint64 // server's frameDone count
+	sawDone  bool   // saw a frameDone frame
+	err      error
+	done     bool
+	notify   chan struct{}
+}
+
+var _ transport.CallSink = (*Pull)(nil)
+
+// NewPull prepares a pull for a client already holding the given blocks
+// (topological order, as recovered from a store; nil for a fresh
+// replica). maxBlocks caps accepted blocks; 0 means DefaultMaxBlocks.
+func NewPull(roster *crypto.Roster, have []*block.Block, maxBlocks int) (*Pull, error) {
+	if roster == nil {
+		return nil, errors.New("syncsvc: pull needs a roster")
+	}
+	scratch := dag.New(roster)
+	for _, b := range have {
+		if err := scratch.Insert(b); err != nil {
+			return nil, fmt.Errorf("syncsvc: seed block %v: %w", b.Ref(), err)
+		}
+	}
+	if maxBlocks <= 0 {
+		maxBlocks = DefaultMaxBlocks
+	}
+	return &Pull{
+		scratch: scratch,
+		limit:   maxBlocks,
+		notify:  make(chan struct{}),
+	}, nil
+}
+
+// Request encodes the catch-up request matching the seeded blocks.
+func (p *Pull) Request() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return EncodeRequest(Watermarks(p.scratch.Blocks()))
+}
+
+// OnFrame implements transport.CallSink: decode and validate one batch.
+func (p *Pull) OnFrame(frame []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done || p.err != nil {
+		return // already failed; drain silently
+	}
+	if err := p.consume(frame); err != nil {
+		p.err = err
+	}
+}
+
+// consume processes one stream frame under the lock.
+func (p *Pull) consume(frame []byte) error {
+	r := wire.NewReader(frame)
+	switch r.Byte() {
+	case frameBlocks:
+		n := r.Count(maxBatch)
+		for i := 0; i < n; i++ {
+			enc := r.VarBytes()
+			if r.Err() != nil {
+				break
+			}
+			b, err := block.Decode(enc)
+			if err != nil {
+				return fmt.Errorf("syncsvc: stream block: %w", err)
+			}
+			p.streamed++
+			if p.scratch.Contains(b.Ref()) {
+				continue // duplicate of a held or earlier block
+			}
+			if len(p.got) >= p.limit {
+				return fmt.Errorf("syncsvc: stream exceeds %d blocks", p.limit)
+			}
+			// Full validation — signature, parent rule, predecessor
+			// closure — exactly what the live DAG would demand. The
+			// serving peer is untrusted; nothing it sends is accepted
+			// on faith.
+			if err := p.scratch.Insert(b); err != nil {
+				return fmt.Errorf("syncsvc: stream block %v rejected: %w", b.Ref(), err)
+			}
+			p.got = append(p.got, b)
+		}
+		if err := r.Close(); err != nil {
+			return fmt.Errorf("syncsvc: bad batch frame: %w", err)
+		}
+		return nil
+	case frameDone:
+		p.claimed = r.Uvarint()
+		if err := r.Close(); err != nil {
+			return fmt.Errorf("syncsvc: bad done frame: %w", err)
+		}
+		p.sawDone = true
+		return nil
+	default:
+		return errors.New("syncsvc: unknown stream frame")
+	}
+}
+
+// OnDone implements transport.CallSink.
+func (p *Pull) OnDone(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return
+	}
+	if p.err == nil && err != nil {
+		p.err = err
+	}
+	if p.err == nil && !p.sawDone {
+		// A clean transport close without the protocol's own done
+		// frame means the server (or something in between) truncated
+		// the stream.
+		p.err = errors.New("syncsvc: stream ended without done frame")
+	}
+	if p.err == nil && p.claimed != p.streamed {
+		// The summary exists so a quietly truncating server is caught:
+		// claiming more (or fewer) blocks than it actually streamed is
+		// not a clean sync, and the caller should try another peer.
+		p.err = fmt.Errorf("syncsvc: server claimed %d blocks, streamed %d", p.claimed, p.streamed)
+	}
+	p.done = true
+	close(p.notify)
+}
+
+// Done reports whether the stream has terminated (cleanly or not) — the
+// condition simulator-driven clients run the network until.
+func (p *Pull) Done() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.done
+}
+
+// Wait blocks until the stream terminates or the timeout passes,
+// reporting false on timeout — for real-transport clients.
+func (p *Pull) Wait(timeout time.Duration) bool {
+	select {
+	case <-p.notify:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// Result returns the validated blocks received so far (in a topological
+// order extending the seed) and the stream's terminal error, if any. The
+// blocks are genuine whatever the error: each passed full validation, so
+// a partial pull is safely usable and the remainder can arrive via FWD.
+func (p *Pull) Result() ([]*block.Block, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.got, p.err
+}
+
+// FetchConfig parameterizes the blocking catch-up helper.
+type FetchConfig struct {
+	// Transport issues the calls. Required.
+	Transport transport.Transport
+	// Roster validates every streamed block. Required.
+	Roster *crypto.Roster
+	// Peers are tried in order; a peer that fails or truncates is
+	// retried (resuming from what was already validated) before moving
+	// on. Required, at least one.
+	Peers []types.ServerID
+	// AttemptsPerPeer bounds retries against one peer (default 2).
+	AttemptsPerPeer int
+	// Timeout bounds one attempt (default 30s).
+	Timeout time.Duration
+	// MaxBlocks caps accepted blocks per pull (0 = DefaultMaxBlocks).
+	MaxBlocks int
+}
+
+// Fetch runs bulk catch-up to completion against the configured peers,
+// blocking the caller (node runtime startup uses it; simulator code
+// drives Pull directly instead). It returns every block validated across
+// all attempts — resuming, not restarting, after a mid-stream failure:
+// each retry advances the watermarks past what earlier attempts already
+// delivered. A non-nil error reports that no peer completed a clean
+// stream; the returned blocks are still valid and the caller should fall
+// back to FWD for the remainder.
+func Fetch(cfg FetchConfig, have []*block.Block) ([]*block.Block, error) {
+	switch {
+	case cfg.Transport == nil:
+		return nil, errors.New("syncsvc: fetch needs a Transport")
+	case cfg.Roster == nil:
+		return nil, errors.New("syncsvc: fetch needs a Roster")
+	case len(cfg.Peers) == 0:
+		return nil, errors.New("syncsvc: fetch needs at least one peer")
+	}
+	attempts := cfg.AttemptsPerPeer
+	if attempts <= 0 {
+		attempts = 2
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+
+	var (
+		all     []*block.Block
+		lastErr error
+	)
+	// Copy: resuming appends to the seed, and the caller's slice (often
+	// store.Store.Blocks()) is shared.
+	seed := append([]*block.Block(nil), have...)
+	for _, peer := range cfg.Peers {
+		for a := 0; a < attempts; a++ {
+			pull, err := NewPull(cfg.Roster, seed, cfg.MaxBlocks)
+			if err != nil {
+				return all, err
+			}
+			cancel := cfg.Transport.Call(peer, transport.ChanSync, pull.Request(), pull)
+			timedOut := !pull.Wait(timeout)
+			if timedOut {
+				cancel()
+			}
+			// Harvest even after a timeout or failure: every block in
+			// Result passed full validation, and keeping it is what
+			// makes the next attempt a resume (advanced watermarks)
+			// instead of a from-zero restart — a slow link that can
+			// move 90% of the backlog per attempt still converges.
+			got, err := pull.Result()
+			all = append(all, got...)
+			seed = append(seed, got...)
+			if timedOut {
+				lastErr = fmt.Errorf("syncsvc: peer %v: attempt timed out after %d blocks", peer, len(got))
+				continue
+			}
+			if err == nil {
+				return all, nil
+			}
+			lastErr = fmt.Errorf("syncsvc: peer %v: %w", peer, err)
+		}
+	}
+	return all, lastErr
+}

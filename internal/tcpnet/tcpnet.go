@@ -1,15 +1,29 @@
-// Package tcpnet is a real TCP implementation of transport.Transport,
-// satisfying the paper's Assumption 1 (reliable delivery between correct
-// servers) through persistent per-peer queues, automatic reconnection with
-// backoff, and at-least-once retransmission. Duplicates that arise from
-// retransmission are harmless: the gossip layer deduplicates blocks by
-// reference and FWD requests are idempotent.
+// Package tcpnet is a real TCP implementation of transport.Transport.
+//
+// One persistent connection per peer direction carries the fire-and-forget
+// channels (Assumption 1 — reliable delivery between correct servers —
+// via persistent per-peer queues, automatic reconnection with backoff, and
+// at-least-once retransmission); each transport.Call opens its own
+// short-lived connection, so a stalled bulk stream can never head-of-line
+// block gossip. Duplicates that arise from retransmission are harmless:
+// the gossip layer deduplicates blocks by reference and FWD requests are
+// idempotent.
 //
 // Wire format: after connecting, a peer sends one identification frame
-// carrying its ServerID, then length-prefixed frames (package wire). The
-// transport does not authenticate peers — authenticity of every block is
-// established by its signature at the gossip layer, so a misattributed
-// transport link can at worst waste bandwidth.
+// carrying the transport protocol version, its ServerID, and the
+// connection kind (stream or call, the latter with its channel). A
+// version mismatch rejects the connection at the handshake — nothing
+// after the identification frame is ever parsed across versions. Stream
+// connections then carry length-prefixed frames (package wire), each
+// prefixed with its channel byte; call connections carry one request
+// frame, then response frames tagged data/end/error. All frames respect
+// wire.MaxFrame, so bulk payloads are chunked by the caller (package
+// syncsvc streams block batches well under the limit).
+//
+// The transport does not authenticate peers — authenticity of every block
+// is established by its signature at the gossip layer, and bulk-sync
+// clients revalidate every streamed block, so a misattributed transport
+// link can at worst waste bandwidth.
 package tcpnet
 
 import (
@@ -25,6 +39,19 @@ import (
 	"blockdag/internal/wire"
 )
 
+// Connection kinds declared in the identification frame.
+const (
+	kindStream byte = 1
+	kindCall   byte = 2
+)
+
+// Response frame tags on call connections.
+const (
+	tagData  byte = 1
+	tagEnd   byte = 2
+	tagError byte = 3
+)
+
 // Config parameterizes a TCP transport.
 type Config struct {
 	// Self is this server's identity. Required.
@@ -32,14 +59,26 @@ type Config struct {
 	// ListenAddr is the local address to accept peers on (e.g.
 	// "127.0.0.1:7001"). Required.
 	ListenAddr string
-	// Handler receives inbound payloads. Required.
-	Handler transport.Endpoint
+	// Endpoints routes inbound one-way payloads by channel. At least one
+	// channel must be served. Channels without an endpoint drop.
+	Endpoints map[transport.Channel]transport.Endpoint
+	// Handlers serves inbound calls by channel. Optional. Handlers run
+	// on per-connection goroutines; see transport.Handler.
+	Handlers map[transport.Channel]transport.Handler
 	// DialBackoff is the initial reconnect backoff (default 50ms,
 	// doubling to a 2s cap).
 	DialBackoff time.Duration
 	// QueueSize bounds each peer's outbound queue (default 4096);
 	// sends beyond it block, applying backpressure.
 	QueueSize int
+	// CallTimeout bounds a call's dial+handshake and each subsequent
+	// frame read (default 10s): a peer that stops mid-stream surfaces
+	// transport.ErrStreamLost instead of wedging the caller.
+	CallTimeout time.Duration
+
+	// version overrides the advertised protocol version; tests use it to
+	// exercise the mismatch rejection. Zero means transport.Version.
+	version uint16
 }
 
 // Transport is a running TCP transport. Peers are attached with Connect
@@ -54,6 +93,8 @@ type Transport struct {
 	mu    sync.Mutex
 	conns []net.Conn // accepted connections, closed on shutdown
 	peers map[types.ServerID]*peer
+
+	rejects int64 // handshake rejections (version mismatch, bad frame)
 }
 
 var _ transport.Transport = (*Transport)(nil)
@@ -71,14 +112,30 @@ func Listen(cfg Config) (*Transport, error) {
 	switch {
 	case cfg.ListenAddr == "":
 		return nil, errors.New("tcpnet: config needs a ListenAddr")
-	case cfg.Handler == nil:
-		return nil, errors.New("tcpnet: config needs a Handler")
+	case len(cfg.Endpoints) == 0 && len(cfg.Handlers) == 0:
+		return nil, errors.New("tcpnet: config needs at least one Endpoint or Handler")
+	}
+	for ch := range cfg.Endpoints {
+		if !ch.Valid() {
+			return nil, fmt.Errorf("tcpnet: invalid endpoint channel %v", ch)
+		}
+	}
+	for ch := range cfg.Handlers {
+		if !ch.Valid() {
+			return nil, fmt.Errorf("tcpnet: invalid handler channel %v", ch)
+		}
 	}
 	if cfg.DialBackoff <= 0 {
 		cfg.DialBackoff = 50 * time.Millisecond
 	}
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = 4096
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 10 * time.Second
+	}
+	if cfg.version == 0 {
+		cfg.version = transport.Version
 	}
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
@@ -118,21 +175,133 @@ func (t *Transport) Addr() string { return t.listener.Addr().String() }
 // Self implements transport.Transport.
 func (t *Transport) Self() types.ServerID { return t.cfg.Self }
 
+// Rejections returns the number of inbound connections refused at the
+// handshake (version mismatch or malformed identification frame).
+func (t *Transport) Rejections() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rejects
+}
+
 // Send implements transport.Transport: enqueue for the peer's sender
-// goroutine. Unknown destinations are dropped (they cannot be correct
-// servers: the peer table covers the roster).
-func (t *Transport) Send(to types.ServerID, payload []byte) {
+// goroutine, envelope (channel byte) included. Unknown destinations are
+// dropped (they cannot be correct servers: the peer table covers the
+// roster).
+func (t *Transport) Send(to types.ServerID, ch transport.Channel, payload []byte) {
 	t.mu.Lock()
 	p, ok := t.peers[to]
 	t.mu.Unlock()
-	if !ok {
+	if !ok || !ch.Valid() {
 		return
 	}
-	data := append([]byte(nil), payload...)
+	data := make([]byte, 0, 1+len(payload))
+	data = append(data, byte(ch))
+	data = append(data, payload...)
 	select {
 	case p.queue <- data:
 	case <-t.ctx.Done():
 	}
+}
+
+// Call implements transport.Transport: a dedicated connection per call.
+// The dial, handshake, request write, and response reads run on their own
+// goroutine; sink callbacks are invoked from it. Failures surface through
+// sink.OnDone — the explicit failure/retry semantics the sync service
+// needs — never through silent loss.
+func (t *Transport) Call(to types.ServerID, ch transport.Channel, req []byte, sink transport.CallSink) func() {
+	t.mu.Lock()
+	p, ok := t.peers[to]
+	t.mu.Unlock()
+	ctx, cancel := context.WithCancel(t.ctx)
+	if !ok || !ch.Valid() {
+		cancel()
+		// Tracked like every other sink invocation, so Close cannot
+		// return while an OnDone is still pending.
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			sink.OnDone(transport.ErrUnreachable)
+		}()
+		return func() {}
+	}
+	reqCopy := append([]byte(nil), req...)
+	t.wg.Add(1)
+	go t.runCall(ctx, cancel, p.addr, ch, reqCopy, sink)
+	return cancel
+}
+
+// runCall drives one call connection to completion.
+func (t *Transport) runCall(ctx context.Context, cancel context.CancelFunc, addr string, ch transport.Channel, req []byte, sink transport.CallSink) {
+	defer t.wg.Done()
+	defer cancel()
+	d := net.Dialer{Timeout: t.cfg.CallTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		sink.OnDone(fmt.Errorf("%w: %v", transport.ErrUnreachable, err))
+		return
+	}
+	defer func() { _ = conn.Close() }()
+	// A canceled context must unwedge blocked reads/writes.
+	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
+	defer stop()
+
+	deadline := func() { _ = conn.SetDeadline(time.Now().Add(t.cfg.CallTimeout)) }
+	deadline()
+	hello := wire.NewWriter(6)
+	hello.Uint16(t.cfg.version)
+	hello.Uint16(uint16(t.cfg.Self))
+	hello.Byte(kindCall)
+	hello.Byte(byte(ch))
+	if err := wire.WriteFrame(conn, hello.Bytes()); err != nil {
+		sink.OnDone(fmt.Errorf("%w: handshake: %v", transport.ErrUnreachable, err))
+		return
+	}
+	if err := wire.WriteFrame(conn, req); err != nil {
+		sink.OnDone(fmt.Errorf("%w: request: %v", transport.ErrStreamLost, err))
+		return
+	}
+	for {
+		deadline()
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			// EOF before an end/error tag: the peer died mid-stream
+			// or rejected the handshake (version mismatch closes the
+			// connection without a frame).
+			sink.OnDone(fmt.Errorf("%w: %v", transport.ErrStreamLost, err))
+			return
+		}
+		if len(frame) == 0 {
+			sink.OnDone(fmt.Errorf("%w: empty response frame", transport.ErrStreamLost))
+			return
+		}
+		tag, body := frame[0], frame[1:]
+		switch tag {
+		case tagData:
+			sink.OnFrame(body)
+		case tagEnd:
+			sink.OnDone(nil)
+			return
+		case tagError:
+			sink.OnDone(decodeCallError(body))
+			return
+		default:
+			sink.OnDone(fmt.Errorf("%w: unknown response tag %d", transport.ErrStreamLost, tag))
+			return
+		}
+	}
+}
+
+// decodeCallError maps a remote error frame back onto the sentinel errors
+// of package transport where possible.
+func decodeCallError(body []byte) error {
+	msg := string(body)
+	switch msg {
+	case transport.ErrNoHandler.Error():
+		return transport.ErrNoHandler
+	case transport.ErrVersionMismatch.Error():
+		return transport.ErrVersionMismatch
+	}
+	return fmt.Errorf("transport: remote error: %s", msg)
 }
 
 // Close shuts down the transport and waits for all goroutines.
@@ -178,23 +347,70 @@ func (t *Transport) track(conn net.Conn) {
 	t.mu.Unlock()
 }
 
-// runReader consumes frames from one inbound connection: first the peer
-// identification frame, then payloads.
+func (t *Transport) reject() {
+	t.mu.Lock()
+	t.rejects++
+	t.mu.Unlock()
+}
+
+// runReader consumes one inbound connection: the identification frame
+// (version, peer, kind), then — depending on the kind — a stream of
+// channel-tagged payloads or a single call.
 func (t *Transport) runReader(conn net.Conn) {
 	defer t.wg.Done()
 	defer func() { _ = conn.Close() }()
 
-	idFrame, err := wire.ReadFrame(conn)
-	if err != nil || len(idFrame) != 2 {
+	hello, err := wire.ReadFrame(conn)
+	if err != nil {
 		return
 	}
-	r := wire.NewReader(idFrame)
+	r := wire.NewReader(hello)
+	version := r.Uint16()
+	if r.Err() != nil {
+		t.reject()
+		return
+	}
+	if version != t.cfg.version {
+		// Incompatible peer: refuse at the handshake, before any
+		// payload can be misparsed. The version is checked before the
+		// rest of the frame is validated — a future version may extend
+		// the identification layout, and it must still be told "wrong
+		// version", not dropped as malformed. Call connections get an
+		// explicit error frame (the client is reading, and its hello
+		// prefix through the kind byte is stable); stream senders
+		// observe the close and back off into their reconnect loop.
+		t.reject()
+		_ = r.Uint16() // self
+		if r.Byte() == kindCall && r.Err() == nil {
+			t.writeCallError(conn, transport.ErrVersionMismatch)
+		}
+		return
+	}
 	from := types.ServerID(r.Uint16())
+	kind := r.Byte()
+	var callCh transport.Channel
+	if kind == kindCall {
+		callCh = transport.Channel(r.Byte())
+	}
 	if r.Close() != nil {
+		t.reject()
 		return
 	}
+	switch kind {
+	case kindStream:
+		t.serveStream(conn, from)
+	case kindCall:
+		t.serveCall(conn, from, callCh)
+	default:
+		t.reject()
+	}
+}
+
+// serveStream demultiplexes channel-tagged payload frames to the
+// registered endpoints.
+func (t *Transport) serveStream(conn net.Conn, from types.ServerID) {
 	for {
-		payload, err := wire.ReadFrame(conn)
+		frame, err := wire.ReadFrame(conn)
 		if err != nil {
 			return
 		}
@@ -203,11 +419,114 @@ func (t *Transport) runReader(conn net.Conn) {
 			return
 		default:
 		}
-		t.cfg.Handler.Deliver(from, payload)
+		if len(frame) == 0 {
+			continue
+		}
+		ch := transport.Channel(frame[0])
+		ep := t.cfg.Endpoints[ch]
+		if ep == nil {
+			continue // unknown or unserved channel: drop the payload
+		}
+		ep.Deliver(from, frame[1:])
 	}
 }
 
-// runSender owns one peer's outbound connection: dial with backoff,
+// serveCall reads the request frame and runs the channel's handler over
+// the connection. CallTimeout bounds the request read and every response
+// write, so a client that connects and stalls (or stops reading while
+// the stream backs up) cannot pin the handler goroutine and its file
+// descriptor until transport shutdown.
+func (t *Transport) serveCall(conn net.Conn, from types.ServerID, ch transport.Channel) {
+	_ = conn.SetReadDeadline(time.Now().Add(t.cfg.CallTimeout))
+	req, err := wire.ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	h := t.cfg.Handlers[ch]
+	if h == nil {
+		t.writeCallError(conn, transport.ErrNoHandler)
+		return
+	}
+	st := &connStream{conn: conn, ctx: t.ctx, writeTimeout: t.cfg.CallTimeout}
+	h.ServeCall(from, req, st)
+	// A handler that returns without closing leaves the caller waiting.
+	// Close with an error on its behalf — never a clean end: only the
+	// handler knows whether the stream was complete, and a truncated
+	// stream must not masquerade as a finished one.
+	st.Close(errors.New("tcpnet: handler returned without closing the stream"))
+}
+
+// writeCallError best-effort sends a tagged error frame.
+func (t *Transport) writeCallError(conn net.Conn, err error) {
+	msg := err.Error()
+	buf := make([]byte, 0, 1+len(msg))
+	buf = append(buf, tagError)
+	buf = append(buf, msg...)
+	_ = wire.WriteFrame(conn, buf)
+}
+
+// connStream implements transport.ServerStream over one call connection.
+type connStream struct {
+	conn         net.Conn
+	ctx          context.Context
+	writeTimeout time.Duration
+	closed       bool
+	failed       bool
+}
+
+var _ transport.ServerStream = (*connStream)(nil)
+
+// Send implements transport.ServerStream.
+func (s *connStream) Send(frame []byte) error {
+	if s.closed {
+		return errors.New("tcpnet: send on closed stream")
+	}
+	if s.failed {
+		return transport.ErrStreamLost
+	}
+	select {
+	case <-s.ctx.Done():
+		s.failed = true
+		return transport.ErrStreamLost
+	default:
+	}
+	if len(frame) >= wire.MaxFrame {
+		return fmt.Errorf("%w: stream frame of %d bytes", wire.ErrTooLarge, len(frame))
+	}
+	buf := make([]byte, 0, 1+len(frame))
+	buf = append(buf, tagData)
+	buf = append(buf, frame...)
+	if s.writeTimeout > 0 {
+		_ = s.conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+	}
+	if err := wire.WriteFrame(s.conn, buf); err != nil {
+		s.failed = true
+		return fmt.Errorf("%w: %v", transport.ErrStreamLost, err)
+	}
+	return nil
+}
+
+// Close implements transport.ServerStream.
+func (s *connStream) Close(err error) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.failed {
+		return
+	}
+	if err == nil {
+		_ = wire.WriteFrame(s.conn, []byte{tagEnd})
+		return
+	}
+	msg := err.Error()
+	buf := make([]byte, 0, 1+len(msg))
+	buf = append(buf, tagError)
+	buf = append(buf, msg...)
+	_ = wire.WriteFrame(s.conn, buf)
+}
+
+// runSender owns one peer's outbound stream connection: dial with backoff,
 // identify, then drain the queue. A payload is only dequeued after a
 // successful write; on write failure it is retransmitted on the next
 // connection (at-least-once).
@@ -222,7 +541,7 @@ func (t *Transport) runSender(p *peer) {
 	backoff := t.cfg.DialBackoff
 	const maxBackoff = 2 * time.Second
 
-	var pending []byte // payload awaiting a successful write
+	var pending []byte // channel-tagged payload awaiting a successful write
 	for {
 		if pending == nil {
 			select {
@@ -244,9 +563,12 @@ func (t *Transport) runSender(p *peer) {
 				}
 				continue
 			}
-			// Identify ourselves on the fresh connection.
-			w := wire.NewWriter(2)
+			// Identify ourselves on the fresh connection: version,
+			// self, stream kind.
+			w := wire.NewWriter(5)
+			w.Uint16(t.cfg.version)
 			w.Uint16(uint16(t.cfg.Self))
+			w.Byte(kindStream)
 			if err := wire.WriteFrame(c, w.Bytes()); err != nil {
 				_ = c.Close()
 				continue

@@ -2,11 +2,15 @@ package tcpnet
 
 import (
 	"bytes"
+	"errors"
+	"net"
 	"sync"
 	"testing"
 	"time"
 
+	"blockdag/internal/transport"
 	"blockdag/internal/types"
+	"blockdag/internal/wire"
 )
 
 // sink records deliveries thread-safely.
@@ -42,6 +46,11 @@ func (s *sink) first() (types.ServerID, string) {
 	return s.got[0].from, s.got[0].payload
 }
 
+// gossipEndpoints wires a sink as the gossip-channel consumer.
+func gossipEndpoints(s *sink) map[transport.Channel]transport.Endpoint {
+	return map[transport.Channel]transport.Endpoint{transport.ChanGossip: s}
+}
+
 func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
@@ -56,12 +65,12 @@ func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 
 func TestSendReceive(t *testing.T) {
 	sa, sb := &sink{}, &sink{}
-	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: sa})
+	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Endpoints: gossipEndpoints(sa)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer func() { _ = ta.Close() }()
-	tb, err := Listen(Config{Self: 1, ListenAddr: "127.0.0.1:0", Handler: sb})
+	tb, err := Listen(Config{Self: 1, ListenAddr: "127.0.0.1:0", Endpoints: gossipEndpoints(sb)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,14 +82,14 @@ func TestSendReceive(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ta.Send(1, []byte("hello"))
+	ta.Send(1, transport.ChanGossip, []byte("hello"))
 	waitFor(t, 2*time.Second, func() bool { return sb.count() == 1 })
 	from, payload := sb.first()
 	if from != 0 || payload != "hello" {
 		t.Fatalf("got (%v, %q)", from, payload)
 	}
 
-	tb.Send(0, []byte("world"))
+	tb.Send(0, transport.ChanGossip, []byte("world"))
 	waitFor(t, 2*time.Second, func() bool { return sa.count() == 1 })
 	from, payload = sa.first()
 	if from != 1 || payload != "world" {
@@ -88,11 +97,47 @@ func TestSendReceive(t *testing.T) {
 	}
 }
 
+// TestChannelDemux: payloads sent on different channels of one link reach
+// their respective endpoints; a channel with no endpoint drops silently.
+func TestChannelDemux(t *testing.T) {
+	gossip, syncEp := &sink{}, &sink{}
+	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Endpoints: gossipEndpoints(&sink{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ta.Close() }()
+	tb, err := Listen(Config{
+		Self:       1,
+		ListenAddr: "127.0.0.1:0",
+		Endpoints: map[transport.Channel]transport.Endpoint{
+			transport.ChanGossip: gossip,
+			transport.ChanSync:   syncEp,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tb.Close() }()
+	if err := ta.Connect(1, tb.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	ta.Send(1, transport.ChanGossip, []byte("blocks"))
+	ta.Send(1, transport.ChanSync, []byte("sync"))
+	waitFor(t, 2*time.Second, func() bool { return gossip.count() == 1 && syncEp.count() == 1 })
+	if _, p := gossip.first(); p != "blocks" {
+		t.Fatalf("gossip endpoint got %q", p)
+	}
+	if _, p := syncEp.first(); p != "sync" {
+		t.Fatalf("sync endpoint got %q", p)
+	}
+}
+
 // TestRetransmitAcrossReconnect: sends queued before the peer exists are
 // delivered once the peer comes up (Assumption 1 with a late receiver).
 func TestRetransmitAcrossReconnect(t *testing.T) {
 	sa := &sink{}
-	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: sa, DialBackoff: 5 * time.Millisecond})
+	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Endpoints: gossipEndpoints(sa), DialBackoff: 5 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +145,7 @@ func TestRetransmitAcrossReconnect(t *testing.T) {
 
 	// Reserve an address by listening and closing, then point the
 	// sender at it while nothing is there.
-	probe, err := Listen(Config{Self: 9, ListenAddr: "127.0.0.1:0", Handler: &sink{}})
+	probe, err := Listen(Config{Self: 9, ListenAddr: "127.0.0.1:0", Endpoints: gossipEndpoints(&sink{})})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,11 +157,11 @@ func TestRetransmitAcrossReconnect(t *testing.T) {
 	if err := ta.Connect(1, addr); err != nil {
 		t.Fatal(err)
 	}
-	ta.Send(1, []byte("early"))
+	ta.Send(1, transport.ChanGossip, []byte("early"))
 	time.Sleep(20 * time.Millisecond) // let a few dials fail
 
 	sb := &sink{}
-	tb, err := Listen(Config{Self: 1, ListenAddr: addr, Handler: sb})
+	tb, err := Listen(Config{Self: 1, ListenAddr: addr, Endpoints: gossipEndpoints(sb)})
 	if err != nil {
 		t.Fatalf("rebind %s: %v", addr, err)
 	}
@@ -130,12 +175,12 @@ func TestRetransmitAcrossReconnect(t *testing.T) {
 
 func TestLargeFrames(t *testing.T) {
 	sb := &sink{}
-	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: &sink{}})
+	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Endpoints: gossipEndpoints(&sink{})})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer func() { _ = ta.Close() }()
-	tb, err := Listen(Config{Self: 1, ListenAddr: "127.0.0.1:0", Handler: sb})
+	tb, err := Listen(Config{Self: 1, ListenAddr: "127.0.0.1:0", Endpoints: gossipEndpoints(sb)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +189,7 @@ func TestLargeFrames(t *testing.T) {
 		t.Fatal(err)
 	}
 	big := bytes.Repeat([]byte("x"), 1<<20)
-	ta.Send(1, big)
+	ta.Send(1, transport.ChanGossip, big)
 	waitFor(t, 5*time.Second, func() bool { return sb.count() == 1 })
 	if _, payload := sb.first(); len(payload) != len(big) {
 		t.Fatalf("payload length = %d", len(payload))
@@ -153,12 +198,12 @@ func TestLargeFrames(t *testing.T) {
 
 func TestOrderingPerPeer(t *testing.T) {
 	sb := &sink{}
-	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: &sink{}})
+	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Endpoints: gossipEndpoints(&sink{})})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer func() { _ = ta.Close() }()
-	tb, err := Listen(Config{Self: 1, ListenAddr: "127.0.0.1:0", Handler: sb})
+	tb, err := Listen(Config{Self: 1, ListenAddr: "127.0.0.1:0", Endpoints: gossipEndpoints(sb)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +213,7 @@ func TestOrderingPerPeer(t *testing.T) {
 	}
 	const msgs = 100
 	for i := 0; i < msgs; i++ {
-		ta.Send(1, []byte{byte(i)})
+		ta.Send(1, transport.ChanGossip, []byte{byte(i)})
 	}
 	waitFor(t, 5*time.Second, func() bool { return sb.count() == msgs })
 	sb.mu.Lock()
@@ -181,23 +226,23 @@ func TestOrderingPerPeer(t *testing.T) {
 }
 
 func TestCloseIsIdempotentAndClean(t *testing.T) {
-	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: &sink{}})
+	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Endpoints: gossipEndpoints(&sink{})})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := ta.Connect(1, "127.0.0.1:1"); err != nil { // nothing there
 		t.Fatal(err)
 	}
-	ta.Send(1, []byte("doomed"))
+	ta.Send(1, transport.ChanGossip, []byte("doomed"))
 	if err := ta.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
 	// Sends after close must not block or panic.
-	ta.Send(1, []byte("after close"))
+	ta.Send(1, transport.ChanGossip, []byte("after close"))
 }
 
 func TestConnectTwiceRejected(t *testing.T) {
-	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Handler: &sink{}})
+	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Endpoints: gossipEndpoints(&sink{})})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,10 +256,335 @@ func TestConnectTwiceRejected(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	if _, err := Listen(Config{Self: 0, Handler: &sink{}}); err == nil {
+	if _, err := Listen(Config{Self: 0, Endpoints: gossipEndpoints(&sink{})}); err == nil {
 		t.Fatal("missing ListenAddr accepted")
 	}
 	if _, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0"}); err == nil {
-		t.Fatal("missing Handler accepted")
+		t.Fatal("missing Endpoints/Handlers accepted")
+	}
+	if _, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0",
+		Endpoints: map[transport.Channel]transport.Endpoint{transport.Channel(9): &sink{}}}); err == nil {
+		t.Fatal("invalid channel accepted")
+	}
+}
+
+// TestVersionMismatchRejected: a peer speaking a different transport
+// version is refused at the handshake — its payloads never reach an
+// endpoint, the receiver counts a rejection, and a mismatched call gets
+// transport.ErrVersionMismatch rather than silence.
+func TestVersionMismatchRejected(t *testing.T) {
+	sb := &sink{}
+	tb, err := Listen(Config{
+		Self: 1, ListenAddr: "127.0.0.1:0",
+		Endpoints: gossipEndpoints(sb),
+		Handlers:  map[transport.Channel]transport.Handler{transport.ChanSync: echoHandler{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tb.Close() }()
+
+	// Old (or future) binary: same code, different advertised version.
+	ta, err := Listen(Config{
+		Self: 0, ListenAddr: "127.0.0.1:0",
+		Endpoints:   gossipEndpoints(&sink{}),
+		DialBackoff: 5 * time.Millisecond,
+		version:     transport.Version + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ta.Close() }()
+	if err := ta.Connect(1, tb.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	ta.Send(1, transport.ChanGossip, []byte("from the future"))
+	waitFor(t, 2*time.Second, func() bool { return tb.Rejections() >= 1 })
+	if sb.count() != 0 {
+		t.Fatalf("mismatched-version payload delivered: %d", sb.count())
+	}
+
+	cs := newCallSink()
+	ta.Call(1, transport.ChanSync, []byte("req"), cs)
+	res := cs.wait(t, 2*time.Second)
+	if !errors.Is(res.err, transport.ErrVersionMismatch) {
+		t.Fatalf("call error = %v, want ErrVersionMismatch", res.err)
+	}
+
+	// A raw connection with a mismatched version must be closed without
+	// any response for stream kind.
+	conn, err := net.Dial("tcp", tb.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	w := wire.NewWriter(5)
+	w.Uint16(transport.Version + 7)
+	w.Uint16(0)
+	w.Byte(kindStream)
+	if err := wire.WriteFrame(conn, w.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := wire.ReadFrame(conn); err == nil {
+		t.Fatal("rejected connection produced a frame")
+	}
+}
+
+// echoHandler answers a call with three frames echoing the request, then
+// a clean close.
+type echoHandler struct{}
+
+func (echoHandler) ServeCall(from types.ServerID, req []byte, st transport.ServerStream) {
+	for i := 0; i < 3; i++ {
+		if err := st.Send(append([]byte{byte('0' + i), ':'}, req...)); err != nil {
+			return
+		}
+	}
+	st.Close(nil)
+}
+
+// callResult is one terminated call's observation.
+type callResult struct {
+	frames []string
+	err    error
+}
+
+// callSink collects a call's stream for assertions.
+type callSink struct {
+	mu     sync.Mutex
+	frames []string
+	done   chan callResult
+}
+
+func newCallSink() *callSink { return &callSink{done: make(chan callResult, 1)} }
+
+func (c *callSink) OnFrame(frame []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.frames = append(c.frames, string(frame))
+}
+
+func (c *callSink) OnDone(err error) {
+	c.mu.Lock()
+	frames := append([]string(nil), c.frames...)
+	c.mu.Unlock()
+	c.done <- callResult{frames: frames, err: err}
+}
+
+func (c *callSink) wait(t *testing.T, timeout time.Duration) callResult {
+	t.Helper()
+	select {
+	case res := <-c.done:
+		return res
+	case <-time.After(timeout):
+		t.Fatal("call did not terminate in time")
+		return callResult{}
+	}
+}
+
+// TestCallRoundTrip: request/response streaming over a dedicated
+// connection, frames in order, clean termination.
+func TestCallRoundTrip(t *testing.T) {
+	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Endpoints: gossipEndpoints(&sink{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ta.Close() }()
+	tb, err := Listen(Config{
+		Self: 1, ListenAddr: "127.0.0.1:0",
+		Endpoints: gossipEndpoints(&sink{}),
+		Handlers:  map[transport.Channel]transport.Handler{transport.ChanSync: echoHandler{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tb.Close() }()
+	if err := ta.Connect(1, tb.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	cs := newCallSink()
+	ta.Call(1, transport.ChanSync, []byte("ping"), cs)
+	res := cs.wait(t, 5*time.Second)
+	if res.err != nil {
+		t.Fatalf("call failed: %v", res.err)
+	}
+	want := []string{"0:ping", "1:ping", "2:ping"}
+	if len(res.frames) != len(want) {
+		t.Fatalf("frames = %q", res.frames)
+	}
+	for i, f := range res.frames {
+		if f != want[i] {
+			t.Fatalf("frame %d = %q, want %q", i, f, want[i])
+		}
+	}
+}
+
+// TestCallNoHandler: calling a channel the peer does not serve fails
+// explicitly with ErrNoHandler.
+func TestCallNoHandler(t *testing.T) {
+	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Endpoints: gossipEndpoints(&sink{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ta.Close() }()
+	tb, err := Listen(Config{Self: 1, ListenAddr: "127.0.0.1:0", Endpoints: gossipEndpoints(&sink{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tb.Close() }()
+	if err := ta.Connect(1, tb.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	cs := newCallSink()
+	ta.Call(1, transport.ChanSync, []byte("req"), cs)
+	if res := cs.wait(t, 5*time.Second); !errors.Is(res.err, transport.ErrNoHandler) {
+		t.Fatalf("err = %v, want ErrNoHandler", res.err)
+	}
+}
+
+// TestCallUnknownPeer: calling a peer never Connect-ed fails immediately.
+func TestCallUnknownPeer(t *testing.T) {
+	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Endpoints: gossipEndpoints(&sink{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ta.Close() }()
+	cs := newCallSink()
+	ta.Call(7, transport.ChanSync, []byte("req"), cs)
+	if res := cs.wait(t, 2*time.Second); !errors.Is(res.err, transport.ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", res.err)
+	}
+}
+
+// stallHandler sends `frames` frames then blocks until released — the
+// server side of a mid-stream death.
+type stallHandler struct {
+	frames  int
+	stalled chan struct{}
+	release chan struct{}
+}
+
+func (h *stallHandler) ServeCall(from types.ServerID, req []byte, st transport.ServerStream) {
+	for i := 0; i < h.frames; i++ {
+		if err := st.Send([]byte{byte(i)}); err != nil {
+			return
+		}
+	}
+	close(h.stalled)
+	<-h.release
+}
+
+// TestCallMidStreamDeathThenRetry: the serving peer dies mid-stream; the
+// client observes an explicit stream error (not a hang), and a retry
+// against the restarted peer completes — the reconnect discipline the
+// sync service builds its resume-or-fallback logic on.
+func TestCallMidStreamDeathThenRetry(t *testing.T) {
+	ta, err := Listen(Config{
+		Self: 0, ListenAddr: "127.0.0.1:0",
+		Endpoints:   gossipEndpoints(&sink{}),
+		CallTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ta.Close() }()
+
+	h := &stallHandler{frames: 2, stalled: make(chan struct{}), release: make(chan struct{})}
+	tb, err := Listen(Config{
+		Self: 1, ListenAddr: "127.0.0.1:0",
+		Endpoints: gossipEndpoints(&sink{}),
+		Handlers:  map[transport.Channel]transport.Handler{transport.ChanSync: h},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := tb.Addr()
+	if err := ta.Connect(1, addr); err != nil {
+		t.Fatal(err)
+	}
+
+	cs := newCallSink()
+	ta.Call(1, transport.ChanSync, []byte("req"), cs)
+	<-h.stalled
+	// The peer dies while the handler is still mid-stream: Close tears
+	// the connections down first, so the client observes an abrupt end,
+	// then the handler is released so Close can reap its goroutine.
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- tb.Close() }()
+	res := cs.wait(t, 5*time.Second)
+	close(h.release)
+	if err := <-closeDone; err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.err, transport.ErrStreamLost) {
+		t.Fatalf("err = %v, want ErrStreamLost", res.err)
+	}
+	if len(res.frames) != 2 {
+		t.Fatalf("frames before death = %d, want 2", len(res.frames))
+	}
+
+	// The peer restarts on the same address; a retried call completes.
+	tb2, err := Listen(Config{
+		Self: 1, ListenAddr: addr,
+		Endpoints: gossipEndpoints(&sink{}),
+		Handlers:  map[transport.Channel]transport.Handler{transport.ChanSync: echoHandler{}},
+	})
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer func() { _ = tb2.Close() }()
+
+	cs2 := newCallSink()
+	ta.Call(1, transport.ChanSync, []byte("again"), cs2)
+	res2 := cs2.wait(t, 5*time.Second)
+	if res2.err != nil {
+		t.Fatalf("retry failed: %v", res2.err)
+	}
+	if len(res2.frames) != 3 {
+		t.Fatalf("retry frames = %q", res2.frames)
+	}
+}
+
+// TestCallCancel: canceling an in-flight call releases its goroutine and
+// connection without wedging the transport.
+func TestCallCancel(t *testing.T) {
+	h := &stallHandler{frames: 1, stalled: make(chan struct{}), release: make(chan struct{})}
+	tb, err := Listen(Config{
+		Self: 1, ListenAddr: "127.0.0.1:0",
+		Endpoints: gossipEndpoints(&sink{}),
+		Handlers:  map[transport.Channel]transport.Handler{transport.ChanSync: h},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tb.Close() }()
+	// LIFO: release the stalled handler before tb.Close waits on its
+	// goroutine.
+	defer close(h.release)
+	ta, err := Listen(Config{Self: 0, ListenAddr: "127.0.0.1:0", Endpoints: gossipEndpoints(&sink{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Connect(1, tb.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	cs := newCallSink()
+	cancel := ta.Call(1, transport.ChanSync, []byte("req"), cs)
+	<-h.stalled
+	cancel()
+	// Close waits for all transport goroutines: it must return promptly
+	// despite the canceled call.
+	done := make(chan error, 1)
+	go func() { done <- ta.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close wedged on a canceled call")
 	}
 }

@@ -1,0 +1,45 @@
+// Package transport defines the versioned, multi-channel interface between
+// the block DAG protocol stack and the network.
+//
+// # Envelope model
+//
+// Every payload travels inside a typed envelope: a protocol version plus a
+// channel identifier. The version is negotiated once per connection (or,
+// on the simulator, assumed equal — one process, one binary); peers whose
+// versions differ refuse to exchange payloads rather than misinterpret
+// them. The channel selects which consumer a payload is routed to:
+//
+//   - ChanGossip carries the fire-and-forget block exchange of Algorithm 1
+//     (blocks and FWD requests). Its delivery contract is the paper's
+//     Assumption 1: a payload sent between two correct servers eventually
+//     arrives; ordering, duplication, and timing are unconstrained.
+//   - ChanSync carries the bulk state-transfer service (package syncsvc):
+//     request/response streams with explicit failure, used by a recovering
+//     replica to pull a peer's store instead of re-fetching the DAG one
+//     FWD round trip at a time.
+//
+// Receivers register one Endpoint per channel (one-way payloads) and one
+// Handler per channel (request/response streams); transports demultiplex
+// inbound traffic to them, so a single socket or simulated link carries
+// all channels.
+//
+// # Two primitives
+//
+// Send is the Assumption 1 primitive: best-effort enqueue, eventual
+// delivery between correct servers, no failure signal. Gossip is built
+// entirely on it and needs nothing stronger.
+//
+// Call opens a one-shot request/response stream: the request payload is
+// handed to the remote Handler registered on the channel, which answers
+// with zero or more frames followed by a close. Unlike Send, a Call fails
+// explicitly — unreachable peer, no handler, version mismatch, peer death
+// mid-stream — so clients can retry, switch peers, or fall back (the sync
+// service falls back to per-block FWD). Frames within one call arrive in
+// order; nothing is guaranteed across calls.
+//
+// Two implementations ship with the repository: package simnet, a
+// deterministic discrete-event simulator used by tests, benchmarks and
+// experiments, and package tcpnet, a real TCP transport used by the node
+// runtime (version handshake in the identification frame, per-channel
+// frame demultiplexing, one connection per call).
+package transport

@@ -1,64 +1,224 @@
-// Package transport defines the narrow interface between the block DAG
-// protocol stack and the network. The only assumption the framework makes
-// of it is the paper's Assumption 1 (reliable delivery): a payload sent
-// between two correct servers eventually arrives. Ordering, duplication,
-// and timing are unconstrained.
-//
-// Two implementations ship with the repository: package simnet, a
-// deterministic discrete-event simulator used by tests, benchmarks and
-// experiments, and package tcpnet, a real TCP transport used by the node
-// runtime.
 package transport
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 
 	"blockdag/internal/types"
 )
 
-// Endpoint consumes payloads delivered from the network. Implementations
-// are driven by a single goroutine (or the simulator loop) at a time.
+// Version is the transport protocol version this binary speaks. Peers
+// exchange it during connection setup (tcpnet's identification frame) and
+// refuse payload exchange on mismatch, so an incompatible envelope or
+// channel layout can never be misparsed as protocol traffic.
+const Version uint16 = 1
+
+// Channel identifies one logical stream of payloads multiplexed over a
+// single peer link.
+type Channel uint8
+
+// The framework's channels. Values are wire-visible; never renumber.
+const (
+	// ChanGossip carries Algorithm 1 traffic: blocks and FWD requests,
+	// under Assumption 1 (fire-and-forget, eventual delivery).
+	ChanGossip Channel = 1
+	// ChanSync carries the bulk state-transfer service: request/response
+	// streams with explicit failure semantics.
+	ChanSync Channel = 2
+)
+
+// Valid reports whether ch is a known channel.
+func (c Channel) Valid() bool { return c == ChanGossip || c == ChanSync }
+
+// String renders the channel for logs.
+func (c Channel) String() string {
+	switch c {
+	case ChanGossip:
+		return "gossip"
+	case ChanSync:
+		return "sync"
+	default:
+		return fmt.Sprintf("chan(%d)", uint8(c))
+	}
+}
+
+// Errors surfaced by Call implementations through CallSink.OnDone.
+var (
+	// ErrUnreachable reports that the peer could not be contacted (not
+	// connected, dial failure, or partitioned link).
+	ErrUnreachable = errors.New("transport: peer unreachable")
+	// ErrNoHandler reports that the peer is reachable but serves no
+	// handler on the requested channel.
+	ErrNoHandler = errors.New("transport: no handler on channel")
+	// ErrStreamLost reports that the stream died after it was
+	// established: the peer crashed, closed the connection, or was
+	// deregistered mid-stream.
+	ErrStreamLost = errors.New("transport: stream lost")
+	// ErrVersionMismatch reports that the peer speaks an incompatible
+	// transport protocol version.
+	ErrVersionMismatch = errors.New("transport: protocol version mismatch")
+)
+
+// Endpoint consumes one-way payloads delivered from the network on one
+// channel. Implementations are driven by a single goroutine (or the
+// simulator loop) at a time.
 type Endpoint interface {
 	// Deliver hands one payload received from the given server to the
 	// protocol stack. The callee must not retain the slice.
 	Deliver(from types.ServerID, payload []byte)
 }
 
-// Transport sends payloads on behalf of one server.
+// CallSink consumes the response stream of one Call. A transport invokes
+// OnFrame zero or more times, in stream order, then OnDone exactly once.
+// tcpnet invokes it from a connection goroutine; simnet from the event
+// loop.
+type CallSink interface {
+	// OnFrame hands one response frame to the caller. The callee must
+	// not retain the slice.
+	OnFrame(frame []byte)
+	// OnDone terminates the stream: nil if the handler closed it
+	// cleanly, otherwise the reason the stream failed (ErrUnreachable,
+	// ErrNoHandler, ErrVersionMismatch, ErrStreamLost, ...).
+	OnDone(err error)
+}
+
+// ServerStream is the handler's side of one Call: a sequence of response
+// frames followed by a close.
+type ServerStream interface {
+	// Send transmits one response frame, bounded by the transport's
+	// frame limit (wire.MaxFrame). It returns an error once the stream
+	// is dead (caller gone, connection lost); the handler should stop.
+	Send(frame []byte) error
+	// Close ends the stream. A nil error reports clean completion; a
+	// non-nil error is conveyed to the caller's OnDone as a stream
+	// failure. Send after Close is an error.
+	Close(err error)
+}
+
+// Handler serves Calls on one channel.
+type Handler interface {
+	// ServeCall handles one request. It may send response frames and
+	// must eventually close the stream. On tcpnet the handler's
+	// execution bounds the stream's life: it runs on a per-connection
+	// goroutine and a return without Close is closed with an error on
+	// its behalf (never a clean end — an unfinished stream must not
+	// masquerade as a complete one); handlers shared with a
+	// single-threaded state machine must therefore synchronize
+	// internally or read only immutable/concurrency-safe state. On
+	// simnet a handler may outlive ServeCall by scheduling continuation
+	// events (paced streams); it then owns closing explicitly.
+	ServeCall(from types.ServerID, req []byte, st ServerStream)
+}
+
+// Transport sends payloads and opens calls on behalf of one server.
 type Transport interface {
 	// Self returns the server this transport sends as.
 	Self() types.ServerID
-	// Send transmits payload to the given server, best effort with
-	// eventual delivery between correct servers (Assumption 1). Send
-	// must not block on the receiver; implementations queue internally.
-	Send(to types.ServerID, payload []byte)
+	// Send transmits payload to the given server on the given channel,
+	// best effort with eventual delivery between correct servers
+	// (Assumption 1). Send must not block on the receiver;
+	// implementations queue internally.
+	Send(to types.ServerID, ch Channel, payload []byte)
+	// Call opens a request/response stream to the given server's
+	// handler on the given channel. It returns immediately; the sink
+	// receives the response frames and exactly one OnDone. The returned
+	// cancel function abandons the call early (a late OnDone may still
+	// be delivered with ErrStreamLost).
+	Call(to types.ServerID, ch Channel, req []byte, sink CallSink) (cancel func())
 }
+
+// DefaultLateBoundBuffer is the number of pre-Bind deliveries a LateBound
+// endpoint retains per instance.
+const DefaultLateBoundBuffer = 256
 
 // LateBound is an Endpoint whose target is attached after construction,
 // breaking the wiring cycle transport → server → runtime → handler when a
-// transport must be listening before the consumer exists. Deliveries
-// before Bind are dropped; with gossip that is harmless (lost blocks are
-// re-fetched via FWD once referenced).
+// transport must be listening before the consumer exists. Instantiate one
+// per channel.
+//
+// Deliveries before Bind are buffered (up to Buffer frames, oldest
+// dropped first) and flushed, in order, when Bind attaches the target.
+// Gossip tolerates pre-Bind loss — a dropped block is re-fetched via FWD
+// once referenced — but other channels may not, so buffering is the
+// default for all of them.
 type LateBound struct {
-	mu sync.RWMutex
-	ep Endpoint
+	// Buffer overrides the pre-Bind buffer capacity; 0 means
+	// DefaultLateBoundBuffer, negative disables buffering (drop).
+	// Set before the first Deliver.
+	Buffer int
+
+	mu      sync.Mutex
+	ep      Endpoint
+	pending []pendingDelivery
+	dropped int
+}
+
+type pendingDelivery struct {
+	from    types.ServerID
+	payload []byte
 }
 
 var _ Endpoint = (*LateBound)(nil)
 
-// Bind attaches the target endpoint.
+// Bind attaches the target endpoint and flushes buffered deliveries to it
+// in arrival order. The endpoint is only installed once the buffer is
+// drained, so a Deliver racing with Bind keeps buffering and cannot
+// overtake older frames mid-flush; the flush itself runs outside the lock
+// (an endpoint is free to call back into the LateBound).
 func (l *LateBound) Bind(ep Endpoint) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	if ep != nil {
+		for len(l.pending) > 0 {
+			pending := l.pending
+			l.pending = nil
+			l.mu.Unlock()
+			for _, p := range pending {
+				ep.Deliver(p.from, p.payload)
+			}
+			l.mu.Lock()
+		}
+	}
 	l.ep = ep
+	l.mu.Unlock()
 }
 
-// Deliver implements Endpoint, forwarding to the bound target.
+// Deliver implements Endpoint, forwarding to the bound target or buffering
+// until Bind.
 func (l *LateBound) Deliver(from types.ServerID, payload []byte) {
-	l.mu.RLock()
+	l.mu.Lock()
 	ep := l.ep
-	l.mu.RUnlock()
-	if ep != nil {
-		ep.Deliver(from, payload)
+	if ep == nil {
+		if l.Buffer >= 0 {
+			limit := l.Buffer
+			if limit == 0 {
+				limit = DefaultLateBoundBuffer
+			}
+			// The endpoint contract lets the caller reuse payload;
+			// buffering must copy.
+			l.pending = append(l.pending, pendingDelivery{
+				from:    from,
+				payload: append([]byte(nil), payload...),
+			})
+			if len(l.pending) > limit {
+				drop := len(l.pending) - limit
+				l.pending = append(l.pending[:0], l.pending[drop:]...)
+				l.dropped += drop
+			}
+		} else {
+			l.dropped++
+		}
+		l.mu.Unlock()
+		return
 	}
+	l.mu.Unlock()
+	ep.Deliver(from, payload)
+}
+
+// Dropped returns the number of pre-Bind deliveries lost to the buffer
+// cap (diagnostics).
+func (l *LateBound) Dropped() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
 }

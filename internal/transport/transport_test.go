@@ -1,0 +1,113 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+
+	"blockdag/internal/types"
+)
+
+// recorder logs deliveries.
+type recorder struct {
+	got []string
+}
+
+func (r *recorder) Deliver(from types.ServerID, payload []byte) {
+	r.got = append(r.got, fmt.Sprintf("%v:%s", from, payload))
+}
+
+// TestLateBoundBuffersPreBindDeliveries: deliveries arriving before Bind
+// are not lost — a sync response must survive the wiring window — and
+// flush in arrival order.
+func TestLateBoundBuffersPreBindDeliveries(t *testing.T) {
+	lb := &LateBound{}
+	lb.Deliver(1, []byte("a"))
+	lb.Deliver(2, []byte("b"))
+	lb.Deliver(3, []byte("c"))
+
+	r := &recorder{}
+	lb.Bind(r)
+	want := []string{"s1:a", "s2:b", "s3:c"}
+	if len(r.got) != len(want) {
+		t.Fatalf("flushed = %v", r.got)
+	}
+	for i := range want {
+		if r.got[i] != want[i] {
+			t.Fatalf("flush order = %v, want %v", r.got, want)
+		}
+	}
+	if lb.Dropped() != 0 {
+		t.Fatalf("Dropped = %d", lb.Dropped())
+	}
+
+	// Post-bind deliveries forward directly.
+	lb.Deliver(4, []byte("d"))
+	if len(r.got) != 4 || r.got[3] != "s4:d" {
+		t.Fatalf("post-bind delivery = %v", r.got)
+	}
+}
+
+// TestLateBoundBufferCopiesPayload: the endpoint contract lets senders
+// reuse their buffer after Deliver; buffering must copy.
+func TestLateBoundBufferCopiesPayload(t *testing.T) {
+	lb := &LateBound{}
+	buf := []byte("orig")
+	lb.Deliver(1, buf)
+	copy(buf, "XXXX")
+	r := &recorder{}
+	lb.Bind(r)
+	if len(r.got) != 1 || r.got[0] != "s1:orig" {
+		t.Fatalf("got %v, want buffered copy of original payload", r.got)
+	}
+}
+
+// TestLateBoundBufferCapDropsOldest: the buffer is bounded; overflow
+// drops the oldest frames and counts them.
+func TestLateBoundBufferCapDropsOldest(t *testing.T) {
+	lb := &LateBound{Buffer: 3}
+	for i := 0; i < 5; i++ {
+		lb.Deliver(0, []byte{byte('a' + i)})
+	}
+	r := &recorder{}
+	lb.Bind(r)
+	want := []string{"s0:c", "s0:d", "s0:e"}
+	if len(r.got) != len(want) {
+		t.Fatalf("flushed = %v", r.got)
+	}
+	for i := range want {
+		if r.got[i] != want[i] {
+			t.Fatalf("flushed = %v, want newest three", r.got)
+		}
+	}
+	if lb.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", lb.Dropped())
+	}
+}
+
+// TestLateBoundNegativeBufferDrops: the legacy drop behaviour stays
+// available for consumers that prefer it.
+func TestLateBoundNegativeBufferDrops(t *testing.T) {
+	lb := &LateBound{Buffer: -1}
+	lb.Deliver(0, []byte("lost"))
+	r := &recorder{}
+	lb.Bind(r)
+	if len(r.got) != 0 {
+		t.Fatalf("got %v, want nothing", r.got)
+	}
+	if lb.Dropped() != 1 {
+		t.Fatalf("Dropped = %d", lb.Dropped())
+	}
+}
+
+// TestChannelValidity pins the wire-visible channel values.
+func TestChannelValidity(t *testing.T) {
+	if !ChanGossip.Valid() || !ChanSync.Valid() {
+		t.Fatal("framework channels must be valid")
+	}
+	if Channel(0).Valid() || Channel(9).Valid() {
+		t.Fatal("unknown channels must be invalid")
+	}
+	if ChanGossip != 1 || ChanSync != 2 {
+		t.Fatalf("channel values changed: gossip=%d sync=%d", ChanGossip, ChanSync)
+	}
+}
