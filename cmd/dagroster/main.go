@@ -1,0 +1,209 @@
+// Command dagroster generates and inspects the identity material of a
+// deployment: the roster file every server shares and the per-server key
+// files each host keeps private (package roster). A multi-host cluster
+// bootstrapped with dagroster never shares a seed — every key is fresh
+// random, and the roster distributes only public keys and addresses.
+//
+// Usage:
+//
+//	dagroster init -n 4 -dir deploy -addr-base 127.0.0.1:7101
+//	dagroster init -n 4 -dir deploy -addrs h0:7001,h1:7001,h2:7001,h3:7001
+//	dagroster keygen -id 2 -out s2.key
+//	dagroster show -roster deploy/roster.txt
+//	dagroster verify -roster deploy/roster.txt -key deploy/s0.key
+//
+// init writes DIR/roster.txt plus DIR/s<i>.key for every member — the
+// single-operator bootstrap. keygen generates one key file and prints its
+// public key, for deployments where each operator generates their own key
+// and only the public halves are assembled into a roster. show prints a
+// roster's members and self-hash. verify re-validates a roster file's
+// integrity and, with -key, that the key file matches its roster entry —
+// the check to run before pointing a server at either file.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"blockdag/internal/roster"
+	"blockdag/internal/types"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dagroster:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: dagroster <init|keygen|show|verify> [flags]")
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return usage()
+	}
+	cmd, args := args[0], args[1:]
+	switch cmd {
+	case "init":
+		return runInit(args)
+	case "keygen":
+		return runKeygen(args)
+	case "show":
+		return runShow(args)
+	case "verify":
+		return runVerify(args)
+	default:
+		return usage()
+	}
+}
+
+func runInit(args []string) error {
+	fs := flag.NewFlagSet("dagroster init", flag.ContinueOnError)
+	n := fs.Int("n", 4, "number of servers (3f+1)")
+	dir := fs.String("dir", "", "output directory for roster.txt and s<i>.key files (required)")
+	addrs := fs.String("addrs", "", "comma-separated dial addresses, one per server")
+	addrBase := fs.String("addr-base", "", "base host:port; server i dials port+i (e.g. 127.0.0.1:7101)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("init needs -dir")
+	}
+	var list []string
+	switch {
+	case *addrs != "" && *addrBase != "":
+		return fmt.Errorf("use -addrs or -addr-base, not both")
+	case *addrs != "":
+		list = strings.Split(*addrs, ",")
+		if len(list) != *n {
+			return fmt.Errorf("-addrs names %d servers, -n is %d", len(list), *n)
+		}
+	case *addrBase != "":
+		host, portStr, err := net.SplitHostPort(*addrBase)
+		if err != nil {
+			return fmt.Errorf("-addr-base: %w", err)
+		}
+		port, err := strconv.Atoi(portStr)
+		if err != nil {
+			return fmt.Errorf("-addr-base port: %w", err)
+		}
+		for i := 0; i < *n; i++ {
+			list = append(list, net.JoinHostPort(host, strconv.Itoa(port+i)))
+		}
+	}
+	fx, err := roster.Generate(*n, list, nil)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	path, err := fx.Save(*dir)
+	if err != nil {
+		return err
+	}
+	hash := fx.File.Hash()
+	fmt.Printf("wrote %s (%d members, hash %s)\n", path, fx.File.N(), hex.EncodeToString(hash[:8]))
+	for _, k := range fx.Keys {
+		fmt.Printf("wrote %s\n", filepath.Join(*dir, fmt.Sprintf("s%d.key", k.ID)))
+	}
+	fmt.Println("\ndistribute roster.txt to every host; each s<i>.key goes ONLY to host i")
+	return nil
+}
+
+func runKeygen(args []string) error {
+	fs := flag.NewFlagSet("dagroster keygen", flag.ContinueOnError)
+	id := fs.Int("id", 0, "roster position this key will occupy")
+	out := fs.String("out", "", "key file to write (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("keygen needs -out")
+	}
+	if *id < 0 || *id >= int(types.NilServer) {
+		return fmt.Errorf("-id %d outside the ServerID space [0, %d)", *id, int(types.NilServer))
+	}
+	k, err := roster.GenerateKey(types.ServerID(*id), nil)
+	if err != nil {
+		return err
+	}
+	if err := k.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (mode 0600 — keep it on server %d only)\n", *out, *id)
+	fmt.Printf("public key for the roster assembler:\n  %s\n", hex.EncodeToString(k.Pair.Public))
+	return nil
+}
+
+func runShow(args []string) error {
+	fs := flag.NewFlagSet("dagroster show", flag.ContinueOnError)
+	path := fs.String("roster", "", "roster file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("show needs -roster")
+	}
+	f, err := roster.Load(*path)
+	if err != nil {
+		return err
+	}
+	r, err := f.Roster()
+	if err != nil {
+		return err
+	}
+	hash := f.Hash()
+	fmt.Printf("roster  %s\n", *path)
+	fmt.Printf("members n=%d f=%d quorum=%d\n", r.N(), r.F(), r.Quorum())
+	fmt.Printf("hash    %s\n", hex.EncodeToString(hash[:]))
+	for i, m := range f.Members() {
+		addr := m.Addr
+		if addr == "" {
+			addr = "-"
+		}
+		label := m.Label
+		if label == "" {
+			label = "-"
+		}
+		fmt.Printf("s%-3d %s…  addr=%s  label=%s\n", i, hex.EncodeToString(m.PublicKey[:8]), addr, label)
+	}
+	return nil
+}
+
+func runVerify(args []string) error {
+	fs := flag.NewFlagSet("dagroster verify", flag.ContinueOnError)
+	path := fs.String("roster", "", "roster file (required)")
+	keyPath := fs.String("key", "", "key file to check against the roster")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("verify needs -roster")
+	}
+	f, err := roster.Load(*path)
+	if err != nil {
+		return err
+	}
+	hash := f.Hash()
+	fmt.Printf("roster  OK: %d members, hash %s\n", f.N(), hex.EncodeToString(hash[:8]))
+	if *keyPath != "" {
+		k, err := roster.LoadKey(*keyPath)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Identity(k, nil); err != nil {
+			return err
+		}
+		fmt.Printf("key     OK: %s holds the roster key of server %d\n", *keyPath, k.ID)
+	}
+	return nil
+}

@@ -22,6 +22,7 @@ import (
 	"blockdag/internal/protocols/brb"
 	"blockdag/internal/protocols/courier"
 	"blockdag/internal/protocols/pbft"
+	"blockdag/internal/roster"
 	"blockdag/internal/trace"
 	"blockdag/internal/types"
 )
@@ -43,6 +44,8 @@ func run() error {
 		jitter    = flag.Duration("jitter", 5*time.Millisecond, "link latency jitter")
 		drop      = flag.Float64("drop", 0, "unicast drop probability [0,1)")
 		seed      = flag.Int64("seed", 1, "simulation seed (runs are reproducible)")
+		rosterF   = flag.String("roster", "", "roster file: simulate a deployment's real identities (requires -keys)")
+		keysDir   = flag.String("keys", "", "directory holding every member's s<i>.key (with -roster)")
 		dump      = flag.String("dump", "", "write server 0's DAG to this file")
 		storeDir  = flag.String("store-dir", "", "journal every server's blocks to a durable store under this directory (inspect with dagstore)")
 		ckptSegs  = flag.Int("checkpoint-segments", 0, "with -store-dir: checkpoint a server's store after a round leaves it with at least N WAL segments (0 disables)")
@@ -54,9 +57,23 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// With -roster/-keys the simulation runs a deployment's actual
+	// identities — same file-format code path as the real servers; the
+	// roster's size wins over -n. Without, the dev fixture applies.
+	var fixture *roster.Fixture
+	if (*rosterF == "") != (*keysDir == "") {
+		return fmt.Errorf("-roster and -keys go together")
+	}
+	if *rosterF != "" {
+		if fixture, err = roster.LoadFixture(*rosterF, *keysDir); err != nil {
+			return err
+		}
+		*n = fixture.File.N()
+	}
 	var sigs crypto.Counters
 	c, err := cluster.New(cluster.Options{
 		N:           *n,
+		Fixture:     fixture,
 		Protocol:    proto,
 		Seed:        *seed,
 		Latency:     *latency,
@@ -171,8 +188,12 @@ func run() error {
 			total += size
 			blocks += st.Len()
 		}
-		fmt.Printf("\ndurable stores         %d blocks, %d bytes under %s (dagstore inspect -n %d -dir %s/s0)\n",
-			blocks, total, *storeDir, *n, *storeDir)
+		hint := fmt.Sprintf("-n %d", *n)
+		if *rosterF != "" {
+			hint = "-roster " + *rosterF
+		}
+		fmt.Printf("\ndurable stores         %d blocks, %d bytes under %s (dagstore inspect %s -dir %s/s0)\n",
+			blocks, total, *storeDir, hint, *storeDir)
 	}
 
 	if *dump != "" {

@@ -14,10 +14,10 @@
 // segments (conditions inspect merely reports). compact rewrites the
 // store as a single snapshot segment, bounding it to O(live DAG) bytes.
 //
-// The roster is derived with -n from the repository's deterministic local
-// identities (crypto.LocalRoster), matching every simulator, example, and
-// test in this repo; a production deployment would load its roster from
-// configuration instead.
+// The roster the blocks are validated against comes from -roster (a
+// dagroster-generated roster file — the production path) or, for stores
+// written by the dev fixture, from -n via the deterministic local
+// identities.
 package main
 
 import (
@@ -28,6 +28,7 @@ import (
 
 	"blockdag/internal/crypto"
 	"blockdag/internal/dag"
+	"blockdag/internal/roster"
 	"blockdag/internal/store"
 	"blockdag/internal/types"
 )
@@ -40,7 +41,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: dagstore <inspect|verify|compact> -dir DIR [-n N]")
+	return fmt.Errorf("usage: dagstore <inspect|verify|compact> -dir DIR [-roster FILE | -n N]")
 }
 
 func run(args []string) error {
@@ -51,28 +52,43 @@ func run(args []string) error {
 
 	fs := flag.NewFlagSet("dagstore "+cmd, flag.ContinueOnError)
 	dir := fs.String("dir", "", "store directory (one server's store, e.g. runs/s0)")
-	n := fs.Int("n", 4, "roster size the store's blocks were signed under")
+	n := fs.Int("n", 4, "dev-fixture roster size the store's blocks were signed under")
+	rosterF := fs.String("roster", "", "roster file the store's blocks were signed under (overrides -n)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dir == "" {
 		return usage()
 	}
-	roster, _, err := crypto.LocalRoster(*n)
+	r, err := loadRoster(*rosterF, *n)
 	if err != nil {
 		return err
 	}
 
 	switch cmd {
 	case "inspect":
-		return inspect(*dir, roster, false)
+		return inspect(*dir, r, false)
 	case "verify":
-		return inspect(*dir, roster, true)
+		return inspect(*dir, r, true)
 	case "compact":
-		return compact(*dir, roster)
+		return compact(*dir, r)
 	default:
 		return usage()
 	}
+}
+
+// loadRoster resolves the validation roster: a roster file when given,
+// the deterministic dev identities otherwise.
+func loadRoster(path string, n int) (*crypto.Roster, error) {
+	if path != "" {
+		f, err := roster.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return f.Roster()
+	}
+	r, _, err := crypto.LocalRoster(n)
+	return r, err
 }
 
 // inspect opens the store read-only and prints its health; in strict mode

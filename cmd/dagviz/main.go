@@ -24,6 +24,7 @@ import (
 	"blockdag/internal/protocols/brb"
 	"blockdag/internal/protocols/courier"
 	"blockdag/internal/protocols/pbft"
+	"blockdag/internal/roster"
 	"blockdag/internal/trace"
 	"blockdag/internal/types"
 )
@@ -38,7 +39,8 @@ func main() {
 func run() error {
 	var (
 		in        = flag.String("in", "", "path to a DAG dump (trace.WriteDAG format)")
-		n         = flag.Int("n", 4, "roster size the DAG was built with")
+		n         = flag.Int("n", 4, "dev-fixture roster size the DAG was built with")
+		rosterF   = flag.String("roster", "", "roster file the DAG was built under (overrides -n)")
 		format    = flag.String("format", "dot", "output format: dot | ascii")
 		protoName = flag.String("protocol", "", "annotate buffers for this protocol: brb | pbft | courier")
 		label     = flag.String("label", "", "instance label to annotate (requires -protocol)")
@@ -48,16 +50,27 @@ func run() error {
 		return fmt.Errorf("-in is required")
 	}
 
-	roster, _, err := crypto.LocalRoster(*n)
-	if err != nil {
-		return err
+	var r *crypto.Roster
+	if *rosterF != "" {
+		file, err := roster.Load(*rosterF)
+		if err != nil {
+			return err
+		}
+		if r, err = file.Roster(); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if r, _, err = crypto.LocalRoster(*n); err != nil {
+			return err
+		}
 	}
 	f, err := os.Open(*in)
 	if err != nil {
 		return err
 	}
 	defer func() { _ = f.Close() }()
-	d, err := trace.ReadDAG(f, roster)
+	d, err := trace.ReadDAG(f, r)
 	if err != nil {
 		return err
 	}
@@ -68,7 +81,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		it := interpret.New(proto, roster.N(), roster.F(), nil)
+		it := interpret.New(proto, r.N(), r.F(), nil)
 		if err := it.InterpretDAG(d); err != nil {
 			return err
 		}

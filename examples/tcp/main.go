@@ -1,17 +1,38 @@
-// Command tcp runs the production deployment path end to end on one
-// machine: four servers, each with its own TCP transport on loopback, a
-// concurrent node runtime, and shim(BRB) — no simulator anywhere. This is
-// the wiring a real multi-host deployment uses, minus the hosts.
+// Command tcp runs the production deployment path end to end: TCP
+// transports with the mutual challenge–response handshake, a concurrent
+// node runtime per server, and shim(BRB) — no simulator anywhere.
+//
+// Two modes:
+//
+// All-in-one (default): four servers in one process on loopback, wired
+// from the deterministic dev fixture — which itself round-trips through
+// the roster-file codec, so this is the same identity code path a real
+// deployment uses. This is the smoke test for the full stack.
+//
+// Multi-process (-roster/-key): ONE server per process, its identity
+// loaded from a dagroster-generated roster file plus its private key
+// file. Each process listens on its roster address, authenticates every
+// peer connection against the roster, submits one broadcast, and exits
+// once it has delivered every member's broadcast. Four such processes —
+// started with no shared seed anywhere — form the cluster `make
+// roster-demo` exercises:
+//
+//	dagroster init -n 4 -dir deploy -addr-base 127.0.0.1:7101
+//	tcp -roster deploy/roster.txt -key deploy/s0.key &
+//	tcp -roster deploy/roster.txt -key deploy/s1.key &
+//	tcp -roster deploy/roster.txt -key deploy/s2.key &
+//	tcp -roster deploy/roster.txt -key deploy/s3.key
 //
 // With -store-dir each server additionally journals every inserted block
-// to a durable store under <dir>/s<i> (fsync policy -fsync), serves bulk
-// catch-up streams from it on the sync channel, and restores from it on
-// startup — after first asking its peers for any blocks it is missing
-// (-catchup). Run the command twice with the same directory and the
-// second run resumes every server's chain; delete one server's
-// subdirectory in between and it bulk-syncs the backlog from a peer
-// instead of re-fetching it block by block. -checkpoint-segments keeps
-// each store compacted so those streams start from a snapshot.
+// to a durable store (fsync policy -fsync), serves bulk catch-up streams
+// from it on the sync channel (hardened: per-peer in-flight cap and
+// token bucket), and restores from it on startup — after first asking
+// its peers for any blocks it is missing (-catchup). Run the command
+// twice with the same directory and the second run resumes every
+// server's chain; delete one server's subdirectory in between and it
+// bulk-syncs the backlog from a peer instead of re-fetching it block by
+// block. -checkpoint-segments keeps each store compacted so those
+// streams start from a snapshot.
 package main
 
 import (
@@ -23,9 +44,9 @@ import (
 	"time"
 
 	"blockdag/internal/core"
-	"blockdag/internal/crypto"
 	"blockdag/internal/node"
 	"blockdag/internal/protocols/brb"
+	"blockdag/internal/roster"
 	"blockdag/internal/store"
 	"blockdag/internal/syncsvc"
 	"blockdag/internal/tcpnet"
@@ -42,180 +63,334 @@ func main() {
 
 func run() error {
 	var (
-		storeDir  = flag.String("store-dir", "", "journal each server's blocks under this directory and restore on startup")
-		fsyncMode = flag.String("fsync", "interval", "store fsync policy: always | interval | never")
-		catchup   = flag.Bool("catchup", true, "with -store-dir: bulk-sync missing blocks from peers at startup")
-		ckptSegs  = flag.Int("checkpoint-segments", 4, "with -store-dir: checkpoint the store every N WAL segments (0 disables)")
-		ckptBytes = flag.Int64("checkpoint-bytes", 0, "with -store-dir: checkpoint the store when it exceeds N bytes (0 disables)")
+		rosterPath = flag.String("roster", "", "roster file: run ONE server per process from identity files (requires -key)")
+		keyPath    = flag.String("key", "", "this server's key file (with -roster)")
+		listenAddr = flag.String("listen", "", "with -roster: bind address override (default: this server's roster address)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "how long to wait for all broadcasts to deliver")
+		storeDir   = flag.String("store-dir", "", "journal blocks under this directory and restore on startup")
+		fsyncMode  = flag.String("fsync", "interval", "store fsync policy: always | interval | never")
+		catchup    = flag.Bool("catchup", true, "with -store-dir: bulk-sync missing blocks from peers at startup")
+		ckptSegs   = flag.Int("checkpoint-segments", 4, "with -store-dir: checkpoint the store every N WAL segments (0 disables)")
+		ckptBytes  = flag.Int64("checkpoint-bytes", 0, "with -store-dir: checkpoint the store when it grows N bytes (0 disables)")
 	)
 	flag.Parse()
 
-	const n = 4
-	roster, signers, err := crypto.LocalRoster(n)
-	if err != nil {
-		return err
-	}
 	syncPolicy, err := store.ParseSyncPolicy(*fsyncMode)
 	if err != nil {
 		return err
 	}
-
-	// Phase 1: open stores (if durable) and bind all listeners. The
-	// gossip endpoint is late-bound — the node that consumes traffic is
-	// built after the transport — with pre-Bind deliveries buffered; the
-	// sync handler serves straight from the store's directory, so it can
-	// be live from the first accepted connection.
-	stores := make([]*store.Store, n)
-	handlers := make([]*transport.LateBound, n)
-	transports := make([]*tcpnet.Transport, n)
-	for i := 0; i < n; i++ {
-		cfg := tcpnet.Config{
-			Self:       types.ServerID(i),
-			ListenAddr: "127.0.0.1:0",
-		}
-		handlers[i] = &transport.LateBound{}
-		cfg.Endpoints = map[transport.Channel]transport.Endpoint{
-			transport.ChanGossip: handlers[i],
-		}
-		if *storeDir != "" {
-			st, err := store.Open(filepath.Join(*storeDir, fmt.Sprintf("s%d", i)), store.Options{
-				Roster: roster,
-				Sync:   syncPolicy,
-			})
-			if err != nil {
-				return err
-			}
-			defer func() { _ = st.Close() }()
-			stores[i] = st
-			if rep := st.Report(); rep.Blocks > 0 || rep.TornBytes > 0 {
-				fmt.Printf("s%d store: recovered %d blocks (torn tail: %d bytes)\n",
-					i, rep.Blocks, rep.TornBytes)
-			}
-			cfg.Handlers = map[transport.Channel]transport.Handler{
-				transport.ChanSync: &syncsvc.Server{Store: st},
-			}
-		}
-		tr, err := tcpnet.Listen(cfg)
-		if err != nil {
-			return err
-		}
-		transports[i] = tr
-		defer func() { _ = tr.Close() }()
-		fmt.Printf("s%d listening on %s\n", i, tr.Addr())
-	}
-	// Phase 2: full mesh.
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			if err := transports[i].Connect(types.ServerID(j), transports[j].Addr()); err != nil {
-				return err
-			}
-		}
+	opts := runOpts{
+		storeDir:  *storeDir,
+		fsync:     syncPolicy,
+		catchup:   *catchup,
+		ckptSegs:  *ckptSegs,
+		ckptBytes: *ckptBytes,
+		timeout:   *timeout,
 	}
 
-	// Phase 3: servers + runtimes.
-	var (
-		mu        sync.Mutex
-		delivered = make(map[int][]string)
-	)
-	nodes := make([]*node.Node, n)
-	for i := 0; i < n; i++ {
-		idx := i
-		srv, err := core.NewServer(core.Config{
-			Roster:    roster,
-			Signer:    signers[i],
-			Protocol:  brb.Protocol{},
-			Transport: transports[i],
-			Clock:     node.Clock(),
-			OnIndication: func(label types.Label, value []byte) {
-				mu.Lock()
-				defer mu.Unlock()
-				delivered[idx] = append(delivered[idx], fmt.Sprintf("%s=%s", label, value))
-			},
+	if (*rosterPath == "") != (*keyPath == "") {
+		return fmt.Errorf("-roster and -key go together")
+	}
+	if *rosterPath != "" {
+		return runOne(*rosterPath, *keyPath, *listenAddr, opts)
+	}
+	return runAllInOne(opts)
+}
+
+// runOpts carries the flags shared by both modes.
+type runOpts struct {
+	storeDir  string
+	fsync     store.SyncPolicy
+	catchup   bool
+	ckptSegs  int
+	ckptBytes int64
+	timeout   time.Duration
+}
+
+// server is one running identity: transport, runtime, and delivery log.
+type server struct {
+	identity *roster.Identity
+	tr       *tcpnet.Transport
+	nd       *node.Node
+	st       *store.Store
+	gossip   *transport.LateBound
+
+	mu        sync.Mutex
+	delivered map[types.Label]string
+}
+
+// start opens the store (optional), binds the listener with the roster
+// authenticator, and builds the server and runtime. listen overrides the
+// bind address ("" = this identity's roster address).
+func start(identity *roster.Identity, listen string, opts runOpts) (*server, error) {
+	s := &server{identity: identity, delivered: make(map[types.Label]string)}
+	if listen == "" {
+		listen = identity.File.Addr(identity.ID())
+	}
+	if listen == "" {
+		return nil, fmt.Errorf("s%d: roster has no address and no -listen given", identity.ID())
+	}
+
+	s.gossip = &transport.LateBound{}
+	cfg := tcpnet.Config{
+		Self:       identity.ID(),
+		ListenAddr: listen,
+		Auth:       identity.Auth(),
+		Endpoints: map[transport.Channel]transport.Endpoint{
+			transport.ChanGossip: s.gossip,
+		},
+	}
+	if opts.storeDir != "" {
+		st, err := store.Open(opts.storeDir, store.Options{
+			Roster: identity.Roster,
+			Sync:   opts.fsync,
 		})
 		if err != nil {
+			return nil, err
+		}
+		s.st = st
+		if rep := st.Report(); rep.Blocks > 0 || rep.TornBytes > 0 {
+			fmt.Printf("s%d store: recovered %d blocks (torn tail: %d bytes)\n",
+				identity.ID(), rep.Blocks, rep.TornBytes)
+		}
+		cfg.Handlers = map[transport.Channel]transport.Handler{
+			// The catch-up server runs hardened: per-peer in-flight cap
+			// (syncsvc default) plus a token bucket, so a byzantine
+			// peer cannot force repeated full-store scans.
+			transport.ChanSync: &syncsvc.Server{Store: st, Every: time.Second, Burst: 8},
+		}
+	}
+	tr, err := tcpnet.Listen(cfg)
+	if err != nil {
+		s.close()
+		return nil, err
+	}
+	s.tr = tr
+	fmt.Printf("s%d listening on %s (authenticated)\n", identity.ID(), tr.Addr())
+	return s, nil
+}
+
+// connectPeers attaches every other roster member. addrOf overrides the
+// dial address per id ("" = roster address) — the all-in-one mode binds
+// ephemeral ports.
+func (s *server) connectPeers(addrOf func(types.ServerID) string) error {
+	for _, id := range s.identity.Roster.IDs() {
+		if id == s.identity.ID() {
+			continue
+		}
+		addr := addrOf(id)
+		if addr == "" {
+			return fmt.Errorf("s%d: no dial address for peer %d", s.identity.ID(), id)
+		}
+		if err := s.tr.Connect(id, addr); err != nil {
 			return err
 		}
-		cfg := node.Config{
-			Server:           srv,
-			DisseminateEvery: 20 * time.Millisecond,
-		}
-		if stores[i] != nil {
-			cfg.Store = stores[i]
-			cfg.CheckpointEverySegments = *ckptSegs
-			cfg.CheckpointEveryBytes = *ckptBytes
-			if *catchup {
-				var peers []types.ServerID
-				for j := 0; j < n; j++ {
-					if j != i {
-						peers = append(peers, types.ServerID(j))
-					}
-				}
-				cfg.CatchUp = &syncsvc.FetchConfig{
-					Transport: transports[i],
-					Roster:    roster,
-					Peers:     peers,
-					Timeout:   5 * time.Second,
+	}
+	return nil
+}
+
+// boot builds the core server and node runtime and starts the loop.
+func (s *server) boot(opts runOpts) error {
+	srv, err := core.NewServer(core.Config{
+		Roster:    s.identity.Roster,
+		Signer:    s.identity.Signer,
+		Protocol:  brb.Protocol{},
+		Transport: s.tr,
+		Clock:     node.Clock(),
+		OnIndication: func(label types.Label, value []byte) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			s.delivered[label] = string(value)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	cfg := node.Config{
+		Server:           srv,
+		Identity:         s.identity,
+		DisseminateEvery: 20 * time.Millisecond,
+	}
+	if s.st != nil {
+		cfg.Store = s.st
+		cfg.CheckpointEverySegments = opts.ckptSegs
+		cfg.CheckpointEveryBytes = opts.ckptBytes
+		if opts.catchup {
+			var peers []types.ServerID
+			for _, id := range s.identity.Roster.IDs() {
+				if id != s.identity.ID() {
+					peers = append(peers, id)
 				}
 			}
+			cfg.CatchUp = &syncsvc.FetchConfig{
+				Transport: s.tr,
+				Peers:     peers,
+				Timeout:   5 * time.Second,
+			}
 		}
-		nd, err := node.New(cfg)
+	}
+	nd, err := node.New(cfg)
+	if err != nil {
+		return err
+	}
+	if rep := nd.CatchUpReport(); rep.Ran && (rep.Blocks > 0 || rep.Err != nil) {
+		fmt.Printf("s%d catch-up: %d blocks in bulk (err: %v)\n", s.identity.ID(), rep.Blocks, rep.Err)
+	}
+	s.gossip.Bind(nd)
+	s.nd = nd
+	return nd.Start()
+}
+
+// deliveredCount returns how many distinct labels have been delivered.
+func (s *server) deliveredCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.delivered)
+}
+
+func (s *server) close() {
+	if s.nd != nil {
+		s.nd.Stop()
+	}
+	if s.tr != nil {
+		_ = s.tr.Close()
+	}
+	if s.st != nil {
+		_ = s.st.Close()
+	}
+}
+
+// runOne is the multi-process mode: one server, identity from files.
+func runOne(rosterPath, keyPath, listen string, opts runOpts) error {
+	file, err := roster.Load(rosterPath)
+	if err != nil {
+		return err
+	}
+	key, err := roster.LoadKey(keyPath)
+	if err != nil {
+		return err
+	}
+	identity, err := file.Identity(key, nil)
+	if err != nil {
+		return err
+	}
+	s, err := start(identity, listen, opts)
+	if err != nil {
+		return err
+	}
+	defer s.close()
+	if err := s.connectPeers(file.Addr); err != nil {
+		return err
+	}
+	if err := s.boot(opts); err != nil {
+		return err
+	}
+
+	// The workload: every member broadcasts one greeting; we are done
+	// when all n greetings delivered here.
+	label := types.Label(fmt.Sprintf("greet/s%d", identity.ID()))
+	s.nd.Request(label, []byte(fmt.Sprintf("hello from s%d", identity.ID())))
+
+	deadline := time.Now().Add(opts.timeout)
+	for s.deliveredCount() < file.N() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("s%d delivered %d/%d broadcasts within %v (peer rejections: %d, auth failures: %d)",
+				identity.ID(), s.deliveredCount(), file.N(), opts.timeout, s.tr.Rejections(), s.tr.AuthFailures())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := s.nd.Err(); err != nil {
+		return fmt.Errorf("node unhealthy: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Printf("s%d delivered all %d broadcasts:\n", identity.ID(), file.N())
+	for label, value := range s.delivered {
+		fmt.Printf("  %s=%s\n", label, value)
+	}
+	return nil
+}
+
+// runAllInOne is the smoke-test mode: the whole cluster in one process,
+// identities from the dev fixture (which round-trips the roster codec),
+// every connection still mutually authenticated.
+func runAllInOne(opts runOpts) error {
+	const n = 4
+	fx, err := roster.Dev(n)
+	if err != nil {
+		return err
+	}
+
+	// Phase 1: bind all listeners on ephemeral ports.
+	servers := make([]*server, n)
+	defer func() {
+		for _, s := range servers {
+			if s != nil {
+				s.close()
+			}
+		}
+	}()
+	perServerOpts := make([]runOpts, n)
+	for i := 0; i < n; i++ {
+		identity, err := fx.Identity(i)
 		if err != nil {
 			return err
 		}
-		if rep := nd.CatchUpReport(); rep.Ran && (rep.Blocks > 0 || rep.Err != nil) {
-			fmt.Printf("s%d catch-up: %d blocks in bulk (err: %v)\n", i, rep.Blocks, rep.Err)
+		o := opts
+		if opts.storeDir != "" {
+			o.storeDir = filepath.Join(opts.storeDir, fmt.Sprintf("s%d", i))
 		}
-		handlers[i].Bind(nd)
-		nodes[i] = nd
-	}
-	for _, nd := range nodes {
-		if err := nd.Start(); err != nil {
+		perServerOpts[i] = o
+		if servers[i], err = start(identity, "127.0.0.1:0", o); err != nil {
 			return err
 		}
 	}
-	defer func() {
-		for _, nd := range nodes {
-			nd.Stop()
+	// Phase 2: full mesh over the ephemeral addresses.
+	addrOf := func(id types.ServerID) string { return servers[id].tr.Addr() }
+	for _, s := range servers {
+		if err := s.connectPeers(addrOf); err != nil {
+			return err
 		}
-	}()
+	}
+	// Phase 3: runtimes.
+	for i, s := range servers {
+		if err := s.boot(perServerOpts[i]); err != nil {
+			return err
+		}
+	}
 
 	// The workload: two broadcasts submitted at different servers.
-	nodes[0].Request("greeting", []byte("hello over TCP"))
-	nodes[2].Request("number", []byte("42"))
+	servers[0].nd.Request("greeting", []byte("hello over TCP"))
+	servers[2].nd.Request("number", []byte("42"))
 
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := time.Now().Add(opts.timeout)
 	for {
-		mu.Lock()
 		done := true
-		for i := 0; i < n; i++ {
-			if len(delivered[i]) < 2 {
+		for _, s := range servers {
+			if s.deliveredCount() < 2 {
 				done = false
 			}
 		}
-		mu.Unlock()
 		if done {
 			break
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("broadcasts not delivered within 10s")
+			return fmt.Errorf("broadcasts not delivered within %v", opts.timeout)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
 
-	mu.Lock()
-	defer mu.Unlock()
 	fmt.Println("\ndeliveries over real TCP:")
-	for i := 0; i < n; i++ {
-		fmt.Printf("  s%d: %v\n", i, delivered[i])
+	for i, s := range servers {
+		s.mu.Lock()
+		fmt.Printf("  s%d: %v\n", i, s.delivered)
+		s.mu.Unlock()
 	}
-	for _, nd := range nodes {
-		if err := nd.Err(); err != nil {
+	for _, s := range servers {
+		if err := s.nd.Err(); err != nil {
 			return fmt.Errorf("node unhealthy: %w", err)
 		}
 	}
-	fmt.Println("\nall four servers delivered both broadcasts; only blocks crossed the sockets")
+	fmt.Println("\nall four servers delivered both broadcasts; every connection was mutually authenticated")
 	return nil
 }

@@ -21,6 +21,7 @@ import (
 	"blockdag/internal/gossip"
 	"blockdag/internal/metrics"
 	"blockdag/internal/protocol"
+	"blockdag/internal/roster"
 	"blockdag/internal/simnet"
 	"blockdag/internal/store"
 	"blockdag/internal/syncsvc"
@@ -45,6 +46,26 @@ type Options struct {
 	// Byzantine lists server indices with no correct server attached:
 	// their slots exist in the roster, and tests drive them manually.
 	Byzantine []int
+
+	// Fixture supplies the cluster's identities as a roster fixture —
+	// the file-format code path a production deployment loads from disk.
+	// Nil defaults to roster.Dev(N): the deterministic development
+	// identities, still routed through the roster codec, so simulation
+	// and deployment can never diverge. Must have N members when set.
+	Fixture *roster.Fixture
+	// DisableAuth skips registering each server's transport
+	// authenticator on the simulated network. By default every slot
+	// (byzantine ones included — tests drive their traffic with valid
+	// identities) authenticates, so cluster runs exercise the same
+	// Authenticator seam tcpnet enforces in production.
+	DisableAuth bool
+
+	// SyncEvery/SyncBurst enable the catch-up server's per-peer token
+	// bucket on every durable slot (see syncsvc.Server.Every/Burst);
+	// zero leaves rate limiting off. The per-peer in-flight cap is
+	// always on at the syncsvc default.
+	SyncEvery time.Duration
+	SyncBurst int
 
 	// Seed fixes the simulation (default 1).
 	Seed int64
@@ -92,7 +113,9 @@ type Options struct {
 
 // Cluster is a running simulation.
 type Cluster struct {
-	Net     *simnet.Network
+	Net *simnet.Network
+	// Fixture is the roster fixture the cluster's identities came from.
+	Fixture *roster.Fixture
 	Roster  *crypto.Roster
 	Signers []*crypto.Signer
 	// Servers holds the correct servers; byzantine slots are nil.
@@ -131,7 +154,17 @@ func New(opts Options) (*Cluster, error) {
 		opts.Interval = 50 * time.Millisecond
 	}
 
-	roster, signers, err := crypto.LocalRosterWithCounters(opts.N, opts.SigCounters)
+	fixture := opts.Fixture
+	if fixture == nil {
+		var err error
+		if fixture, err = roster.Dev(opts.N); err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+	}
+	if fixture.File.N() != opts.N {
+		return nil, fmt.Errorf("cluster: fixture has %d members, options want %d", fixture.File.N(), opts.N)
+	}
+	cryptoRoster, signers, err := fixture.Signers(opts.SigCounters)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
@@ -140,6 +173,15 @@ func New(opts Options) (*Cluster, error) {
 		simnet.WithLatency(opts.Latency, opts.Jitter),
 		simnet.WithDrop(opts.Drop),
 	)
+	if !opts.DisableAuth {
+		auths, err := fixture.Auths()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		for i, a := range auths {
+			net.RegisterAuth(types.ServerID(i), a)
+		}
+	}
 	byz := make(map[int]bool, len(opts.Byzantine))
 	for _, i := range opts.Byzantine {
 		byz[i] = true
@@ -147,7 +189,8 @@ func New(opts Options) (*Cluster, error) {
 
 	c := &Cluster{
 		Net:      net,
-		Roster:   roster,
+		Fixture:  fixture,
+		Roster:   cryptoRoster,
 		Signers:  signers,
 		Servers:  make([]*core.Server, opts.N),
 		Metrics:  make([]*metrics.Metrics, opts.N),
@@ -168,7 +211,7 @@ func New(opts Options) (*Cluster, error) {
 			return nil, err
 		}
 		cfg := core.Config{
-			Roster:    roster,
+			Roster:    cryptoRoster,
 			Signer:    signers[i],
 			Protocol:  opts.Protocol,
 			Transport: net.Transport(id),
@@ -207,11 +250,19 @@ func New(opts Options) (*Cluster, error) {
 // register attaches one slot's consumers to the network: the server on
 // the gossip channel and — when the slot is durable — a catch-up server
 // on the sync channel, so any peer can bulk-sync from this slot's store.
+// The catch-up server runs under the hardening policy (in-flight cap,
+// optional token bucket on the simulated clock), exactly as a production
+// node would.
 func (c *Cluster) register(slot int, srv *core.Server, st *store.Store) {
 	id := types.ServerID(slot)
 	c.Net.Register(id, transport.ChanGossip, srv)
 	if st != nil {
-		c.Net.RegisterHandler(id, transport.ChanSync, &syncsvc.Server{Store: st})
+		c.Net.RegisterHandler(id, transport.ChanSync, &syncsvc.Server{
+			Store: st,
+			Every: c.opts.SyncEvery,
+			Burst: c.opts.SyncBurst,
+			Clock: c.Net.Now,
+		})
 	}
 }
 

@@ -193,13 +193,25 @@ type Signer struct {
 }
 
 // NewSigner builds the signer for server id from its key pair. The roster,
-// if non-nil, supplies the signature counters.
-func NewSigner(id types.ServerID, kp KeyPair, roster *Roster) *Signer {
+// if non-nil, supplies the signature counters and is consulted
+// defensively: construction fails when id is not a roster member or the
+// key pair's public key differs from the roster's key for id. A mis-wired
+// signer would otherwise silently produce blocks every honest server
+// discards — an outage that looks like a network problem, not the
+// configuration mistake it is.
+func NewSigner(id types.ServerID, kp KeyPair, roster *Roster) (*Signer, error) {
 	var c *Counters
 	if roster != nil {
+		key, ok := roster.PublicKey(id)
+		if !ok {
+			return nil, fmt.Errorf("crypto: signer for server %d: not a roster member", id)
+		}
+		if !key.Equal(kp.Public) {
+			return nil, fmt.Errorf("crypto: signer for server %d: key pair does not match the roster's public key", id)
+		}
 		c = roster.counters
 	}
-	return &Signer{id: id, priv: kp.Private, counters: c}
+	return &Signer{id: id, priv: kp.Private, counters: c}, nil
 }
 
 // ID returns the server identity this signer signs for.
@@ -211,9 +223,25 @@ func (s *Signer) Sign(msg []byte) []byte {
 	return ed25519.Sign(s.priv, msg)
 }
 
+// DevKeyPair deterministically derives the development key pair of server
+// i — the derivation behind LocalRoster. It exists so the roster-file dev
+// fixture (package roster) can rebuild the same identities through the
+// production file-format code path; deployments generate fresh random
+// keys with GenerateKeyPair instead and never share a seed.
+func DevKeyPair(i int) KeyPair {
+	var seed [32]byte
+	copy(seed[:], "blockdag deterministic seed")
+	binary.BigEndian.PutUint32(seed[28:], uint32(i))
+	return KeyPairFromSeed(seed)
+}
+
 // LocalRoster deterministically creates a roster of n servers together
 // with each server's signer, using seeds derived from the server index.
-// It is the standard fixture for simulations, examples, and tests.
+// It is a test and simulation fixture only: simulations that model a real
+// deployment (package cluster) and every CLI route their identities
+// through the roster-file code path (package roster) instead, which
+// reuses these keys for reproducibility but exercises the same
+// load/validate/bridge code a production roster file does.
 func LocalRoster(n int) (*Roster, []*Signer, error) {
 	return LocalRosterWithCounters(n, nil)
 }
@@ -228,10 +256,7 @@ func LocalRosterWithCounters(n int, counters *Counters) (*Roster, []*Signer, err
 	keys := make([]ed25519.PublicKey, n)
 	pairs := make([]KeyPair, n)
 	for i := 0; i < n; i++ {
-		var seed [32]byte
-		copy(seed[:], "blockdag deterministic seed")
-		binary.BigEndian.PutUint32(seed[28:], uint32(i))
-		pairs[i] = KeyPairFromSeed(seed)
+		pairs[i] = DevKeyPair(i)
 		keys[i] = pairs[i].Public
 	}
 	roster, err := NewRoster(keys)
@@ -241,7 +266,10 @@ func LocalRosterWithCounters(n int, counters *Counters) (*Roster, []*Signer, err
 	roster.SetCounters(counters)
 	signers := make([]*Signer, n)
 	for i := 0; i < n; i++ {
-		signers[i] = NewSigner(types.ServerID(i), pairs[i], roster)
+		signers[i], err = NewSigner(types.ServerID(i), pairs[i], roster)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	return roster, signers, nil
 }

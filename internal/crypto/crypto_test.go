@@ -130,9 +130,12 @@ func TestCounters(t *testing.T) {
 	}
 	var c Counters
 	roster.SetCounters(&c)
-	// Signers must be created after SetCounters to pick the counters up.
-	var seed [32]byte
-	signer := NewSigner(0, KeyPairFromSeed(seed), roster)
+	// Signers must be created after SetCounters to pick the counters up,
+	// and with the key the roster actually lists for server 0.
+	signer, err := NewSigner(0, DevKeyPair(0), roster)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	msg := []byte("count me")
 	sig := signer.Sign(msg)
@@ -144,6 +147,36 @@ func TestCounters(t *testing.T) {
 	}
 	if got := c.Verified(); got != 1 {
 		t.Errorf("Verified = %d, want 1", got)
+	}
+}
+
+// TestNewSignerRejectsMismatchedKey: a signer whose key pair does not
+// match the roster's entry for its claimed identity — or whose identity
+// is not in the roster at all — must fail at construction, not silently
+// produce blocks every honest server discards.
+func TestNewSignerRejectsMismatchedKey(t *testing.T) {
+	roster, _, err := LocalRoster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seed [32]byte
+	copy(seed[:], "not the dev seed")
+	if _, err := NewSigner(0, KeyPairFromSeed(seed), roster); err == nil {
+		t.Fatal("NewSigner accepted a key pair that does not match the roster entry")
+	}
+	if _, err := NewSigner(1, DevKeyPair(0), roster); err == nil {
+		t.Fatal("NewSigner accepted server 0's key for server 1's identity")
+	}
+	if _, err := NewSigner(9, DevKeyPair(9), roster); err == nil {
+		t.Fatal("NewSigner accepted a non-roster identity")
+	}
+	// A nil roster skips the check (detached signers are a test fixture).
+	if _, err := NewSigner(0, KeyPairFromSeed(seed), nil); err != nil {
+		t.Fatalf("NewSigner with nil roster: %v", err)
+	}
+	// The matching key still constructs.
+	if _, err := NewSigner(2, DevKeyPair(2), roster); err != nil {
+		t.Fatalf("NewSigner with matching key: %v", err)
 	}
 }
 

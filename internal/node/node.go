@@ -17,6 +17,7 @@ import (
 
 	"blockdag/internal/block"
 	"blockdag/internal/core"
+	"blockdag/internal/roster"
 	"blockdag/internal/store"
 	"blockdag/internal/syncsvc"
 	"blockdag/internal/types"
@@ -27,6 +28,14 @@ type Config struct {
 	// Server is the deterministic shim to drive. Required. The server's
 	// Clock should be the one returned by Clock().
 	Server *core.Server
+	// Identity, if non-nil, names the roster identity this node runs as
+	// (roster file plus key file, package roster). New cross-checks it
+	// against the Server: a node keyed as the wrong roster member fails
+	// at startup instead of producing blocks every peer discards and
+	// failing every transport handshake. It also defaults
+	// CatchUp.Roster, so callers wiring a node from files state the
+	// roster exactly once.
+	Identity *roster.Identity
 	// DisseminateEvery is the block production period (default 50ms).
 	DisseminateEvery time.Duration
 	// TickEvery is the FWD retry-timer period (default 100ms).
@@ -135,6 +144,17 @@ type Node struct {
 func New(cfg Config) (*Node, error) {
 	if cfg.Server == nil {
 		return nil, errors.New("node: config needs a Server")
+	}
+	if cfg.Identity != nil {
+		if cfg.Identity.ID() != cfg.Server.ID() {
+			return nil, fmt.Errorf("node: identity is server %d, core server is %d", cfg.Identity.ID(), cfg.Server.ID())
+		}
+		if cfg.CatchUp != nil && cfg.CatchUp.Roster == nil {
+			// Copy before defaulting: the FetchConfig is caller-owned.
+			catchUp := *cfg.CatchUp
+			catchUp.Roster = cfg.Identity.Roster
+			cfg.CatchUp = &catchUp
+		}
 	}
 	if cfg.DisseminateEvery <= 0 {
 		cfg.DisseminateEvery = 50 * time.Millisecond

@@ -158,7 +158,11 @@ func TestNodeStoreRetryAfterFailedRestore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	foreignSigners := []*crypto.Signer{crypto.NewSigner(0, pair, foreignRoster)}
+	foreignSigner, err := crypto.NewSigner(0, pair, foreignRoster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreignSigners := []*crypto.Signer{foreignSigner}
 	foreignDir := t.TempDir()
 	writer, err := store.Open(foreignDir, store.Options{Roster: foreignRoster})
 	if err != nil {

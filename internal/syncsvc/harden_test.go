@@ -1,0 +1,235 @@
+package syncsvc_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"blockdag/internal/block"
+	"blockdag/internal/syncsvc"
+	"blockdag/internal/transport"
+)
+
+// recStream is a transport.ServerStream fake recording the terminal
+// close, for driving Server.ServeCall directly.
+type recStream struct {
+	mu     sync.Mutex
+	frames int
+	err    error
+	closed bool
+	done   chan struct{}
+}
+
+func newRecStream() *recStream { return &recStream{done: make(chan struct{})} }
+
+func (s *recStream) Send(frame []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frames++
+	return nil
+}
+
+func (s *recStream) Close(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.err = err
+	close(s.done)
+}
+
+func (s *recStream) closeErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// TestServerInFlightCap: a peer holding MaxInFlightPerPeer streams open
+// has further requests refused with ErrThrottled — before the store is
+// scanned — while another peer is admitted; the refusal is counted.
+func TestServerInFlightCap(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	var scans sync.WaitGroup
+	srv := &syncsvc.Server{
+		MaxInFlightPerPeer: 2,
+		Source: func() ([]*block.Block, error) {
+			entered <- struct{}{}
+			<-release
+			return nil, nil
+		},
+	}
+	req := syncsvc.EncodeRequest(nil)
+
+	inFlight := []*recStream{newRecStream(), newRecStream()}
+	for _, st := range inFlight {
+		scans.Add(1)
+		go func(st *recStream) {
+			defer scans.Done()
+			srv.ServeCall(1, req, st)
+		}(st)
+	}
+	// Both streams hold their slots (blocked in Source, which runs
+	// strictly after admission) before the overflow request arrives.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-entered:
+		case <-time.After(2 * time.Second):
+			t.Fatal("held streams never started serving")
+		}
+	}
+	over := newRecStream()
+	srv.ServeCall(1, req, over)
+	if err := over.closeErr(); !errors.Is(err, syncsvc.ErrThrottled) {
+		t.Fatalf("overflow stream closed with %v, want ErrThrottled", err)
+	}
+	if d := srv.DropCounts(); d.InFlight != 1 {
+		t.Fatalf("InFlight drops = %d, want 1", d.InFlight)
+	}
+	// A different peer is not affected by peer 1's slots.
+	other := newRecStream()
+	go srv.ServeCall(2, req, other)
+	// Release the held streams; everything completes cleanly.
+	close(release)
+	scans.Wait()
+	<-other.done
+	if err := other.closeErr(); err != nil {
+		t.Fatalf("other peer throttled: %v", err)
+	}
+	for _, st := range inFlight {
+		if err := st.closeErr(); err != nil {
+			t.Fatalf("admitted stream closed with %v", err)
+		}
+	}
+}
+
+// TestServerTokenBucket: a peer hammering ChanSync is refused once its
+// bucket drains and earns requests back as time passes — on the injected
+// clock, so the policy is simulation-testable.
+func TestServerTokenBucket(t *testing.T) {
+	now := time.Duration(0)
+	srv := &syncsvc.Server{
+		Source: func() ([]*block.Block, error) { return nil, nil },
+		Every:  time.Second,
+		Burst:  2,
+		Clock:  func() time.Duration { return now },
+	}
+	req := syncsvc.EncodeRequest(nil)
+	serve := func() error {
+		st := newRecStream()
+		srv.ServeCall(7, req, st)
+		<-st.done
+		return st.closeErr()
+	}
+	// The fresh bucket holds Burst tokens: a recovery's initial attempts
+	// are never throttled.
+	for i := 0; i < 2; i++ {
+		if err := serve(); err != nil {
+			t.Fatalf("request %d throttled: %v", i, err)
+		}
+	}
+	if err := serve(); !errors.Is(err, syncsvc.ErrThrottled) {
+		t.Fatalf("drained bucket served anyway: %v", err)
+	}
+	if d := srv.DropCounts(); d.Rate != 1 {
+		t.Fatalf("Rate drops = %d, want 1", d.Rate)
+	}
+	// One refill period later, exactly one more request passes.
+	now += time.Second
+	if err := serve(); err != nil {
+		t.Fatalf("refilled bucket still throttled: %v", err)
+	}
+	if err := serve(); !errors.Is(err, syncsvc.ErrThrottled) {
+		t.Fatalf("second request after one refill served: %v", err)
+	}
+	// The bucket never overfills past Burst.
+	now += time.Hour
+	for i := 0; i < 2; i++ {
+		if err := serve(); err != nil {
+			t.Fatalf("request %d after idle throttled: %v", i, err)
+		}
+	}
+	if err := serve(); !errors.Is(err, syncsvc.ErrThrottled) {
+		t.Fatalf("idle time overfilled the bucket: %v", err)
+	}
+	if d := srv.DropCounts(); d.Rate != 3 {
+		t.Fatalf("Rate drops = %d, want 3", d.Rate)
+	}
+}
+
+// TestThrottledStreamKeepsClientClean: a throttled pull fails with an
+// explicit error and zero blocks — the client retries elsewhere, nothing
+// corrupts.
+func TestThrottledStreamKeepsClientClean(t *testing.T) {
+	roster, blocks := buildChain(t, 5)
+	srv := &syncsvc.Server{
+		Source: func() ([]*block.Block, error) { return blocks, nil },
+		Every:  time.Hour,
+		Burst:  1,
+		Clock:  func() time.Duration { return 0 },
+	}
+	run := func() ([]*block.Block, error) {
+		pull, err := syncsvc.NewPull(roster, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := newPullStream(pull)
+		srv.ServeCall(1, pull.Request(), st)
+		return pull.Result()
+	}
+	got, err := run()
+	if err != nil || len(got) != len(blocks) {
+		t.Fatalf("first pull: %d blocks, err %v", len(got), err)
+	}
+	got, err = run()
+	if err == nil {
+		t.Fatal("throttled pull reported success")
+	}
+	if len(got) != 0 {
+		t.Fatalf("throttled pull delivered %d blocks", len(got))
+	}
+}
+
+// TestThrottledSentinelSurvivesTransport: tcpnet conveys a handler's
+// close error as a string frame; the client must still recognize
+// throttling by sentinel, or "back off and switch peers" is
+// unimplementable over the real network.
+func TestThrottledSentinelSurvivesTransport(t *testing.T) {
+	roster, _ := buildChain(t, 1)
+	pull, err := syncsvc.NewPull(roster, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// What tcpnet's decodeCallError yields for a non-transport error.
+	pull.OnDone(fmt.Errorf("transport: remote error: %v", syncsvc.ErrThrottled))
+	if _, err := pull.Result(); !errors.Is(err, syncsvc.ErrThrottled) {
+		t.Fatalf("throttle sentinel lost across transport: %v", err)
+	}
+}
+
+// pullStream wires a ServerStream directly to a Pull sink, no transport.
+type pullStream struct {
+	pull   *syncsvc.Pull
+	closed bool
+}
+
+func newPullStream(p *syncsvc.Pull) *pullStream { return &pullStream{pull: p} }
+
+func (s *pullStream) Send(frame []byte) error {
+	s.pull.OnFrame(frame)
+	return nil
+}
+
+func (s *pullStream) Close(err error) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.pull.OnDone(err)
+}
+
+var _ transport.ServerStream = (*pullStream)(nil)

@@ -24,6 +24,7 @@ package syncsvc
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -182,10 +183,37 @@ func EncodeDoneFrame(total uint64) []byte {
 	return w.Bytes()
 }
 
+// DefaultMaxInFlightPerPeer caps concurrently served streams per
+// requesting peer: one resume after a genuinely broken stream plus
+// headroom, but nowhere near enough connections to pin a goroutine and a
+// full-store scan per socket a byzantine peer opens.
+const DefaultMaxInFlightPerPeer = 2
+
+// ErrThrottled reports that the server refused a catch-up request under
+// its per-peer admission policy (in-flight cap or token bucket). The
+// request was not served at all; the client should back off and retry or
+// switch peers — the block data itself is unaffected.
+var ErrThrottled = errors.New("syncsvc: request throttled")
+
+// Drops counts requests refused by the admission policy, per cause.
+type Drops struct {
+	// InFlight is the number of requests refused because the peer
+	// already had MaxInFlightPerPeer streams being served.
+	InFlight int64
+	// Rate is the number of requests refused by the token bucket.
+	Rate int64
+}
+
 // Server serves catch-up requests on transport.ChanSync. It is safe for
 // concurrent use (tcpnet invokes handlers on per-connection goroutines):
 // serving reads segment files from disk, never the owning Store's mutable
 // state.
+//
+// Serving one request costs a full store scan plus its encoding — work a
+// byzantine peer could demand in a loop. Admission control bounds that:
+// a per-peer in-flight cap (always on) and an optional per-peer token
+// bucket (Every/Burst) refuse excess requests with ErrThrottled before
+// any disk is touched; refusals are tallied per cause in DropCounts.
 type Server struct {
 	// Store is the durable store to stream (its directory is re-scanned
 	// per request, so the stream reflects the disk at request time).
@@ -196,13 +224,126 @@ type Server struct {
 	// ChunkBytes is the target batch frame size (default
 	// DefaultChunkBytes, capped under wire.MaxFrame).
 	ChunkBytes int
+	// MaxInFlightPerPeer caps concurrently served streams per requesting
+	// peer (default DefaultMaxInFlightPerPeer; negative disables).
+	MaxInFlightPerPeer int
+	// Every enables the per-peer token bucket: a peer accrues one
+	// request token per Every elapsed, holding at most Burst. 0 disables
+	// rate limiting (the in-flight cap still applies).
+	Every time.Duration
+	// Burst is the token bucket depth (default 4 when Every is set). A
+	// freshly seen peer starts with a full bucket, so a legitimate
+	// recovery's initial attempt-plus-retries are never throttled.
+	Burst int
+	// Clock supplies the bucket's time base (default: wall clock from
+	// first use). Simulations inject their virtual clock.
+	Clock func() time.Duration
+
+	mu       sync.Mutex
+	peers    map[types.ServerID]*peerState
+	drops    Drops
+	clockRef func() time.Duration
+}
+
+// peerState is one requester's admission bookkeeping.
+type peerState struct {
+	inFlight int
+	tokens   float64
+	last     time.Duration
 }
 
 var _ transport.Handler = (*Server)(nil)
 
-// ServeCall implements transport.Handler: decode the watermarks, stream
-// every block on disk they do not cover, close with a done summary.
+// DropCounts returns how many requests the admission policy refused.
+func (s *Server) DropCounts() Drops {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drops
+}
+
+// now reads the configured clock, defaulting to a wall clock anchored at
+// first use.
+func (s *Server) now() time.Duration {
+	if s.Clock != nil {
+		return s.Clock()
+	}
+	if s.clockRef == nil {
+		start := time.Now()
+		s.clockRef = func() time.Duration { return time.Since(start) }
+	}
+	return s.clockRef()
+}
+
+// admit applies the admission policy for one request from peer,
+// reserving an in-flight slot on success. The caller must release() it.
+func (s *Server) admit(from types.ServerID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.peers == nil {
+		s.peers = make(map[types.ServerID]*peerState)
+	}
+	p := s.peers[from]
+	if p == nil {
+		p = &peerState{}
+		if s.Every > 0 {
+			p.tokens = float64(s.burst())
+			p.last = s.now()
+		}
+		s.peers[from] = p
+	}
+	maxInFlight := s.MaxInFlightPerPeer
+	if maxInFlight == 0 {
+		maxInFlight = DefaultMaxInFlightPerPeer
+	}
+	if maxInFlight > 0 && p.inFlight >= maxInFlight {
+		s.drops.InFlight++
+		return false
+	}
+	if s.Every > 0 {
+		now := s.now()
+		p.tokens += float64(now-p.last) / float64(s.Every)
+		p.last = now
+		if burst := float64(s.burst()); p.tokens > burst {
+			p.tokens = burst
+		}
+		if p.tokens < 1 {
+			s.drops.Rate++
+			return false
+		}
+		p.tokens--
+	}
+	p.inFlight++
+	return true
+}
+
+// release returns an in-flight slot.
+func (s *Server) release(from types.ServerID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p := s.peers[from]; p != nil && p.inFlight > 0 {
+		p.inFlight--
+	}
+}
+
+// burst returns the configured bucket depth.
+func (s *Server) burst() int {
+	if s.Burst > 0 {
+		return s.Burst
+	}
+	return 4
+}
+
+// ServeCall implements transport.Handler: admit the request, decode the
+// watermarks, stream every block on disk they do not cover, close with a
+// done summary.
 func (s *Server) ServeCall(from types.ServerID, req []byte, st transport.ServerStream) {
+	if !s.admit(from) {
+		// Refused before any disk read or decode: admission is the
+		// cheap gate in front of the expensive full-store scan.
+		st.Close(ErrThrottled)
+		return
+	}
+	defer s.release(from)
 	wms, err := DecodeRequest(req)
 	if err != nil {
 		st.Close(err)
@@ -380,6 +521,20 @@ func (p *Pull) consume(frame []byte) error {
 	}
 }
 
+// normalizeRemoteErr re-sentinels errors that crossed a transport as
+// text: tcpnet conveys a handler's Close error to the caller as a string
+// frame, so errors.Is(err, ErrThrottled) — the signal to back off and
+// try another peer — must survive the round trip.
+func normalizeRemoteErr(err error) error {
+	if err == nil || errors.Is(err, ErrThrottled) {
+		return err
+	}
+	if strings.Contains(err.Error(), ErrThrottled.Error()) {
+		return fmt.Errorf("%w (remote)", ErrThrottled)
+	}
+	return err
+}
+
 // OnDone implements transport.CallSink.
 func (p *Pull) OnDone(err error) {
 	p.mu.Lock()
@@ -388,7 +543,7 @@ func (p *Pull) OnDone(err error) {
 		return
 	}
 	if p.err == nil && err != nil {
-		p.err = err
+		p.err = normalizeRemoteErr(err)
 	}
 	if p.err == nil && !p.sawDone {
 		// A clean transport close without the protocol's own done

@@ -10,24 +10,36 @@
 // idempotent.
 //
 // Wire format: after connecting, a peer sends one identification frame
-// carrying the transport protocol version, its ServerID, and the
-// connection kind (stream or call, the latter with its channel). A
-// version mismatch rejects the connection at the handshake — nothing
-// after the identification frame is ever parsed across versions. Stream
-// connections then carry length-prefixed frames (package wire), each
-// prefixed with its channel byte; call connections carry one request
-// frame, then response frames tagged data/end/error. All frames respect
+// carrying the transport protocol version, its ServerID, the connection
+// kind (stream or call, the latter with its channel), and — when
+// authentication is configured — a fresh challenge nonce. A version
+// mismatch rejects the connection at the handshake — nothing after the
+// identification frame is ever parsed across versions. Stream connections
+// then carry length-prefixed frames (package wire), each prefixed with
+// its channel byte; call connections carry one request frame, then
+// response frames tagged data/end/error. All frames respect
 // wire.MaxFrame, so bulk payloads are chunked by the caller (package
 // syncsvc streams block batches well under the limit).
 //
-// The transport does not authenticate peers — authenticity of every block
-// is established by its signature at the gossip layer, and bulk-sync
-// clients revalidate every streamed block, so a misattributed transport
-// link can at worst waste bandwidth.
+// With Config.Auth set, the identification frame opens a mutual
+// challenge–response: the listener answers with its own identity, a fresh
+// nonce, and a signature over the dialer's nonce (bound to the protocol
+// version, connection kind, channel, and both identities via
+// transport.AuthContext); the dialer verifies it against the roster entry
+// for the peer it dialed, then returns its own proof over the listener's
+// nonce. Only after both proofs verify does any payload byte get parsed:
+// an unproven, misattributed, or non-roster connection is refused at the
+// handshake and counted in Rejections/AuthRejections. Without Auth the
+// transport trusts the claimed ServerID — acceptable for tests and
+// closed networks because authenticity of every block is still
+// established by its signature at the gossip layer, but a production
+// deployment should always run authenticated (package roster provides
+// the Authenticator).
 package tcpnet
 
 import (
 	"context"
+	"crypto/rand"
 	"errors"
 	"fmt"
 	"net"
@@ -45,11 +57,18 @@ const (
 	kindCall   byte = 2
 )
 
-// Response frame tags on call connections.
+// Frame tags: data/end/error on call connections, challenge/proof during
+// the authenticated handshake (both kinds).
 const (
 	tagData  byte = 1
 	tagEnd   byte = 2
 	tagError byte = 3
+	// tagAuthChallenge is the listener's handshake answer: its identity,
+	// its fresh nonce, and its proof over the dialer's nonce.
+	tagAuthChallenge byte = 4
+	// tagAuthProof is the dialer's closing handshake frame: its proof
+	// over the listener's nonce.
+	tagAuthProof byte = 5
 )
 
 // Config parameterizes a TCP transport.
@@ -75,6 +94,18 @@ type Config struct {
 	// frame read (default 10s): a peer that stops mid-stream surfaces
 	// transport.ErrStreamLost instead of wedging the caller.
 	CallTimeout time.Duration
+	// Auth, if non-nil, requires every connection (inbound and outbound)
+	// to complete the mutual challenge–response handshake: each side
+	// proves possession of the private key behind its claimed ServerID
+	// by signing the peer's fresh nonce, bound to the protocol version
+	// and channel. Unproven, misattributed, and non-roster peers are
+	// refused before any payload is parsed. Auth.Self() must equal Self.
+	Auth transport.Authenticator
+	// HandshakeTimeout bounds the identification/authentication exchange
+	// on every connection, inbound and outbound (default 10s): a peer
+	// that connects and stalls mid-handshake cannot pin a goroutine and
+	// its descriptor until shutdown.
+	HandshakeTimeout time.Duration
 
 	// version overrides the advertised protocol version; tests use it to
 	// exercise the mismatch rejection. Zero means transport.Version.
@@ -94,7 +125,9 @@ type Transport struct {
 	conns []net.Conn // accepted connections, closed on shutdown
 	peers map[types.ServerID]*peer
 
-	rejects int64 // handshake rejections (version mismatch, bad frame)
+	rejects     int64 // handshake rejections (version mismatch, bad frame, auth)
+	authRejects int64 // the subset of rejects where peer authentication failed
+	authFails   int64 // outbound handshakes where the listener failed to prove itself
 }
 
 var _ transport.Transport = (*Transport)(nil)
@@ -133,6 +166,12 @@ func Listen(cfg Config) (*Transport, error) {
 	}
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = 10 * time.Second
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	if cfg.Auth != nil && cfg.Auth.Self() != cfg.Self {
+		return nil, fmt.Errorf("tcpnet: authenticator proves %v, config is %v", cfg.Auth.Self(), cfg.Self)
 	}
 	if cfg.version == 0 {
 		cfg.version = transport.Version
@@ -176,11 +215,32 @@ func (t *Transport) Addr() string { return t.listener.Addr().String() }
 func (t *Transport) Self() types.ServerID { return t.cfg.Self }
 
 // Rejections returns the number of inbound connections refused at the
-// handshake (version mismatch or malformed identification frame).
+// handshake (version mismatch, malformed identification frame, or failed
+// authentication).
 func (t *Transport) Rejections() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.rejects
+}
+
+// AuthRejections returns the subset of Rejections where the peer failed
+// the challenge–response: an unproven claimed identity, a non-roster
+// member, a stale or malformed proof, or a peer that did not attempt
+// authentication at all.
+func (t *Transport) AuthRejections() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.authRejects
+}
+
+// AuthFailures returns the number of outbound handshakes this transport
+// abandoned because the listener could not prove the identity we dialed
+// — the dialer-side mirror of AuthRejections (an impostor squatting on a
+// roster member's address surfaces here).
+func (t *Transport) AuthFailures() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.authFails
 }
 
 // Send implements transport.Transport: enqueue for the peer's sender
@@ -226,12 +286,12 @@ func (t *Transport) Call(to types.ServerID, ch transport.Channel, req []byte, si
 	}
 	reqCopy := append([]byte(nil), req...)
 	t.wg.Add(1)
-	go t.runCall(ctx, cancel, p.addr, ch, reqCopy, sink)
+	go t.runCall(ctx, cancel, p.id, p.addr, ch, reqCopy, sink)
 	return cancel
 }
 
 // runCall drives one call connection to completion.
-func (t *Transport) runCall(ctx context.Context, cancel context.CancelFunc, addr string, ch transport.Channel, req []byte, sink transport.CallSink) {
+func (t *Transport) runCall(ctx context.Context, cancel context.CancelFunc, to types.ServerID, addr string, ch transport.Channel, req []byte, sink transport.CallSink) {
 	defer t.wg.Done()
 	defer cancel()
 	d := net.Dialer{Timeout: t.cfg.CallTimeout}
@@ -245,17 +305,22 @@ func (t *Transport) runCall(ctx context.Context, cancel context.CancelFunc, addr
 	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
 	defer stop()
 
-	deadline := func() { _ = conn.SetDeadline(time.Now().Add(t.cfg.CallTimeout)) }
-	deadline()
-	hello := wire.NewWriter(6)
-	hello.Uint16(t.cfg.version)
-	hello.Uint16(uint16(t.cfg.Self))
-	hello.Byte(kindCall)
-	hello.Byte(byte(ch))
-	if err := wire.WriteFrame(conn, hello.Bytes()); err != nil {
-		sink.OnDone(fmt.Errorf("%w: handshake: %v", transport.ErrUnreachable, err))
+	if err := t.handshake(conn, to, kindCall, ch); err != nil {
+		if errors.Is(err, transport.ErrAuthFailed) {
+			t.failAuth()
+		}
+		switch {
+		case errors.Is(err, transport.ErrAuthFailed),
+			errors.Is(err, transport.ErrVersionMismatch),
+			errors.Is(err, transport.ErrNoHandler):
+			sink.OnDone(err)
+		default:
+			sink.OnDone(fmt.Errorf("%w: handshake: %v", transport.ErrUnreachable, err))
+		}
 		return
 	}
+	deadline := func() { _ = conn.SetDeadline(time.Now().Add(t.cfg.CallTimeout)) }
+	deadline()
 	if err := wire.WriteFrame(conn, req); err != nil {
 		sink.OnDone(fmt.Errorf("%w: request: %v", transport.ErrStreamLost, err))
 		return
@@ -300,6 +365,8 @@ func decodeCallError(body []byte) error {
 		return transport.ErrNoHandler
 	case transport.ErrVersionMismatch.Error():
 		return transport.ErrVersionMismatch
+	case transport.ErrAuthFailed.Error():
+		return transport.ErrAuthFailed
 	}
 	return fmt.Errorf("transport: remote error: %s", msg)
 }
@@ -353,13 +420,175 @@ func (t *Transport) reject() {
 	t.mu.Unlock()
 }
 
+func (t *Transport) rejectAuth() {
+	t.mu.Lock()
+	t.rejects++
+	t.authRejects++
+	t.mu.Unlock()
+}
+
+func (t *Transport) failAuth() {
+	t.mu.Lock()
+	t.authFails++
+	t.mu.Unlock()
+}
+
+// newNonce draws a fresh handshake challenge.
+func newNonce() ([]byte, error) {
+	nonce := make([]byte, transport.NonceSize)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("tcpnet: handshake nonce: %w", err)
+	}
+	return nonce, nil
+}
+
+// handshake runs the dialer side of connection setup: write the
+// identification frame and — with authentication configured — complete
+// the mutual challenge–response before any payload crosses the
+// connection. peer is the identity this transport dialed; the listener
+// must prove exactly that identity or the connection is abandoned. The
+// whole exchange runs under HandshakeTimeout; the deadline is cleared on
+// success.
+//
+// Errors wrapping transport.ErrAuthFailed, ErrVersionMismatch, or
+// ErrNoHandler carry the listener's explicit refusal (call connections
+// only — stream listeners refuse by closing); anything else is a
+// transport-level failure the caller treats like an unreachable peer.
+func (t *Transport) handshake(conn net.Conn, peer types.ServerID, kind byte, ch transport.Channel) error {
+	_ = conn.SetDeadline(time.Now().Add(t.cfg.HandshakeTimeout))
+	authed := t.cfg.Auth != nil
+	var nonce []byte
+	if authed {
+		var err error
+		if nonce, err = newNonce(); err != nil {
+			return err
+		}
+	}
+	hello := wire.NewWriter(8 + transport.NonceSize)
+	hello.Uint16(t.cfg.version)
+	hello.Uint16(uint16(t.cfg.Self))
+	hello.Byte(kind)
+	if kind == kindCall {
+		hello.Byte(byte(ch))
+	}
+	if authed {
+		hello.Byte(1)
+		hello.VarBytes(nonce)
+	} else {
+		hello.Byte(0)
+	}
+	if err := wire.WriteFrame(conn, hello.Bytes()); err != nil {
+		return fmt.Errorf("identification: %w", err)
+	}
+	if !authed {
+		_ = conn.SetDeadline(time.Time{})
+		return nil
+	}
+
+	frame, err := wire.ReadFrame(conn)
+	if err != nil {
+		// The listener closed without answering: it refused us (version
+		// mismatch, failed proof, or no auth configured) or died.
+		return fmt.Errorf("%w: no challenge answer: %v", transport.ErrAuthFailed, err)
+	}
+	if len(frame) > 0 && frame[0] == tagError {
+		// Call listeners refuse with an explicit tagged error.
+		return decodeCallError(frame[1:])
+	}
+	r := wire.NewReader(frame)
+	if r.Byte() != tagAuthChallenge {
+		return fmt.Errorf("%w: unexpected frame during handshake", transport.ErrAuthFailed)
+	}
+	peerID := types.ServerID(r.Uint16())
+	peerNonce := r.VarBytes()
+	proof := r.VarBytes()
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("%w: malformed challenge: %v", transport.ErrAuthFailed, err)
+	}
+	if peerID != peer {
+		return fmt.Errorf("%w: listener identifies as %v, dialed %v", transport.ErrAuthFailed, peerID, peer)
+	}
+	if len(peerNonce) != transport.NonceSize {
+		return fmt.Errorf("%w: challenge nonce of %d bytes", transport.ErrAuthFailed, len(peerNonce))
+	}
+	ctx := transport.AuthContext(t.cfg.version, kind, ch, nonce, peerID, t.cfg.Self)
+	if !t.cfg.Auth.Verify(peerID, ctx, proof) {
+		return fmt.Errorf("%w: listener could not prove it is %v", transport.ErrAuthFailed, peerID)
+	}
+	w := wire.NewWriter(80)
+	w.Byte(tagAuthProof)
+	w.VarBytes(t.cfg.Auth.Prove(transport.AuthContext(t.cfg.version, kind, ch, peerNonce, t.cfg.Self, peerID)))
+	if err := wire.WriteFrame(conn, w.Bytes()); err != nil {
+		return fmt.Errorf("%w: proof write: %v", transport.ErrAuthFailed, err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return nil
+}
+
+// serveHandshake runs the listener side of authentication after the
+// identification frame: issue a challenge carrying our own proof over the
+// dialer's nonce, then demand a verifying proof over ours. A nil error
+// with Auth unset means the connection proceeds unauthenticated (and the
+// dialer must not have requested authentication — a half-authenticated
+// link would desynchronize framing).
+func (t *Transport) serveHandshake(conn net.Conn, from types.ServerID, kind byte, ch transport.Channel, authFlag byte, dialerNonce []byte) error {
+	if t.cfg.Auth == nil {
+		if authFlag != 0 {
+			return errors.New("tcpnet: peer requires authentication, none configured")
+		}
+		return nil
+	}
+	if authFlag != 1 {
+		return fmt.Errorf("tcpnet: peer %v did not authenticate", from)
+	}
+	if len(dialerNonce) != transport.NonceSize {
+		return fmt.Errorf("tcpnet: peer %v sent a %d-byte nonce", from, len(dialerNonce))
+	}
+	if !t.cfg.Auth.Member(from) {
+		return fmt.Errorf("tcpnet: peer claims non-roster identity %v", from)
+	}
+	nonce, err := newNonce()
+	if err != nil {
+		return err
+	}
+	w := wire.NewWriter(128)
+	w.Byte(tagAuthChallenge)
+	w.Uint16(uint16(t.cfg.Self))
+	w.VarBytes(nonce)
+	w.VarBytes(t.cfg.Auth.Prove(transport.AuthContext(t.cfg.version, kind, ch, dialerNonce, t.cfg.Self, from)))
+	if err := wire.WriteFrame(conn, w.Bytes()); err != nil {
+		return fmt.Errorf("tcpnet: challenge write: %w", err)
+	}
+	frame, err := wire.ReadFrame(conn)
+	if err != nil {
+		return fmt.Errorf("tcpnet: no proof answer: %w", err)
+	}
+	r := wire.NewReader(frame)
+	if r.Byte() != tagAuthProof {
+		return errors.New("tcpnet: expected proof frame")
+	}
+	proof := r.VarBytes()
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("tcpnet: malformed proof: %w", err)
+	}
+	if !t.cfg.Auth.Verify(from, transport.AuthContext(t.cfg.version, kind, ch, nonce, from, t.cfg.Self), proof) {
+		return fmt.Errorf("tcpnet: peer could not prove it is %v", from)
+	}
+	return nil
+}
+
 // runReader consumes one inbound connection: the identification frame
-// (version, peer, kind), then — depending on the kind — a stream of
-// channel-tagged payloads or a single call.
+// (version, peer, kind, authentication flag and nonce), the
+// challenge–response when authentication is on, then — depending on the
+// kind — a stream of channel-tagged payloads or a single call. No
+// payload byte is parsed before the handshake completes.
 func (t *Transport) runReader(conn net.Conn) {
 	defer t.wg.Done()
 	defer func() { _ = conn.Close() }()
 
+	// The whole handshake runs under a deadline: a peer that connects
+	// and stalls cannot pin this goroutine until shutdown.
+	_ = conn.SetDeadline(time.Now().Add(t.cfg.HandshakeTimeout))
 	hello, err := wire.ReadFrame(conn)
 	if err != nil {
 		return
@@ -375,10 +604,14 @@ func (t *Transport) runReader(conn net.Conn) {
 		// payload can be misparsed. The version is checked before the
 		// rest of the frame is validated — a future version may extend
 		// the identification layout, and it must still be told "wrong
-		// version", not dropped as malformed. Call connections get an
-		// explicit error frame (the client is reading, and its hello
-		// prefix through the kind byte is stable); stream senders
-		// observe the close and back off into their reconnect loop.
+		// version", not dropped as malformed — and before any
+		// authentication exchange: there is no point proving identities
+		// over a connection that cannot proceed, and the mismatch error
+		// must win over ErrAuthFailed so operators fix the right thing.
+		// Call connections get an explicit error frame (the client is
+		// reading, and its hello prefix through the kind byte is
+		// stable); stream senders observe the close and back off into
+		// their reconnect loop.
 		t.reject()
 		_ = r.Uint16() // self
 		if r.Byte() == kindCall && r.Err() == nil {
@@ -392,17 +625,30 @@ func (t *Transport) runReader(conn net.Conn) {
 	if kind == kindCall {
 		callCh = transport.Channel(r.Byte())
 	}
-	if r.Close() != nil {
+	authFlag := r.Byte()
+	var dialerNonce []byte
+	if authFlag == 1 {
+		dialerNonce = r.VarBytes()
+	}
+	if r.Close() != nil || authFlag > 1 || (kind != kindStream && kind != kindCall) {
 		t.reject()
 		return
 	}
+	if err := t.serveHandshake(conn, from, kind, callCh, authFlag, dialerNonce); err != nil {
+		t.rejectAuth()
+		if kind == kindCall {
+			// The call client is in a read loop; tell it explicitly so
+			// it fails fast instead of timing out.
+			t.writeCallError(conn, transport.ErrAuthFailed)
+		}
+		return
+	}
+	_ = conn.SetDeadline(time.Time{})
 	switch kind {
 	case kindStream:
 		t.serveStream(conn, from)
 	case kindCall:
 		t.serveCall(conn, from, callCh)
-	default:
-		t.reject()
 	}
 }
 
@@ -527,9 +773,9 @@ func (s *connStream) Close(err error) {
 }
 
 // runSender owns one peer's outbound stream connection: dial with backoff,
-// identify, then drain the queue. A payload is only dequeued after a
-// successful write; on write failure it is retransmitted on the next
-// connection (at-least-once).
+// identify and authenticate, then drain the queue. A payload is only
+// dequeued after a successful write; on write failure it is retransmitted
+// on the next connection (at-least-once).
 func (t *Transport) runSender(p *peer) {
 	defer t.wg.Done()
 	var conn net.Conn
@@ -540,6 +786,17 @@ func (t *Transport) runSender(p *peer) {
 	}()
 	backoff := t.cfg.DialBackoff
 	const maxBackoff = 2 * time.Second
+	wait := func() bool {
+		select {
+		case <-t.ctx.Done():
+			return false
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+		return true
+	}
 
 	var pending []byte // channel-tagged payload awaiting a successful write
 	for {
@@ -553,24 +810,27 @@ func (t *Transport) runSender(p *peer) {
 		if conn == nil {
 			c, err := net.Dial("tcp", p.addr)
 			if err != nil {
-				select {
-				case <-t.ctx.Done():
+				if !wait() {
 					return
-				case <-time.After(backoff):
-				}
-				if backoff *= 2; backoff > maxBackoff {
-					backoff = maxBackoff
 				}
 				continue
 			}
-			// Identify ourselves on the fresh connection: version,
-			// self, stream kind.
-			w := wire.NewWriter(5)
-			w.Uint16(t.cfg.version)
-			w.Uint16(uint16(t.cfg.Self))
-			w.Byte(kindStream)
-			if err := wire.WriteFrame(c, w.Bytes()); err != nil {
+			// Identify ourselves (and mutually authenticate when
+			// configured) on the fresh connection. A failed handshake
+			// backs off like a failed dial: a listener that refuses us
+			// — or an impostor that cannot prove it is p.id — must not
+			// be hammered in a tight reconnect loop.
+			if err := t.handshake(c, p.id, kindStream, 0); err != nil {
+				// Only genuine authentication failures count — an
+				// ordinary reset mid-identification is reconnect
+				// noise, not an impostor (mirrors runCall).
+				if errors.Is(err, transport.ErrAuthFailed) {
+					t.failAuth()
+				}
 				_ = c.Close()
+				if !wait() {
+					return
+				}
 				continue
 			}
 			conn = c

@@ -37,9 +37,63 @@
 // service falls back to per-block FWD). Frames within one call arrive in
 // order; nothing is guaranteed across calls.
 //
+// # Authentication
+//
+// The paper keys its signature scheme by server identity and assumes the
+// roster Srvrs is globally known; the transport makes that identity
+// binding real at the connection level. An Authenticator (package roster
+// provides the production implementation over a roster file) lets each
+// side of a connection prove possession of the private key behind its
+// claimed ServerID in a mutual challenge–response:
+//
+//  1. The dialer's identification frame carries its claimed ServerID and
+//     a fresh random nonce.
+//  2. The listener answers with its own identity, its own fresh nonce,
+//     and a signature over AuthContext(version, kind, channel,
+//     dialer-nonce, listener, dialer).
+//  3. The dialer verifies that proof against the roster's key for the
+//     peer it dialed (not merely the identity the listener claims), then
+//     returns its signature over the listener's nonce.
+//  4. The listener verifies against the roster's key for the claimed
+//     dialer identity. Only then is any payload parsed.
+//
+// Binding the signature to a fresh nonce makes every proof single-use —
+// a recorded handshake replays as garbage — and binding it to the
+// version, kind, and channel (plus a domain tag separating handshake
+// signatures from block signatures) prevents a proof minted for one
+// purpose from authenticating another. Version negotiation runs before
+// authentication: an incompatible peer is told ErrVersionMismatch, never
+// ErrAuthFailed, so operators fix the right problem. Half-authenticated
+// links — one side configured, the other not — are refused outright.
+//
+// Both implementations enforce the same seam: tcpnet runs the exchange
+// as handshake frames on every connection; simnet runs it through the
+// registered Authenticators at link establishment (cached per server
+// generation, so a restarted server re-proves itself), which lets
+// cluster tests drive byzantine identity scenarios deterministically.
+// Failures surface as ErrAuthFailed on calls, silent drops plus
+// rejection counters on fire-and-forget sends.
+//
+// The handshake authenticates connection establishment only: subsequent
+// frames carry no session MAC and no encryption, so an on-path attacker
+// who can alter traffic after the handshake can still inject frames on
+// the link. Integrity of everything that matters is unaffected — every
+// block is Ed25519-signed and every bulk-sync stream is revalidated
+// block by block — but deployments needing on-path resistance or
+// confidentiality should run the transport over an encrypted channel
+// (TLS, WireGuard); the handshake then still pins which roster member is
+// at the far end.
+//
+// Without an Authenticator the transport trusts the claimed ServerID, as
+// the seed reproduction did: block signatures still gate everything that
+// enters the DAG, so a misattributed link wastes bandwidth rather than
+// corrupting state — but byzantine-behaviour attribution (equivocation
+// proofs naming a server) is only meaningful when connections prove
+// their origin, so production deployments should always configure one.
+//
 // Two implementations ship with the repository: package simnet, a
 // deterministic discrete-event simulator used by tests, benchmarks and
 // experiments, and package tcpnet, a real TCP transport used by the node
-// runtime (version handshake in the identification frame, per-channel
-// frame demultiplexing, one connection per call).
+// runtime (version + authentication handshake in connection setup,
+// per-channel frame demultiplexing, one connection per call).
 package transport

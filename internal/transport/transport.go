@@ -6,13 +6,18 @@ import (
 	"sync"
 
 	"blockdag/internal/types"
+	"blockdag/internal/wire"
 )
 
 // Version is the transport protocol version this binary speaks. Peers
 // exchange it during connection setup (tcpnet's identification frame) and
 // refuse payload exchange on mismatch, so an incompatible envelope or
 // channel layout can never be misparsed as protocol traffic.
-const Version uint16 = 1
+//
+// Version 2 extended the identification frame with the authentication
+// flag and handshake nonce (see Authenticator); version 1 binaries are
+// refused at the handshake.
+const Version uint16 = 2
 
 // Channel identifies one logical stream of payloads multiplexed over a
 // single peer link.
@@ -58,7 +63,67 @@ var (
 	// ErrVersionMismatch reports that the peer speaks an incompatible
 	// transport protocol version.
 	ErrVersionMismatch = errors.New("transport: protocol version mismatch")
+	// ErrAuthFailed reports that the connection handshake's mutual
+	// challenge–response failed: the peer could not prove possession of
+	// the private key for its claimed ServerID, is not a roster member,
+	// or the two sides disagree about whether authentication is required.
+	ErrAuthFailed = errors.New("transport: peer authentication failed")
 )
+
+// NonceSize is the size in bytes of a handshake challenge nonce. Each side
+// of an authenticated connection draws a fresh nonce per connection, so a
+// recorded proof from an earlier handshake never verifies again.
+const NonceSize = 32
+
+// authDomain separates handshake signatures from every other signature in
+// the system (blocks, application payloads): a handshake proof can never
+// be replayed as anything else, and vice versa.
+const authDomain = "blockdag/transport-auth/1"
+
+// AuthContext renders the canonical byte string a handshake proof signs:
+// the domain tag, the protocol version, the connection kind and channel,
+// the two identities, and the verifier's fresh nonce. Binding the version
+// and channel means a proof recorded for one purpose cannot authenticate
+// a connection of another shape; binding the nonce makes every proof
+// single-use.
+//
+// prover is the server producing the signature, verifier the server that
+// issued the nonce and will check it. Both transports (tcpnet, simnet)
+// and the handshake tests build the signed message through this one
+// function, so they can never drift apart.
+func AuthContext(version uint16, kind byte, ch Channel, nonce []byte, prover, verifier types.ServerID) []byte {
+	w := wire.NewWriter(len(authDomain) + 16 + len(nonce))
+	w.String(authDomain)
+	w.Uint16(version)
+	w.Byte(kind)
+	w.Byte(byte(ch))
+	w.Uint16(uint16(prover))
+	w.Uint16(uint16(verifier))
+	w.VarBytes(nonce)
+	return w.Bytes()
+}
+
+// Authenticator proves and verifies roster membership during connection
+// setup — the seam the mutual challenge–response handshake hangs on.
+// Package roster provides the production implementation (Ed25519 keys
+// from a roster file); tests substitute hostile ones (wrong key,
+// non-roster key) to exercise rejection paths.
+//
+// Implementations must be safe for concurrent use: tcpnet invokes them
+// from per-connection goroutines.
+type Authenticator interface {
+	// Self returns the identity this side proves as.
+	Self() types.ServerID
+	// Prove signs the peer-issued challenge context (an AuthContext
+	// rendering) with this server's private key.
+	Prove(context []byte) []byte
+	// Verify checks that sig is id's signature over context, against the
+	// roster's public key for id. It must return false for non-members.
+	Verify(id types.ServerID, context, sig []byte) bool
+	// Member reports whether id is a roster member — checked before any
+	// challenge is issued, so non-roster claims are refused outright.
+	Member(id types.ServerID) bool
+}
 
 // Endpoint consumes one-way payloads delivered from the network on one
 // channel. Implementations are driven by a single goroutine (or the
