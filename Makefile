@@ -43,6 +43,33 @@ roster-demo:
 	for p in $$pids; do wait $$p; done; \
 	echo "roster-demo OK: 4-process cluster from roster files, no shared seed"
 
+.PHONY: docs-check
+# docs-check keeps the documentation honest: it fails when a package
+# exists under internal/ or cmd/ that README.md's package map (or, for
+# internal/, docs/ARCHITECTURE.md) does not mention, when either file
+# names a package that no longer exists, or when the tree (godoc
+# examples included) stops vetting/building. CI runs it on every push.
+docs-check:
+	@missing=0; \
+	for p in $$(ls internal); do \
+		grep -q "internal/$$p" README.md || { echo "README.md package map is missing internal/$$p" >&2; missing=1; }; \
+		grep -q "internal/$$p" docs/ARCHITECTURE.md || { echo "docs/ARCHITECTURE.md is missing internal/$$p" >&2; missing=1; }; \
+	done; \
+	for p in $$(ls cmd); do \
+		grep -q "cmd/$$p" README.md || { echo "README.md package map is missing cmd/$$p" >&2; missing=1; }; \
+	done; \
+	for p in $$(ls examples); do \
+		grep -q "examples/$$p" README.md || { echo "README.md is missing examples/$$p" >&2; missing=1; }; \
+	done; \
+	for m in $$(grep -oh 'internal/[a-z]*\|cmd/[a-z]*\|examples/[a-z]*' README.md docs/ARCHITECTURE.md | sort -u); do \
+		[ -d "$$m" ] || { echo "docs name $$m, which does not exist" >&2; missing=1; }; \
+	done; \
+	[ $$missing -eq 0 ] || { echo "docs-check FAILED: package map out of sync" >&2; exit 1; }
+	go vet ./...
+	go build ./...
+	go test -run Example ./...
+	@echo "docs-check OK: package map in sync; examples vet and build"
+
 .PHONY: bench
 # bench runs the full benchmark suite with allocation counts and writes
 # the machine-readable result to BENCH_<date>.json — the perf trajectory
@@ -58,7 +85,7 @@ bench:
 
 # HOT_BENCH names the hot-path benchmarks whose ns/op regressions fail
 # bench-compare (sub-benchmarks included; see benchjson -hot matching).
-HOT_BENCH ?= BenchmarkReaches,BenchmarkTipRetirement,BenchmarkE12_DeepDAG,BenchmarkCatchUp,BenchmarkAppend
+HOT_BENCH ?= BenchmarkReaches,BenchmarkTipRetirement,BenchmarkE12_DeepDAG,BenchmarkCatchUp,BenchmarkLiveFollow,BenchmarkAppend
 
 .PHONY: bench-compare
 # bench-compare diffs a fresh benchmark document (BENCH_OUT) against the

@@ -49,6 +49,7 @@ func run() error {
 		dump      = flag.String("dump", "", "write server 0's DAG to this file")
 		storeDir  = flag.String("store-dir", "", "journal every server's blocks to a durable store under this directory (inspect with dagstore)")
 		ckptSegs  = flag.Int("checkpoint-segments", 0, "with -store-dir: checkpoint a server's store after a round leaves it with at least N WAL segments (0 disables)")
+		follow    = flag.Duration("follow", 0, "run the live-follower loop on every server: poll a rotating peer's watermarks this often (simulated time) and pull missing suffixes over the sync channel (0 disables)")
 		verbose   = flag.Bool("v", false, "print per-server metrics")
 	)
 	flag.Parse()
@@ -84,6 +85,7 @@ func run() error {
 		StoreDir:    *storeDir,
 
 		CheckpointEverySegments: *ckptSegs,
+		FollowEvery:             *follow,
 	})
 	if err != nil {
 		return err
@@ -169,6 +171,19 @@ func run() error {
 	}
 	if eqs := c.Servers[c.CorrectServers()[0]].DAG().Equivocations(); len(eqs) > 0 {
 		fmt.Printf("equivocations          %d\n", len(eqs))
+	}
+	if *follow > 0 {
+		var fagg cluster.FollowStats
+		for _, i := range c.CorrectServers() {
+			fs := c.FollowStats(i)
+			fagg.Polls += fs.Polls
+			fagg.Deltas += fs.Deltas
+			fagg.Blocks += fs.Blocks
+			fagg.Throttled += fs.Throttled
+			fagg.Errors += fs.Errors
+		}
+		fmt.Printf("live follow            %d polls, %d deltas, %d blocks pulled, %d throttled, %d errors\n",
+			fagg.Polls, fagg.Deltas, fagg.Blocks, fagg.Throttled, fagg.Errors)
 	}
 
 	if *storeDir != "" {

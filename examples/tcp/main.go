@@ -26,13 +26,21 @@
 // With -store-dir each server additionally journals every inserted block
 // to a durable store (fsync policy -fsync), serves bulk catch-up streams
 // from it on the sync channel (hardened: per-peer in-flight cap and
-// token bucket), and restores from it on startup — after first asking
+// token bucket; watermark polls answered from the runtime's live
+// tracker), and restores from it on startup — after first asking
 // its peers for any blocks it is missing (-catchup). Run the command
 // twice with the same directory and the second run resumes every
 // server's chain; delete one server's subdirectory in between and it
 // bulk-syncs the backlog from a peer instead of re-fetching it block by
 // block. -checkpoint-segments keeps each store compacted so those
 // streams start from a snapshot.
+//
+// With -follow the node additionally runs the live-follower loop while
+// it serves traffic: every -follow interval it asks a rotating peer for
+// its watermark vector and, when the peer is ahead, pulls exactly the
+// missing suffix through the validated delta stream — so a server that
+// falls behind mid-run reconverges without restarting and without
+// per-block FWD round trips. See README.md for a walkthrough.
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blockdag/internal/core"
@@ -70,6 +79,7 @@ func run() error {
 		storeDir   = flag.String("store-dir", "", "journal blocks under this directory and restore on startup")
 		fsyncMode  = flag.String("fsync", "interval", "store fsync policy: always | interval | never")
 		catchup    = flag.Bool("catchup", true, "with -store-dir: bulk-sync missing blocks from peers at startup")
+		follow     = flag.Duration("follow", 0, "with -store-dir and -catchup: poll a rotating peer's watermarks this often and pull any missing suffix live (0 disables)")
 		ckptSegs   = flag.Int("checkpoint-segments", 4, "with -store-dir: checkpoint the store every N WAL segments (0 disables)")
 		ckptBytes  = flag.Int64("checkpoint-bytes", 0, "with -store-dir: checkpoint the store when it grows N bytes (0 disables)")
 	)
@@ -79,10 +89,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *follow > 0 && (*storeDir == "" || !*catchup) {
+		return fmt.Errorf("-follow needs -store-dir and -catchup (the follower reuses the catch-up peers)")
+	}
 	opts := runOpts{
 		storeDir:  *storeDir,
 		fsync:     syncPolicy,
 		catchup:   *catchup,
+		follow:    *follow,
 		ckptSegs:  *ckptSegs,
 		ckptBytes: *ckptBytes,
 		timeout:   *timeout,
@@ -102,6 +116,7 @@ type runOpts struct {
 	storeDir  string
 	fsync     store.SyncPolicy
 	catchup   bool
+	follow    time.Duration
 	ckptSegs  int
 	ckptBytes int64
 	timeout   time.Duration
@@ -114,6 +129,10 @@ type server struct {
 	nd       *node.Node
 	st       *store.Store
 	gossip   *transport.LateBound
+	// ndRef late-binds the runtime for the sync service's watermark
+	// source: the listener (and its handler goroutines) exists before
+	// the node does.
+	ndRef atomic.Pointer[node.Node]
 
 	mu        sync.Mutex
 	delivered map[types.Label]string
@@ -156,8 +175,19 @@ func start(identity *roster.Identity, listen string, opts runOpts) (*server, err
 		cfg.Handlers = map[transport.Channel]transport.Handler{
 			// The catch-up server runs hardened: per-peer in-flight cap
 			// (syncsvc default) plus a token bucket, so a byzantine
-			// peer cannot force repeated full-store scans.
-			transport.ChanSync: &syncsvc.Server{Store: st, Every: time.Second, Burst: 8},
+			// peer cannot force repeated full-store scans. Watermark
+			// polls are answered from the runtime's live tracker once
+			// it is up (nil until then: the server falls back to a
+			// store scan, still behind the same admission policy).
+			transport.ChanSync: &syncsvc.Server{
+				Store: st, Every: time.Second, Burst: 8,
+				Watermarks: func() []syncsvc.Watermark {
+					if nd := s.ndRef.Load(); nd != nil {
+						return nd.Watermarks()
+					}
+					return nil
+				},
+			},
 		}
 	}
 	tr, err := tcpnet.Listen(cfg)
@@ -227,6 +257,10 @@ func (s *server) boot(opts runOpts) error {
 				Peers:     peers,
 				Timeout:   5 * time.Second,
 			}
+			// The live follower rides the catch-up wiring: same
+			// peers, same validated stream, but polled continuously
+			// instead of once at startup.
+			cfg.FollowEvery = opts.follow
 		}
 	}
 	nd, err := node.New(cfg)
@@ -238,6 +272,7 @@ func (s *server) boot(opts runOpts) error {
 	}
 	s.gossip.Bind(nd)
 	s.nd = nd
+	s.ndRef.Store(nd)
 	return nd.Start()
 }
 
@@ -299,9 +334,15 @@ func runOne(rosterPath, keyPath, listen string, opts runOpts) error {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+	// Keep serving for a grace period past our own finish line: a
+	// straggler (say, a late joiner whose broadcast is still mid-flow)
+	// may need our final blocks — or a follow pull from our store — and
+	// exiting the instant we delivered would strand it.
+	time.Sleep(time.Second)
 	if err := s.nd.Err(); err != nil {
 		return fmt.Errorf("node unhealthy: %w", err)
 	}
+	s.printFollow(opts)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	fmt.Printf("s%d delivered all %d broadcasts:\n", identity.ID(), file.N())
@@ -309,6 +350,17 @@ func runOne(rosterPath, keyPath, listen string, opts runOpts) error {
 		fmt.Printf("  %s=%s\n", label, value)
 	}
 	return nil
+}
+
+// printFollow reports the live-follower loop's activity (with -follow).
+func (s *server) printFollow(opts runOpts) {
+	if opts.follow <= 0 || s.nd == nil {
+		return
+	}
+	rep := s.nd.FollowReport()
+	fmt.Printf("s%d follow: %d polls, %d deltas, %d blocks pulled, %d throttled (sync calls: %d out / %d served)\n",
+		s.identity.ID(), rep.Polls, rep.Deltas, rep.Blocks, rep.Throttled,
+		s.tr.CallsOpened(), s.tr.CallsServed())
 }
 
 // runAllInOne is the smoke-test mode: the whole cluster in one process,
@@ -386,10 +438,11 @@ func runAllInOne(opts runOpts) error {
 		fmt.Printf("  s%d: %v\n", i, s.delivered)
 		s.mu.Unlock()
 	}
-	for _, s := range servers {
+	for i, s := range servers {
 		if err := s.nd.Err(); err != nil {
 			return fmt.Errorf("node unhealthy: %w", err)
 		}
+		s.printFollow(perServerOpts[i])
 	}
 	fmt.Println("\nall four servers delivered both broadcasts; every connection was mutually authenticated")
 	return nil

@@ -11,6 +11,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
 	"time"
@@ -66,6 +67,19 @@ type Options struct {
 	// always on at the syncsvc default.
 	SyncEvery time.Duration
 	SyncBurst int
+
+	// FollowEvery enables the live-follower loop on every correct slot:
+	// each server periodically (per the simulated clock) sends a
+	// watermark-exchange query to a rotating peer on the sync channel
+	// and, when the peer's vector advertises blocks the local DAG lacks,
+	// pulls exactly the missing suffix through the validated delta
+	// stream — converging a laggard without waiting for per-block FWD
+	// round trips. Polls, streams, and absorptions all ride the
+	// simulator's event loop, so runs stay deterministic. With
+	// FollowEvery set, every correct slot also serves the sync channel
+	// (from its store when durable, else straight from its DAG), so
+	// non-durable clusters can follow too. 0 disables.
+	FollowEvery time.Duration
 
 	// Seed fixes the simulation (default 1).
 	Seed int64
@@ -131,6 +145,33 @@ type Cluster struct {
 	opts     Options
 	interval time.Duration
 	inds     [][]Indication
+	follow   []followState
+}
+
+// followState is one slot's live-follower bookkeeping.
+type followState struct {
+	// lastPoll is the virtual time of the last poll; the zero value
+	// means never polled, so the first poll fires once FollowEvery of
+	// virtual time has elapsed from the simulation's start.
+	lastPoll time.Duration
+	nextPeer int  // rotation cursor over the other slots
+	inFlight bool // a poll (query or delta) is outstanding
+	stats    FollowStats
+}
+
+// FollowStats counts one slot's live-follower activity.
+type FollowStats struct {
+	// Polls is the number of watermark-exchange queries issued.
+	Polls int
+	// Deltas is the number of delta pulls opened (peer was ahead).
+	Deltas int
+	// Blocks is the number of validated blocks absorbed via pulls.
+	Blocks int
+	// Throttled counts polls refused by a peer's admission policy.
+	Throttled int
+	// Errors counts polls and pulls that failed for any other reason
+	// (unreachable peer, no handler, validation rejection, ...).
+	Errors int
 }
 
 // New builds a cluster per the options.
@@ -198,6 +239,7 @@ func New(opts Options) (*Cluster, error) {
 		opts:     opts,
 		interval: opts.Interval,
 		inds:     make([][]Indication, opts.N),
+		follow:   make([]followState, opts.N),
 	}
 	for i := 0; i < opts.N; i++ {
 		if byz[i] {
@@ -248,22 +290,36 @@ func New(opts Options) (*Cluster, error) {
 }
 
 // register attaches one slot's consumers to the network: the server on
-// the gossip channel and — when the slot is durable — a catch-up server
-// on the sync channel, so any peer can bulk-sync from this slot's store.
-// The catch-up server runs under the hardening policy (in-flight cap,
-// optional token bucket on the simulated clock), exactly as a production
-// node would.
+// the gossip channel and — when the slot is durable, or the cluster runs
+// the live-follower loop — a catch-up server on the sync channel, so any
+// peer can bulk-sync or follow from this slot. Durable slots stream
+// their store; follower-only slots stream straight from the DAG (both
+// safe on the event loop). Watermark queries are answered from the DAG
+// in either case, the simulator's stand-in for the node runtime's
+// incrementally tracked vector. The catch-up server runs under the
+// hardening policy (in-flight cap, optional token bucket on the
+// simulated clock), exactly as a production node would.
 func (c *Cluster) register(slot int, srv *core.Server, st *store.Store) {
 	id := types.ServerID(slot)
 	c.Net.Register(id, transport.ChanGossip, srv)
-	if st != nil {
-		c.Net.RegisterHandler(id, transport.ChanSync, &syncsvc.Server{
-			Store: st,
-			Every: c.opts.SyncEvery,
-			Burst: c.opts.SyncBurst,
-			Clock: c.Net.Now,
-		})
+	if st == nil && c.opts.FollowEvery <= 0 {
+		return
 	}
+	sync := &syncsvc.Server{
+		Store: st,
+		Every: c.opts.SyncEvery,
+		Burst: c.opts.SyncBurst,
+		Clock: c.Net.Now,
+		Watermarks: func() []syncsvc.Watermark {
+			return syncsvc.DAGWatermarks(srv.DAG())
+		},
+	}
+	if st == nil {
+		sync.Source = func() ([]*block.Block, error) {
+			return srv.DAG().Blocks(), nil
+		}
+	}
+	c.Net.RegisterHandler(id, transport.ChanSync, sync)
 }
 
 // openStore opens the durable block store for one slot if Options.StoreDir
@@ -310,6 +366,7 @@ func (c *Cluster) RunRounds(rounds int) error {
 					_ = err
 				}
 				c.maybeCheckpoint(slot)
+				c.maybeFollow(slot)
 			})
 		}
 	}
@@ -344,6 +401,133 @@ func (c *Cluster) maybeCheckpoint(slot int) {
 	// A checkpoint failure would surface on the next append or the
 	// test's own store assertions; the simulation keeps running.
 	_, _ = st.Checkpoint(srv.DAG())
+}
+
+// FollowStats returns one slot's live-follower counters.
+func (c *Cluster) FollowStats(slot int) FollowStats { return c.follow[slot].stats }
+
+// maybeFollow runs one slot's live-follower policy: when the poll period
+// has elapsed and no poll is outstanding, send a watermark-exchange
+// query to the next peer in rotation; if the answer advertises blocks
+// the local DAG lacks, pull the missing suffix through the validated
+// delta stream and absorb it into the running server. The whole chain —
+// query, decision, stream, absorption — runs as simulator events, so it
+// is deterministic and interleaves with gossip exactly as the node
+// runtime's follower loop interleaves with its event channels.
+func (c *Cluster) maybeFollow(slot int) {
+	if c.opts.FollowEvery <= 0 {
+		return
+	}
+	if now := c.Net.Now(); now-c.follow[slot].lastPoll >= c.opts.FollowEvery {
+		c.followPoll(slot)
+	}
+}
+
+// FollowOnce schedules one immediate follow poll at the given slot,
+// regardless of how recently the periodic policy polled (FollowEvery
+// must be enabled; an outstanding poll still wins). Tests and benchmarks
+// use it to converge a healed follower at a quiet moment — with nothing
+// else scheduled, running the network to quiescence isolates exactly the
+// follow path's traffic.
+func (c *Cluster) FollowOnce(slot int) {
+	c.Net.After(0, func() { c.followPoll(slot) })
+}
+
+// followPoll opens one watermark-exchange query at the slot against the
+// next peer in rotation.
+func (c *Cluster) followPoll(slot int) {
+	fs := &c.follow[slot]
+	srv := c.Servers[slot]
+	if srv == nil || fs.inFlight || c.opts.FollowEvery <= 0 {
+		return
+	}
+	peers := c.followPeers(slot)
+	if len(peers) == 0 {
+		return
+	}
+	fs.lastPoll = c.Net.Now()
+	fs.inFlight = true
+	fs.stats.Polls++
+	peer := peers[fs.nextPeer%len(peers)]
+	fs.nextPeer++
+	query := syncsvc.NewWatermarkQuery(func(wms []syncsvc.Watermark, err error) {
+		c.followDecide(slot, srv, peer, wms, err)
+	})
+	c.Net.Transport(types.ServerID(slot)).Call(peer, transport.ChanSync, syncsvc.EncodeWatermarkRequest(), query)
+}
+
+// followPeers lists the slots a follower polls: every other roster slot,
+// in ServerID order. Crashed or byzantine peers simply fail the call;
+// rotation reaches a live one within a round-trip's worth of polls.
+func (c *Cluster) followPeers(slot int) []types.ServerID {
+	peers := make([]types.ServerID, 0, c.opts.N-1)
+	for i := 0; i < c.opts.N; i++ {
+		if i != slot {
+			peers = append(peers, types.ServerID(i))
+		}
+	}
+	return peers
+}
+
+// followDecide consumes a watermark answer on the event loop: drop stale
+// polls (the slot crashed or was rebuilt mid-flight), count failures,
+// and open the delta pull when the peer is ahead. The decision core is
+// syncsvc.DeltaIfBehind, shared with the node runtime's follower.
+func (c *Cluster) followDecide(slot int, srv *core.Server, peer types.ServerID, wms []syncsvc.Watermark, err error) {
+	fs := &c.follow[slot]
+	if c.Servers[slot] != srv {
+		fs.inFlight = false
+		return
+	}
+	if err != nil {
+		c.followFail(fs, err)
+		return
+	}
+	pull, perr := syncsvc.DeltaIfBehind(c.Roster, srv.DAG(), nil, wms, 0)
+	if perr != nil {
+		c.followFail(fs, perr)
+		return
+	}
+	if pull == nil {
+		fs.inFlight = false // in sync with this peer; nothing to pull
+		return
+	}
+	fs.stats.Deltas++
+	sink := syncsvc.PullDone(pull, func() { c.followAbsorb(slot, srv, pull) })
+	c.Net.Transport(types.ServerID(slot)).Call(peer, transport.ChanSync, pull.Request(), sink)
+}
+
+// followAbsorb feeds a finished delta pull's validated blocks to the
+// running server (syncsvc.AbsorbPull, shared with the node runtime).
+// Every absorbed block passed full validation whatever the stream's
+// terminal error, so a truncated or lying stream still yields its
+// genuine prefix; the rest arrives on a later poll or via FWD. An
+// absorb error is latched in srv.Health.
+func (c *Cluster) followAbsorb(slot int, srv *core.Server, pull *syncsvc.Pull) {
+	fs := &c.follow[slot]
+	if c.Servers[slot] != srv {
+		fs.inFlight = false
+		return
+	}
+	absorbed, _, streamErr := syncsvc.AbsorbPull(pull, srv.AbsorbVerified)
+	fs.stats.Blocks += absorbed
+	if streamErr != nil {
+		c.followFail(fs, streamErr)
+		return
+	}
+	fs.inFlight = false
+}
+
+// followFail settles a failed poll, classifying throttles separately (the
+// follower's cue that rotation, which the next poll does anyway, is the
+// right response).
+func (c *Cluster) followFail(fs *followState, err error) {
+	if errors.Is(err, syncsvc.ErrThrottled) {
+		fs.stats.Throttled++
+	} else {
+		fs.stats.Errors++
+	}
+	fs.inFlight = false
 }
 
 // Health surfaces the first internal error of any correct server.

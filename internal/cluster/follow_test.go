@@ -1,0 +1,338 @@
+package cluster_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"blockdag/internal/block"
+	"blockdag/internal/cluster"
+	"blockdag/internal/protocols/brb"
+	"blockdag/internal/syncsvc"
+	"blockdag/internal/transport"
+	"blockdag/internal/types"
+)
+
+// partitionSlot isolates one slot in both directions.
+func partitionSlot(c *cluster.Cluster, slot int) {
+	id := types.ServerID(slot)
+	c.Net.SetPartition(func(from, to types.ServerID) bool {
+		return from == id || to == id
+	})
+}
+
+// TestClusterLiveFollowerPartitionHeal is the acceptance test for the
+// live-follower loop: server 3 is partitioned while the others make
+// progress, the partition heals, and the follower converges to the same
+// interpretation through the watermark/delta path with ZERO FWD traffic
+// — the deterministic isolation FollowOnce provides — then rejoins the
+// running cluster cleanly.
+func TestClusterLiveFollowerPartitionHeal(t *testing.T) {
+	c, err := cluster.New(cluster.Options{
+		N:           4,
+		Protocol:    brb.Protocol{},
+		Seed:        21,
+		FollowEvery: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: a healthy cluster with shared history.
+	c.Request(0, "pre", []byte("v0"))
+	ok, err := c.RunUntil(20, func() bool { return allDelivered(c, "pre") })
+	if err != nil || !ok {
+		t.Fatalf("phase 1: ok=%v err=%v", ok, err)
+	}
+
+	// Phase 2: server 3 falls off the network; the others keep going.
+	partitionSlot(c, 3)
+	const during = 5
+	for i := 0; i < during; i++ {
+		c.Request(i%3, types.Label(fmt.Sprintf("during/%d", i)), []byte(fmt.Sprintf("d%d", i)))
+	}
+	if err := c.RunRounds(12); err != nil {
+		t.Fatal(err)
+	}
+	lag := c.Servers[0].DAG().Len() - c.Servers[3].DAG().Len()
+	if lag < during {
+		t.Fatalf("follower only lags %d blocks; partition ineffective", lag)
+	}
+
+	// Phase 3: heal, then let the follow loop alone converge the
+	// laggard — no dissemination rounds scheduled, so any FWD traffic
+	// would be the follower's own.
+	c.Net.SetPartition(nil)
+	fwdBefore := c.Metrics[3].Snapshot().FwdRequestsSent
+	c.FollowOnce(3)
+	c.Net.Run()
+	if fwd := c.Metrics[3].Snapshot().FwdRequestsSent - fwdBefore; fwd != 0 {
+		t.Fatalf("follow convergence cost %d FWD requests, want 0", fwd)
+	}
+	stats := c.FollowStats(3)
+	if stats.Deltas == 0 || stats.Blocks < lag {
+		t.Fatalf("follow stats %+v; want a delta pull covering the %d-block lag", stats, lag)
+	}
+	// The follower now holds everything the peers built (its own
+	// partition-era blocks make it a superset until gossip spreads
+	// them).
+	if !c.Servers[0].DAG().Leq(c.Servers[3].DAG()) {
+		t.Fatal("follower DAG does not cover the peers' DAG after the follow pull")
+	}
+
+	// The follower's own simulated instance consumes the pulled history
+	// once its next block references it (Algorithm 2 advances a
+	// server's simulation at that server's own chain positions) — one
+	// ordinary dissemination round, still with zero FWD traffic from
+	// the follower: it is missing nothing.
+	if err := c.RunRounds(2); err != nil {
+		t.Fatal(err)
+	}
+	if fwd := c.Metrics[3].Snapshot().FwdRequestsSent - fwdBefore; fwd != 0 {
+		t.Fatalf("post-follow rounds cost the follower %d FWD requests, want 0", fwd)
+	}
+	for i := 0; i < during; i++ {
+		label := types.Label(fmt.Sprintf("during/%d", i))
+		want := deliveredValue(c, 0, label)
+		if got := deliveredValue(c, 3, label); !bytes.Equal(got, want) {
+			t.Fatalf("follower interprets %s as %q, peers as %q", label, got, want)
+		}
+	}
+
+	// Phase 4: the healed follower participates in new work; the
+	// periodic policy keeps running without harm.
+	c.Request(3, "post", []byte("back"))
+	ok, err = c.RunUntil(30, func() bool { return allDelivered(c, "post") && c.Converged() })
+	if err != nil || !ok {
+		t.Fatalf("phase 4: ok=%v err=%v converged=%v", ok, err, c.Converged())
+	}
+	if err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterLiveFollowerDeterministic: identical seeds give identical
+// follow traces — polls, deltas, pulled blocks, and network counters.
+func TestClusterLiveFollowerDeterministic(t *testing.T) {
+	run := func() (cluster.FollowStats, int64, int64) {
+		c, err := cluster.New(cluster.Options{
+			N:           4,
+			Protocol:    brb.Protocol{},
+			Seed:        8,
+			FollowEvery: 60 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		partitionSlot(c, 2)
+		c.Request(0, "x", []byte("1"))
+		if err := c.RunRounds(10); err != nil {
+			t.Fatal(err)
+		}
+		c.Net.SetPartition(nil)
+		if err := c.RunRounds(10); err != nil {
+			t.Fatal(err)
+		}
+		s := c.Net.Stats()
+		return c.FollowStats(2), s.Calls, s.CallBytes
+	}
+	s1, c1, b1 := run()
+	s2, c2, b2 := run()
+	if s1 != s2 || c1 != c2 || b1 != b2 {
+		t.Fatalf("follow diverges across identical seeds: (%+v,%d,%d) vs (%+v,%d,%d)", s1, c1, b1, s2, c2, b2)
+	}
+}
+
+// TestClusterFollowerThrottledRotates: a peer refusing polls under its
+// admission policy costs the follower one poll; rotation reaches an
+// honest peer and the follower still converges.
+func TestClusterFollowerThrottledRotates(t *testing.T) {
+	c, err := cluster.New(cluster.Options{
+		N:           4,
+		Protocol:    brb.Protocol{},
+		Seed:        17,
+		FollowEvery: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Request(0, "pre", []byte("v"))
+	ok, err := c.RunUntil(20, func() bool { return allDelivered(c, "pre") })
+	if err != nil || !ok {
+		t.Fatalf("setup: ok=%v err=%v", ok, err)
+	}
+
+	partitionSlot(c, 3)
+	c.Request(0, "during", []byte("w"))
+	if err := c.RunRounds(10); err != nil {
+		t.Fatal(err)
+	}
+	lag := c.Servers[0].DAG().Len() - c.Servers[3].DAG().Len()
+	if lag == 0 {
+		t.Fatal("no lag accumulated")
+	}
+
+	// Slots 0 and 1 — the first two peers in slot 3's rotation — now
+	// throttle everything; slot 2 stays honest.
+	throttler := handlerFunc(func(from types.ServerID, req []byte, st transport.ServerStream) {
+		st.Close(syncsvc.ErrThrottled)
+	})
+	c.Net.RegisterHandler(0, transport.ChanSync, throttler)
+	c.Net.RegisterHandler(1, transport.ChanSync, throttler)
+
+	c.Net.SetPartition(nil)
+	// Three forced polls walk the rotation 0 → 1 → 2.
+	for i := 0; i < 3; i++ {
+		c.FollowOnce(3)
+		c.Net.Run()
+	}
+	stats := c.FollowStats(3)
+	if stats.Throttled < 2 {
+		t.Fatalf("follow stats %+v; want both throttling peers counted", stats)
+	}
+	if stats.Blocks < lag {
+		t.Fatalf("follow stats %+v; rotation never reached the honest peer (lag %d)", stats, lag)
+	}
+	// Rotation reached honest slot 2, whose DAG the follower now covers.
+	if !c.Servers[2].DAG().Leq(c.Servers[3].DAG()) {
+		t.Fatal("follower DAG does not cover the honest peer's DAG")
+	}
+	if err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterFollowerLyingWatermarks: a malicious peer advertising
+// inflated watermarks, then serving a tampered delta stream, wastes one
+// round trip — the follower rejects the stream, keeps its state intact,
+// and converges through an honest peer.
+func TestClusterFollowerLyingWatermarks(t *testing.T) {
+	c, err := cluster.New(cluster.Options{
+		N:           4,
+		Protocol:    brb.Protocol{},
+		Seed:        29,
+		FollowEvery: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Request(1, "payload", []byte("real"))
+	ok, err := c.RunUntil(20, func() bool { return allDelivered(c, "payload") })
+	if err != nil || !ok {
+		t.Fatalf("setup: ok=%v err=%v", ok, err)
+	}
+
+	// Peer 0 turns malicious on the sync channel: it claims a chain far
+	// beyond reality and answers the resulting delta pull with a
+	// signature-flipped block.
+	honest := c.Servers[1].DAG().Blocks()
+	forged := *honest[len(honest)/2]
+	forged.Seq = 1 << 20 // beyond every watermark, so the filter keeps it
+	forged.Sig = append([]byte(nil), forged.Sig...)
+	forged.Sig[0] ^= 0x01
+	c.Net.RegisterHandler(0, transport.ChanSync, handlerFunc(func(from types.ServerID, req []byte, st transport.ServerStream) {
+		if len(req) == 1 {
+			lie := []syncsvc.Watermark{{Builder: 0, NextSeq: 1 << 21}}
+			_ = st.Send(syncsvc.EncodeWatermarkFrame(lie))
+			st.Close(nil)
+			return
+		}
+		_ = st.Send(syncsvc.EncodeBatchFrame([]*block.Block{&forged}))
+		_ = st.Send(syncsvc.EncodeDoneFrame(1))
+		st.Close(nil)
+	}))
+
+	before := c.Servers[3].DAG().Len()
+	// Three forced polls cover the full rotation, so one of them hits
+	// the liar; the honest peers are in sync (no pull, no effect).
+	for i := 0; i < 3; i++ {
+		c.FollowOnce(3)
+		c.Net.Run()
+	}
+	stats := c.FollowStats(3)
+	if stats.Errors == 0 {
+		t.Fatalf("follow stats %+v; the tampered stream should have failed", stats)
+	}
+	if got := c.Servers[3].DAG().Len(); got != before {
+		t.Fatalf("lying peer changed the follower's DAG: %d -> %d blocks", before, got)
+	}
+	if err := c.Servers[3].Health(); err != nil {
+		t.Fatalf("lying peer poisoned the follower: %v", err)
+	}
+
+	// The periodic policy keeps rotating; the cluster stays live and
+	// convergent through the honest peers.
+	c.Request(3, "post", []byte("after"))
+	ok, err = c.RunUntil(30, func() bool { return allDelivered(c, "post") && c.Converged() })
+	if err != nil || !ok {
+		t.Fatalf("post: ok=%v err=%v", ok, err)
+	}
+	if err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterFollowerAfterRestart: the follow loop and crash recovery
+// compose — a durable slot crashes, restarts from its (stale) store, and
+// the follower closes the gap, journaling what it pulls so a second
+// restart replays it from disk.
+func TestClusterFollowerAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	c, err := cluster.New(cluster.Options{
+		N:           4,
+		Protocol:    brb.Protocol{},
+		Seed:        41,
+		StoreDir:    dir,
+		FollowEvery: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Request(0, "pre", []byte("v"))
+	ok, err := c.RunUntil(20, func() bool { return allDelivered(c, "pre") })
+	if err != nil || !ok {
+		t.Fatalf("setup: ok=%v err=%v", ok, err)
+	}
+
+	// Crash slot 2; the survivors progress while it is down.
+	c.Crash(2)
+	c.Request(0, "during", []byte("w"))
+	if err := c.RunRounds(10); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart from the stale store, then let the follower catch up.
+	if err := c.RecoverServerFromStore(2, brb.Protocol{}); err != nil {
+		t.Fatal(err)
+	}
+	lag := c.Servers[0].DAG().Len() - c.Servers[2].DAG().Len()
+	if lag == 0 {
+		t.Fatal("restart already caught up; nothing to follow")
+	}
+	c.FollowOnce(2)
+	c.Net.Run()
+	if a, b := c.Servers[2].DAG().Len(), c.Servers[0].DAG().Len(); a != b {
+		t.Fatalf("recovered follower has %d blocks, peer has %d", a, b)
+	}
+	// Pulled blocks were journaled: the store now holds the full DAG.
+	if got, want := c.Stores[2].Len(), c.Servers[2].DAG().Len(); got != want {
+		t.Fatalf("store journals %d blocks, DAG has %d", got, want)
+	}
+	// And the slot keeps working.
+	c.Request(2, "post", []byte("back"))
+	ok, err = c.RunUntil(30, func() bool { return allDelivered(c, "post") && c.Converged() })
+	if err != nil || !ok {
+		t.Fatalf("post: ok=%v err=%v", ok, err)
+	}
+	if err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// handlerFunc adapts a function to transport.Handler.
+type handlerFunc func(types.ServerID, []byte, transport.ServerStream)
+
+func (f handlerFunc) ServeCall(from types.ServerID, req []byte, st transport.ServerStream) {
+	f(from, req, st)
+}

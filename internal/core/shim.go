@@ -325,6 +325,27 @@ func (s *Server) Restore(blocks []*block.Block) error {
 	return nil
 }
 
+// AbsorbVerified feeds the server one block obtained outside the gossip
+// exchange and already validated in full by the caller — the live
+// follower path (node.Config.FollowEvery): package syncsvc pulls a
+// lagging suffix from a peer, validates every block against the roster
+// and the DAG rules, and the runtime absorbs the result here. The block
+// is journaled through Config.OnPersist, referenced by the next own
+// block, interpreted, and any gossip-buffered blocks waiting on it are
+// released — identical to receiving it over the network, minus the
+// already-paid signature verification and the FWD round trips.
+//
+// Like every other mutating entry point, AbsorbVerified must be called
+// from the single goroutine driving this server. Blocks must arrive in
+// an order with predecessors first (a validated stream suffix has this
+// shape); already-held blocks are no-ops. A persist failure is latched
+// in Health and returned, but — as with received blocks — the block
+// stays interpreted: its builder externalized it, so the embedded
+// protocol's state must advance.
+func (s *Server) AbsorbVerified(b *block.Block) error {
+	return s.gsp.InsertVerified(b)
+}
+
 // SetPersist installs the persistence sink after construction — the hook
 // node.Config.Store uses, since the node receives an already-built
 // Server. It must be called before any block is inserted through gossip,

@@ -6,6 +6,22 @@
 // The split keeps all protocol logic deterministic and single-threaded —
 // testable on the simulator — while this package confines the concurrency:
 // channels in, one loop goroutine, explicit shutdown, no fire-and-forget.
+//
+// Around the loop the runtime wires the operational services: durable
+// persistence (Config.Store, with the own-block externalization barrier
+// the store package documents), startup bulk catch-up (Config.CatchUp),
+// automatic checkpointing (Config.CheckpointEverySegments/-Bytes), and
+// the live-follower loop (Config.FollowEvery) that keeps a running node
+// converged by polling peers' watermarks and pulling missing suffixes
+// over the sync channel. The follower's transport callbacks never touch
+// server state: results come home through a channel and are applied on
+// the loop goroutine, like every other input. Follower and checkpoint
+// scheduling compose without coordination — absorbed blocks are
+// journaled through the same persistence sink as gossiped ones, so they
+// count toward the same segment/byte thresholds and appear in the
+// snapshots served to other catch-up clients; the node's own watermark
+// vector (Watermarks, backed by a tracker the sink advances) stays
+// consistent with the store across checkpoints, restarts, and pulls.
 package node
 
 import (
@@ -20,6 +36,7 @@ import (
 	"blockdag/internal/roster"
 	"blockdag/internal/store"
 	"blockdag/internal/syncsvc"
+	"blockdag/internal/transport"
 	"blockdag/internal/types"
 )
 
@@ -61,6 +78,26 @@ type Config struct {
 	// and gossip's FWD path fills the remainder; CatchUpReport records
 	// what happened.
 	CatchUp *syncsvc.FetchConfig
+	// FollowEvery enables the live-follower loop: every FollowEvery the
+	// node sends a watermark-exchange query to the next of CatchUp's
+	// peers in rotation (transport.ChanSync, one small frame each way)
+	// and, when the peer's vector advertises blocks the local DAG lacks,
+	// pulls exactly the missing suffix through the same validated delta
+	// stream startup catch-up uses, absorbing the result into the
+	// running server (journaled through the store's persistence sink,
+	// referenced, interpreted). A node that falls behind — long GC
+	// pause, flapping link, asymmetric partition — thus reconverges in
+	// one streamed round trip instead of re-fetching the gap one FWD
+	// round trip at a time; FWD stays armed as the fallback for anything
+	// the follower has not pulled yet. Requires Config.CatchUp (the
+	// follower reuses its Transport, Roster, Peers, and MaxBlocks).
+	// A throttled or failing peer costs one poll period: the next poll
+	// rotates to the next peer. 0 disables.
+	FollowEvery time.Duration
+	// FollowTick overrides the follower loop's timer — tests and
+	// deterministic harnesses inject their own tick channel; nil runs a
+	// time.Ticker at FollowEvery.
+	FollowTick <-chan time.Time
 	// CheckpointEverySegments, with Store set, makes the loop call
 	// Store.Checkpoint whenever the WAL has accumulated that many
 	// segments since the last snapshot — bounding disk, recovery time,
@@ -86,6 +123,24 @@ type CatchUpReport struct {
 	// non-nil Err still leaves the node fully functional: the remainder
 	// arrives via FWD.
 	Err error
+}
+
+// FollowReport counts the live-follower loop's activity so far.
+type FollowReport struct {
+	// Polls is the number of watermark-exchange queries issued.
+	Polls int
+	// Deltas is the number of delta pulls opened (a peer was ahead).
+	Deltas int
+	// Blocks is the number of validated blocks absorbed via pulls.
+	Blocks int
+	// Throttled counts polls refused by a peer's admission policy —
+	// the cue (already acted on) to rotate to the next peer.
+	Throttled int
+	// Errors counts polls and pulls that failed any other way.
+	Errors int
+	// LastErr is the most recent failure, nil if none (diagnostics; a
+	// follower riding a healthy cluster keeps working through it).
+	LastErr error
 }
 
 // Clock returns a monotonic clock suitable for core.Config.Clock on the
@@ -125,12 +180,37 @@ type Node struct {
 	mu       sync.Mutex
 	started  bool
 	firstErr error
+	follow   FollowReport
 
 	catchUp CatchUpReport
 	// ckptFloor is the store's on-disk size after the last checkpoint
 	// (or at startup): the baseline CheckpointEveryBytes growth is
 	// measured from. Loop-goroutine only.
 	ckptFloor int64
+
+	// tracker maintains this node's own watermark vector (durable nodes
+	// only): the loop observes every block as it persists, and the sync
+	// service answers watermark queries from the snapshot instead of
+	// scanning the store. Thread-safe.
+	tracker *syncsvc.WatermarkTracker
+
+	// followC hands async follow results (watermark answers, settled
+	// delta pulls) back to the loop goroutine, which owns all server
+	// state. Loop-goroutine fields below it.
+	followC chan followResult
+	// followInFlight tracks the outstanding poll (at most one);
+	// followPeer is the rotation cursor over CatchUp.Peers.
+	followInFlight bool
+	followPeer     int
+}
+
+// followResult is one async follower event awaiting the loop: a
+// watermark answer (pull nil) or a settled delta pull.
+type followResult struct {
+	peer types.ServerID
+	wms  []syncsvc.Watermark
+	pull *syncsvc.Pull
+	err  error
 }
 
 // New validates the config and prepares a node. With Config.Store set,
@@ -156,6 +236,14 @@ func New(cfg Config) (*Node, error) {
 			cfg.CatchUp = &catchUp
 		}
 	}
+	if cfg.FollowEvery > 0 {
+		switch {
+		case cfg.CatchUp == nil:
+			return nil, errors.New("node: FollowEvery needs Config.CatchUp (the follower reuses its transport, roster, and peers)")
+		case cfg.CatchUp.Transport == nil || cfg.CatchUp.Roster == nil || len(cfg.CatchUp.Peers) == 0:
+			return nil, errors.New("node: FollowEvery needs CatchUp's Transport, Roster, and Peers")
+		}
+	}
 	if cfg.DisseminateEvery <= 0 {
 		cfg.DisseminateEvery = 50 * time.Millisecond
 	}
@@ -163,10 +251,11 @@ func New(cfg Config) (*Node, error) {
 		cfg.TickEvery = 100 * time.Millisecond
 	}
 	n := &Node{
-		cfg:  cfg,
-		in:   make(chan inbound, 256),
-		reqs: make(chan request, 256),
-		done: make(chan struct{}),
+		cfg:     cfg,
+		in:      make(chan inbound, 256),
+		reqs:    make(chan request, 256),
+		done:    make(chan struct{}),
+		followC: make(chan followResult, 4),
 	}
 	var replay []*block.Block
 	if cfg.Store != nil {
@@ -199,10 +288,24 @@ func New(cfg Config) (*Node, error) {
 		}
 	}
 	if cfg.Store != nil {
+		// The watermark tracker mirrors the store: seeded from the
+		// replay, advanced by the persistence sink below, snapshotted by
+		// the sync service when peers ask how far this node is.
+		n.tracker = syncsvc.NewWatermarkTracker()
+		for _, b := range replay {
+			n.tracker.Observe(b)
+		}
 		// PersistSink, not a bare Append: own blocks must be durable
 		// before gossip broadcasts them, or a power cut sets up a
 		// post-crash self-equivocation (see the store package docs).
-		if err := cfg.Server.SetPersist(cfg.Store.PersistSink(cfg.Server.ID())); err != nil {
+		sink := cfg.Store.PersistSink(cfg.Server.ID())
+		if err := cfg.Server.SetPersist(func(b *block.Block) error {
+			if err := sink(b); err != nil {
+				return err
+			}
+			n.tracker.Observe(b)
+			return nil
+		}); err != nil {
 			return nil, fmt.Errorf("node: %w", err)
 		}
 		if cfg.CheckpointEveryBytes > 0 {
@@ -219,6 +322,27 @@ func New(cfg Config) (*Node, error) {
 // CatchUpReport returns what startup catch-up did (zero value when
 // Config.CatchUp was nil).
 func (n *Node) CatchUpReport() CatchUpReport { return n.catchUp }
+
+// FollowReport returns the live-follower loop's counters so far (zero
+// value when Config.FollowEvery was 0). Safe for concurrent use.
+func (n *Node) FollowReport() FollowReport {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.follow
+}
+
+// Watermarks returns this node's own watermark vector — the live source
+// deployments hand to syncsvc.Server.Watermarks, so answering a peer's
+// poll costs a few counters instead of a store scan. Nil when the node
+// has no store (the sync service then falls back to scanning its block
+// source). Safe for concurrent use; transports call it from connection
+// goroutines.
+func (n *Node) Watermarks() []syncsvc.Watermark {
+	if n.tracker == nil {
+		return nil
+	}
+	return n.tracker.Snapshot()
+}
 
 // Start launches the loop goroutine. It is an error to start twice.
 func (n *Node) Start() error {
@@ -304,6 +428,12 @@ func (n *Node) loop(ctx context.Context) {
 	defer disseminate.Stop()
 	tick := time.NewTicker(n.cfg.TickEvery)
 	defer tick.Stop()
+	followTick := n.cfg.FollowTick
+	if n.cfg.FollowEvery > 0 && followTick == nil {
+		ft := time.NewTicker(n.cfg.FollowEvery)
+		defer ft.Stop()
+		followTick = ft.C
+	}
 	start := time.Now()
 
 	for {
@@ -327,7 +457,109 @@ func (n *Node) loop(ctx context.Context) {
 				n.recordErr(n.cfg.Store.Tick())
 				n.maybeCheckpoint()
 			}
+		case <-followTick:
+			n.startFollowPoll()
+		case r := <-n.followC:
+			n.handleFollowResult(r)
 		}
+	}
+}
+
+// startFollowPoll opens one watermark-exchange query against the next
+// peer in rotation. Runs on the loop goroutine; at most one poll (query
+// or delta pull) is in flight at a time, so a slow peer stretches the
+// period instead of stacking requests.
+func (n *Node) startFollowPoll() {
+	if n.followInFlight || n.cfg.FollowEvery <= 0 {
+		return
+	}
+	peers := n.cfg.CatchUp.Peers
+	peer := peers[n.followPeer%len(peers)]
+	n.followPeer++
+	n.followInFlight = true
+	n.noteFollow(func(r *FollowReport) { r.Polls++ })
+	query := syncsvc.NewWatermarkQuery(func(wms []syncsvc.Watermark, err error) {
+		n.postFollow(followResult{peer: peer, wms: wms, err: err})
+	})
+	n.cfg.CatchUp.Transport.Call(peer, transport.ChanSync, syncsvc.EncodeWatermarkRequest(), query)
+}
+
+// handleFollowResult consumes one async follower event on the loop
+// goroutine: decide on a watermark answer, or absorb a settled pull.
+// The decision and absorption cores live in syncsvc (DeltaIfBehind,
+// AbsorbPull), shared with the cluster simulator's driver.
+func (n *Node) handleFollowResult(r followResult) {
+	srv := n.cfg.Server
+	if r.pull != nil { // a delta pull settled
+		// Every absorbed block passed full validation whatever the
+		// stream's terminal error; a truncated or lying stream still
+		// yields its genuine prefix. Persist trouble is latched in
+		// Health (and recorded here).
+		absorbed, absorbErr, streamErr := syncsvc.AbsorbPull(r.pull, srv.AbsorbVerified)
+		n.recordErr(absorbErr)
+		n.noteFollow(func(rep *FollowReport) { rep.Blocks += absorbed })
+		n.settleFollow(streamErr)
+		return
+	}
+	if r.err != nil {
+		n.settleFollow(r.err)
+		return
+	}
+	// Durable nodes pass the tracker's O(#builders) horizon; a
+	// storeless node (nil horizon) falls back to a DAG scan inside
+	// DeltaIfBehind.
+	var horizon map[types.ServerID]uint64
+	if n.tracker != nil {
+		horizon = n.tracker.Horizon()
+	}
+	pull, err := syncsvc.DeltaIfBehind(n.cfg.CatchUp.Roster, srv.DAG(), horizon, r.wms, n.cfg.CatchUp.MaxBlocks)
+	if err != nil {
+		n.settleFollow(err)
+		return
+	}
+	if pull == nil {
+		n.settleFollow(nil) // in sync with this peer; nothing to pull
+		return
+	}
+	n.noteFollow(func(rep *FollowReport) { rep.Deltas++ })
+	sink := syncsvc.PullDone(pull, func() {
+		n.postFollow(followResult{peer: r.peer, pull: pull})
+	})
+	n.cfg.CatchUp.Transport.Call(r.peer, transport.ChanSync, pull.Request(), sink)
+}
+
+// settleFollow finishes the in-flight poll, classifying its outcome.
+// A throttled or failed peer costs nothing beyond the poll period — the
+// next tick rotates to the next peer.
+func (n *Node) settleFollow(err error) {
+	n.followInFlight = false
+	if err == nil {
+		return
+	}
+	n.noteFollow(func(rep *FollowReport) {
+		if errors.Is(err, syncsvc.ErrThrottled) {
+			rep.Throttled++
+		} else {
+			rep.Errors++
+		}
+		rep.LastErr = err
+	})
+}
+
+// noteFollow applies one mutation to the follow counters under the lock
+// (FollowReport readers are concurrent).
+func (n *Node) noteFollow(fn func(*FollowReport)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	fn(&n.follow)
+}
+
+// postFollow hands an async follower event to the loop, dropping it if
+// the node has stopped.
+func (n *Node) postFollow(r followResult) {
+	select {
+	case n.followC <- r:
+	case <-n.done:
 	}
 }
 

@@ -1,13 +1,38 @@
-// Package syncsvc is the bulk state-transfer (catch-up) service — the
-// first non-gossip protocol surface on the multi-channel transport.
+// Package syncsvc is the state-transfer service on transport.ChanSync —
+// the non-gossip protocol surface a replica uses to converge in bulk
+// instead of one FWD round trip per block.
 //
-// A replica that lost its disk, or a fresh one joining late, previously
-// rebuilt the DAG one FWD round trip per block. The sync service instead
-// streams a peer's durable store in bulk over transport.ChanSync: the
-// client states what it already holds (per-builder sequence watermarks),
-// the server answers with the missing blocks — snapshot first, then WAL
-// order, chunked into batches under wire.MaxFrame — and the client
-// replays them.
+// # Two calls
+//
+// The first byte of a request selects the call:
+//
+//   - Delta (bulk pull): the client states what it already holds as a
+//     per-builder watermark vector — NextSeq per builder, meaning "I
+//     hold every block by this builder below NextSeq" — and the server
+//     streams every block on disk the vector does not cover, snapshot
+//     first, then WAL order, chunked into batches under wire.MaxFrame,
+//     closed by a done summary carrying the total count. Startup
+//     catch-up (Fetch) pulls with an empty or store-derived vector; the
+//     live follower pulls with its DAG's vector, so only the missing
+//     suffix crosses the wire.
+//
+//   - Watermark exchange: the client asks the server for the server's
+//     own vector, answered in one small frame. This is the live
+//     follower's periodic probe (node.Config.FollowEvery): a delta
+//     stream is opened only when the answer advertises blocks the local
+//     DAG lacks (Behind). Servers answer from an incrementally
+//     maintained WatermarkTracker (or any live source) when wired, a
+//     block-source scan otherwise.
+//
+// Watermarks can express exactly the honest shape — the DAG's parent
+// rule forces every builder's held blocks into a prefix-closed chain —
+// so a forked (equivocating) builder is simply omitted from the vector:
+// the requester asks for everything of that builder and deduplicates,
+// and equivocation variants beyond a horizon travel via gossip's FWD
+// path, which stays armed as the fallback for whatever bulk transfer
+// has not delivered.
+//
+// # Threat model
 //
 // The serving peer is untrusted: the client revalidates every streamed
 // block (roster signature, parent rule, predecessor closure) by inserting
@@ -16,14 +41,21 @@
 // forged, or ill-ordered stream aborts the pull with an error; blocks
 // validated before the abort are genuine (their signatures verified) and
 // may be kept, so a malicious server can at worst serve less than it
-// promised — never corrupt the client. Missing remainder arrives via the
-// gossip layer's per-block FWD path, which stays the fallback whenever
-// bulk sync fails.
+// promised — never corrupt the client. The done summary catches silent
+// truncation. A peer lying in a watermark answer is equally bounded:
+// claiming too little makes the client skip one pull, claiming too much
+// costs the client one delta round trip whose blocks are then fully
+// validated. Requesters are untrusted too: both calls pass the same
+// admission policy (per-peer in-flight cap, optional token bucket),
+// refused with ErrThrottled before any disk is touched, so the cheap
+// call cannot be used to sidestep the throttle on the expensive one.
 package syncsvc
 
 import (
 	"errors"
 	"fmt"
+	"iter"
+	"slices"
 	"strings"
 	"sync"
 	"time"
@@ -38,16 +70,26 @@ import (
 )
 
 // Wire constants of the sync protocol (inside transport call frames).
+// The first byte of a request selects the call: reqVersion opens a bulk
+// delta stream, reqWatermarks a watermark exchange.
 const (
-	// reqVersion versions the request encoding, independently of the
-	// transport version.
+	// reqVersion versions the delta (bulk pull) request encoding,
+	// independently of the transport version.
 	reqVersion byte = 1
+	// reqWatermarks asks the server for its own per-builder watermark
+	// vector — the cheap "how far are you?" probe the live follower
+	// sends every period, so a delta stream is only opened when the
+	// peer actually holds something new.
+	reqWatermarks byte = 2
 
 	// frameBlocks carries a batch of encoded blocks.
 	frameBlocks byte = 1
 	// frameDone ends the stream with the total number of blocks sent,
 	// letting the client flag a server that closed early.
 	frameDone byte = 2
+	// frameWatermarks answers a reqWatermarks call: the server's own
+	// watermark vector in one frame.
+	frameWatermarks byte = 3
 
 	// maxWatermarks bounds a request's watermark list (a roster is
 	// uint16-indexed, so this is generous).
@@ -71,15 +113,35 @@ type Watermark struct {
 	NextSeq uint64
 }
 
-// EncodeRequest renders a catch-up request.
-func EncodeRequest(wms []Watermark) []byte {
-	w := wire.NewWriter(2 + len(wms)*6)
-	w.Byte(reqVersion)
+// encodeWatermarkList renders one watermark vector (shared by the delta
+// request and the watermark-exchange frame).
+func encodeWatermarkList(w *wire.Writer, wms []Watermark) {
 	w.Uvarint(uint64(len(wms)))
 	for _, wm := range wms {
 		w.Uint16(uint16(wm.Builder))
 		w.Uvarint(wm.NextSeq)
 	}
+}
+
+// decodeWatermarkList inverts encodeWatermarkList; the caller closes the
+// reader.
+func decodeWatermarkList(r *wire.Reader) []Watermark {
+	n := r.Count(maxWatermarks)
+	wms := make([]Watermark, 0, n)
+	for i := 0; i < n; i++ {
+		wms = append(wms, Watermark{
+			Builder: types.ServerID(r.Uint16()),
+			NextSeq: r.Uvarint(),
+		})
+	}
+	return wms
+}
+
+// EncodeRequest renders a catch-up (delta) request.
+func EncodeRequest(wms []Watermark) []byte {
+	w := wire.NewWriter(2 + len(wms)*6)
+	w.Byte(reqVersion)
+	encodeWatermarkList(w, wms)
 	return w.Bytes()
 }
 
@@ -89,14 +151,7 @@ func DecodeRequest(data []byte) ([]Watermark, error) {
 	if v := r.Byte(); r.Err() == nil && v != reqVersion {
 		return nil, fmt.Errorf("syncsvc: unknown request version %d", v)
 	}
-	n := r.Count(maxWatermarks)
-	wms := make([]Watermark, 0, n)
-	for i := 0; i < n; i++ {
-		wms = append(wms, Watermark{
-			Builder: types.ServerID(r.Uint16()),
-			NextSeq: r.Uvarint(),
-		})
-	}
+	wms := decodeWatermarkList(r)
 	if err := r.Close(); err != nil {
 		return nil, fmt.Errorf("syncsvc: bad request: %w", err)
 	}
@@ -108,21 +163,42 @@ func DecodeRequest(data []byte) ([]Watermark, error) {
 // blocks form a single unbroken chain from 0, and is omitted (ask for
 // everything) when the builder is absent, forked, or gappy — watermarks
 // are a bandwidth optimization, and only an exact chain prefix can be
-// skipped safely.
+// skipped safely. The vector is sorted by builder, so equal block sets
+// encode identically.
 func Watermarks(blocks []*block.Block) []Watermark {
+	seen := make(map[block.Ref]struct{}, len(blocks))
+	return watermarksSeq(func(yield func(*block.Block) bool) {
+		for _, b := range blocks {
+			if _, dup := seen[b.Ref()]; dup {
+				continue
+			}
+			seen[b.Ref()] = struct{}{}
+			if !yield(b) {
+				return
+			}
+		}
+	})
+}
+
+// DAGWatermarks is Watermarks over a DAG's blocks, without materializing
+// them: the vector a live follower sends with its delta pulls. A DAG
+// never holds a gappy chain (the parent rule forces prefix closure), so
+// only equivocating builders are omitted.
+func DAGWatermarks(d *dag.DAG) []Watermark {
+	return watermarksSeq(d.All())
+}
+
+// watermarksSeq computes the watermark vector over a deduplicated block
+// sequence.
+func watermarksSeq(blocks iter.Seq[*block.Block]) []Watermark {
 	type chain struct {
 		count  int
 		maxSeq uint64
 		forked bool
 	}
 	chains := make(map[types.ServerID]*chain)
-	seen := make(map[block.Ref]struct{}, len(blocks))
-	slots := make(map[[2]uint64]struct{}, len(blocks))
-	for _, b := range blocks {
-		if _, dup := seen[b.Ref()]; dup {
-			continue
-		}
-		seen[b.Ref()] = struct{}{}
+	slots := make(map[[2]uint64]struct{})
+	for b := range blocks {
 		c := chains[b.Builder]
 		if c == nil {
 			c = &chain{}
@@ -138,13 +214,18 @@ func Watermarks(blocks []*block.Block) []Watermark {
 			c.maxSeq = b.Seq
 		}
 	}
-	var wms []Watermark
+	// Non-nil even when empty: an empty vector is a real answer ("I
+	// hold nothing skippable"), distinct from a nil "no source".
+	wms := make([]Watermark, 0, len(chains))
 	for builder, c := range chains {
 		if c.forked || uint64(c.count) != c.maxSeq+1 {
 			continue
 		}
 		wms = append(wms, Watermark{Builder: builder, NextSeq: c.maxSeq + 1})
 	}
+	slices.SortFunc(wms, func(a, b Watermark) int {
+		return int(a.Builder) - int(b.Builder)
+	})
 	return wms
 }
 
@@ -204,16 +285,19 @@ type Drops struct {
 	Rate int64
 }
 
-// Server serves catch-up requests on transport.ChanSync. It is safe for
+// Server serves the sync channel's calls — delta (catch-up) streams and
+// watermark-exchange queries — on transport.ChanSync. It is safe for
 // concurrent use (tcpnet invokes handlers on per-connection goroutines):
-// serving reads segment files from disk, never the owning Store's mutable
-// state.
+// serving reads segment files from disk (or the Watermarks live source),
+// never the owning Store's mutable state.
 //
-// Serving one request costs a full store scan plus its encoding — work a
-// byzantine peer could demand in a loop. Admission control bounds that:
-// a per-peer in-flight cap (always on) and an optional per-peer token
-// bucket (Every/Burst) refuse excess requests with ErrThrottled before
-// any disk is touched; refusals are tallied per cause in DropCounts.
+// Serving one delta request costs a full store scan plus its encoding —
+// work a byzantine peer could demand in a loop. Admission control bounds
+// that: a per-peer in-flight cap (always on) and an optional per-peer
+// token bucket (Every/Burst) refuse excess requests with ErrThrottled
+// before any disk is touched; refusals are tallied per cause in
+// DropCounts. Watermark queries pass the same gate, so the cheap call
+// cannot be used to sidestep the throttle on the expensive one.
 type Server struct {
 	// Store is the durable store to stream (its directory is re-scanned
 	// per request, so the stream reflects the disk at request time).
@@ -221,6 +305,17 @@ type Server struct {
 	// Source overrides the block source when non-nil — tests and
 	// memory-backed deployments. Called once per request.
 	Source func() ([]*block.Block, error)
+	// Watermarks, if non-nil, answers watermark-exchange queries without
+	// touching the block source — the cheap live path (package node wires
+	// its incrementally maintained WatermarkTracker; the cluster
+	// simulator reads the slot's DAG). When the field is nil, or the
+	// function returns a nil slice (meaning "no live source yet", as a
+	// late-bound runtime does during startup — distinct from an empty,
+	// non-nil vector), the vector is computed from the block source,
+	// which costs a full scan; admission control gates that exactly like
+	// a delta stream. The function must be safe for concurrent use when
+	// the transport serves handlers concurrently (tcpnet does).
+	Watermarks func() []Watermark
 	// ChunkBytes is the target batch frame size (default
 	// DefaultChunkBytes, capped under wire.MaxFrame).
 	ChunkBytes int
@@ -333,9 +428,13 @@ func (s *Server) burst() int {
 	return 4
 }
 
-// ServeCall implements transport.Handler: admit the request, decode the
-// watermarks, stream every block on disk they do not cover, close with a
-// done summary.
+// ServeCall implements transport.Handler: admit the request, then
+// dispatch on its kind — answer a watermark-exchange query with this
+// server's own vector in one frame, or decode the delta request's
+// watermarks and stream every block on disk they do not cover, closing
+// with a done summary. Both kinds pass the same admission policy, so a
+// byzantine peer cannot sidestep the throttle by hammering the cheaper
+// call.
 func (s *Server) ServeCall(from types.ServerID, req []byte, st transport.ServerStream) {
 	if !s.admit(from) {
 		// Refused before any disk read or decode: admission is the
@@ -344,6 +443,10 @@ func (s *Server) ServeCall(from types.ServerID, req []byte, st transport.ServerS
 		return
 	}
 	defer s.release(from)
+	if len(req) == 1 && req[0] == reqWatermarks {
+		s.serveWatermarks(st)
+		return
+	}
 	wms, err := DecodeRequest(req)
 	if err != nil {
 		st.Close(err)
@@ -402,6 +505,28 @@ func (s *Server) ServeCall(from types.ServerID, req []byte, st transport.ServerS
 	st.Close(nil)
 }
 
+// serveWatermarks answers one watermark-exchange query: the configured
+// live vector when available, otherwise one computed from the block
+// source (a full scan — the admission policy already charged for it).
+func (s *Server) serveWatermarks(st transport.ServerStream) {
+	var wms []Watermark
+	if s.Watermarks != nil {
+		wms = s.Watermarks()
+	}
+	if wms == nil {
+		blocks, err := s.load()
+		if err != nil {
+			st.Close(fmt.Errorf("syncsvc: load store: %w", err))
+			return
+		}
+		wms = Watermarks(blocks)
+	}
+	if err := st.Send(EncodeWatermarkFrame(wms)); err != nil {
+		return // stream lost; nothing left to tell anyone
+	}
+	st.Close(nil)
+}
+
 // load fetches the blocks to serve.
 func (s *Server) load() ([]*block.Block, error) {
 	if s.Source != nil {
@@ -436,12 +561,32 @@ var _ transport.CallSink = (*Pull)(nil)
 // (topological order, as recovered from a store; nil for a fresh
 // replica). maxBlocks caps accepted blocks; 0 means DefaultMaxBlocks.
 func NewPull(roster *crypto.Roster, have []*block.Block, maxBlocks int) (*Pull, error) {
+	return newPull(roster, have, maxBlocks, false)
+}
+
+// NewPullTrusted is NewPull for a seed the caller already validated in
+// full — blocks read back from its own DAG or store. Seeding skips the
+// per-block Ed25519 verification (structural checks still run), which is
+// what keeps a frequent follower's delta pulls O(delta) in signature
+// work instead of O(DAG). Blocks received from the peer are validated
+// exactly as in NewPull; only the seed is trusted.
+func NewPullTrusted(roster *crypto.Roster, have []*block.Block, maxBlocks int) (*Pull, error) {
+	return newPull(roster, have, maxBlocks, true)
+}
+
+func newPull(roster *crypto.Roster, have []*block.Block, maxBlocks int, trustSeed bool) (*Pull, error) {
 	if roster == nil {
 		return nil, errors.New("syncsvc: pull needs a roster")
 	}
 	scratch := dag.New(roster)
 	for _, b := range have {
-		if err := scratch.Insert(b); err != nil {
+		var err error
+		if trustSeed {
+			err = scratch.InsertVerified(b)
+		} else {
+			err = scratch.Insert(b)
+		}
+		if err != nil {
 			return nil, fmt.Errorf("syncsvc: seed block %v: %w", b.Ref(), err)
 		}
 	}

@@ -128,6 +128,8 @@ type Transport struct {
 	rejects     int64 // handshake rejections (version mismatch, bad frame, auth)
 	authRejects int64 // the subset of rejects where peer authentication failed
 	authFails   int64 // outbound handshakes where the listener failed to prove itself
+	callsOpened int64 // Call invocations issued toward peers
+	callsServed int64 // inbound calls dispatched to a handler
 }
 
 var _ transport.Transport = (*Transport)(nil)
@@ -243,6 +245,23 @@ func (t *Transport) AuthFailures() int64 {
 	return t.authFails
 }
 
+// CallsOpened returns the number of request/response calls this
+// transport has issued toward peers (watermark polls, delta pulls, bulk
+// catch-up) — successful or not.
+func (t *Transport) CallsOpened() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.callsOpened
+}
+
+// CallsServed returns the number of inbound calls dispatched to a
+// channel handler — the serving-side mirror of CallsOpened.
+func (t *Transport) CallsServed() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.callsServed
+}
+
 // Send implements transport.Transport: enqueue for the peer's sender
 // goroutine, envelope (channel byte) included. Unknown destinations are
 // dropped (they cannot be correct servers: the peer table covers the
@@ -271,6 +290,7 @@ func (t *Transport) Send(to types.ServerID, ch transport.Channel, payload []byte
 func (t *Transport) Call(to types.ServerID, ch transport.Channel, req []byte, sink transport.CallSink) func() {
 	t.mu.Lock()
 	p, ok := t.peers[to]
+	t.callsOpened++
 	t.mu.Unlock()
 	ctx, cancel := context.WithCancel(t.ctx)
 	if !ok || !ch.Valid() {
@@ -693,6 +713,9 @@ func (t *Transport) serveCall(conn net.Conn, from types.ServerID, ch transport.C
 		t.writeCallError(conn, transport.ErrNoHandler)
 		return
 	}
+	t.mu.Lock()
+	t.callsServed++
+	t.mu.Unlock()
 	st := &connStream{conn: conn, ctx: t.ctx, writeTimeout: t.cfg.CallTimeout}
 	h.ServeCall(from, req, st)
 	// A handler that returns without closing leaves the caller waiting.

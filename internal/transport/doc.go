@@ -13,10 +13,12 @@
 //     (blocks and FWD requests). Its delivery contract is the paper's
 //     Assumption 1: a payload sent between two correct servers eventually
 //     arrives; ordering, duplication, and timing are unconstrained.
-//   - ChanSync carries the bulk state-transfer service (package syncsvc):
+//   - ChanSync carries the state-transfer service (package syncsvc):
 //     request/response streams with explicit failure, used by a recovering
-//     replica to pull a peer's store instead of re-fetching the DAG one
-//     FWD round trip at a time.
+//     replica to pull a peer's store in bulk, and by running nodes'
+//     live-follower loops to exchange watermark vectors and pull missing
+//     suffixes — instead of re-fetching the DAG one FWD round trip at a
+//     time.
 //
 // Receivers register one Endpoint per channel (one-way payloads) and one
 // Handler per channel (request/response streams); transports demultiplex

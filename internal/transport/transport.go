@@ -28,8 +28,9 @@ const (
 	// ChanGossip carries Algorithm 1 traffic: blocks and FWD requests,
 	// under Assumption 1 (fire-and-forget, eventual delivery).
 	ChanGossip Channel = 1
-	// ChanSync carries the bulk state-transfer service: request/response
-	// streams with explicit failure semantics.
+	// ChanSync carries the state-transfer service (bulk catch-up
+	// streams and the live follower's watermark exchange):
+	// request/response streams with explicit failure semantics.
 	ChanSync Channel = 2
 )
 
