@@ -85,7 +85,7 @@ bench:
 
 # HOT_BENCH names the hot-path benchmarks whose ns/op regressions fail
 # bench-compare (sub-benchmarks included; see benchjson -hot matching).
-HOT_BENCH ?= BenchmarkReaches,BenchmarkTipRetirement,BenchmarkE12_DeepDAG,BenchmarkCatchUp,BenchmarkLiveFollow,BenchmarkAppend
+HOT_BENCH ?= BenchmarkReaches,BenchmarkTipRetirement,BenchmarkE12_DeepDAG,BenchmarkCatchUp,BenchmarkLiveFollow,BenchmarkAppend,BenchmarkIngest,BenchmarkVerifyBatch
 
 .PHONY: bench-compare
 # bench-compare diffs a fresh benchmark document (BENCH_OUT) against the

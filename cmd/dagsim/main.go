@@ -50,6 +50,10 @@ func run() error {
 		storeDir  = flag.String("store-dir", "", "journal every server's blocks to a durable store under this directory (inspect with dagstore)")
 		ckptSegs  = flag.Int("checkpoint-segments", 0, "with -store-dir: checkpoint a server's store after a round leaves it with at least N WAL segments (0 disables)")
 		follow    = flag.Duration("follow", 0, "run the live-follower loop on every server: poll a rotating peer's watermarks this often (simulated time) and pull missing suffixes over the sync channel (0 disables)")
+		mpoolCap  = flag.Int("mempool-cap", 0, "give every server a real ingestion mempool with this capacity: dedup, validation, backpressure (0 = plain FIFO)")
+		loadRound = flag.Int("load-per-round", 0, "submit this many synthetic client requests per server before every round (deterministic labels load/s<i>/<seq>)")
+		verifyWrk = flag.Int("verify-workers", 0, "batched signature-verification goroutines per server (0 = GOMAXPROCS, 1 = serial)")
+		batch     = flag.Int("max-batch", 0, "max requests per block (0 = instances+1)")
 		verbose   = flag.Bool("v", false, "print per-server metrics")
 	)
 	flag.Parse()
@@ -71,6 +75,9 @@ func run() error {
 		}
 		*n = fixture.File.N()
 	}
+	if *batch == 0 {
+		*batch = *instances + 1
+	}
 	var sigs crypto.Counters
 	c, err := cluster.New(cluster.Options{
 		N:           *n,
@@ -81,11 +88,14 @@ func run() error {
 		Jitter:      *jitter,
 		Drop:        *drop,
 		SigCounters: &sigs,
-		MaxBatch:    *instances + 1,
+		MaxBatch:    *batch,
 		StoreDir:    *storeDir,
 
 		CheckpointEverySegments: *ckptSegs,
 		FollowEvery:             *follow,
+		MempoolCapacity:         *mpoolCap,
+		LoadPerRound:            *loadRound,
+		VerifyWorkers:           *verifyWrk,
 	})
 	if err != nil {
 		return err
@@ -109,15 +119,19 @@ func run() error {
 	}
 
 	// Run until every correct server has delivered every instance (or
-	// the round budget runs out).
+	// the round budget runs out). Matching the workload's labels exactly
+	// keeps the condition honest when -load-per-round adds synthetic
+	// traffic with its own labels.
 	done := func() bool {
 		for _, srv := range c.CorrectServers() {
 			seen := make(map[types.Label]bool)
 			for _, ind := range c.Indications(srv) {
 				seen[ind.Label] = true
 			}
-			if len(seen) < *instances {
-				return false
+			for _, l := range labels {
+				if !seen[l] {
+					return false
+				}
 			}
 		}
 		return true
@@ -171,6 +185,22 @@ func run() error {
 	}
 	if eqs := c.Servers[c.CorrectServers()[0]].DAG().Equivocations(); len(eqs) > 0 {
 		fmt.Printf("equivocations          %d\n", len(eqs))
+	}
+	if *mpoolCap > 0 {
+		var magg struct {
+			submitted, accepted, dups, invalid, overflow, drained int64
+		}
+		for _, i := range c.CorrectServers() {
+			ms := c.MempoolStats(i)
+			magg.submitted += ms.Submitted
+			magg.accepted += ms.Accepted
+			magg.dups += ms.Duplicates
+			magg.invalid += ms.Invalid
+			magg.overflow += ms.Overflow
+			magg.drained += ms.Drained
+		}
+		fmt.Printf("mempool                %d submitted / %d accepted / %d drained into blocks (%d dup, %d invalid, %d overflow)\n",
+			magg.submitted, magg.accepted, magg.drained, magg.dups, magg.invalid, magg.overflow)
 	}
 	if *follow > 0 {
 		var fagg cluster.FollowStats

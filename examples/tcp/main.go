@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"blockdag/internal/core"
+	"blockdag/internal/mempool"
 	"blockdag/internal/node"
 	"blockdag/internal/protocols/brb"
 	"blockdag/internal/roster"
@@ -82,6 +83,7 @@ func run() error {
 		follow     = flag.Duration("follow", 0, "with -store-dir and -catchup: poll a rotating peer's watermarks this often and pull any missing suffix live (0 disables)")
 		ckptSegs   = flag.Int("checkpoint-segments", 4, "with -store-dir: checkpoint the store every N WAL segments (0 disables)")
 		ckptBytes  = flag.Int64("checkpoint-bytes", 0, "with -store-dir: checkpoint the store when it grows N bytes (0 disables)")
+		mpoolCap   = flag.Int("mempool", 0, "ingestion mempool capacity: requests deduplicate, validate, and hit backpressure before block inclusion (0 = plain FIFO)")
 	)
 	flag.Parse()
 
@@ -99,6 +101,7 @@ func run() error {
 		follow:    *follow,
 		ckptSegs:  *ckptSegs,
 		ckptBytes: *ckptBytes,
+		mpoolCap:  *mpoolCap,
 		timeout:   *timeout,
 	}
 
@@ -119,6 +122,7 @@ type runOpts struct {
 	follow    time.Duration
 	ckptSegs  int
 	ckptBytes int64
+	mpoolCap  int
 	timeout   time.Duration
 }
 
@@ -221,7 +225,7 @@ func (s *server) connectPeers(addrOf func(types.ServerID) string) error {
 
 // boot builds the core server and node runtime and starts the loop.
 func (s *server) boot(opts runOpts) error {
-	srv, err := core.NewServer(core.Config{
+	ccfg := core.Config{
 		Roster:    s.identity.Roster,
 		Signer:    s.identity.Signer,
 		Protocol:  brb.Protocol{},
@@ -232,7 +236,14 @@ func (s *server) boot(opts runOpts) error {
 			defer s.mu.Unlock()
 			s.delivered[label] = string(value)
 		},
-	})
+	}
+	if opts.mpoolCap > 0 {
+		// A real ingestion pool in front of block production: client
+		// submissions deduplicate, validate, and see backpressure via
+		// node.Node.Submit; received blocks batch-verify on ingest.
+		ccfg.Mempool = mempool.New(mempool.Options{Capacity: opts.mpoolCap})
+	}
+	srv, err := core.NewServer(ccfg)
 	if err != nil {
 		return err
 	}
@@ -324,7 +335,9 @@ func runOne(rosterPath, keyPath, listen string, opts runOpts) error {
 	// The workload: every member broadcasts one greeting; we are done
 	// when all n greetings delivered here.
 	label := types.Label(fmt.Sprintf("greet/s%d", identity.ID()))
-	s.nd.Request(label, []byte(fmt.Sprintf("hello from s%d", identity.ID())))
+	if err := s.nd.Submit(label, []byte(fmt.Sprintf("hello from s%d", identity.ID()))); err != nil {
+		return fmt.Errorf("s%d submit: %w", identity.ID(), err)
+	}
 
 	deadline := time.Now().Add(opts.timeout)
 	for s.deliveredCount() < file.N() {
@@ -343,6 +356,7 @@ func runOne(rosterPath, keyPath, listen string, opts runOpts) error {
 		return fmt.Errorf("node unhealthy: %w", err)
 	}
 	s.printFollow(opts)
+	s.printMempool()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	fmt.Printf("s%d delivered all %d broadcasts:\n", identity.ID(), file.N())
@@ -350,6 +364,20 @@ func runOne(rosterPath, keyPath, listen string, opts runOpts) error {
 		fmt.Printf("  %s=%s\n", label, value)
 	}
 	return nil
+}
+
+// printMempool reports the ingestion pool's counters (with -mempool).
+func (s *server) printMempool() {
+	if s.nd == nil {
+		return
+	}
+	pool := s.nd.Server().Mempool()
+	if pool == nil {
+		return
+	}
+	ms := pool.Stats()
+	fmt.Printf("s%d mempool: %d submitted, %d accepted, %d drained into blocks (%d dup, %d invalid, %d overflow)\n",
+		s.identity.ID(), ms.Submitted, ms.Accepted, ms.Drained, ms.Duplicates, ms.Invalid, ms.Overflow)
 }
 
 // printFollow reports the live-follower loop's activity (with -follow).
@@ -411,9 +439,15 @@ func runAllInOne(opts runOpts) error {
 		}
 	}
 
-	// The workload: two broadcasts submitted at different servers.
-	servers[0].nd.Request("greeting", []byte("hello over TCP"))
-	servers[2].nd.Request("number", []byte("42"))
+	// The workload: two broadcasts submitted at different servers,
+	// through the backpressure-aware entry point (a no-op distinction
+	// without -mempool; the admission verdict with it).
+	if err := servers[0].nd.Submit("greeting", []byte("hello over TCP")); err != nil {
+		return fmt.Errorf("s0 submit: %w", err)
+	}
+	if err := servers[2].nd.Submit("number", []byte("42")); err != nil {
+		return fmt.Errorf("s2 submit: %w", err)
+	}
 
 	deadline := time.Now().Add(opts.timeout)
 	for {
@@ -443,6 +477,7 @@ func runAllInOne(opts runOpts) error {
 			return fmt.Errorf("node unhealthy: %w", err)
 		}
 		s.printFollow(perServerOpts[i])
+		s.printMempool()
 	}
 	fmt.Println("\nall four servers delivered both broadcasts; every connection was mutually authenticated")
 	return nil

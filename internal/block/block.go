@@ -44,7 +44,20 @@ const (
 	MaxPreds = 1 << 16
 	// MaxRequests bounds the request list of a single block.
 	MaxRequests = 1 << 16
+	// MaxPayloadBytes bounds the cumulative request payload of a single
+	// block: the sum of len(Label)+len(Data) over its rs field.
+	// MaxRequests bounds the element count but not the bytes, so without
+	// this budget a hostile peer could force multi-megabyte allocations
+	// per block before the signature is ever checked. Producers must stay
+	// under it or every correct peer discards their blocks; the mempool's
+	// drain byte budget keeps honest builders below it by construction.
+	MaxPayloadBytes = 4 << 20
 )
+
+// ErrPayloadTooLarge reports a decoded block whose cumulative request
+// payload exceeds MaxPayloadBytes. Decoding aborts before the oversized
+// request data is retained.
+var ErrPayloadTooLarge = errors.New("block: request payload exceeds budget")
 
 // Block is one block of Definition 3.1. Blocks are immutable once sealed
 // (signed); all mutation happens through the Builder in package gossip
@@ -171,10 +184,16 @@ func Decode(data []byte) (*Block, error) {
 	nReqs := r.Count(MaxRequests)
 	if r.Err() == nil && nReqs > 0 {
 		b.Requests = make([]Request, nReqs)
+		payload := 0
 		for i := 0; i < nReqs; i++ {
 			b.Requests[i] = Request{
 				Label: types.Label(r.String()),
 				Data:  r.VarBytes(),
+			}
+			payload += len(b.Requests[i].Label) + len(b.Requests[i].Data)
+			if payload > MaxPayloadBytes {
+				return nil, fmt.Errorf("%w: %d bytes after %d requests, budget %d",
+					ErrPayloadTooLarge, payload, i+1, MaxPayloadBytes)
 			}
 		}
 	}
@@ -191,4 +210,18 @@ func Decode(data []byte) (*Block, error) {
 // candidate is actually referenced in b.Preds.
 func (b *Block) ParentOf(candidate *Block) bool {
 	return candidate.Builder == b.Builder && !b.IsGenesis() && candidate.Seq == b.Seq-1
+}
+
+// VerifyBatch checks Definition 3.3(i) — builder membership and signature
+// — for many blocks at once, amortizing the Ed25519 work across workers
+// goroutines (0 = GOMAXPROCS, 1 = serial; see crypto.Roster.VerifyBatch).
+// The verdicts are positionally aligned with blocks and independent of
+// worker count. Blocks must be sealed or decoded (a zero reference fails
+// its signature check, as it should).
+func VerifyBatch(roster *crypto.Roster, blocks []*Block, workers int) []bool {
+	items := make([]crypto.BatchItem, len(blocks))
+	for i, b := range blocks {
+		items[i] = crypto.BatchItem{ID: b.Builder, Msg: b.ref[:], Sig: b.Sig}
+	}
+	return roster.VerifyBatch(items, workers)
 }

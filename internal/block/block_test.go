@@ -2,6 +2,7 @@ package block
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -125,6 +126,26 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 		if _, err := Decode(in); err == nil {
 			t.Errorf("input %d: Decode succeeded on garbage", i)
 		}
+	}
+}
+
+func TestDecodeRejectsOversizedPayload(t *testing.T) {
+	_, signers := fixture(t)
+	chunk := make([]byte, 1<<20)
+	over := make([]Request, 0, 5)
+	for i := 0; i < 5; i++ { // 5 MiB of payload against a 4 MiB budget
+		over = append(over, Request{Label: types.Label(rune('a' + i)), Data: chunk})
+	}
+	b := sealed(t, signers[0], 0, nil, over)
+	if _, err := Decode(b.Encode()); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("Decode of oversized block: err = %v, want ErrPayloadTooLarge", err)
+	}
+	// Just under the budget decodes fine: the limit is on the payload
+	// sum, not the request count.
+	under := []Request{{Label: "big", Data: make([]byte, MaxPayloadBytes-10)}}
+	b = sealed(t, signers[0], 0, nil, under)
+	if _, err := Decode(b.Encode()); err != nil {
+		t.Fatalf("Decode of in-budget block: %v", err)
 	}
 }
 

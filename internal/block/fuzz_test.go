@@ -27,11 +27,29 @@ func FuzzDecode(f *testing.F) {
 	f.Add(child.Encode())
 	f.Add([]byte{})
 	f.Add([]byte{0x01, 0x02, 0x03})
+	// Seed an over-budget encoding so the payload-limit branch is in the
+	// corpus from the start.
+	oversized := New(0, 0, nil, []Request{
+		{Label: "big", Data: make([]byte, MaxPayloadBytes)},
+	})
+	if err := oversized.Seal(signers[0]); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(oversized.Encode())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		b, err := Decode(data)
 		if err != nil {
 			return
+		}
+		// Budget invariant: no accepted block's cumulative request
+		// payload may exceed the decode-side limit.
+		payload := 0
+		for _, rq := range b.Requests {
+			payload += len(rq.Label) + len(rq.Data)
+		}
+		if payload > MaxPayloadBytes {
+			t.Fatalf("accepted block carries %d payload bytes, budget %d", payload, MaxPayloadBytes)
 		}
 		re, err := Decode(b.Encode())
 		if err != nil {

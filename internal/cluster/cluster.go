@@ -20,6 +20,7 @@ import (
 	"blockdag/internal/core"
 	"blockdag/internal/crypto"
 	"blockdag/internal/gossip"
+	"blockdag/internal/mempool"
 	"blockdag/internal/metrics"
 	"blockdag/internal/protocol"
 	"blockdag/internal/roster"
@@ -93,6 +94,25 @@ type Options struct {
 
 	// MaxBatch caps requests per block (0 = gossip default).
 	MaxBatch int
+	// MempoolCapacity, if > 0, gives every correct server a real
+	// ingestion pool (core.Config.Mempool) with that capacity instead of
+	// the plain rqsts FIFO: submissions deduplicate, validate, and hit
+	// backpressure exactly as in production. Recovered servers get a
+	// fresh pool (a mempool is volatile state; queued requests do not
+	// survive a crash).
+	MempoolCapacity int
+	// LoadPerRound, if > 0, submits that many synthetic client requests
+	// at every correct server before each dissemination round — a
+	// deterministic stand-in for client traffic, labeled
+	// "load/s<slot>/<seq>" with the sequence number as payload so every
+	// request is unique and runs reproduce exactly. Works with or
+	// without a mempool.
+	LoadPerRound int
+	// VerifyWorkers sets the batched signature-verification parallelism
+	// of every server (core.Config.VerifyWorkers): 0 = GOMAXPROCS,
+	// 1 = serial. Verdicts are worker-count independent, so simulation
+	// determinism is unaffected.
+	VerifyWorkers int
 	// SigCounters, if non-nil, tallies every signature operation of
 	// every server (experiment E10).
 	SigCounters *crypto.Counters
@@ -141,11 +161,18 @@ type Cluster struct {
 	// Options.StoreDir was set (nil otherwise, and for byzantine and
 	// crashed slots).
 	Stores []*store.Store
+	// Pools holds each correct server's ingestion pool when
+	// Options.MempoolCapacity was set (nil otherwise, and for byzantine
+	// and crashed slots until recovery).
+	Pools []*mempool.Pool
 
 	opts     Options
 	interval time.Duration
 	inds     [][]Indication
 	follow   []followState
+	// loadSeq numbers each slot's synthetic requests across rounds and
+	// recoveries, keeping LoadPerRound traffic unique and reproducible.
+	loadSeq []uint64
 }
 
 // followState is one slot's live-follower bookkeeping.
@@ -236,10 +263,12 @@ func New(opts Options) (*Cluster, error) {
 		Servers:  make([]*core.Server, opts.N),
 		Metrics:  make([]*metrics.Metrics, opts.N),
 		Stores:   make([]*store.Store, opts.N),
+		Pools:    make([]*mempool.Pool, opts.N),
 		opts:     opts,
 		interval: opts.Interval,
 		inds:     make([][]Indication, opts.N),
 		follow:   make([]followState, opts.N),
+		loadSeq:  make([]uint64, opts.N),
 	}
 	for i := 0; i < opts.N; i++ {
 		if byz[i] {
@@ -253,13 +282,15 @@ func New(opts Options) (*Cluster, error) {
 			return nil, err
 		}
 		cfg := core.Config{
-			Roster:    cryptoRoster,
-			Signer:    signers[i],
-			Protocol:  opts.Protocol,
-			Transport: net.Transport(id),
-			Clock:     net.Now,
-			Metrics:   m,
-			MaxBatch:  opts.MaxBatch,
+			Roster:        cryptoRoster,
+			Signer:        signers[i],
+			Protocol:      opts.Protocol,
+			Transport:     net.Transport(id),
+			Clock:         net.Now,
+			Metrics:       m,
+			MaxBatch:      opts.MaxBatch,
+			VerifyWorkers: opts.VerifyWorkers,
+			Mempool:       c.newPool(i),
 			OnIndication: func(label types.Label, value []byte) {
 				c.inds[idx] = append(c.inds[idx], Indication{
 					Server: id, Label: label, Value: value,
@@ -340,9 +371,54 @@ func (c *Cluster) openStore(slot int) (*store.Store, error) {
 	return st, nil
 }
 
+// newPool builds (and records) one slot's ingestion pool when
+// Options.MempoolCapacity asks for one; nil otherwise.
+func (c *Cluster) newPool(slot int) *mempool.Pool {
+	if c.opts.MempoolCapacity <= 0 {
+		return nil
+	}
+	c.Pools[slot] = mempool.New(mempool.Options{Capacity: c.opts.MempoolCapacity})
+	return c.Pools[slot]
+}
+
 // Request submits a user request at the given correct server.
 func (c *Cluster) Request(server int, label types.Label, data []byte) {
 	c.Servers[server].Request(label, data)
+}
+
+// Submit is the backpressure-aware form of Request: on a cluster with
+// mempools it returns the admission verdict (mempool.ErrFull,
+// mempool.ErrDuplicate, a validation error); without them it always
+// accepts.
+func (c *Cluster) Submit(server int, label types.Label, data []byte) error {
+	return c.Servers[server].Submit(label, data)
+}
+
+// MempoolStats returns one slot's pool counters; the zero value when the
+// cluster runs without mempools (or the slot is down).
+func (c *Cluster) MempoolStats(slot int) mempool.Stats {
+	if c.Pools[slot] == nil {
+		return mempool.Stats{}
+	}
+	return c.Pools[slot].Stats()
+}
+
+// injectLoad submits one round's synthetic client requests at a slot:
+// Options.LoadPerRound unique, deterministically labeled requests, the
+// simulator's stand-in for client traffic.
+func (c *Cluster) injectLoad(slot int) {
+	srv := c.Servers[slot]
+	if srv == nil || c.opts.LoadPerRound <= 0 {
+		return
+	}
+	for k := 0; k < c.opts.LoadPerRound; k++ {
+		seq := c.loadSeq[slot]
+		c.loadSeq[slot]++
+		label := types.Label(fmt.Sprintf("load/s%d/%d", slot, seq))
+		// Admission can fail under backpressure; synthetic load is
+		// best-effort by design, and the pool counts the overflow.
+		_ = srv.Submit(label, []byte(fmt.Sprintf("r%d", seq)))
+	}
 }
 
 // RunRounds schedules `rounds` dissemination rounds — every correct server
@@ -359,6 +435,7 @@ func (c *Cluster) RunRounds(rounds int) error {
 			slot := i
 			stagger := time.Duration(i) * time.Millisecond
 			c.Net.After(at+stagger, func() {
+				c.injectLoad(slot)
 				srv.Tick(c.Net.Now())
 				if err := srv.Disseminate(); err != nil {
 					// Recorded by Health below; dissemination
@@ -592,6 +669,9 @@ func (c *Cluster) Crash(slot int) {
 		st.Abandon()
 	}
 	c.Stores[slot] = nil
+	// The mempool is volatile state: queued requests die with the
+	// process, exactly as in production. Recovery builds a fresh pool.
+	c.Pools[slot] = nil
 	c.Net.Deregister(types.ServerID(slot))
 }
 
@@ -702,6 +782,8 @@ func (c *Cluster) recoverServer(slot int, proto protocol.Protocol, stored []*blo
 		Transport:          c.Net.Transport(id),
 		Clock:              c.Net.Now,
 		Metrics:            m,
+		VerifyWorkers:      c.opts.VerifyWorkers,
+		Mempool:            c.newPool(slot),
 		CompressReferences: compress,
 		OnIndication: func(label types.Label, value []byte) {
 			c.inds[slot] = append(c.inds[slot], Indication{

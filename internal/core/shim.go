@@ -31,6 +31,7 @@ import (
 	"blockdag/internal/dag"
 	"blockdag/internal/gossip"
 	"blockdag/internal/interpret"
+	"blockdag/internal/mempool"
 	"blockdag/internal/metrics"
 	"blockdag/internal/protocol"
 	"blockdag/internal/transport"
@@ -68,10 +69,24 @@ type Config struct {
 	// local disk trouble.
 	OnPersist func(*block.Block) error
 
+	// Mempool, if non-nil, replaces the plain rqsts FIFO of Algorithm 3
+	// line 2 with a production ingestion pool: deduplication, per-request
+	// validation, and backpressure on Submit. Requests still reach blocks
+	// through the same gossip.RequestSource drain; only admission
+	// changes. With a mempool installed, Submit is the intended entry
+	// point (it surfaces admission errors); Request still works but
+	// swallows them.
+	Mempool *mempool.Pool
+
 	// Metrics, optional.
 	Metrics *metrics.Metrics
 	// MaxBatch bounds requests per block (0 = gossip default).
 	MaxBatch int
+	// VerifyWorkers is the goroutine count for batched signature
+	// verification — DeliverBatch ingest and the Restore replay
+	// (0 = GOMAXPROCS, 1 = serial). Verdicts are independent of the
+	// setting.
+	VerifyWorkers int
 	// ResendAfter is the FWD retry interval (0 = gossip default).
 	ResendAfter time.Duration
 	// FwdFallbackAfter is the FWD broadcast fallback threshold
@@ -96,7 +111,7 @@ type Server struct {
 	self   types.ServerID
 	cfg    Config
 	dag    *dag.DAG
-	rqsts  *requestQueue
+	rqsts  requestBuffer
 	gsp    *gossip.Gossip
 	interp *interpret.Interpreter
 
@@ -128,10 +143,14 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, errors.New("core: config needs a Clock")
 	}
 	s := &Server{
-		self:  cfg.Signer.ID(),
-		cfg:   cfg,
-		dag:   dag.New(cfg.Roster),
-		rqsts: &requestQueue{},
+		self: cfg.Signer.ID(),
+		cfg:  cfg,
+		dag:  dag.New(cfg.Roster),
+	}
+	if cfg.Mempool != nil {
+		s.rqsts = cfg.Mempool
+	} else {
+		s.rqsts = &requestQueue{}
 	}
 
 	var interpOpts []interpret.Option
@@ -167,6 +186,7 @@ func NewServer(cfg Config) (*Server, error) {
 		MaxBatch:           cfg.MaxBatch,
 		ResendAfter:        cfg.ResendAfter,
 		FwdFallbackAfter:   cfg.FwdFallbackAfter,
+		VerifyWorkers:      cfg.VerifyWorkers,
 		CompressReferences: cfg.CompressReferences,
 	})
 	if err != nil {
@@ -183,9 +203,27 @@ func (s *Server) ID() types.ServerID { return s.self }
 // the next block. The request's journey: rqsts → block (Algorithm 1
 // line 15) → every server's DAG → every server's interpretation
 // (Algorithm 2 line 6) → indications.
+//
+// When a mempool is installed, admission can fail (duplicate, invalid,
+// pool full); Request keeps Algorithm 3's fire-and-forget signature and
+// discards the error. Client-facing callers should use Submit instead.
 func (s *Server) Request(label types.Label, data []byte) {
-	s.rqsts.Put(label, data)
+	_ = s.rqsts.Submit(label, data)
 }
+
+// Submit is the backpressure-aware form of Request: it reports whether
+// the request was admitted to the buffer. Without a mempool the plain
+// FIFO accepts everything and Submit never fails; with one, the error is
+// the mempool's admission verdict (mempool.ErrFull, mempool.ErrDuplicate,
+// a validation error) for the gateway to surface to its client.
+func (s *Server) Submit(label types.Label, data []byte) error {
+	return s.rqsts.Submit(label, data)
+}
+
+// Mempool returns the installed ingestion pool, or nil when the server
+// runs on the plain FIFO. The pool is safe for concurrent use, so
+// gateways may call Submit/Stats on it directly from client goroutines.
+func (s *Server) Mempool() *mempool.Pool { return s.cfg.Mempool }
 
 // PendingRequests returns the number of buffered, not yet embedded
 // requests.
@@ -194,6 +232,15 @@ func (s *Server) PendingRequests() int { return s.rqsts.Len() }
 // Deliver implements transport.Endpoint by feeding gossip.
 func (s *Server) Deliver(from types.ServerID, payload []byte) {
 	s.gsp.HandleMessage(from, payload)
+}
+
+// DeliverBatch feeds gossip a burst of wire payloads with the signature
+// checks amortized across Config.VerifyWorkers goroutines
+// (gossip.HandleMessages). State transitions are identical to calling
+// Deliver once per message in order; the node runtime uses this to drain
+// its inbound queue when delivery outpaces handling.
+func (s *Server) DeliverBatch(msgs []gossip.Message) {
+	s.gsp.HandleMessages(msgs)
 }
 
 // Disseminate implements Algorithm 3 lines 10–11: seal and broadcast the
@@ -301,10 +348,18 @@ func (s *Server) Restore(blocks []*block.Block) error {
 	// block (wrong roster, broken closure, bad signature) rejects the
 	// restore without touching the server: no partially populated DAG, no
 	// half-emitted indications, and the caller is free to retry on the
-	// same server with repaired input.
+	// same server with repaired input. The signatures — the expensive
+	// part of replaying a long log — are checked in one parallel batch;
+	// the structural checks then run serially in replay order via
+	// InsertVerified, so the first offending block is still reported
+	// deterministically.
+	sigOK := block.VerifyBatch(s.cfg.Roster, blocks, s.cfg.VerifyWorkers)
 	scratch := dag.New(s.cfg.Roster)
-	for _, b := range blocks {
-		if err := scratch.Insert(b); err != nil {
+	for i, b := range blocks {
+		if !sigOK[i] {
+			return fmt.Errorf("core: restore block %v: %w", b.Ref(), dag.ErrBadSignature)
+		}
+		if err := scratch.InsertVerified(b); err != nil {
 			return fmt.Errorf("core: restore block %v: %w", b.Ref(), err)
 		}
 	}
@@ -404,18 +459,32 @@ func OfflineInterpreter(
 	return it, d, nil
 }
 
+// requestBuffer is the rqsts seam: what the shim needs from its request
+// buffer. The plain requestQueue and mempool.Pool both satisfy it, so
+// Config.Mempool swaps the ingestion policy without touching the drain
+// path gossip sees.
+type requestBuffer interface {
+	gossip.RequestSource
+	// Submit admits one request, reporting the admission verdict.
+	Submit(label types.Label, data []byte) error
+	// Len is the number of buffered, not yet drained requests.
+	Len() int
+}
+
 // requestQueue is the rqsts buffer of Algorithm 3 line 2. It is a plain
 // FIFO; the owning state machine serializes access.
 type requestQueue struct {
 	items []block.Request
 }
 
-// Put implements rqsts.put(ℓ, r).
-func (q *requestQueue) Put(label types.Label, data []byte) {
+// Submit implements rqsts.put(ℓ, r). The plain FIFO admits everything;
+// the error is always nil (it exists to satisfy requestBuffer).
+func (q *requestQueue) Submit(label types.Label, data []byte) error {
 	q.items = append(q.items, block.Request{
 		Label: label,
 		Data:  append([]byte(nil), data...),
 	})
+	return nil
 }
 
 // Requeue returns drained requests to the front of the buffer in their

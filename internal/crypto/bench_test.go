@@ -1,6 +1,9 @@
 package crypto
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func BenchmarkHash(b *testing.B) {
 	data := make([]byte, 512)
@@ -36,6 +39,35 @@ func BenchmarkVerify(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if !roster.Verify(0, msg, sig) {
 			b.Fatal("verify failed")
+		}
+	}
+}
+
+// BenchmarkVerifyBatch measures the parallel verification pool against
+// the serial baseline across batch sizes: sigs/s should scale with cores
+// once the batch amortizes the goroutine handoff.
+func BenchmarkVerifyBatch(b *testing.B) {
+	roster, signers, err := LocalRoster(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{16, 64, 256} {
+		items := batchFixture(b, roster, signers, size)
+		for _, bc := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"parallel", 0}} {
+			b.Run(fmt.Sprintf("n=%d/%s", size, bc.name), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ok := roster.VerifyBatch(items, bc.workers)
+					if !ok[0] {
+						b.Fatal("verify failed")
+					}
+				}
+				b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "sigs/s")
+			})
 		}
 	}
 }

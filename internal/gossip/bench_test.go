@@ -82,6 +82,108 @@ func BenchmarkHandleBlockIngest(b *testing.B) {
 	b.ReportMetric(float64(len(payloads)), "blocks/op")
 }
 
+// benchMessages wraps benchBlocks-style schedules as Message values with
+// reqs requests riding in every block, for the batched ingest path.
+func benchMessages(b *testing.B, rounds, reqs int) ([]Message, *crypto.Roster) {
+	b.Helper()
+	roster, signers, err := crypto.LocalRoster(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	tips := make(map[int]block.Ref)
+	var msgs []Message
+	for r := 0; r < rounds; r++ {
+		prev := make(map[int]block.Ref, len(tips))
+		for k, v := range tips {
+			prev[k] = v
+		}
+		for i := 0; i < 4; i++ {
+			var preds []block.Ref
+			for j := 0; j < 4; j++ {
+				if tip, ok := prev[j]; ok {
+					preds = append(preds, tip)
+				}
+			}
+			rqs := make([]block.Request, reqs)
+			for q := range rqs {
+				rqs[q] = block.Request{
+					Label: types.Label(fmt.Sprintf("inst/%d-%d-%d", i, r, q)),
+					Data:  payload,
+				}
+			}
+			blk := block.New(types.ServerID(i), uint64(r), preds, rqs)
+			if err := blk.Seal(signers[i]); err != nil {
+				b.Fatal(err)
+			}
+			tips[i] = blk.Ref()
+			msgs = append(msgs, Message{From: types.ServerID(i), Payload: EncodeBlockMsg(blk)})
+		}
+	}
+	return msgs, roster
+}
+
+// BenchmarkIngest measures the full batched receive path — decode, batch
+// signature verification, serial apply — in requests per second, across
+// burst sizes and the serial/parallel verification split. On a ≥4-core
+// box the parallel rows should pull ahead of serial as the burst grows;
+// the req/s metric is what the bench gate tracks.
+func BenchmarkIngest(b *testing.B) {
+	const reqsPerBlock = 8
+	msgs, roster := benchMessages(b, 16, reqsPerBlock)
+	_, signers, err := crypto.LocalRoster(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	totalReqs := len(msgs) * reqsPerBlock
+	for _, bc := range []struct {
+		name           string
+		batch, workers int
+	}{
+		{"batch=1/serial", 1, 1},
+		{"batch=64/serial", 64, 1},
+		{"batch=64/parallel", 64, 0},
+		{"batch=256/parallel", 256, 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			net := simnet.New()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := dag.New(roster)
+				g, err := New(Config{
+					Signer:        signers[0],
+					Roster:        roster,
+					DAG:           d,
+					Transport:     net.Transport(0),
+					Clock:         net.Now,
+					VerifyWorkers: bc.workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if bc.batch <= 1 {
+					for _, m := range msgs {
+						g.HandleMessage(m.From, m.Payload)
+					}
+				} else {
+					for off := 0; off < len(msgs); off += bc.batch {
+						end := off + bc.batch
+						if end > len(msgs) {
+							end = len(msgs)
+						}
+						g.HandleMessages(msgs[off:end])
+					}
+				}
+				if d.Len() != len(msgs) {
+					b.Fatalf("inserted %d of %d", d.Len(), len(msgs))
+				}
+			}
+			b.ReportMetric(float64(totalReqs)*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		})
+	}
+}
+
 // BenchmarkTipRetirement measures compress-mode ingest across DAG depths:
 // every insert retires covered tips via DAG reachability, so per-block
 // cost must stay flat in depth now that retirement is an O(1) watermark

@@ -15,8 +15,12 @@
 // Lemma 3.7, the eventually joint block DAG.
 //
 // Gossip is a deterministic state machine: all inputs arrive through
-// HandleMessage, Disseminate, and Tick. It performs no locking and spawns
-// no goroutines; the node runtime or the simulator serializes calls.
+// HandleMessage (or its batched form HandleMessages), Disseminate, and
+// Tick. It performs no locking; the node runtime or the simulator
+// serializes calls. The only internal concurrency is the signature
+// worker pool HandleMessages borrows from crypto.Roster.VerifyBatch,
+// which joins before any state is touched — state transitions remain
+// bit-identical to the serial path.
 package gossip
 
 import (
@@ -109,6 +113,12 @@ type Config struct {
 	// correctness; it is useful in practice). 0 means
 	// DefaultFwdFallbackAfter; negative disables fallback.
 	FwdFallbackAfter int
+	// VerifyWorkers sets the goroutine count HandleMessages uses to
+	// batch-verify block signatures: 0 means GOMAXPROCS, 1 forces serial
+	// verification. Verdicts are independent of the setting; it only
+	// moves wall-clock time. HandleMessage (single message) always
+	// verifies inline.
+	VerifyWorkers int
 	// InvalidCacheSize bounds the remembered-invalid reference set, which
 	// would otherwise grow without bound under a byzantine flood of
 	// garbage blocks. The cache is an optimization — it only saves
@@ -350,8 +360,91 @@ func (g *Gossip) HandleMessage(from types.ServerID, payload []byte) {
 	}
 }
 
+// Message is one wire payload tagged with its sender, the unit of the
+// batched ingest path HandleMessages.
+type Message struct {
+	From    types.ServerID
+	Payload []byte
+}
+
+// HandleMessages consumes a burst of wire payloads with the signature
+// checks amortized: block payloads are decoded up front, the blocks not
+// already known are batch-verified across Config.VerifyWorkers
+// goroutines, and then every message is applied serially in arrival
+// order. The state transitions are exactly those of calling
+// HandleMessage once per message, in order — only the Ed25519 work is
+// parallelized — so determinism is preserved and the node runtime can
+// drain its inbound queue in bursts whenever delivery outpaces the
+// handler.
+func (g *Gossip) HandleMessages(msgs []Message) {
+	if len(msgs) == 1 {
+		g.HandleMessage(msgs[0].From, msgs[0].Payload)
+		return
+	}
+	// Pass 1: decode block payloads and collect verification candidates —
+	// blocks we do not already hold (or know to be invalid), deduplicated
+	// within the burst. Non-block and malformed payloads fall through to
+	// the serial handler in pass 2.
+	blocks := make([]*block.Block, len(msgs))
+	var candidates []*block.Block
+	seen := make(map[block.Ref]struct{})
+	for i, m := range msgs {
+		r := wire.NewReader(m.Payload)
+		if r.Byte() != kindBlock {
+			continue
+		}
+		enc := r.VarBytes()
+		if r.Close() != nil {
+			continue
+		}
+		b, err := block.Decode(enc)
+		if err != nil {
+			continue
+		}
+		blocks[i] = b
+		ref := b.Ref()
+		if g.cfg.DAG.Contains(ref) || g.pending[ref] != nil {
+			continue
+		}
+		if _, bad := g.invalid[ref]; bad {
+			continue
+		}
+		if _, dup := seen[ref]; dup {
+			continue
+		}
+		seen[ref] = struct{}{}
+		if !g.cfg.Roster.Contains(b.Builder) {
+			continue // pass 2 rejects it on the inline path
+		}
+		candidates = append(candidates, b)
+	}
+	var verdicts map[block.Ref]bool
+	if len(candidates) > 0 {
+		ok := block.VerifyBatch(g.cfg.Roster, candidates, g.cfg.VerifyWorkers)
+		verdicts = make(map[block.Ref]bool, len(candidates))
+		for i, b := range candidates {
+			verdicts[b.Ref()] = ok[i]
+		}
+	}
+	// Pass 2: apply in arrival order. Duplicate-within-burst blocks hit
+	// the DAG/pending re-check inside handleBlockWith, exactly as they
+	// would on the serial path.
+	for i, m := range msgs {
+		if blocks[i] != nil {
+			g.handleBlockWith(blocks[i], verdicts)
+			continue
+		}
+		g.HandleMessage(m.From, m.Payload)
+	}
+}
+
 // handleBlock implements lines 4–11 for one received block.
-func (g *Gossip) handleBlock(b *block.Block) {
+func (g *Gossip) handleBlock(b *block.Block) { g.handleBlockWith(b, nil) }
+
+// handleBlockWith is handleBlock with an optional table of precomputed
+// signature verdicts (from HandleMessages' batch-verification pass); a
+// block without an entry is verified inline.
+func (g *Gossip) handleBlockWith(b *block.Block, verdicts map[block.Ref]bool) {
 	g.cfg.Metrics.AddBlocksReceived(1)
 	ref := b.Ref()
 	if g.cfg.DAG.Contains(ref) || g.pending[ref] != nil {
@@ -364,7 +457,11 @@ func (g *Gossip) handleBlock(b *block.Block) {
 	}
 	// Verify authorship once, on receipt (Definition 3.3(i)). Blocks
 	// with bad signatures never enter the pending buffer.
-	if !g.cfg.Roster.Contains(b.Builder) || !b.VerifySignature(g.cfg.Roster) {
+	valid, prechecked := verdicts[ref]
+	if !prechecked {
+		valid = g.cfg.Roster.Contains(b.Builder) && b.VerifySignature(g.cfg.Roster)
+	}
+	if !valid {
 		g.cfg.Metrics.AddBlocksRejected(1)
 		g.markInvalid(ref)
 		return

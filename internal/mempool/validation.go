@@ -1,0 +1,112 @@
+package mempool
+
+import (
+	"errors"
+	"fmt"
+
+	"blockdag/internal/block"
+)
+
+// Validation errors. They are distinct from the admission errors in
+// mempool.go: a validation failure means the request itself is bad and a
+// retry will fail the same way, while ErrFull and ErrDuplicate describe
+// pool state.
+var (
+	// ErrTooLarge reports a request exceeding the per-request size limits.
+	ErrTooLarge = errors.New("mempool: request too large")
+	// ErrEmptyLabel reports a request without a protocol-instance label;
+	// the interpreter cannot route it, so admitting it wastes a block slot.
+	ErrEmptyLabel = errors.New("mempool: empty request label")
+)
+
+// Default limits; see Options for what each bounds.
+const (
+	// DefaultCapacity is the default hard bound on queued requests.
+	DefaultCapacity = 1 << 16
+	// DefaultDedupWindow is the default recently-seen cache size: twice
+	// the capacity, so a full queue's worth of drained requests stays
+	// remembered alongside a full queue of fresh ones.
+	DefaultDedupWindow = 1 << 17
+	// DefaultMaxRequestBytes is the default per-request data limit.
+	DefaultMaxRequestBytes = 64 << 10
+	// DefaultMaxLabelBytes is the default per-request label limit.
+	DefaultMaxLabelBytes = 256
+	// DefaultPressureAt is the default soft-watermark fraction of
+	// capacity above which Pressured reports true.
+	DefaultPressureAt = 0.75
+)
+
+// Options configures a Pool. The zero value selects the defaults above.
+type Options struct {
+	// Capacity is the hard bound on queued requests; submissions beyond
+	// it fail with ErrFull. Requeued requests are exempt (see Requeue).
+	Capacity int
+	// DedupWindow is the size of the recently-seen cache. It should
+	// exceed Capacity, or requests still queued could have their dedup
+	// entry evicted while fresh duplicates arrive. (The pool stays
+	// correct regardless — the queued set catches those — but the window
+	// then no longer covers drained requests.)
+	DedupWindow int
+	// MaxRequestBytes bounds a single request's data payload.
+	MaxRequestBytes int
+	// MaxLabelBytes bounds a single request's label.
+	MaxLabelBytes int
+	// Validate, when set, runs after the built-in size checks and can
+	// veto admission with an application error (malformed command,
+	// unauthorized sender, ...). It must be pure and fast: it runs under
+	// the pool lock on every submission.
+	Validate func(rq block.Request) error
+	// DrainBytes bounds the cumulative payload (label + data) of one
+	// Next drain, keeping built blocks under the decode-side budget.
+	// The default leaves headroom below block.MaxPayloadBytes for the
+	// block's own framing.
+	DrainBytes int
+	// PressureAt is the fraction of Capacity at which Pressured starts
+	// reporting true.
+	PressureAt float64
+}
+
+// applyDefaults fills zero-valued fields in place.
+func (o *Options) applyDefaults() {
+	if o.Capacity <= 0 {
+		o.Capacity = DefaultCapacity
+	}
+	if o.DedupWindow <= 0 {
+		o.DedupWindow = 2 * o.Capacity
+	}
+	if o.MaxRequestBytes <= 0 {
+		o.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	if o.MaxLabelBytes <= 0 {
+		o.MaxLabelBytes = DefaultMaxLabelBytes
+	}
+	if o.DrainBytes <= 0 {
+		o.DrainBytes = block.MaxPayloadBytes - (64 << 10)
+	}
+	if o.PressureAt <= 0 || o.PressureAt > 1 {
+		o.PressureAt = DefaultPressureAt
+	}
+	// A single admitted request must fit in one drain, or Next could
+	// never emit it without blowing the budget.
+	if max := o.MaxLabelBytes + o.MaxRequestBytes; o.DrainBytes < max {
+		o.DrainBytes = max
+	}
+}
+
+// validate applies the built-in structural checks and the optional
+// application hook.
+func (o *Options) validate(rq block.Request) error {
+	if len(rq.Label) == 0 {
+		return ErrEmptyLabel
+	}
+	if len(rq.Label) > o.MaxLabelBytes {
+		return fmt.Errorf("%w: label of %d bytes exceeds %d", ErrTooLarge, len(rq.Label), o.MaxLabelBytes)
+	}
+	if len(rq.Data) > o.MaxRequestBytes {
+		return fmt.Errorf("%w: %s carries %d bytes, limit %d", ErrTooLarge, rq.Label, len(rq.Data), o.MaxRequestBytes)
+	}
+	if o.Validate != nil {
+		return o.Validate(rq)
+	}
+	return nil
+}

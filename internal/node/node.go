@@ -33,6 +33,7 @@ import (
 
 	"blockdag/internal/block"
 	"blockdag/internal/core"
+	"blockdag/internal/gossip"
 	"blockdag/internal/roster"
 	"blockdag/internal/store"
 	"blockdag/internal/syncsvc"
@@ -389,6 +390,21 @@ func (n *Node) Request(label types.Label, data []byte) {
 	}
 }
 
+// Submit is the backpressure-aware request entry point. On a server with
+// a mempool (core.Config.Mempool) it admits the request synchronously —
+// the pool is safe for concurrent use, so this bypasses the request
+// channel entirely — and returns the admission verdict (mempool.ErrFull,
+// mempool.ErrDuplicate, a validation error, or nil), which gateways
+// surface to their clients. Without a mempool it falls back to the
+// fire-and-forget Request queue and reports nil.
+func (n *Node) Submit(label types.Label, data []byte) error {
+	if pool := n.cfg.Server.Mempool(); pool != nil {
+		return pool.Submit(label, data)
+	}
+	n.Request(label, data)
+	return nil
+}
+
 // Err returns the first runtime error observed by the loop, combined with
 // the server's own health.
 func (n *Node) Err() error {
@@ -441,7 +457,7 @@ func (n *Node) loop(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case msg := <-n.in:
-			srv.Deliver(msg.from, msg.payload)
+			n.deliverBurst(srv, msg)
 		case rq := <-n.reqs:
 			srv.Request(rq.label, rq.data)
 		case <-disseminate.C:
@@ -463,6 +479,32 @@ func (n *Node) loop(ctx context.Context) {
 			n.handleFollowResult(r)
 		}
 	}
+}
+
+// ingestBurst bounds how many queued deliveries one loop iteration
+// drains into a single DeliverBatch. It caps the latency the timers (and
+// user requests) can accrue behind a network burst while still giving
+// the batch verifier enough signatures to amortize across cores.
+const ingestBurst = 64
+
+// deliverBurst hands the first queued delivery plus everything else
+// already waiting (up to ingestBurst) to the server in one batch, so a
+// backlog pays one parallel signature-verification pass instead of one
+// serial verify per message. With nothing else queued this degenerates
+// to exactly the old per-message Deliver.
+func (n *Node) deliverBurst(srv *core.Server, first inbound) {
+	batch := make([]gossip.Message, 1, ingestBurst)
+	batch[0] = gossip.Message{From: first.from, Payload: first.payload}
+	for len(batch) < ingestBurst {
+		select {
+		case msg := <-n.in:
+			batch = append(batch, gossip.Message{From: msg.from, Payload: msg.payload})
+		default:
+			srv.DeliverBatch(batch)
+			return
+		}
+	}
+	srv.DeliverBatch(batch)
 }
 
 // startFollowPoll opens one watermark-exchange query against the next
