@@ -49,9 +49,17 @@ const (
 	// MaxRequests bounds the element count but not the bytes, so without
 	// this budget a hostile peer could force multi-megabyte allocations
 	// per block before the signature is ever checked. Producers must stay
-	// under it or every correct peer discards their blocks; the mempool's
-	// drain byte budget keeps honest builders below it by construction.
+	// under it or every correct peer discards their blocks; every request
+	// source drains against MaxProducerPayloadBytes, which keeps honest
+	// builders below it by construction.
 	MaxPayloadBytes = 4 << 20
+	// MaxProducerPayloadBytes is the producer-side drain budget: the most
+	// request payload a correct builder packs into one block. It leaves
+	// headroom under MaxPayloadBytes so a sealed block always decodes on
+	// every peer. Both request sources — mempool.Pool and the core shim's
+	// plain FIFO — cap their drains against it and refuse single requests
+	// that could never fit.
+	MaxProducerPayloadBytes = MaxPayloadBytes - (64 << 10)
 )
 
 // ErrPayloadTooLarge reports a decoded block whose cumulative request

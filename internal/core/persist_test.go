@@ -9,6 +9,7 @@ import (
 	"blockdag/internal/block"
 	"blockdag/internal/core"
 	"blockdag/internal/crypto"
+	"blockdag/internal/dag"
 	"blockdag/internal/protocols/brb"
 	"blockdag/internal/transport"
 	"blockdag/internal/types"
@@ -153,5 +154,46 @@ func TestRestoreFailureLeavesServerFresh(t *testing.T) {
 	}
 	if got := len(srv.DAG().ByBuilder(0)); got != 2 {
 		t.Fatalf("restored chain has %d blocks, want 2", got)
+	}
+}
+
+// TestRestoreBuilderUnknownSentinel: the batched restore path must keep
+// the serial insert path's error identity — a block whose builder is not
+// in the roster fails with dag.ErrBuilderUnknown (wrong-roster restore),
+// not dag.ErrBadSignature (corrupted log), so callers can distinguish
+// the two failures with errors.Is.
+func TestRestoreBuilderUnknownSentinel(t *testing.T) {
+	// Seal a valid chain under a two-server roster, then restore it into
+	// a server whose roster only knows server 0: builder 1's signature
+	// is genuine, only the membership is wrong.
+	_, bigSigners, err := crypto.LocalRoster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := block.New(1, 0, nil, nil)
+	if err := foreign.Seal(bigSigners[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	smallRoster, smallSigners, err := crypto.LocalRoster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := core.NewServer(core.Config{
+		Roster:    smallRoster,
+		Signer:    smallSigners[0],
+		Protocol:  brb.Protocol{},
+		Transport: &recordingTransport{self: 0},
+		Clock:     func() time.Duration { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = srv.Restore([]*block.Block{foreign})
+	if !errors.Is(err, dag.ErrBuilderUnknown) {
+		t.Fatalf("Restore(foreign builder) = %v, want dag.ErrBuilderUnknown", err)
+	}
+	if errors.Is(err, dag.ErrBadSignature) {
+		t.Fatalf("Restore(foreign builder) misreported a bad signature: %v", err)
 	}
 }

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"blockdag/internal/block"
+	"blockdag/internal/mempool"
+	"blockdag/internal/types"
+)
+
+// TestRequestQueueDrainByteBudget is the producer-side budget regression
+// for the plain FIFO: without it, an honest builder on the no-mempool
+// path could seal a block over block.MaxPayloadBytes that every updated
+// peer rejects at decode time, permanently partitioning the builder.
+// Next must stop under the budget exactly as mempool drains do.
+func TestRequestQueueDrainByteBudget(t *testing.T) {
+	q := &requestQueue{}
+	// Three requests of ~1/2 budget each: any two fit, three do not.
+	data := make([]byte, block.MaxProducerPayloadBytes/2-64)
+	for i := 0; i < 3; i++ {
+		if err := q.Submit(types.Label(fmt.Sprintf("big/%d", i)), data); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	first := q.Next(256)
+	if len(first) != 2 {
+		t.Fatalf("Next drained %d requests, want 2 (third exceeds the byte budget)", len(first))
+	}
+	if payload := payloadOf(first); payload > block.MaxProducerPayloadBytes {
+		t.Fatalf("drain carries %d payload bytes, budget %d", payload, block.MaxProducerPayloadBytes)
+	}
+	second := q.Next(256)
+	if len(second) != 1 || second[0].Label != "big/2" {
+		t.Fatalf("second drain = %v, want the deferred third request", second)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after draining: %d", q.Len())
+	}
+}
+
+// TestRequestQueueRejectsOversized: a request that could never fit a
+// decodable block is refused at Submit, so the queue head always fits a
+// drain and Next's at-least-one guarantee cannot blow the budget.
+func TestRequestQueueRejectsOversized(t *testing.T) {
+	q := &requestQueue{}
+	over := make([]byte, block.MaxProducerPayloadBytes+1)
+	if err := q.Submit("l", over); !errors.Is(err, mempool.ErrTooLarge) {
+		t.Fatalf("Submit(oversized) = %v, want mempool.ErrTooLarge", err)
+	}
+	if q.Len() != 0 {
+		t.Fatal("oversized request was queued")
+	}
+	// Exactly at the budget is still embeddable.
+	if err := q.Submit("l", over[:block.MaxProducerPayloadBytes-1]); err != nil {
+		t.Fatalf("Submit(at budget) = %v", err)
+	}
+	if got := q.Next(1); len(got) != 1 {
+		t.Fatalf("Next = %d requests, want 1", len(got))
+	}
+}
+
+// TestRequestQueueBudgetedDrainDecodes closes the loop end to end: a
+// block built from a maximal FIFO drain must survive the decode-side
+// payload check of every correct peer.
+func TestRequestQueueBudgetedDrainDecodes(t *testing.T) {
+	q := &requestQueue{}
+	data := make([]byte, 1<<20)
+	for i := 0; i < 8; i++ { // 8 MiB queued, twice the decode budget
+		if err := q.Submit(types.Label(fmt.Sprintf("r/%d", i)), data); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	reqs := q.Next(256)
+	// Decode enforces the payload budget structurally and does not verify
+	// signatures, so an unsealed block exercises the check.
+	b := block.New(0, 0, nil, reqs)
+	if _, err := block.Decode(b.Encode()); err != nil {
+		t.Fatalf("block built from FIFO drain does not decode: %v", err)
+	}
+}
+
+func payloadOf(reqs []block.Request) int {
+	total := 0
+	for _, rq := range reqs {
+		total += len(rq.Label) + len(rq.Data)
+	}
+	return total
+}

@@ -204,17 +204,20 @@ func (s *Server) ID() types.ServerID { return s.self }
 // line 15) → every server's DAG → every server's interpretation
 // (Algorithm 2 line 6) → indications.
 //
-// When a mempool is installed, admission can fail (duplicate, invalid,
-// pool full); Request keeps Algorithm 3's fire-and-forget signature and
-// discards the error. Client-facing callers should use Submit instead.
+// Admission can fail — with a mempool installed: duplicate, invalid, or
+// pool full; without one: a request too large to ever fit a block —
+// and Request keeps Algorithm 3's fire-and-forget signature and discards
+// the error. Client-facing callers should use Submit instead.
 func (s *Server) Request(label types.Label, data []byte) {
 	_ = s.rqsts.Submit(label, data)
 }
 
 // Submit is the backpressure-aware form of Request: it reports whether
 // the request was admitted to the buffer. Without a mempool the plain
-// FIFO accepts everything and Submit never fails; with one, the error is
-// the mempool's admission verdict (mempool.ErrFull, mempool.ErrDuplicate,
+// FIFO accepts everything that can fit a block — only a request whose
+// payload exceeds the per-block budget (block.MaxProducerPayloadBytes)
+// fails, with mempool.ErrTooLarge. With a mempool, the error is the
+// mempool's admission verdict (mempool.ErrFull, mempool.ErrDuplicate,
 // a validation error) for the gateway to surface to its client.
 func (s *Server) Submit(label types.Label, data []byte) error {
 	return s.rqsts.Submit(label, data)
@@ -356,6 +359,14 @@ func (s *Server) Restore(blocks []*block.Block) error {
 	sigOK := block.VerifyBatch(s.cfg.Roster, blocks, s.cfg.VerifyWorkers)
 	scratch := dag.New(s.cfg.Roster)
 	for i, b := range blocks {
+		if !s.cfg.Roster.Contains(b.Builder) {
+			// Report membership ahead of the signature verdict:
+			// VerifyBatch fails non-members too, but callers distinguish
+			// a wrong-roster restore (ErrBuilderUnknown) from a corrupted
+			// log (ErrBadSignature), matching the serial insert path.
+			return fmt.Errorf("core: restore block %v: %w: %v",
+				b.Ref(), dag.ErrBuilderUnknown, b.Builder)
+		}
 		if !sigOK[i] {
 			return fmt.Errorf("core: restore block %v: %w", b.Ref(), dag.ErrBadSignature)
 		}
@@ -477,9 +488,16 @@ type requestQueue struct {
 	items []block.Request
 }
 
-// Submit implements rqsts.put(ℓ, r). The plain FIFO admits everything;
-// the error is always nil (it exists to satisfy requestBuffer).
+// Submit implements rqsts.put(ℓ, r). The plain FIFO admits everything
+// that can ever be embedded: a request whose payload alone exceeds the
+// per-block producer budget could only be sealed into a block every
+// correct peer rejects at decode time (block.ErrPayloadTooLarge), which
+// would partition this builder — so it is refused up front instead.
 func (q *requestQueue) Submit(label types.Label, data []byte) error {
+	if len(label)+len(data) > block.MaxProducerPayloadBytes {
+		return fmt.Errorf("%w: %d payload bytes exceed the %d per-block budget",
+			mempool.ErrTooLarge, len(label)+len(data), block.MaxProducerPayloadBytes)
+	}
 	q.items = append(q.items, block.Request{
 		Label: label,
 		Data:  append([]byte(nil), data...),
@@ -494,14 +512,25 @@ func (q *requestQueue) Requeue(reqs []block.Request) {
 	q.items = append(append([]block.Request(nil), reqs...), q.items...)
 }
 
-// Next implements rqsts.get(): remove and return up to max requests.
+// Next implements rqsts.get(): remove and return up to max requests,
+// stopping early when the cumulative payload (label + data bytes) would
+// exceed the per-block producer budget — the same cap mempool drains
+// enforce, so blocks built from the plain FIFO also stay under
+// block.MaxPayloadBytes and decode on every correct peer. At least one
+// request is returned whenever the queue is non-empty (Submit bounds
+// every single request under the budget).
 func (q *requestQueue) Next(max int) []block.Request {
-	if len(q.items) == 0 {
+	if len(q.items) == 0 || max <= 0 {
 		return nil
 	}
-	n := len(q.items)
-	if n > max {
-		n = max
+	n, budget := 0, block.MaxProducerPayloadBytes
+	for n < len(q.items) && n < max {
+		cost := len(q.items[n].Label) + len(q.items[n].Data)
+		if n > 0 && cost > budget {
+			break
+		}
+		budget -= cost
+		n++
 	}
 	out := q.items[:n:n]
 	rest := q.items[n:]

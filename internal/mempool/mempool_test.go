@@ -193,7 +193,7 @@ func TestValidation(t *testing.T) {
 // the drain budget, but always yields at least one request.
 func TestDrainByteBudget(t *testing.T) {
 	// Keep the per-request limits below DrainBytes or applyDefaults
-	// raises the budget so a single max-size request still fits.
+	// clamps them so a single max-size request still fits one drain.
 	p := New(Options{DrainBytes: 100, MaxRequestBytes: 95, MaxLabelBytes: 4})
 	big := make([]byte, 90)
 	for i := 0; i < 3; i++ {
@@ -408,5 +408,47 @@ func TestConcurrentStress(t *testing.T) {
 	}
 	if s.Drained != s.Accepted+s.Requeued {
 		t.Fatalf("Drained = %d, want Accepted+Requeued = %d", s.Drained, s.Accepted+s.Requeued)
+	}
+}
+
+// TestOptionsClampedToDecodeBudget is the regression for misconfigured
+// deployments: DrainBytes and the per-request limits must never exceed
+// the network-wide decode budget, or Next would feed Disseminate a block
+// every correct peer discards (block.ErrPayloadTooLarge) — permanently
+// partitioning the builder.
+func TestOptionsClampedToDecodeBudget(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"drain over budget", Options{DrainBytes: 2 * block.MaxPayloadBytes}},
+		{"request over budget", Options{MaxRequestBytes: block.MaxPayloadBytes + 1}},
+		{"label over budget", Options{MaxLabelBytes: 2 * block.MaxPayloadBytes}},
+		{"both over budget", Options{
+			DrainBytes:      3 * block.MaxPayloadBytes,
+			MaxRequestBytes: 2 * block.MaxPayloadBytes,
+			MaxLabelBytes:   block.MaxPayloadBytes,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.opts
+			o.applyDefaults()
+			if o.DrainBytes > block.MaxProducerPayloadBytes {
+				t.Errorf("DrainBytes = %d, exceeds producer budget %d",
+					o.DrainBytes, block.MaxProducerPayloadBytes)
+			}
+			if max := o.MaxLabelBytes + o.MaxRequestBytes; max > o.DrainBytes {
+				t.Errorf("MaxLabelBytes+MaxRequestBytes = %d, exceeds DrainBytes %d — "+
+					"a single admitted request cannot fit a drain", max, o.DrainBytes)
+			}
+			// The pool built from these options must reject any request
+			// it could not embed in a decodable block.
+			p := New(tc.opts)
+			over := make([]byte, block.MaxPayloadBytes)
+			if err := p.Submit("l", over); !errors.Is(err, ErrTooLarge) {
+				t.Errorf("Submit(decode-budget-sized request) = %v, want ErrTooLarge", err)
+			}
+		})
 	}
 }

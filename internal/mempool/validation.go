@@ -58,8 +58,9 @@ type Options struct {
 	Validate func(rq block.Request) error
 	// DrainBytes bounds the cumulative payload (label + data) of one
 	// Next drain, keeping built blocks under the decode-side budget.
-	// The default leaves headroom below block.MaxPayloadBytes for the
-	// block's own framing.
+	// The default is block.MaxProducerPayloadBytes; larger settings are
+	// clamped to it — a drain over the network-wide decode budget would
+	// build blocks every correct peer discards.
 	DrainBytes int
 	// PressureAt is the fraction of Capacity at which Pressured starts
 	// reporting true.
@@ -80,16 +81,26 @@ func (o *Options) applyDefaults() {
 	if o.MaxLabelBytes <= 0 {
 		o.MaxLabelBytes = DefaultMaxLabelBytes
 	}
-	if o.DrainBytes <= 0 {
-		o.DrainBytes = block.MaxPayloadBytes - (64 << 10)
+	// The drain budget must never exceed the network-wide decode budget:
+	// a block built past block.MaxPayloadBytes is discarded by every
+	// correct peer, and since later own blocks chain to it, the builder
+	// would be partitioned. Oversized configurations are clamped, not
+	// honored.
+	if o.DrainBytes <= 0 || o.DrainBytes > block.MaxProducerPayloadBytes {
+		o.DrainBytes = block.MaxProducerPayloadBytes
 	}
 	if o.PressureAt <= 0 || o.PressureAt > 1 {
 		o.PressureAt = DefaultPressureAt
 	}
 	// A single admitted request must fit in one drain, or Next could
-	// never emit it without blowing the budget.
-	if max := o.MaxLabelBytes + o.MaxRequestBytes; o.DrainBytes < max {
-		o.DrainBytes = max
+	// never emit it without blowing the budget. The per-request limits
+	// are clamped down to the drain budget — never the budget up past
+	// the decode bound.
+	if o.MaxLabelBytes > o.DrainBytes/2 {
+		o.MaxLabelBytes = o.DrainBytes / 2
+	}
+	if o.MaxLabelBytes+o.MaxRequestBytes > o.DrainBytes {
+		o.MaxRequestBytes = o.DrainBytes - o.MaxLabelBytes
 	}
 }
 
