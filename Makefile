@@ -43,6 +43,17 @@ roster-demo:
 	for p in $$pids; do wait $$p; done; \
 	echo "roster-demo OK: 4-process cluster from roster files, no shared seed"
 
+.PHONY: chaos-smoke
+# chaos-smoke runs two short seeded chaos scenarios end to end through
+# the dagsim entry point: a partition with f equivocators (conviction,
+# bans everywhere, bans survive an honest restart) and a crash/recover
+# storm (durability + convergence). Each exits non-zero on any invariant
+# violation, and the fixed seeds make a failure reproducible verbatim.
+chaos-smoke:
+	go run ./cmd/dagsim -chaos partition-equivocators -seed 7
+	go run ./cmd/dagsim -chaos crash-storm -seed 3
+	@echo "chaos-smoke OK: both scenarios passed their invariants"
+
 .PHONY: docs-check
 # docs-check keeps the documentation honest: it fails when a package
 # exists under internal/ or cmd/ that README.md's package map (or, for

@@ -8,14 +8,17 @@
 //	dagsim -n 4 -protocol brb -instances 8 -rounds 20
 //	dagsim -n 7 -protocol pbft -instances 16 -drop 0.2 -seed 3
 //	dagsim -n 4 -instances 4 -dump dag.bin   # then: dagviz -in dag.bin
+//	dagsim -chaos partition-equivocators -seed 7   # seeded fault scenario
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"blockdag/internal/chaos"
 	"blockdag/internal/cluster"
 	"blockdag/internal/crypto"
 	"blockdag/internal/protocol"
@@ -54,6 +57,7 @@ func run() error {
 		loadRound = flag.Int("load-per-round", 0, "submit this many synthetic client requests per server before every round (deterministic labels load/s<i>/<seq>)")
 		verifyWrk = flag.Int("verify-workers", 0, "batched signature-verification goroutines per server (0 = GOMAXPROCS, 1 = serial)")
 		batch     = flag.Int("max-batch", 0, "max requests per block (0 = instances+1)")
+		chaosName = flag.String("chaos", "", "run a named chaos scenario instead of the workload simulation (see -chaos list); honors -seed, -protocol, -store-dir, -v")
 		verbose   = flag.Bool("v", false, "print per-server metrics")
 	)
 	flag.Parse()
@@ -61,6 +65,9 @@ func run() error {
 	proto, err := protocolByName(*protoName)
 	if err != nil {
 		return err
+	}
+	if *chaosName != "" {
+		return runChaos(*chaosName, proto, *seed, *storeDir, *verbose)
 	}
 	// With -roster/-keys the simulation runs a deployment's actual
 	// identities — same file-format code path as the real servers; the
@@ -255,6 +262,51 @@ func run() error {
 			return err
 		}
 		fmt.Printf("\nwrote %d blocks to %s (render with dagviz)\n", d.Len(), *dump)
+	}
+	return nil
+}
+
+// runChaos executes a named chaos scenario: the seeded fault harness
+// with accountability on, reporting the invariant verdict. A failed
+// invariant is a non-zero exit — `make chaos-smoke` and CI rely on that.
+func runChaos(name string, proto protocol.Protocol, seed int64, storeDir string, verbose bool) error {
+	if name == "list" {
+		for _, s := range chaos.Scenarios() {
+			fmt.Printf("%-24s %s\n", s.Name, s.Description)
+		}
+		return nil
+	}
+	sc, ok := chaos.Lookup(name)
+	if !ok {
+		names := make([]string, 0, 2)
+		for _, s := range chaos.Scenarios() {
+			names = append(names, s.Name)
+		}
+		return fmt.Errorf("unknown chaos scenario %q (have: %s)", name, strings.Join(names, ", "))
+	}
+	// Crash recovery and ban persistence need durable stores; without an
+	// explicit -store-dir the run uses a throwaway one.
+	if storeDir == "" {
+		dir, err := os.MkdirTemp("", "dagsim-chaos-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		storeDir = dir
+	}
+	cfg := chaos.Config{Scenario: sc, Seed: seed, StoreDir: storeDir, Protocol: proto}
+	if verbose {
+		cfg.Logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	}
+	start := time.Now()
+	res, err := chaos.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Summary())
+	fmt.Printf("wall %v\n", time.Since(start).Round(time.Millisecond))
+	if !res.OK() {
+		return fmt.Errorf("chaos scenario %s failed %d invariant(s)", name, len(res.Violations))
 	}
 	return nil
 }

@@ -19,9 +19,11 @@ import (
 	"blockdag/internal/block"
 	"blockdag/internal/core"
 	"blockdag/internal/crypto"
+	"blockdag/internal/evidence"
 	"blockdag/internal/gossip"
 	"blockdag/internal/mempool"
 	"blockdag/internal/metrics"
+	"blockdag/internal/peerscore"
 	"blockdag/internal/protocol"
 	"blockdag/internal/roster"
 	"blockdag/internal/simnet"
@@ -81,6 +83,18 @@ type Options struct {
 	// (from its store when durable, else straight from its DAG), so
 	// non-durable clusters can follow too. 0 disables.
 	FollowEvery time.Duration
+
+	// Accountability equips every correct slot with the evidence and
+	// quarantine machinery: an evidence pool and peer scorer wired into
+	// gossip (equivocation proofs are built, gossiped, and relayed; blocks
+	// built by banned servers are refused unless a chain needs them), the
+	// simulated network (links to and from banned peers are torn down),
+	// the sync service (throttle refusals feed the scorer), and — on
+	// durable clusters — the store (proofs persist in the evidence
+	// sidecar, and recovery re-seeds pool and bans from disk). Off by
+	// default: tests that deliberately drive equivocations to observe
+	// paper semantics see zero behavior change.
+	Accountability bool
 
 	// Seed fixes the simulation (default 1).
 	Seed int64
@@ -165,6 +179,11 @@ type Cluster struct {
 	// Options.MempoolCapacity was set (nil otherwise, and for byzantine
 	// and crashed slots until recovery).
 	Pools []*mempool.Pool
+	// EvidencePools and Scorers hold each correct server's accountability
+	// state when Options.Accountability was set (nil otherwise, and for
+	// byzantine and crashed slots until recovery).
+	EvidencePools []*evidence.Pool
+	Scorers       []*peerscore.Scorer
 
 	opts     Options
 	interval time.Duration
@@ -256,14 +275,18 @@ func New(opts Options) (*Cluster, error) {
 	}
 
 	c := &Cluster{
-		Net:      net,
-		Fixture:  fixture,
-		Roster:   cryptoRoster,
-		Signers:  signers,
-		Servers:  make([]*core.Server, opts.N),
-		Metrics:  make([]*metrics.Metrics, opts.N),
-		Stores:   make([]*store.Store, opts.N),
-		Pools:    make([]*mempool.Pool, opts.N),
+		Net:     net,
+		Fixture: fixture,
+		Roster:  cryptoRoster,
+		Signers: signers,
+		Servers: make([]*core.Server, opts.N),
+		Metrics: make([]*metrics.Metrics, opts.N),
+		Stores:  make([]*store.Store, opts.N),
+		Pools:   make([]*mempool.Pool, opts.N),
+
+		EvidencePools: make([]*evidence.Pool, opts.N),
+		Scorers:       make([]*peerscore.Scorer, opts.N),
+
 		opts:     opts,
 		interval: opts.Interval,
 		inds:     make([][]Indication, opts.N),
@@ -303,6 +326,7 @@ func New(opts Options) (*Cluster, error) {
 		if st != nil {
 			cfg.OnPersist = st.PersistSink(id)
 		}
+		c.wireAccountability(i, &cfg, st)
 		srv, err := core.NewServer(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: server %d: %w", i, err)
@@ -311,6 +335,7 @@ func New(opts Options) (*Cluster, error) {
 			if err := srv.Restore(st.Blocks()); err != nil {
 				return nil, fmt.Errorf("cluster: server %d: %w", i, err)
 			}
+			srv.SeedEvidence(st.Evidence())
 		}
 		c.register(i, srv, st)
 		c.Servers[i] = srv
@@ -337,10 +362,11 @@ func (c *Cluster) register(slot int, srv *core.Server, st *store.Store) {
 		return
 	}
 	sync := &syncsvc.Server{
-		Store: st,
-		Every: c.opts.SyncEvery,
-		Burst: c.opts.SyncBurst,
-		Clock: c.Net.Now,
+		Store:  st,
+		Every:  c.opts.SyncEvery,
+		Burst:  c.opts.SyncBurst,
+		Clock:  c.Net.Now,
+		Scores: c.Scorers[slot],
 		Watermarks: func() []syncsvc.Watermark {
 			return syncsvc.DAGWatermarks(srv.DAG())
 		},
@@ -369,6 +395,29 @@ func (c *Cluster) openStore(slot int) (*store.Store, error) {
 		return nil, fmt.Errorf("cluster: store for server %d: %w", slot, err)
 	}
 	return st, nil
+}
+
+// wireAccountability equips one slot's core.Config with a fresh evidence
+// pool and peer scorer when Options.Accountability is set: gossip gains
+// the proof/ban machinery, the simulated network tears down links the
+// scorer bans, and — durable slots only — accepted proofs persist in the
+// store's evidence sidecar. Scores are volatile (a restart forgets
+// quarantine standing, as a real process would); bans are not, because
+// recovery re-seeds them from the sidecar via core.Server.SeedEvidence.
+func (c *Cluster) wireAccountability(slot int, cfg *core.Config, st *store.Store) {
+	if !c.opts.Accountability {
+		return
+	}
+	pool := evidence.NewPool()
+	sc := peerscore.New(peerscore.Options{Clock: c.Net.Now})
+	c.EvidencePools[slot] = pool
+	c.Scorers[slot] = sc
+	c.Net.RegisterScorer(types.ServerID(slot), sc)
+	cfg.Evidence = pool
+	cfg.Scores = sc
+	if st != nil {
+		cfg.OnEvidence = st.AppendEvidence
+	}
 }
 
 // newPool builds (and records) one slot's ingestion pool when
@@ -522,11 +571,17 @@ func (c *Cluster) followPoll(slot int) {
 	if len(peers) == 0 {
 		return
 	}
+	// Score-weighted rotation: with accountability on, quarantined peers
+	// are polled only when no clean peer remains and banned peers never;
+	// without a scorer this is the plain round-robin it always was.
+	peer, ok := c.Scorers[slot].Pick(peers, fs.nextPeer)
+	fs.nextPeer++
+	if !ok {
+		return // every peer is banned; FWD gossip remains the fallback
+	}
 	fs.lastPoll = c.Net.Now()
 	fs.inFlight = true
 	fs.stats.Polls++
-	peer := peers[fs.nextPeer%len(peers)]
-	fs.nextPeer++
 	query := syncsvc.NewWatermarkQuery(func(wms []syncsvc.Watermark, err error) {
 		c.followDecide(slot, srv, peer, wms, err)
 	})
@@ -557,12 +612,12 @@ func (c *Cluster) followDecide(slot int, srv *core.Server, peer types.ServerID, 
 		return
 	}
 	if err != nil {
-		c.followFail(fs, err)
+		c.followFail(slot, peer, err)
 		return
 	}
 	pull, perr := syncsvc.DeltaIfBehind(c.Roster, srv.DAG(), nil, wms, 0)
 	if perr != nil {
-		c.followFail(fs, perr)
+		c.followFail(slot, peer, perr)
 		return
 	}
 	if pull == nil {
@@ -570,7 +625,7 @@ func (c *Cluster) followDecide(slot int, srv *core.Server, peer types.ServerID, 
 		return
 	}
 	fs.stats.Deltas++
-	sink := syncsvc.PullDone(pull, func() { c.followAbsorb(slot, srv, pull) })
+	sink := syncsvc.PullDone(pull, func() { c.followAbsorb(slot, srv, peer, pull) })
 	c.Net.Transport(types.ServerID(slot)).Call(peer, transport.ChanSync, pull.Request(), sink)
 }
 
@@ -580,7 +635,7 @@ func (c *Cluster) followDecide(slot int, srv *core.Server, peer types.ServerID, 
 // terminal error, so a truncated or lying stream still yields its
 // genuine prefix; the rest arrives on a later poll or via FWD. An
 // absorb error is latched in srv.Health.
-func (c *Cluster) followAbsorb(slot int, srv *core.Server, pull *syncsvc.Pull) {
+func (c *Cluster) followAbsorb(slot int, srv *core.Server, peer types.ServerID, pull *syncsvc.Pull) {
 	fs := &c.follow[slot]
 	if c.Servers[slot] != srv {
 		fs.inFlight = false
@@ -589,7 +644,7 @@ func (c *Cluster) followAbsorb(slot int, srv *core.Server, pull *syncsvc.Pull) {
 	absorbed, _, streamErr := syncsvc.AbsorbPull(pull, srv.AbsorbVerified)
 	fs.stats.Blocks += absorbed
 	if streamErr != nil {
-		c.followFail(fs, streamErr)
+		c.followFail(slot, peer, streamErr)
 		return
 	}
 	fs.inFlight = false
@@ -597,10 +652,13 @@ func (c *Cluster) followAbsorb(slot int, srv *core.Server, pull *syncsvc.Pull) {
 
 // followFail settles a failed poll, classifying throttles separately (the
 // follower's cue that rotation, which the next poll does anyway, is the
-// right response).
-func (c *Cluster) followFail(fs *followState, err error) {
+// right response; with accountability on, a throttling peer additionally
+// loses standing in the score-weighted rotation).
+func (c *Cluster) followFail(slot int, peer types.ServerID, err error) {
+	fs := &c.follow[slot]
 	if errors.Is(err, syncsvc.ErrThrottled) {
 		fs.stats.Throttled++
+		c.Scorers[slot].Penalize(peer, peerscore.Throttled)
 	} else {
 		fs.stats.Errors++
 	}
@@ -672,7 +730,29 @@ func (c *Cluster) Crash(slot int) {
 	// The mempool is volatile state: queued requests die with the
 	// process, exactly as in production. Recovery builds a fresh pool.
 	c.Pools[slot] = nil
+	// So are the evidence pool and scorer: recovery re-seeds bans from
+	// the store's evidence sidecar, which is the whole point of it.
+	c.EvidencePools[slot] = nil
+	c.Scorers[slot] = nil
+	c.Net.RegisterScorer(types.ServerID(slot), nil)
 	c.Net.Deregister(types.ServerID(slot))
+}
+
+// BannedEverywhere reports whether every correct server's scorer has the
+// given server in the terminal banned state. False on clusters without
+// Options.Accountability.
+func (c *Cluster) BannedEverywhere(id types.ServerID) bool {
+	any := false
+	for i, srv := range c.Servers {
+		if srv == nil || types.ServerID(i) == id {
+			continue
+		}
+		if c.Scorers[i] == nil || !c.Scorers[i].Banned(id) {
+			return false
+		}
+		any = true
+	}
+	return any
 }
 
 // RecoverServer restarts a crashed slot from persisted blocks: a fresh
@@ -794,12 +874,18 @@ func (c *Cluster) recoverServer(slot int, proto protocol.Protocol, stored []*blo
 	if st != nil {
 		cfg.OnPersist = st.PersistSink(id)
 	}
+	c.wireAccountability(slot, &cfg, st)
 	srv, err := core.NewServer(cfg)
 	if err != nil {
 		return fmt.Errorf("cluster: recover server %d: %w", slot, err)
 	}
 	if err := srv.Restore(stored); err != nil {
 		return fmt.Errorf("cluster: recover server %d: %w", slot, err)
+	}
+	if st != nil {
+		// Replay the evidence sidecar: bans survive the crash even when
+		// the proof's blocks never made it into the replayable DAG.
+		srv.SeedEvidence(st.Evidence())
 	}
 	c.register(slot, srv, st)
 	c.Servers[slot] = srv

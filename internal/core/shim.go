@@ -29,10 +29,12 @@ import (
 	"blockdag/internal/block"
 	"blockdag/internal/crypto"
 	"blockdag/internal/dag"
+	"blockdag/internal/evidence"
 	"blockdag/internal/gossip"
 	"blockdag/internal/interpret"
 	"blockdag/internal/mempool"
 	"blockdag/internal/metrics"
+	"blockdag/internal/peerscore"
 	"blockdag/internal/protocol"
 	"blockdag/internal/transport"
 	"blockdag/internal/types"
@@ -77,6 +79,21 @@ type Config struct {
 	// point (it surfaces admission errors); Request still works but
 	// swallows them.
 	Mempool *mempool.Pool
+
+	// Evidence, if non-nil, switches the byzantine-accountability layer
+	// on (see gossip.Config.Evidence): equivocation proofs are pooled,
+	// gossiped, and convicted builders are banned through Scores. Leave
+	// nil for the paper's pure detection semantics.
+	Evidence *evidence.Pool
+	// Scores carries per-peer misbehaviour scores and the terminal ban
+	// state. Share one scorer between the server, its transport, and the
+	// sync service so every layer sees the same verdicts. Optional.
+	Scores *peerscore.Scorer
+	// OnEvidence observes every proof newly accepted into Evidence —
+	// the persistence hook (store.Store.AppendEvidence) that makes bans
+	// survive restarts. A persist error is latched in Health; the proof
+	// stays accepted. Optional.
+	OnEvidence func(*evidence.Proof) error
 
 	// Metrics, optional.
 	Metrics *metrics.Metrics
@@ -183,6 +200,9 @@ func NewServer(cfg Config) (*Server, error) {
 		OnInsert:           s.onInsert,
 		Clock:              cfg.Clock,
 		Metrics:            cfg.Metrics,
+		Evidence:           cfg.Evidence,
+		Scores:             cfg.Scores,
+		OnEvidence:         s.onEvidence,
 		MaxBatch:           cfg.MaxBatch,
 		ResendAfter:        cfg.ResendAfter,
 		FwdFallbackAfter:   cfg.FwdFallbackAfter,
@@ -300,6 +320,52 @@ func (s *Server) onInsert(b *block.Block) error {
 	}
 	return perr
 }
+
+// onEvidence is gossip's evidence-persistence hook: forward the proof to
+// the configured sink and latch a failure as a health problem — losing
+// durability for a ban matters (a restart would forget it), but the
+// in-memory conviction and its relay proceed regardless.
+func (s *Server) onEvidence(p *evidence.Proof) error {
+	if s.cfg.OnEvidence == nil {
+		return nil
+	}
+	if err := s.cfg.OnEvidence(p); err != nil {
+		err = fmt.Errorf("core: persist evidence against %v: %w", p.Equivocator(), err)
+		if s.firstErr == nil {
+			s.firstErr = err
+		}
+		return err
+	}
+	return nil
+}
+
+// SeedEvidence replays persisted equivocation proofs into the
+// accountability layer — pool and ban, but no re-persist and no relay —
+// the recovery path that makes a ban survive a crash/restart (the proofs
+// come from store.Store.Evidence). Proofs are assumed verified by the
+// caller (the store re-verifies on load). A no-op when accountability
+// is off.
+func (s *Server) SeedEvidence(proofs []*evidence.Proof) {
+	if s.cfg.Evidence == nil {
+		return
+	}
+	for _, p := range proofs {
+		if !s.cfg.Evidence.Add(p) {
+			continue
+		}
+		s.cfg.Metrics.AddEvidenceReceived(1)
+		if s.cfg.Scores.Ban(p.Equivocator()) {
+			s.cfg.Metrics.AddPeersBanned(1)
+		}
+	}
+}
+
+// Evidence exposes the evidence pool (nil when accountability is off).
+// Treat as read-only.
+func (s *Server) Evidence() *evidence.Pool { return s.cfg.Evidence }
+
+// Scores exposes the peer scorer (nil when none was configured).
+func (s *Server) Scores() *peerscore.Scorer { return s.cfg.Scores }
 
 // onIndication filters interpretation indications down to this server's
 // own simulation (Algorithm 3 line 8: s' = s) and hands them to the user.

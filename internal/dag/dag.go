@@ -93,10 +93,19 @@ type DAG struct {
 	blocks map[block.Ref]*block.Block
 	order  []*block.Block // insertion order: a topological order
 
-	bySlot        map[slot][]block.Ref // (builder, seq) -> refs, detects equivocation
-	equivocations []Equivocation
-	onInsert      func(*block.Block)
+	bySlot         map[slot][]block.Ref // (builder, seq) -> refs, detects equivocation
+	equivocations  []Equivocation
+	onInsert       func(*block.Block)
+	onEquivocation func(Equivocation)
 }
+
+// maxEquivocations caps the retained proof list. One proof per slot is
+// recorded at most (see insert), so the cap only binds against a
+// byzantine builder forking thousands of distinct slots; beyond it the
+// forks are still detected — chains stay flagged in the causal index
+// and the equivocation hook still fires — but no further proofs are
+// retained. One proof per builder is all a ban needs.
+const maxEquivocations = 1024
 
 type slot struct {
 	builder types.ServerID
@@ -118,6 +127,14 @@ func New(roster *crypto.Roster) *DAG {
 // interpretation (Algorithm 2) stays decoupled from building (Algorithm 1)
 // while observing blocks in an eligible order.
 func (d *DAG) SetOnInsert(fn func(*block.Block)) { d.onInsert = fn }
+
+// SetOnEquivocation installs a callback invoked when a (builder, seq)
+// slot is first observed forked — at most once per slot, with the
+// recorded proof pair. The accountability layer subscribes here to
+// export transferable evidence the moment the local DAG detects a fork,
+// including during restore replay (callers must tolerate re-observing
+// proofs they already persisted).
+func (d *DAG) SetOnEquivocation(fn func(Equivocation)) { d.onEquivocation = fn }
 
 // Len returns the number of blocks in the DAG.
 func (d *DAG) Len() int { return len(d.order) }
@@ -276,13 +293,23 @@ func (d *DAG) insert(b *block.Block, checkSig bool) error {
 	d.blocks[b.Ref()] = b
 	d.order = append(d.order, b)
 
+	// Record one proof per forked slot — on the first duplicate only.
+	// A builder spraying k blocks into one slot used to append k-1
+	// redundant proofs; one pair convicts it just as hard, and the
+	// global cap bounds retention against many-slot forking.
 	s := slot{builder: b.Builder, seq: b.Seq}
-	if prior := d.bySlot[s]; len(prior) > 0 {
-		d.equivocations = append(d.equivocations, Equivocation{
+	if prior := d.bySlot[s]; len(prior) == 1 {
+		e := Equivocation{
 			Builder: b.Builder,
 			Seq:     b.Seq,
 			Refs:    [2]block.Ref{prior[0], b.Ref()},
-		})
+		}
+		if len(d.equivocations) < maxEquivocations {
+			d.equivocations = append(d.equivocations, e)
+		}
+		if d.onEquivocation != nil {
+			d.onEquivocation(e)
+		}
 	}
 	d.bySlot[s] = append(d.bySlot[s], b.Ref())
 
@@ -365,8 +392,9 @@ func (d *DAG) ByBuilder(id types.ServerID) []*block.Block {
 	return out
 }
 
-// Equivocations returns the equivocation proofs collected so far, one per
-// (builder, seq) pair beyond the first block observed in that slot.
+// Equivocations returns the equivocation proofs collected so far: one
+// per forked (builder, seq) slot, capped at maxEquivocations retained
+// in total.
 func (d *DAG) Equivocations() []Equivocation {
 	return append([]Equivocation(nil), d.equivocations...)
 }

@@ -31,7 +31,9 @@ import (
 	"blockdag/internal/block"
 	"blockdag/internal/crypto"
 	"blockdag/internal/dag"
+	"blockdag/internal/evidence"
 	"blockdag/internal/metrics"
+	"blockdag/internal/peerscore"
 	"blockdag/internal/transport"
 	"blockdag/internal/types"
 	"blockdag/internal/wire"
@@ -39,8 +41,9 @@ import (
 
 // Wire message kinds.
 const (
-	kindBlock byte = 1
-	kindFwd   byte = 2
+	kindBlock    byte = 1
+	kindFwd      byte = 2
+	kindEvidence byte = 3
 )
 
 // EncodeBlockMsg frames a block for the wire.
@@ -57,6 +60,16 @@ func EncodeFwdMsg(ref block.Ref) []byte {
 	w := wire.NewWriter(1 + crypto.HashSize)
 	w.Byte(kindFwd)
 	w.Bytes32(ref)
+	return w.Bytes()
+}
+
+// EncodeEvidenceMsg frames a transferable equivocation proof for the
+// gossip channel.
+func EncodeEvidenceMsg(p *evidence.Proof) []byte {
+	enc := p.Encode()
+	w := wire.NewWriter(1 + len(enc) + 4)
+	w.Byte(kindEvidence)
+	w.VarBytes(enc)
 	return w.Bytes()
 }
 
@@ -100,6 +113,30 @@ type Config struct {
 	Clock func() time.Duration
 	// Metrics, optional.
 	Metrics *metrics.Metrics
+
+	// Evidence, if non-nil, switches the accountability layer on: the
+	// DAG's equivocation detection is exported as transferable proofs
+	// into this pool, proofs are gossiped to all peers (kindEvidence)
+	// and accepted from them after verification, and proven
+	// equivocators are banned through Scores. Nil keeps the paper's
+	// pure detection semantics — required by tests that deliberately
+	// drive both forks of an equivocation into every server.
+	Evidence *evidence.Pool
+	// Scores records misbehaviour signals (bad signature, malformed
+	// frame, bad evidence) against sending peers and carries the
+	// terminal ban state evidence convictions feed. Once a builder is
+	// banned, gossip stops sending to it and refuses fresh blocks built
+	// by it — except blocks some pending honest block already waits on,
+	// which are still admitted so honest chains referencing pre-ban
+	// blocks can complete (the ban must not break Lemma 3.7 for blocks
+	// already externalized). Optional; nil disables scoring and bans.
+	Scores *peerscore.Scorer
+	// OnEvidence, if non-nil, observes every proof newly accepted into
+	// Evidence (locally detected or learned from a peer) — the
+	// persistence hook that makes bans survive restarts. Its error is
+	// latched by the shim as a health problem; the proof stays accepted
+	// and relayed either way.
+	OnEvidence func(*evidence.Proof) error
 
 	// MaxBatch bounds requests per block; 0 means DefaultMaxBatch.
 	MaxBatch int
@@ -212,14 +249,22 @@ func New(cfg Config) (*Gossip, error) {
 	if cfg.InvalidCacheSize == 0 {
 		cfg.InvalidCacheSize = DefaultInvalidCache
 	}
-	return &Gossip{
+	g := &Gossip{
 		cfg:     cfg,
 		self:    cfg.Signer.ID(),
 		pending: make(map[block.Ref]*block.Block),
 		waiters: make(map[block.Ref][]block.Ref),
 		missing: make(map[block.Ref]*missingState),
 		invalid: make(map[block.Ref]struct{}),
-	}, nil
+	}
+	// With accountability on, subscribe to the DAG's fork detection:
+	// the moment a slot is observed forked — live traffic, follower
+	// absorption, or restore replay alike — the pair is exported as a
+	// transferable proof, persisted, and relayed.
+	if cfg.Evidence != nil {
+		cfg.DAG.SetOnEquivocation(g.onEquivocation)
+	}
+	return g, nil
 }
 
 // Self returns this server's identity.
@@ -341,22 +386,33 @@ func (g *Gossip) HandleMessage(from types.ServerID, payload []byte) {
 		enc := r.VarBytes()
 		if r.Close() != nil {
 			g.cfg.Metrics.AddBlocksRejected(1)
+			g.cfg.Scores.Penalize(from, peerscore.MalformedFrame)
 			return
 		}
 		b, err := block.Decode(enc)
 		if err != nil {
 			g.cfg.Metrics.AddBlocksRejected(1)
+			g.cfg.Scores.Penalize(from, peerscore.MalformedFrame)
 			return
 		}
-		g.handleBlock(b)
+		g.handleBlock(from, b)
 	case kindFwd:
 		ref := block.Ref(r.Bytes32())
 		if r.Close() != nil {
+			g.cfg.Scores.Penalize(from, peerscore.MalformedFrame)
 			return
 		}
 		g.handleFwd(from, ref)
+	case kindEvidence:
+		enc := r.VarBytes()
+		if r.Close() != nil {
+			g.cfg.Scores.Penalize(from, peerscore.MalformedFrame)
+			return
+		}
+		g.handleEvidence(from, enc)
 	default:
 		g.cfg.Metrics.AddBlocksRejected(1)
+		g.cfg.Scores.Penalize(from, peerscore.MalformedFrame)
 	}
 }
 
@@ -416,6 +472,11 @@ func (g *Gossip) HandleMessages(msgs []Message) {
 		if !g.cfg.Roster.Contains(b.Builder) {
 			continue // pass 2 rejects it on the inline path
 		}
+		if g.cfg.Scores.Banned(b.Builder) {
+			// Pass 2 drops it (or, if a pending block waits on it,
+			// verifies inline) — either way batch work is wasted.
+			continue
+		}
 		candidates = append(candidates, b)
 	}
 	var verdicts map[block.Ref]bool
@@ -431,7 +492,7 @@ func (g *Gossip) HandleMessages(msgs []Message) {
 	// would on the serial path.
 	for i, m := range msgs {
 		if blocks[i] != nil {
-			g.handleBlockWith(blocks[i], verdicts)
+			g.handleBlockWith(m.From, blocks[i], verdicts)
 			continue
 		}
 		g.HandleMessage(m.From, m.Payload)
@@ -439,12 +500,14 @@ func (g *Gossip) HandleMessages(msgs []Message) {
 }
 
 // handleBlock implements lines 4–11 for one received block.
-func (g *Gossip) handleBlock(b *block.Block) { g.handleBlockWith(b, nil) }
+func (g *Gossip) handleBlock(from types.ServerID, b *block.Block) {
+	g.handleBlockWith(from, b, nil)
+}
 
 // handleBlockWith is handleBlock with an optional table of precomputed
 // signature verdicts (from HandleMessages' batch-verification pass); a
 // block without an entry is verified inline.
-func (g *Gossip) handleBlockWith(b *block.Block, verdicts map[block.Ref]bool) {
+func (g *Gossip) handleBlockWith(from types.ServerID, b *block.Block, verdicts map[block.Ref]bool) {
 	g.cfg.Metrics.AddBlocksReceived(1)
 	ref := b.Ref()
 	if g.cfg.DAG.Contains(ref) || g.pending[ref] != nil {
@@ -455,6 +518,24 @@ func (g *Gossip) handleBlockWith(b *block.Block, verdicts map[block.Ref]bool) {
 		g.cfg.Metrics.AddBlocksDuplicate(1)
 		return
 	}
+	// Quarantine a proven equivocator's output: fresh blocks built by a
+	// banned server are refused before we even pay for a signature
+	// check. The one exception is a block some pending honest block
+	// already references (a waiter or outstanding FWD exists): honest
+	// pre-ban chains must stay completable, or the ban would wedge
+	// Lemma 3.7 convergence for everyone who referenced the equivocator
+	// before conviction. Already-inserted blocks are untouched — flagged
+	// chains still interpret, per the paper.
+	if b.Builder != g.self && g.cfg.Scores.Banned(b.Builder) {
+		_, wanted := g.waiters[ref]
+		if !wanted {
+			_, wanted = g.missing[ref]
+		}
+		if !wanted {
+			g.cfg.Metrics.AddBannedBlocksDropped(1)
+			return
+		}
+	}
 	// Verify authorship once, on receipt (Definition 3.3(i)). Blocks
 	// with bad signatures never enter the pending buffer.
 	valid, prechecked := verdicts[ref]
@@ -463,6 +544,7 @@ func (g *Gossip) handleBlockWith(b *block.Block, verdicts map[block.Ref]bool) {
 	}
 	if !valid {
 		g.cfg.Metrics.AddBlocksRejected(1)
+		g.cfg.Scores.Penalize(from, peerscore.BadSignature)
 		g.markInvalid(ref)
 		return
 	}
@@ -663,7 +745,8 @@ func (g *Gossip) InsertVerified(b *block.Block) error {
 }
 
 // handleFwd answers a forwarding request (lines 12–13): if we hold the
-// block, send it to the requester.
+// block, send it to the requester. Requests from banned peers die at the
+// send gate.
 func (g *Gossip) handleFwd(from types.ServerID, ref block.Ref) {
 	b, ok := g.cfg.DAG.Get(ref)
 	if !ok {
@@ -671,6 +754,73 @@ func (g *Gossip) handleFwd(from types.ServerID, ref block.Ref) {
 	}
 	g.cfg.Metrics.AddFwdRequestsServed(1)
 	g.send(from, EncodeBlockMsg(b))
+}
+
+// onEquivocation is the DAG's fork-detection callback (installed by New
+// when accountability is on): export the pair as a transferable proof
+// and run the acceptance pipeline — pool, ban, persist, relay.
+func (g *Gossip) onEquivocation(e dag.Equivocation) {
+	g.cfg.Metrics.AddEquivocationsSeen(1)
+	b1, b2, ok := g.cfg.DAG.EquivocationBlocks(e)
+	if !ok {
+		// The pair is recorded at insert time, so both blocks are held;
+		// only a capped-out proof list could lose one. The builder's
+		// conviction then already happened.
+		return
+	}
+	g.acceptEvidence(evidence.New(b1, b2), g.self)
+}
+
+// handleEvidence consumes a kindEvidence payload: decode, verify against
+// the roster (the proof is self-authenticating — two validly signed
+// blocks in one slot), then accept. Peers pushing garbage pay for it.
+func (g *Gossip) handleEvidence(from types.ServerID, enc []byte) {
+	if g.cfg.Evidence == nil {
+		return // accountability off: ignore, like an unknown kind
+	}
+	p, err := evidence.Decode(enc)
+	if err != nil {
+		g.cfg.Scores.Penalize(from, peerscore.MalformedFrame)
+		return
+	}
+	if g.cfg.Evidence.Has(p.Equivocator()) {
+		return // already convicted; skip the two signature verifications
+	}
+	if p.Verify(g.cfg.Roster) != nil {
+		g.cfg.Scores.Penalize(from, peerscore.BadEvidence)
+		return
+	}
+	g.acceptEvidence(p, from)
+}
+
+// acceptEvidence runs the accountability pipeline for a verified proof:
+// retain it (one per equivocator — a duplicate conviction ends here,
+// which is what terminates the relay flood), ban the equivocator,
+// persist through OnEvidence, and relay once to every peer that might
+// not know — everyone but self, the peer it came from, the equivocator,
+// and the already-banned.
+func (g *Gossip) acceptEvidence(p *evidence.Proof, from types.ServerID) {
+	if !g.cfg.Evidence.Add(p) {
+		return
+	}
+	id := p.Equivocator()
+	g.cfg.Metrics.AddEvidenceReceived(1)
+	if g.cfg.Scores.Ban(id) {
+		g.cfg.Metrics.AddPeersBanned(1)
+	}
+	if g.cfg.OnEvidence != nil {
+		// The hook's error is latched by the shim (a persist failure is
+		// a health problem, not a reason to drop a verified proof).
+		_ = g.cfg.OnEvidence(p)
+	}
+	enc := EncodeEvidenceMsg(p)
+	for _, to := range g.cfg.Roster.IDs() {
+		if to == g.self || to == from || to == id || g.cfg.Scores.Banned(to) {
+			continue
+		}
+		g.cfg.Metrics.AddEvidenceRelayed(1)
+		g.send(to, enc)
+	}
 }
 
 // Disseminate implements lines 14–18: seal the current block with the
@@ -775,8 +925,14 @@ func (g *Gossip) sendFwd(to types.ServerID, ref block.Ref) {
 
 // send transmits one gossip payload. All of Algorithm 1's traffic rides
 // transport.ChanGossip, whose fire-and-forget Send carries exactly the
-// Assumption 1 semantics the algorithm's proofs rely on.
+// Assumption 1 semantics the algorithm's proofs rely on — for correct
+// servers. Banned peers forfeit that service: every path (dissemination,
+// FWD service, FWD requests, retry fallback, evidence relay) dies here,
+// so a proven equivocator gets nothing further from this server.
 func (g *Gossip) send(to types.ServerID, payload []byte) {
+	if g.cfg.Scores.Banned(to) {
+		return
+	}
 	g.cfg.Metrics.AddWireSend(int64(len(payload)))
 	g.cfg.Transport.Send(to, transport.ChanGossip, payload)
 }

@@ -28,6 +28,12 @@ type Metrics struct {
 	msgsMaterialized  atomic.Int64
 	blocksInterpreted atomic.Int64
 	indications       atomic.Int64
+
+	equivocationsSeen   atomic.Int64
+	evidenceReceived    atomic.Int64
+	evidenceRelayed     atomic.Int64
+	peersBanned         atomic.Int64
+	bannedBlocksDropped atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of all counters.
@@ -45,15 +51,26 @@ type Snapshot struct {
 	MsgsMaterialized  int64 // protocol messages simulated, never sent
 	BlocksInterpreted int64 // blocks processed by Algorithm 2
 	Indications       int64 // indications surfaced by interpretation
+
+	EquivocationsSeen   int64 // forked (builder, seq) slots detected locally
+	EvidenceReceived    int64 // equivocation proofs accepted (local or gossiped)
+	EvidenceRelayed     int64 // evidence messages sent on to peers
+	PeersBanned         int64 // peers put in the terminal banned state
+	BannedBlocksDropped int64 // fresh blocks refused because their builder is banned
 }
 
 // String formats the snapshot compactly for CLI output.
 func (s Snapshot) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"blocks built=%d recv=%d ins=%d dup=%d rej=%d | fwd sent=%d served=%d | wire msgs=%d bytes=%d | reqs=%d simulated-msgs=%d interpreted=%d inds=%d",
 		s.BlocksBuilt, s.BlocksReceived, s.BlocksInserted, s.BlocksDuplicate, s.BlocksRejected,
 		s.FwdRequestsSent, s.FwdRequestsServed, s.WireMessages, s.WireBytes,
 		s.RequestsEmbedded, s.MsgsMaterialized, s.BlocksInterpreted, s.Indications)
+	if s.EquivocationsSeen > 0 || s.EvidenceReceived > 0 || s.PeersBanned > 0 {
+		out += fmt.Sprintf(" | equiv=%d evidence recv=%d relay=%d banned=%d dropped=%d",
+			s.EquivocationsSeen, s.EvidenceReceived, s.EvidenceRelayed, s.PeersBanned, s.BannedBlocksDropped)
+	}
+	return out
 }
 
 // Snapshot returns a copy of all counters. Safe on a nil receiver.
@@ -75,6 +92,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		MsgsMaterialized:  m.msgsMaterialized.Load(),
 		BlocksInterpreted: m.blocksInterpreted.Load(),
 		Indications:       m.indications.Load(),
+
+		EquivocationsSeen:   m.equivocationsSeen.Load(),
+		EvidenceReceived:    m.evidenceReceived.Load(),
+		EvidenceRelayed:     m.evidenceRelayed.Load(),
+		PeersBanned:         m.peersBanned.Load(),
+		BannedBlocksDropped: m.bannedBlocksDropped.Load(),
 	}
 }
 
@@ -161,5 +184,42 @@ func (m *Metrics) AddBlocksInterpreted(n int64) {
 func (m *Metrics) AddIndications(n int64) {
 	if m != nil {
 		m.indications.Add(n)
+	}
+}
+
+// AddEquivocationsSeen counts forked slots detected by the local DAG.
+func (m *Metrics) AddEquivocationsSeen(n int64) {
+	if m != nil {
+		m.equivocationsSeen.Add(n)
+	}
+}
+
+// AddEvidenceReceived counts equivocation proofs newly accepted into the
+// evidence pool, whether detected locally or learned from a peer.
+func (m *Metrics) AddEvidenceReceived(n int64) {
+	if m != nil {
+		m.evidenceReceived.Add(n)
+	}
+}
+
+// AddEvidenceRelayed counts evidence messages forwarded to peers.
+func (m *Metrics) AddEvidenceRelayed(n int64) {
+	if m != nil {
+		m.evidenceRelayed.Add(n)
+	}
+}
+
+// AddPeersBanned counts peers newly banned on proven equivocation.
+func (m *Metrics) AddPeersBanned(n int64) {
+	if m != nil {
+		m.peersBanned.Add(n)
+	}
+}
+
+// AddBannedBlocksDropped counts fresh blocks refused because their
+// builder is banned (blocks needed as dependencies are still accepted).
+func (m *Metrics) AddBannedBlocksDropped(n int64) {
+	if m != nil {
+		m.bannedBlocksDropped.Add(n)
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"blockdag/internal/block"
 	"blockdag/internal/core"
 	"blockdag/internal/gossip"
+	"blockdag/internal/peerscore"
 	"blockdag/internal/roster"
 	"blockdag/internal/store"
 	"blockdag/internal/syncsvc"
@@ -332,6 +333,21 @@ func (n *Node) FollowReport() FollowReport {
 	return n.follow
 }
 
+// AccountabilityReport is the node's view of the accountability layer:
+// which peers it has banned on proven equivocation, and the decaying
+// misbehaviour score of every peer it has penalized.
+type AccountabilityReport struct {
+	Banned []types.ServerID
+	Peers  []peerscore.PeerStat
+}
+
+// AccountabilityReport snapshots the server's peer scorer. Zero value
+// when accountability is off (no scorer wired). Safe for concurrent use.
+func (n *Node) AccountabilityReport() AccountabilityReport {
+	s := n.cfg.Server.Scores()
+	return AccountabilityReport{Banned: s.BannedPeers(), Peers: s.Snapshot()}
+}
+
 // Watermarks returns this node's own watermark vector — the live source
 // deployments hand to syncsvc.Server.Watermarks, so answering a peer's
 // poll costs a few counters instead of a store scan. Nil when the node
@@ -515,9 +531,15 @@ func (n *Node) startFollowPoll() {
 	if n.followInFlight || n.cfg.FollowEvery <= 0 {
 		return
 	}
+	// Score-weighted rotation: with a scorer configured (core.Config.Scores)
+	// the poll prefers peers outside quarantine and never targets a banned
+	// one; without, this is the plain round-robin it always was.
 	peers := n.cfg.CatchUp.Peers
-	peer := peers[n.followPeer%len(peers)]
+	peer, ok := n.cfg.Server.Scores().Pick(peers, n.followPeer)
 	n.followPeer++
+	if !ok {
+		return // every sync peer is banned; FWD gossip remains the fallback
+	}
 	n.followInFlight = true
 	n.noteFollow(func(r *FollowReport) { r.Polls++ })
 	query := syncsvc.NewWatermarkQuery(func(wms []syncsvc.Watermark, err error) {
@@ -540,11 +562,11 @@ func (n *Node) handleFollowResult(r followResult) {
 		absorbed, absorbErr, streamErr := syncsvc.AbsorbPull(r.pull, srv.AbsorbVerified)
 		n.recordErr(absorbErr)
 		n.noteFollow(func(rep *FollowReport) { rep.Blocks += absorbed })
-		n.settleFollow(streamErr)
+		n.settleFollow(r.peer, streamErr)
 		return
 	}
 	if r.err != nil {
-		n.settleFollow(r.err)
+		n.settleFollow(r.peer, r.err)
 		return
 	}
 	// Durable nodes pass the tracker's O(#builders) horizon; a
@@ -556,11 +578,11 @@ func (n *Node) handleFollowResult(r followResult) {
 	}
 	pull, err := syncsvc.DeltaIfBehind(n.cfg.CatchUp.Roster, srv.DAG(), horizon, r.wms, n.cfg.CatchUp.MaxBlocks)
 	if err != nil {
-		n.settleFollow(err)
+		n.settleFollow(r.peer, err)
 		return
 	}
 	if pull == nil {
-		n.settleFollow(nil) // in sync with this peer; nothing to pull
+		n.settleFollow(r.peer, nil) // in sync with this peer; nothing to pull
 		return
 	}
 	n.noteFollow(func(rep *FollowReport) { rep.Deltas++ })
@@ -572,8 +594,9 @@ func (n *Node) handleFollowResult(r followResult) {
 
 // settleFollow finishes the in-flight poll, classifying its outcome.
 // A throttled or failed peer costs nothing beyond the poll period — the
-// next tick rotates to the next peer.
-func (n *Node) settleFollow(err error) {
+// next tick rotates to the next peer; with a scorer configured, a
+// throttling peer additionally loses standing in the rotation.
+func (n *Node) settleFollow(peer types.ServerID, err error) {
 	n.followInFlight = false
 	if err == nil {
 		return
@@ -581,6 +604,7 @@ func (n *Node) settleFollow(err error) {
 	n.noteFollow(func(rep *FollowReport) {
 		if errors.Is(err, syncsvc.ErrThrottled) {
 			rep.Throttled++
+			n.cfg.Server.Scores().Penalize(peer, peerscore.Throttled)
 		} else {
 			rep.Errors++
 		}

@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"time"
 
+	"blockdag/internal/peerscore"
 	"blockdag/internal/transport"
 	"blockdag/internal/types"
 )
@@ -69,6 +70,7 @@ type Stats struct {
 	CallFrames  int64 // response frames delivered on call streams
 	CallBytes   int64 // request + response bytes on call streams
 	AuthRejects int64 // link establishments refused by the authenticator seam
+	BanDrops    int64 // payloads and calls refused because either side banned the other
 }
 
 // registration holds one server's per-channel consumers.
@@ -103,6 +105,13 @@ type Network struct {
 	auths  map[types.ServerID]transport.Authenticator
 	authed map[authPair]bool
 
+	// scorers holds each server's peer scorer; when either endpoint of a
+	// link has banned the other, traffic on that link is refused — the
+	// simulator's analogue of tcpnet dropping connections to and from
+	// banned peers. Unlike auth verdicts these are re-checked per payload:
+	// a ban can land mid-run.
+	scorers map[types.ServerID]*peerscore.Scorer
+
 	stats Stats
 }
 
@@ -126,6 +135,7 @@ func New(opts ...Option) *Network {
 		gens:      make(map[types.ServerID]uint64),
 		auths:     make(map[types.ServerID]transport.Authenticator),
 		authed:    make(map[authPair]bool),
+		scorers:   make(map[types.ServerID]*peerscore.Scorer),
 	}
 	for _, opt := range opts {
 		opt(n)
@@ -188,6 +198,25 @@ func (n *Network) RegisterAuth(id types.ServerID, auth transport.Authenticator) 
 			delete(n.authed, key)
 		}
 	}
+}
+
+// RegisterScorer installs a server's peer scorer. While registered, the
+// network refuses traffic on any link where one endpoint has banned the
+// other: sends are dropped (counted in Stats.BanDrops) and calls fail
+// with transport.ErrUnreachable, matching how the TCP transport tears
+// down and refuses connections with banned peers. Pass nil to remove.
+func (n *Network) RegisterScorer(id types.ServerID, s *peerscore.Scorer) {
+	if s == nil {
+		delete(n.scorers, id)
+		return
+	}
+	n.scorers[id] = s
+}
+
+// linkBanned reports whether either endpoint of the from→to link has
+// banned the other.
+func (n *Network) linkBanned(from, to types.ServerID) bool {
+	return n.scorers[from].Banned(to) || n.scorers[to].Banned(from)
 }
 
 // authenticate reports whether the from→to link is (or can be)
@@ -338,6 +367,11 @@ func (h *handle) Send(to types.ServerID, ch transport.Channel, payload []byte) {
 		n.stats.Dropped++
 		return
 	}
+	if n.linkBanned(h.id, to) {
+		n.stats.Dropped++
+		n.stats.BanDrops++
+		return
+	}
 	if !n.authenticate(h.id, to) {
 		// The link never establishes: an unproven or non-roster sender's
 		// payloads are refused before any parse, exactly as on tcpnet.
@@ -388,6 +422,11 @@ func (h *handle) Call(to types.ServerID, ch transport.Channel, req []byte, sink 
 	case n.blocked != nil && n.blocked(h.id, to):
 		fail(transport.ErrUnreachable)
 	case n.dropP > 0 && n.rng.Float64() < n.dropP:
+		fail(transport.ErrUnreachable)
+	case n.linkBanned(h.id, to):
+		// A banned link is torn down, not merely lossy: the caller sees
+		// the same explicit failure as a partitioned peer.
+		n.stats.BanDrops++
 		fail(transport.ErrUnreachable)
 	case !n.authenticate(h.id, to):
 		// Mirrors tcpnet: a call on an unauthenticatable link fails

@@ -10,6 +10,7 @@ import (
 	"blockdag/internal/block"
 	"blockdag/internal/crypto"
 	"blockdag/internal/dag"
+	"blockdag/internal/evidence"
 	"blockdag/internal/types"
 )
 
@@ -118,6 +119,12 @@ type Store struct {
 	present   map[block.Ref]struct{}
 	report    OpenReport
 
+	// Evidence sidecar state (see evidence.go): recovered + appended
+	// equivocation proofs, one per equivocator, and the append handle.
+	evidence []*evidence.Proof
+	evHave   map[types.ServerID]struct{}
+	evFile   *os.File
+
 	cur      *os.File
 	curIndex uint64
 	curSize  int64
@@ -176,6 +183,9 @@ func Open(dir string, opts Options) (*Store, error) {
 		nextIdx: 1,
 	}
 	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	if err := s.loadEvidence(); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -639,6 +649,14 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	if s.evFile != nil {
+		// AppendEvidence syncs after every record; only the descriptor
+		// needs releasing here.
+		if err := s.evFile.Close(); err != nil {
+			return fmt.Errorf("store: close evidence file: %w", err)
+		}
+		s.evFile = nil
+	}
 	return s.rotate()
 }
 
@@ -658,6 +676,10 @@ func (s *Store) Abandon() {
 		_ = s.cur.Close()
 		s.cur = nil
 		s.dirty = false
+	}
+	if s.evFile != nil {
+		_ = s.evFile.Close()
+		s.evFile = nil
 	}
 }
 

@@ -63,6 +63,7 @@ import (
 	"blockdag/internal/block"
 	"blockdag/internal/crypto"
 	"blockdag/internal/dag"
+	"blockdag/internal/peerscore"
 	"blockdag/internal/store"
 	"blockdag/internal/transport"
 	"blockdag/internal/types"
@@ -333,6 +334,12 @@ type Server struct {
 	// Clock supplies the bucket's time base (default: wall clock from
 	// first use). Simulations inject their virtual clock.
 	Clock func() time.Duration
+	// Scores, if non-nil, receives a peerscore.Throttled signal each time
+	// the admission policy refuses a request — sustained hammering of the
+	// sync service erodes the peer's standing in follower peer selection.
+	// A single refusal is weighted lightly: an honest node retrying after
+	// a broken stream must not quarantine itself.
+	Scores *peerscore.Scorer
 
 	mu       sync.Mutex
 	peers    map[types.ServerID]*peerState
@@ -439,6 +446,7 @@ func (s *Server) ServeCall(from types.ServerID, req []byte, st transport.ServerS
 	if !s.admit(from) {
 		// Refused before any disk read or decode: admission is the
 		// cheap gate in front of the expensive full-store scan.
+		s.Scores.Penalize(from, peerscore.Throttled)
 		st.Close(ErrThrottled)
 		return
 	}

@@ -46,6 +46,7 @@ import (
 	"sync"
 	"time"
 
+	"blockdag/internal/peerscore"
 	"blockdag/internal/transport"
 	"blockdag/internal/types"
 	"blockdag/internal/wire"
@@ -106,6 +107,13 @@ type Config struct {
 	// that connects and stalls mid-handshake cannot pin a goroutine and
 	// its descriptor until shutdown.
 	HandshakeTimeout time.Duration
+	// Scores, if non-nil, is consulted on every connection and payload:
+	// traffic to and from a banned peer is refused (sends dropped, calls
+	// fail with transport.ErrUnreachable, inbound connections closed
+	// after identification), and handshake authentication failures feed
+	// back into the scorer as peerscore.AuthFailure signals. A nil scorer
+	// disables accountability entirely.
+	Scores *peerscore.Scorer
 
 	// version overrides the advertised protocol version; tests use it to
 	// exercise the mismatch rejection. Zero means transport.Version.
@@ -127,6 +135,7 @@ type Transport struct {
 
 	rejects     int64 // handshake rejections (version mismatch, bad frame, auth)
 	authRejects int64 // the subset of rejects where peer authentication failed
+	banRejects  int64 // connections and payloads refused because the peer is banned
 	authFails   int64 // outbound handshakes where the listener failed to prove itself
 	callsOpened int64 // Call invocations issued toward peers
 	callsServed int64 // inbound calls dispatched to a handler
@@ -235,6 +244,22 @@ func (t *Transport) AuthRejections() int64 {
 	return t.authRejects
 }
 
+// BanRejections returns the number of connections and payloads this
+// transport refused because the counterpart peer is banned by the
+// configured scorer — outbound sends and calls toward a banned peer plus
+// inbound connections identified as one.
+func (t *Transport) BanRejections() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.banRejects
+}
+
+func (t *Transport) rejectBan() {
+	t.mu.Lock()
+	t.banRejects++
+	t.mu.Unlock()
+}
+
 // AuthFailures returns the number of outbound handshakes this transport
 // abandoned because the listener could not prove the identity we dialed
 // — the dialer-side mirror of AuthRejections (an impostor squatting on a
@@ -273,6 +298,10 @@ func (t *Transport) Send(to types.ServerID, ch transport.Channel, payload []byte
 	if !ok || !ch.Valid() {
 		return
 	}
+	if t.cfg.Scores.Banned(to) {
+		t.rejectBan()
+		return
+	}
 	data := make([]byte, 0, 1+len(payload))
 	data = append(data, byte(ch))
 	data = append(data, payload...)
@@ -293,6 +322,10 @@ func (t *Transport) Call(to types.ServerID, ch transport.Channel, req []byte, si
 	t.callsOpened++
 	t.mu.Unlock()
 	ctx, cancel := context.WithCancel(t.ctx)
+	if ok && t.cfg.Scores.Banned(to) {
+		t.rejectBan()
+		ok = false
+	}
 	if !ok || !ch.Valid() {
 		cancel()
 		// Tracked like every other sink invocation, so Close cannot
@@ -328,6 +361,7 @@ func (t *Transport) runCall(ctx context.Context, cancel context.CancelFunc, to t
 	if err := t.handshake(conn, to, kindCall, ch); err != nil {
 		if errors.Is(err, transport.ErrAuthFailed) {
 			t.failAuth()
+			t.cfg.Scores.Penalize(to, peerscore.AuthFailure)
 		}
 		switch {
 		case errors.Is(err, transport.ErrAuthFailed),
@@ -656,10 +690,24 @@ func (t *Transport) runReader(conn net.Conn) {
 	}
 	if err := t.serveHandshake(conn, from, kind, callCh, authFlag, dialerNonce); err != nil {
 		t.rejectAuth()
+		// A failed proof from this claimed identity feeds the scorer; the
+		// claim itself is unproven, but repeated failures from a roster
+		// address are exactly the signal quarantine exists for.
+		t.cfg.Scores.Penalize(from, peerscore.AuthFailure)
 		if kind == kindCall {
 			// The call client is in a read loop; tell it explicitly so
 			// it fails fast instead of timing out.
 			t.writeCallError(conn, transport.ErrAuthFailed)
+		}
+		return
+	}
+	if t.cfg.Scores.Banned(from) {
+		// The peer proved who it is — and who it is is banned. Refuse
+		// after the handshake so the verdict applies to the proven
+		// identity, not a spoofable claim.
+		t.rejectBan()
+		if kind == kindCall {
+			t.writeCallError(conn, transport.ErrUnreachable)
 		}
 		return
 	}
@@ -830,6 +878,18 @@ func (t *Transport) runSender(p *peer) {
 			case pending = <-p.queue:
 			}
 		}
+		if t.cfg.Scores.Banned(p.id) {
+			// The peer was banned while payloads were queued (or a
+			// retransmission was pending). Discard instead of dialing a
+			// peer we would refuse to hear from anyway.
+			t.rejectBan()
+			pending = nil
+			if conn != nil {
+				_ = conn.Close()
+				conn = nil
+			}
+			continue
+		}
 		if conn == nil {
 			c, err := net.Dial("tcp", p.addr)
 			if err != nil {
@@ -849,6 +909,7 @@ func (t *Transport) runSender(p *peer) {
 				// noise, not an impostor (mirrors runCall).
 				if errors.Is(err, transport.ErrAuthFailed) {
 					t.failAuth()
+					t.cfg.Scores.Penalize(p.id, peerscore.AuthFailure)
 				}
 				_ = c.Close()
 				if !wait() {
