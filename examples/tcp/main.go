@@ -41,6 +41,15 @@
 // missing suffix through the validated delta stream — so a server that
 // falls behind mid-run reconverges without restarting and without
 // per-block FWD round trips. See README.md for a walkthrough.
+//
+// With -gateway the server additionally opens the client-facing front
+// door (package gateway) on the given address: POST /v1/submit, long-poll
+// GET /v1/await/{label}, streaming GET /v1/indications, GET /v1/status,
+// and a Prometheus GET /metrics folding every subsystem's counters —
+// core metrics, transport, catch-up admission, mempool, signatures, and
+// the gateway's own. -gateway-token puts the client plane behind a bearer
+// token (/metrics stays open for scrapers); -linger keeps the process
+// serving past its own workload so clients can drive it.
 package main
 
 import (
@@ -53,7 +62,10 @@ import (
 	"time"
 
 	"blockdag/internal/core"
+	"blockdag/internal/crypto"
+	"blockdag/internal/gateway"
 	"blockdag/internal/mempool"
+	"blockdag/internal/metrics"
 	"blockdag/internal/node"
 	"blockdag/internal/protocols/brb"
 	"blockdag/internal/roster"
@@ -84,6 +96,9 @@ func run() error {
 		ckptSegs   = flag.Int("checkpoint-segments", 4, "with -store-dir: checkpoint the store every N WAL segments (0 disables)")
 		ckptBytes  = flag.Int64("checkpoint-bytes", 0, "with -store-dir: checkpoint the store when it grows N bytes (0 disables)")
 		mpoolCap   = flag.Int("mempool", 0, "ingestion mempool capacity: requests deduplicate, validate, and hit backpressure before block inclusion (0 = plain FIFO)")
+		gwAddr     = flag.String("gateway", "", "serve the client gateway (HTTP API + /metrics) on this address; all-in-one mode binds it to s0")
+		gwToken    = flag.String("gateway-token", "", "with -gateway: require this bearer token on the client API (/metrics stays open)")
+		linger     = flag.Duration("linger", 0, "keep serving this long after the workload completes (lets gateway clients drive the cluster)")
 	)
 	flag.Parse()
 
@@ -94,6 +109,9 @@ func run() error {
 	if *follow > 0 && (*storeDir == "" || !*catchup) {
 		return fmt.Errorf("-follow needs -store-dir and -catchup (the follower reuses the catch-up peers)")
 	}
+	if *gwToken != "" && *gwAddr == "" {
+		return fmt.Errorf("-gateway-token needs -gateway")
+	}
 	opts := runOpts{
 		storeDir:  *storeDir,
 		fsync:     syncPolicy,
@@ -103,6 +121,9 @@ func run() error {
 		ckptBytes: *ckptBytes,
 		mpoolCap:  *mpoolCap,
 		timeout:   *timeout,
+		gateway:   *gwAddr,
+		gwToken:   *gwToken,
+		linger:    *linger,
 	}
 
 	if (*rosterPath == "") != (*keyPath == "") {
@@ -124,6 +145,9 @@ type runOpts struct {
 	ckptBytes int64
 	mpoolCap  int
 	timeout   time.Duration
+	gateway   string
+	gwToken   string
+	linger    time.Duration
 }
 
 // server is one running identity: transport, runtime, and delivery log.
@@ -133,6 +157,11 @@ type server struct {
 	nd       *node.Node
 	st       *store.Store
 	gossip   *transport.LateBound
+	// The observability plane: the counters the gateway's registry folds.
+	mets    *metrics.Metrics
+	sigs    *crypto.Counters
+	syncSrv *syncsvc.Server
+	gw      *gateway.Gateway
 	// ndRef late-binds the runtime for the sync service's watermark
 	// source: the listener (and its handler goroutines) exists before
 	// the node does.
@@ -144,9 +173,11 @@ type server struct {
 
 // start opens the store (optional), binds the listener with the roster
 // authenticator, and builds the server and runtime. listen overrides the
-// bind address ("" = this identity's roster address).
-func start(identity *roster.Identity, listen string, opts runOpts) (*server, error) {
-	s := &server{identity: identity, delivered: make(map[types.Label]string)}
+// bind address ("" = this identity's roster address). sigs is the
+// signature-operation tally already installed on the identity's roster
+// (it must be wired before the signer is derived, so the caller owns it).
+func start(identity *roster.Identity, listen string, opts runOpts, sigs *crypto.Counters) (*server, error) {
+	s := &server{identity: identity, sigs: sigs, delivered: make(map[types.Label]string)}
 	if listen == "" {
 		listen = identity.File.Addr(identity.ID())
 	}
@@ -176,6 +207,15 @@ func start(identity *roster.Identity, listen string, opts runOpts) (*server, err
 			fmt.Printf("s%d store: recovered %d blocks (torn tail: %d bytes)\n",
 				identity.ID(), rep.Blocks, rep.TornBytes)
 		}
+		s.syncSrv = &syncsvc.Server{
+			Store: st, Every: time.Second, Burst: 8,
+			Watermarks: func() []syncsvc.Watermark {
+				if nd := s.ndRef.Load(); nd != nil {
+					return nd.Watermarks()
+				}
+				return nil
+			},
+		}
 		cfg.Handlers = map[transport.Channel]transport.Handler{
 			// The catch-up server runs hardened: per-peer in-flight cap
 			// (syncsvc default) plus a token bucket, so a byzantine
@@ -183,15 +223,7 @@ func start(identity *roster.Identity, listen string, opts runOpts) (*server, err
 			// polls are answered from the runtime's live tracker once
 			// it is up (nil until then: the server falls back to a
 			// store scan, still behind the same admission policy).
-			transport.ChanSync: &syncsvc.Server{
-				Store: st, Every: time.Second, Burst: 8,
-				Watermarks: func() []syncsvc.Watermark {
-					if nd := s.ndRef.Load(); nd != nil {
-						return nd.Watermarks()
-					}
-					return nil
-				},
-			},
+			transport.ChanSync: s.syncSrv,
 		}
 	}
 	tr, err := tcpnet.Listen(cfg)
@@ -223,14 +255,17 @@ func (s *server) connectPeers(addrOf func(types.ServerID) string) error {
 	return nil
 }
 
-// boot builds the core server and node runtime and starts the loop.
+// boot builds the core server and node runtime and starts the loop, then
+// opens the client gateway when -gateway asks for one.
 func (s *server) boot(opts runOpts) error {
+	s.mets = &metrics.Metrics{}
 	ccfg := core.Config{
 		Roster:    s.identity.Roster,
 		Signer:    s.identity.Signer,
 		Protocol:  brb.Protocol{},
 		Transport: s.tr,
 		Clock:     node.Clock(),
+		Metrics:   s.mets,
 		OnIndication: func(label types.Label, value []byte) {
 			s.mu.Lock()
 			defer s.mu.Unlock()
@@ -284,7 +319,40 @@ func (s *server) boot(opts runOpts) error {
 	s.gossip.Bind(nd)
 	s.nd = nd
 	s.ndRef.Store(nd)
-	return nd.Start()
+	if err := nd.Start(); err != nil {
+		return err
+	}
+	return s.openGateway(opts, ccfg.Mempool)
+}
+
+// openGateway serves the client front door with the full observability
+// fold: core metrics, transport, catch-up admission, mempool, signature
+// counters, and the gateway's own — every subsystem this process runs.
+func (s *server) openGateway(opts runOpts, pool *mempool.Pool) error {
+	if opts.gateway == "" {
+		return nil
+	}
+	reg := gateway.NewRegistry()
+	reg.Register(gateway.CollectMetrics(s.mets))
+	reg.Register(gateway.CollectTCPNet(s.tr))
+	reg.Register(gateway.CollectSync(s.syncSrv))
+	reg.Register(gateway.CollectMempool(pool))
+	reg.Register(gateway.CollectCrypto(s.sigs))
+	gcfg := gateway.Config{Node: s.nd, Registry: reg}
+	if opts.gwToken != "" {
+		gcfg.Tokens = []string{opts.gwToken}
+	}
+	gw, err := gateway.Listen(opts.gateway, gcfg)
+	if err != nil {
+		return fmt.Errorf("s%d gateway: %w", s.identity.ID(), err)
+	}
+	s.gw = gw
+	auth := "open"
+	if opts.gwToken != "" {
+		auth = "bearer token"
+	}
+	fmt.Printf("s%d gateway on http://%s (%s; /metrics open)\n", s.identity.ID(), gw.Addr(), auth)
+	return nil
 }
 
 // deliveredCount returns how many distinct labels have been delivered.
@@ -296,7 +364,12 @@ func (s *server) deliveredCount() int {
 
 func (s *server) close() {
 	if s.nd != nil {
+		// Stop drains the gateway first (registered OnStop hook): awaits
+		// and streams get their terminal response before the loop dies.
 		s.nd.Stop()
+	}
+	if s.gw != nil {
+		_ = s.gw.Close()
 	}
 	if s.tr != nil {
 		_ = s.tr.Close()
@@ -316,11 +389,15 @@ func runOne(rosterPath, keyPath, listen string, opts runOpts) error {
 	if err != nil {
 		return err
 	}
-	identity, err := file.Identity(key, nil)
+	// The signature tally is installed before the signer is derived so
+	// both sign and verify operations land in the gateway's crypto_*
+	// scrape families.
+	sigs := &crypto.Counters{}
+	identity, err := file.Identity(key, sigs)
 	if err != nil {
 		return err
 	}
-	s, err := start(identity, listen, opts)
+	s, err := start(identity, listen, opts, sigs)
 	if err != nil {
 		return err
 	}
@@ -350,8 +427,13 @@ func runOne(rosterPath, keyPath, listen string, opts runOpts) error {
 	// Keep serving for a grace period past our own finish line: a
 	// straggler (say, a late joiner whose broadcast is still mid-flow)
 	// may need our final blocks — or a follow pull from our store — and
-	// exiting the instant we delivered would strand it.
-	time.Sleep(time.Second)
+	// exiting the instant we delivered would strand it. -linger extends
+	// the window so gateway clients can keep driving the cluster.
+	grace := time.Second
+	if opts.linger > grace {
+		grace = opts.linger
+	}
+	time.Sleep(grace)
 	if err := s.nd.Err(); err != nil {
 		return fmt.Errorf("node unhealthy: %w", err)
 	}
@@ -412,7 +494,8 @@ func runAllInOne(opts runOpts) error {
 	}()
 	perServerOpts := make([]runOpts, n)
 	for i := 0; i < n; i++ {
-		identity, err := fx.Identity(i)
+		sigs := &crypto.Counters{}
+		identity, err := fx.File.Identity(fx.Keys[i], sigs)
 		if err != nil {
 			return err
 		}
@@ -420,8 +503,13 @@ func runAllInOne(opts runOpts) error {
 		if opts.storeDir != "" {
 			o.storeDir = filepath.Join(opts.storeDir, fmt.Sprintf("s%d", i))
 		}
+		if i != 0 {
+			// -gateway binds the front door to s0 only; one process,
+			// one address, one client plane.
+			o.gateway, o.gwToken = "", ""
+		}
 		perServerOpts[i] = o
-		if servers[i], err = start(identity, "127.0.0.1:0", o); err != nil {
+		if servers[i], err = start(identity, "127.0.0.1:0", o, sigs); err != nil {
 			return err
 		}
 	}
@@ -464,6 +552,11 @@ func runAllInOne(opts runOpts) error {
 			return fmt.Errorf("broadcasts not delivered within %v", opts.timeout)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+
+	if opts.linger > 0 {
+		fmt.Printf("\nworkload done; lingering %v for gateway clients\n", opts.linger)
+		time.Sleep(opts.linger)
 	}
 
 	fmt.Println("\ndeliveries over real TCP:")

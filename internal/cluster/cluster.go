@@ -20,9 +20,11 @@ import (
 	"blockdag/internal/core"
 	"blockdag/internal/crypto"
 	"blockdag/internal/evidence"
+	"blockdag/internal/gateway"
 	"blockdag/internal/gossip"
 	"blockdag/internal/mempool"
 	"blockdag/internal/metrics"
+	"blockdag/internal/node"
 	"blockdag/internal/peerscore"
 	"blockdag/internal/protocol"
 	"blockdag/internal/roster"
@@ -115,6 +117,17 @@ type Options struct {
 	// fresh pool (a mempool is volatile state; queued requests do not
 	// survive a crash).
 	MempoolCapacity int
+	// GatewayPerSlot binds a client gateway (package gateway) to every
+	// correct slot on an ephemeral loopback port, so deterministic tests
+	// drive the real HTTP front door against simulated consensus. Requires
+	// MempoolCapacity > 0: the pool is the only concurrency-safe admission
+	// path into an event-loop-driven server, and the gateway's HTTP
+	// goroutines must not touch server state directly. Indications reach
+	// the gateways through per-slot brokers (Brokers), published from the
+	// simulator's event loop. Crashing a slot closes its gateway; recovery
+	// opens a fresh one on a new port.
+	GatewayPerSlot bool
+
 	// LoadPerRound, if > 0, submits that many synthetic client requests
 	// at every correct server before each dissemination round — a
 	// deterministic stand-in for client traffic, labeled
@@ -184,6 +197,11 @@ type Cluster struct {
 	// byzantine and crashed slots until recovery).
 	EvidencePools []*evidence.Pool
 	Scorers       []*peerscore.Scorer
+	// Gateways and Brokers hold each correct slot's client gateway and the
+	// indication broker feeding it when Options.GatewayPerSlot was set
+	// (nil otherwise, and for byzantine and crashed slots until recovery).
+	Gateways []*gateway.Gateway
+	Brokers  []*node.IndicationBroker
 
 	opts     Options
 	interval time.Duration
@@ -240,6 +258,9 @@ func New(opts Options) (*Cluster, error) {
 	if opts.Interval == 0 {
 		opts.Interval = 50 * time.Millisecond
 	}
+	if opts.GatewayPerSlot && opts.MempoolCapacity <= 0 {
+		return nil, fmt.Errorf("cluster: GatewayPerSlot needs MempoolCapacity > 0 (the pool is the gateway's concurrency-safe admission path)")
+	}
 
 	fixture := opts.Fixture
 	if fixture == nil {
@@ -286,6 +307,8 @@ func New(opts Options) (*Cluster, error) {
 
 		EvidencePools: make([]*evidence.Pool, opts.N),
 		Scorers:       make([]*peerscore.Scorer, opts.N),
+		Gateways:      make([]*gateway.Gateway, opts.N),
+		Brokers:       make([]*node.IndicationBroker, opts.N),
 
 		opts:     opts,
 		interval: opts.Interval,
@@ -304,6 +327,7 @@ func New(opts Options) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		broker := c.newBroker(i)
 		cfg := core.Config{
 			Roster:        cryptoRoster,
 			Signer:        signers[i],
@@ -318,6 +342,7 @@ func New(opts Options) (*Cluster, error) {
 				c.inds[idx] = append(c.inds[idx], Indication{
 					Server: id, Label: label, Value: value,
 				})
+				broker.Publish(label, value)
 			},
 			RetireInstances:          opts.RetireInstances,
 			DisableInBufferRecording: opts.DisableInBufferRecording,
@@ -341,8 +366,89 @@ func New(opts Options) (*Cluster, error) {
 		c.Servers[i] = srv
 		c.Metrics[i] = m
 		c.Stores[i] = st
+		if err := c.openGateway(i); err != nil {
+			return nil, err
+		}
 	}
 	return c, nil
+}
+
+// newBroker builds (and records) one slot's indication broker when
+// Options.GatewayPerSlot asks for one; nil otherwise (a nil broker's
+// Publish is a no-op, so indication closures call it unconditionally).
+func (c *Cluster) newBroker(slot int) *node.IndicationBroker {
+	if !c.opts.GatewayPerSlot {
+		return nil
+	}
+	c.Brokers[slot] = node.NewIndicationBroker(0)
+	return c.Brokers[slot]
+}
+
+// openGateway binds one slot's client gateway on an ephemeral loopback
+// port. Everything the gateway's HTTP goroutines touch is captured here as
+// concurrency-safe values (pool, metrics, scorer, broker) — never the
+// cluster's slices, which the test goroutine mutates on crash/recovery.
+func (c *Cluster) openGateway(slot int) error {
+	if !c.opts.GatewayPerSlot {
+		return nil
+	}
+	pool := c.Pools[slot]
+	m := c.Metrics[slot]
+	sc := c.Scorers[slot]
+	reg := gateway.NewRegistry()
+	reg.Register(gateway.CollectMetrics(m))
+	reg.Register(gateway.CollectMempool(pool))
+	reg.Register(gateway.CollectPeerScore(sc))
+	gw, err := gateway.Listen("127.0.0.1:0", gateway.Config{
+		Submit:      pool.Submit,
+		Indications: c.Brokers[slot],
+		Registry:    reg,
+		Status: func() gateway.Status {
+			stats := pool.Stats()
+			snap := m.Snapshot()
+			return gateway.Status{
+				Server:   slot,
+				Healthy:  true,
+				Mempool:  &stats,
+				Counters: &snap,
+			}
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: gateway for server %d: %w", slot, err)
+	}
+	c.Gateways[slot] = gw
+	return nil
+}
+
+// GatewayAddr returns one slot's gateway address (host:port), "" when the
+// slot has none (no GatewayPerSlot, byzantine, or crashed).
+func (c *Cluster) GatewayAddr(slot int) string {
+	if c.Gateways[slot] == nil {
+		return ""
+	}
+	return c.Gateways[slot].Addr()
+}
+
+// Close tears down the client plane: every live gateway drains and every
+// broker wakes its subscribers with the terminal signal. The simulation
+// itself holds no other external resources (stores are caller-closed).
+func (c *Cluster) Close() {
+	for i := range c.Gateways {
+		c.closeGateway(i)
+	}
+}
+
+// closeGateway shuts one slot's gateway and broker down (idempotent).
+func (c *Cluster) closeGateway(slot int) {
+	if gw := c.Gateways[slot]; gw != nil {
+		_ = gw.Close()
+		c.Gateways[slot] = nil
+	}
+	if br := c.Brokers[slot]; br != nil {
+		br.Close()
+		c.Brokers[slot] = nil
+	}
 }
 
 // register attaches one slot's consumers to the network: the server on
@@ -734,6 +840,10 @@ func (c *Cluster) Crash(slot int) {
 	// the store's evidence sidecar, which is the whole point of it.
 	c.EvidencePools[slot] = nil
 	c.Scorers[slot] = nil
+	// The gateway dies with the process: in-flight clients get the clean
+	// terminal signal (closed broker), new connections are refused until
+	// recovery opens a fresh gateway on a fresh port.
+	c.closeGateway(slot)
 	c.Net.RegisterScorer(types.ServerID(slot), nil)
 	c.Net.Deregister(types.ServerID(slot))
 }
@@ -855,6 +965,7 @@ func (c *Cluster) RecoverServerViaSync(slot int, proto protocol.Protocol, from i
 func (c *Cluster) recoverServer(slot int, proto protocol.Protocol, stored []*block.Block, compress bool, st *store.Store) error {
 	id := types.ServerID(slot)
 	m := &metrics.Metrics{}
+	broker := c.newBroker(slot)
 	cfg := core.Config{
 		Roster:             c.Roster,
 		Signer:             c.Signers[slot],
@@ -869,6 +980,7 @@ func (c *Cluster) recoverServer(slot int, proto protocol.Protocol, stored []*blo
 			c.inds[slot] = append(c.inds[slot], Indication{
 				Server: id, Label: label, Value: value,
 			})
+			broker.Publish(label, value)
 		},
 	}
 	if st != nil {
@@ -891,7 +1003,7 @@ func (c *Cluster) recoverServer(slot int, proto protocol.Protocol, stored []*blo
 	c.Servers[slot] = srv
 	c.Metrics[slot] = m
 	c.Stores[slot] = st
-	return nil
+	return c.openGateway(slot)
 }
 
 // Seal builds and signs a block on behalf of the given server — the

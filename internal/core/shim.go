@@ -137,6 +137,11 @@ type Server struct {
 	// insertion slipped past the journal.
 	restored int
 
+	// indObservers fan the own-simulation indication stream out beyond
+	// Config.OnIndication — the seam the node runtime's indication broker
+	// (and through it, the client gateway) hooks into.
+	indObservers []func(label types.Label, value []byte)
+
 	// firstErr records the first internal invariant violation (never
 	// expected; exposed for diagnosis rather than panicking).
 	firstErr error
@@ -376,6 +381,27 @@ func (s *Server) onIndication(ind interpret.Indication) {
 	if s.cfg.OnIndication != nil {
 		s.cfg.OnIndication(ind.Label, ind.Value)
 	}
+	for _, fn := range s.indObservers {
+		fn(ind.Label, ind.Value)
+	}
+}
+
+// AddIndicationObserver registers an additional observer of this server's
+// own indication stream, called after Config.OnIndication on the same
+// (single driving) goroutine. Like SetPersist it must be installed before
+// any block enters the server, so no indication can slip past the
+// observer — and unlike Config.OnIndication it may be installed before
+// Restore, so replayed indications are observed too (the node runtime
+// does exactly that to seed its broker's replay index).
+func (s *Server) AddIndicationObserver(fn func(label types.Label, value []byte)) error {
+	if fn == nil {
+		return errors.New("core: nil indication observer")
+	}
+	if s.dag.Len() > 0 {
+		return errors.New("core: indication observer added after blocks were inserted")
+	}
+	s.indObservers = append(s.indObservers, fn)
+	return nil
 }
 
 // Restore replays persisted blocks into a freshly constructed server —

@@ -1,0 +1,311 @@
+package gateway_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"blockdag/internal/core"
+	"blockdag/internal/crypto"
+	"blockdag/internal/gateway"
+	"blockdag/internal/mempool"
+	"blockdag/internal/metrics"
+	"blockdag/internal/node"
+	"blockdag/internal/protocols/brb"
+	"blockdag/internal/store"
+	"blockdag/internal/syncsvc"
+	"blockdag/internal/tcpnet"
+	"blockdag/internal/transport"
+	"blockdag/internal/types"
+)
+
+// gwCluster stands up n full nodes over real TCP on loopback — the
+// production wiring path — with the client plane on node 0: mempool,
+// durable store, catch-up server, metrics, and the gateway folding them
+// all into one registry.
+type gwCluster struct {
+	nodes      []*node.Node
+	transports []*tcpnet.Transport
+	gw         *gateway.Gateway
+	base       string
+
+	pool    *mempool.Pool
+	mets    *metrics.Metrics
+	syncSrv *syncsvc.Server
+	st      *store.Store
+}
+
+func newGWCluster(t *testing.T, n int, gwCfg gateway.Config) *gwCluster {
+	t.Helper()
+	roster, signers, err := crypto.LocalRoster(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &gwCluster{mets: &metrics.Metrics{}}
+
+	c.st, err = store.Open(t.TempDir(), store.Options{Roster: roster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.st.Close() })
+	c.syncSrv = &syncsvc.Server{Store: c.st, Every: time.Second, Burst: 8}
+
+	lbs := make([]*transport.LateBound, n)
+	for i := 0; i < n; i++ {
+		lbs[i] = &transport.LateBound{}
+		cfg := tcpnet.Config{
+			Self:       types.ServerID(i),
+			ListenAddr: "127.0.0.1:0",
+			Endpoints: map[transport.Channel]transport.Endpoint{
+				transport.ChanGossip: lbs[i],
+			},
+			DialBackoff: 5 * time.Millisecond,
+		}
+		if i == 0 {
+			cfg.Handlers = map[transport.Channel]transport.Handler{
+				transport.ChanSync: c.syncSrv,
+			}
+		}
+		tr, err := tcpnet.Listen(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.transports = append(c.transports, tr)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if err := c.transports[i].Connect(types.ServerID(j), c.transports[j].Addr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		ccfg := core.Config{
+			Roster:    roster,
+			Signer:    signers[i],
+			Protocol:  brb.Protocol{},
+			Transport: c.transports[i],
+			Clock:     node.Clock(),
+		}
+		ncfg := node.Config{
+			Server:           nil, // set below
+			DisseminateEvery: 10 * time.Millisecond,
+			TickEvery:        20 * time.Millisecond,
+		}
+		if i == 0 {
+			c.pool = mempool.New(mempool.Options{Capacity: 256})
+			ccfg.Mempool = c.pool
+			ccfg.Metrics = c.mets
+		}
+		srv, err := core.NewServer(ccfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ncfg.Server = srv
+		if i == 0 {
+			ncfg.Store = c.st
+		}
+		nd, err := node.New(ncfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lbs[i].Bind(nd)
+		c.nodes = append(c.nodes, nd)
+	}
+	for _, nd := range c.nodes {
+		if err := nd.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reg := gateway.NewRegistry()
+	reg.Register(gateway.CollectMetrics(c.mets))
+	reg.Register(gateway.CollectTCPNet(c.transports[0]))
+	reg.Register(gateway.CollectSync(c.syncSrv))
+	reg.Register(gateway.CollectMempool(c.pool))
+	gwCfg.Node = c.nodes[0]
+	gwCfg.Registry = reg
+	c.gw, err = gateway.Listen("127.0.0.1:0", gwCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.base = "http://" + c.gw.Addr()
+
+	t.Cleanup(func() {
+		for _, nd := range c.nodes {
+			nd.Stop()
+		}
+		for _, tr := range c.transports {
+			_ = tr.Close()
+		}
+		_ = c.gw.Close()
+	})
+	return c
+}
+
+// TestGatewayEndToEndOverTCP is the acceptance path: an HTTP client
+// submits through one node of a real TCP cluster, awaits the indication,
+// reads status, and scrapes live counters from four subsystems.
+func TestGatewayEndToEndOverTCP(t *testing.T) {
+	c := newGWCluster(t, 4, gateway.Config{})
+
+	resp := postJSON(t, c.base+"/v1/submit", `{"label":"gw/hello","data":"over http"}`, nil)
+	body := drainClose(t, resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", resp.StatusCode, body)
+	}
+
+	resp = get(t, c.base+"/v1/await/gw/hello?timeout=10s", nil)
+	body = drainClose(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("await = %d %s", resp.StatusCode, body)
+	}
+	var ind struct {
+		Label string `json:"label"`
+		Data  string `json:"data"`
+	}
+	if err := json.Unmarshal([]byte(body), &ind); err != nil {
+		t.Fatal(err)
+	}
+	if ind.Label != "gw/hello" || ind.Data != "over http" {
+		t.Fatalf("await body = %+v", ind)
+	}
+
+	resp = get(t, c.base+"/v1/status", nil)
+	body = drainClose(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d %s", resp.StatusCode, body)
+	}
+	var st struct {
+		Healthy bool `json:"healthy"`
+		Mempool *struct {
+			Accepted int64 `json:"Accepted"`
+		} `json:"mempool"`
+		Counters *struct {
+			BlocksBuilt int64
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Healthy || st.Mempool == nil || st.Mempool.Accepted != 1 || st.Counters == nil || st.Counters.BlocksBuilt == 0 {
+		t.Fatalf("status body = %s", body)
+	}
+
+	resp = get(t, c.base+"/metrics", nil)
+	scrape := drainClose(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	// Live counters from four subsystems plus the gateway's own.
+	for _, family := range []string{
+		"dag_blocks_built_total",
+		"tcpnet_calls_opened_total",
+		"syncsvc_drops_total",
+		"mempool_accepted_total 1",
+		`gateway_responses_total{class="2xx"}`,
+	} {
+		if !strings.Contains(scrape, family) {
+			t.Fatalf("scrape missing %q:\n%s", family, scrape)
+		}
+	}
+	// The dag counters must be live, not zero: blocks were built and
+	// interpreted to deliver the indication above.
+	if strings.Contains(scrape, "dag_blocks_built_total 0\n") {
+		t.Fatalf("dag_blocks_built_total stayed zero:\n%s", scrape)
+	}
+}
+
+// TestGatewayRateLimitIsolation: one client hammering into its 429 must
+// not perturb another client's consensus path.
+func TestGatewayRateLimitIsolation(t *testing.T) {
+	c := newGWCluster(t, 4, gateway.Config{
+		Tokens:    []string{"greedy", "polite"},
+		RateEvery: time.Hour, // nothing accrues during the test
+		RateBurst: 2,
+	})
+	greedy := map[string]string{"Authorization": "Bearer greedy"}
+	polite := map[string]string{"Authorization": "Bearer polite"}
+
+	// The greedy client burns its burst and hits the wall.
+	limited := false
+	for i := 0; i < 5; i++ {
+		resp := postJSON(t, c.base+"/v1/submit",
+			fmt.Sprintf(`{"label":"greedy/%d","data":"spam"}`, i), greedy)
+		drainClose(t, resp)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 missing Retry-After")
+			}
+			limited = true
+			break
+		}
+	}
+	if !limited {
+		t.Fatal("greedy client was never rate limited")
+	}
+
+	// The polite client still submits, and consensus still delivers.
+	resp := postJSON(t, c.base+"/v1/submit", `{"label":"polite/1","data":"ok"}`, polite)
+	body := drainClose(t, resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("polite submit = %d %s", resp.StatusCode, body)
+	}
+	resp = get(t, c.base+"/v1/await/polite/1?timeout=10s", polite)
+	body = drainClose(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("polite await = %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestNodeStopDrainsSlowAwait is the graceful-drain regression: a client
+// blocked in a long-poll when the node stops must get a clean terminal
+// HTTP response (503, node stopping), not a connection reset.
+func TestNodeStopDrainsSlowAwait(t *testing.T) {
+	c := newGWCluster(t, 1, gateway.Config{})
+
+	type result struct {
+		code int
+		body string
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(c.base + "/v1/await/never/arrives?timeout=20s")
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		b, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		done <- result{code: resp.StatusCode, body: string(b), err: err}
+	}()
+
+	// Let the long-poll reach the gateway, then stop the node under it.
+	time.Sleep(100 * time.Millisecond)
+	c.nodes[0].Stop()
+
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("slow await saw a transport error, not a clean response: %v", r.err)
+		}
+		if r.code != http.StatusServiceUnavailable || !strings.Contains(r.body, "node stopping") {
+			t.Fatalf("slow await = %d %q, want 503 node stopping", r.code, r.body)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("slow await never returned after node.Stop")
+	}
+
+	// The drain hook also closed the listener: new connections are refused.
+	if _, err := http.Get(c.base + "/v1/status"); err == nil {
+		t.Fatal("gateway still accepting connections after node.Stop")
+	}
+}

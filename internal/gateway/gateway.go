@@ -1,0 +1,479 @@
+// Package gateway is the client-facing front door of a running node: a
+// versioned HTTP/JSON RPC service plus a scrapeable observability plane.
+//
+// The protocol stack below it stays byte-identical — the gateway is a
+// new layer, not a new transport channel: clients submit requests through
+// the same backpressure-aware entry point the examples use (node.Submit →
+// mempool admission), and observe results through the node's indication
+// broker, the subscription seam that fans the loop goroutine's
+// OnIndication stream out to any number of concurrent HTTP clients.
+//
+// # API (version 1)
+//
+//	POST /v1/submit          {"label": "...", "data": "..."} — enqueue a
+//	                         request; mempool backpressure surfaces as
+//	                         503 (pool full, Retry-After), 409 (duplicate),
+//	                         413 (too large), 400 (invalid)
+//	GET  /v1/await/{label}   long-poll one label's indication
+//	                         (?timeout=10s, capped by Config.MaxAwait)
+//	GET  /v1/indications     chunked NDJSON stream of indications
+//	GET  /v1/status          node status: health, watermarks, reports
+//	GET  /metrics            Prometheus text format (the Registry fold)
+//
+// Every client-plane route runs behind the middleware chain — in-flight
+// concurrency cap with explicit shedding, roster-or-token auth,
+// per-client token-bucket rate limits, request logging — while /metrics
+// skips auth (scrape convention) but not the in-flight cap.
+//
+// Shutdown is graceful by design: binding a Config.Node registers a drain
+// hook, so node.Stop first closes the indication broker (every await and
+// stream gets a clean terminal response), then waits for in-flight
+// requests to finish, and only then tears the loop down.
+package gateway
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"blockdag/internal/crypto"
+	"blockdag/internal/mempool"
+	"blockdag/internal/node"
+	"blockdag/internal/types"
+)
+
+// Config parameterizes a gateway.
+type Config struct {
+	// Node, if non-nil, binds the gateway to a running node runtime:
+	// Submit, Indications, and Status default to the node's, and the
+	// gateway registers a graceful-drain hook with node.Node.OnStop so a
+	// stopping node finishes in-flight requests before the loop dies.
+	Node *node.Node
+
+	// Submit admits one client request (required unless Node is set).
+	// Return mempool.ErrFull / ErrDuplicate / ErrTooLarge (or a
+	// validation error) to drive the HTTP status mapping.
+	Submit func(label types.Label, data []byte) error
+	// Indications is the broker await and streaming reads ride on
+	// (required unless Node is set).
+	Indications *node.IndicationBroker
+	// Status produces the /v1/status document. Optional; NodeStatus
+	// builds one from a node runtime.
+	Status func() Status
+
+	// Registry is the observability fold /metrics renders. Optional; a
+	// nil registry serves only the gateway's own counters.
+	Registry *Registry
+
+	// Tokens lists accepted bearer tokens; AuthRoster additionally (or
+	// instead) accepts Ed25519 request signatures by roster members
+	// (see RosterAuthMessage). With both empty/nil the gateway is open.
+	Tokens     []string
+	AuthRoster *crypto.Roster
+
+	// RateEvery enables the per-client token bucket: one request token
+	// accrues per RateEvery, holding at most RateBurst (default 4).
+	// 0 disables rate limiting.
+	RateEvery time.Duration
+	RateBurst int
+
+	// MaxInFlight bounds concurrently served requests; excess is shed
+	// with 503 before auth. Default 256.
+	MaxInFlight int
+	// MaxBodyBytes bounds request bodies, enforced before any decoding
+	// or mempool admission. Default 1 MiB.
+	MaxBodyBytes int64
+	// MaxAwait caps (and defaults) the long-poll timeout. Default 30s.
+	MaxAwait time.Duration
+	// DrainTimeout bounds the graceful drain on Close / node stop.
+	// Default 5s.
+	DrainTimeout time.Duration
+
+	// Clock is the rate limiter's time base (injectable for tests);
+	// default wall-clock monotonic. Now is the auth freshness clock;
+	// default time.Now.
+	Clock func() time.Duration
+	Now   func() time.Time
+
+	// Logf receives one line per request (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Gateway is a running front door.
+type Gateway struct {
+	cfg      Config
+	srv      *http.Server
+	ln       net.Listener
+	limiter  *rateLimiter
+	nonces   *nonceCache
+	inflight chan struct{}
+
+	// Self-observability: the gateway is a subsystem of the plane it
+	// serves.
+	ok2xx, err4xx, err5xx     atomic.Int64
+	authFailures, rateLimited atomic.Int64
+	shed                      atomic.Int64
+	inFlightNow               atomic.Int64
+
+	closed atomic.Bool
+}
+
+// Listen binds addr and serves the gateway on it.
+func Listen(addr string, cfg Config) (*Gateway, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: listen %s: %w", addr, err)
+	}
+	g, err := Serve(ln, cfg)
+	if err != nil {
+		_ = ln.Close()
+		return nil, err
+	}
+	return g, nil
+}
+
+// Serve runs the gateway on an existing listener (which it takes
+// ownership of).
+func Serve(ln net.Listener, cfg Config) (*Gateway, error) {
+	if cfg.Node != nil {
+		if cfg.Submit == nil {
+			cfg.Submit = cfg.Node.Submit
+		}
+		if cfg.Indications == nil {
+			cfg.Indications = cfg.Node.Indications()
+		}
+		if cfg.Status == nil {
+			cfg.Status = NodeStatus(cfg.Node)
+		}
+	}
+	if cfg.Submit == nil {
+		return nil, errors.New("gateway: config needs Submit (or Node)")
+	}
+	if cfg.Indications == nil {
+		return nil, errors.New("gateway: config needs Indications (or Node)")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.MaxAwait <= 0 {
+		cfg.MaxAwait = 30 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	if cfg.Clock == nil {
+		start := time.Now()
+		cfg.Clock = func() time.Duration { return time.Since(start) }
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+
+	g := &Gateway{
+		cfg:      cfg,
+		ln:       ln,
+		limiter:  newRateLimiter(cfg.RateEvery, cfg.RateBurst, cfg.Clock),
+		nonces:   newNonceCache(4096),
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+	}
+	if cfg.Registry != nil {
+		cfg.Registry.Register(g.selfCollector())
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/submit", g.wrap(true, g.handleSubmit))
+	mux.HandleFunc("GET /v1/await/{label...}", g.wrap(true, g.handleAwait))
+	mux.HandleFunc("GET /v1/indications", g.wrap(true, g.handleIndications))
+	mux.HandleFunc("GET /v1/status", g.wrap(true, g.handleStatus))
+	mux.HandleFunc("GET /metrics", g.wrap(false, g.handleMetrics))
+
+	g.srv = &http.Server{Handler: mux}
+	go func() {
+		if err := g.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			g.logf("gateway: serve: %v", err)
+		}
+	}()
+	if cfg.Node != nil {
+		cfg.Node.OnStop(func() { _ = g.Close() })
+	}
+	return g, nil
+}
+
+// Addr returns the bound address (host:port).
+func (g *Gateway) Addr() string { return g.ln.Addr().String() }
+
+// Close drains the gateway: no new connections, in-flight requests get up
+// to Config.DrainTimeout to finish (long-polls finish immediately once
+// the indication broker closes), then the server closes hard. Idempotent.
+func (g *Gateway) Close() error {
+	if !g.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.DrainTimeout)
+	defer cancel()
+	if err := g.srv.Shutdown(ctx); err != nil {
+		return g.srv.Close()
+	}
+	return nil
+}
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.cfg.Logf != nil {
+		g.cfg.Logf(format, args...)
+	}
+}
+
+// wallNow is the auth freshness clock.
+func (g *Gateway) wallNow() time.Time { return g.cfg.Now() }
+
+func (g *Gateway) countResponse(code int) {
+	switch {
+	case code < 400:
+		g.ok2xx.Add(1)
+	case code < 500:
+		g.err4xx.Add(1)
+	default:
+		g.err5xx.Add(1)
+	}
+}
+
+// selfCollector folds the gateway's own counters into the registry.
+func (g *Gateway) selfCollector() Collector {
+	return func(emit func(Metric)) {
+		emit(Metric{Name: "gateway_responses_total", Help: "Responses served by status class.",
+			Type: Counter, Labels: [][2]string{{"class", "2xx"}}, Value: float64(g.ok2xx.Load())})
+		emit(Metric{Name: "gateway_responses_total", Help: "Responses served by status class.",
+			Type: Counter, Labels: [][2]string{{"class", "4xx"}}, Value: float64(g.err4xx.Load())})
+		emit(Metric{Name: "gateway_responses_total", Help: "Responses served by status class.",
+			Type: Counter, Labels: [][2]string{{"class", "5xx"}}, Value: float64(g.err5xx.Load())})
+		counter(emit, "gateway_auth_failures_total", "Requests refused by authentication.", g.authFailures.Load())
+		counter(emit, "gateway_rate_limited_total", "Requests refused by the per-client rate limit.", g.rateLimited.Load())
+		counter(emit, "gateway_shed_total", "Requests shed at the in-flight concurrency cap.", g.shed.Load())
+		emit(Metric{Name: "gateway_in_flight", Help: "Requests currently being served.",
+			Type: Gauge, Value: float64(g.inFlightNow.Load())})
+	}
+}
+
+// ---- handlers --------------------------------------------------------
+
+// submitRequest is the POST /v1/submit body. Data carries a UTF-8
+// payload directly; DataB64 carries arbitrary bytes (it wins when both
+// are set).
+type submitRequest struct {
+	Label   string `json:"label"`
+	Data    string `json:"data"`
+	DataB64 string `json:"data_b64"`
+}
+
+// indicationResponse is the await/stream wire shape.
+type indicationResponse struct {
+	Label   string `json:"label"`
+	Data    string `json:"data"`
+	DataB64 string `json:"data_b64"`
+	Seq     uint64 `json:"seq"`
+}
+
+func toResponse(ind node.Indication) indicationResponse {
+	return indicationResponse{
+		Label:   string(ind.Label),
+		Data:    string(ind.Value),
+		DataB64: base64.StdEncoding.EncodeToString(ind.Value),
+		Seq:     ind.Seq,
+	}
+}
+
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// The body cap runs before any decoding, so an oversized payload is
+	// rejected here — it never reaches mempool admission.
+	r.Body = http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "malformed JSON body")
+		return
+	}
+	if req.Label == "" {
+		writeError(w, http.StatusBadRequest, "label required")
+		return
+	}
+	data := []byte(req.Data)
+	if req.DataB64 != "" {
+		decoded, err := base64.StdEncoding.DecodeString(req.DataB64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "data_b64 is not valid base64")
+			return
+		}
+		data = decoded
+	}
+	if err := g.cfg.Submit(types.Label(req.Label), data); err != nil {
+		switch {
+		case errors.Is(err, mempool.ErrFull):
+			// Admission backpressure: the pool sheds load, the client
+			// retries after the drain interval. 503 rather than 429 —
+			// the system, not this client, is over capacity.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, mempool.ErrDuplicate):
+			writeError(w, http.StatusConflict, err.Error())
+		case errors.Is(err, mempool.ErrTooLarge):
+			writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+		default:
+			writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, map[string]string{"status": "accepted", "label": req.Label})
+}
+
+func (g *Gateway) handleAwait(w http.ResponseWriter, r *http.Request) {
+	label := types.Label(r.PathValue("label"))
+	if label == "" {
+		writeError(w, http.StatusBadRequest, "label required")
+		return
+	}
+	timeout := g.cfg.MaxAwait
+	if tq := r.URL.Query().Get("timeout"); tq != "" {
+		d, err := time.ParseDuration(tq)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, "bad timeout")
+			return
+		}
+		if d < timeout {
+			timeout = d
+		}
+	}
+	// Subscribe before Lookup: an indication landing between the two is
+	// then seen on one path or the other, never missed.
+	sub := g.cfg.Indications.Subscribe(64)
+	defer sub.Close()
+	if ind, ok := g.cfg.Indications.Lookup(label); ok {
+		writeJSON(w, toResponse(ind))
+		return
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	// The re-lookup tick covers the rare case where the target indication
+	// overflowed this subscription's bounded buffer on a busy stream: the
+	// replay index still has it.
+	recheck := time.NewTicker(250 * time.Millisecond)
+	defer recheck.Stop()
+	for {
+		select {
+		case ind, open := <-sub.C():
+			if !open {
+				// Broker closed: the node is stopping. A clean terminal
+				// response, not a connection reset.
+				writeError(w, http.StatusServiceUnavailable, "node stopping")
+				return
+			}
+			if ind.Label == label {
+				writeJSON(w, toResponse(ind))
+				return
+			}
+		case <-recheck.C:
+			if ind, ok := g.cfg.Indications.Lookup(label); ok {
+				writeJSON(w, toResponse(ind))
+				return
+			}
+		case <-timer.C:
+			writeError(w, http.StatusGatewayTimeout,
+				fmt.Sprintf("no indication for %q within %v", label, timeout))
+			return
+		case <-r.Context().Done():
+			return // client went away
+		}
+	}
+}
+
+// handleIndications streams indications as NDJSON chunks until the client
+// disconnects or the node stops. An optional ?prefix= filters labels.
+func (g *Gateway) handleIndications(w http.ResponseWriter, r *http.Request) {
+	prefix := r.URL.Query().Get("prefix")
+	flusher, _ := w.(http.Flusher)
+	sub := g.cfg.Indications.Subscribe(256)
+	defer sub.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ind, open := <-sub.C():
+			if !open {
+				return // node stopping: the chunked body ends cleanly
+			}
+			if prefix != "" && !strings.HasPrefix(string(ind.Label), prefix) {
+				continue
+			}
+			if err := enc.Encode(toResponse(ind)); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (g *Gateway) handleStatus(w http.ResponseWriter, r *http.Request) {
+	var st Status
+	if g.cfg.Status != nil {
+		st = g.cfg.Status()
+	}
+	st.Gateway = &GatewayStatus{
+		InFlight:     g.inFlightNow.Load(),
+		Responses2xx: g.ok2xx.Load(),
+		Responses4xx: g.err4xx.Load(),
+		Responses5xx: g.err5xx.Load(),
+		AuthFailures: g.authFailures.Load(),
+		RateLimited:  g.rateLimited.Load(),
+		Shed:         g.shed.Load(),
+	}
+	writeJSON(w, st)
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg := g.cfg.Registry
+	if reg == nil {
+		reg = NewRegistry()
+		reg.Register(g.selfCollector())
+	}
+	_, _ = reg.WriteTo(w)
+}
+
+// ---- JSON helpers ----------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, v any) {
+	if w.Header().Get("Content-Type") == "" {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

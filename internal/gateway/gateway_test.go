@@ -1,0 +1,410 @@
+package gateway_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"blockdag/internal/crypto"
+	"blockdag/internal/gateway"
+	"blockdag/internal/mempool"
+	"blockdag/internal/node"
+	"blockdag/internal/types"
+)
+
+// start runs a gateway on a loopback port, defaulting the required seams
+// to inert fakes, and returns its base URL plus the broker.
+func start(t *testing.T, cfg gateway.Config) (*gateway.Gateway, string, *node.IndicationBroker) {
+	t.Helper()
+	if cfg.Indications == nil {
+		cfg.Indications = node.NewIndicationBroker(0)
+	}
+	if cfg.Submit == nil {
+		cfg.Submit = func(types.Label, []byte) error { return nil }
+	}
+	g, err := gateway.Listen("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = g.Close() })
+	return g, "http://" + g.Addr(), cfg.Indications
+}
+
+func postJSON(t *testing.T, url string, body string, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func get(t *testing.T, url string, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func drainClose(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	b, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestSubmitReachesSink(t *testing.T) {
+	var mu sync.Mutex
+	got := map[types.Label][]byte{}
+	_, base, _ := start(t, gateway.Config{
+		Submit: func(l types.Label, d []byte) error {
+			mu.Lock()
+			defer mu.Unlock()
+			got[l] = d
+			return nil
+		},
+	})
+	resp := postJSON(t, base+"/v1/submit", `{"label":"k","data":"hello"}`, nil)
+	if body := drainClose(t, resp); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", resp.StatusCode, body)
+	}
+	// data_b64 wins and decodes arbitrary bytes.
+	resp = postJSON(t, base+"/v1/submit", `{"label":"b","data":"x","data_b64":"AAEC"}`, nil)
+	drainClose(t, resp)
+	mu.Lock()
+	defer mu.Unlock()
+	if string(got["k"]) != "hello" || !bytes.Equal(got["b"], []byte{0, 1, 2}) {
+		t.Fatalf("sink saw %q", got)
+	}
+}
+
+func TestSubmitErrorMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		code int
+	}{
+		{mempool.ErrFull, http.StatusServiceUnavailable},
+		{mempool.ErrDuplicate, http.StatusConflict},
+		{mempool.ErrTooLarge, http.StatusRequestEntityTooLarge},
+		{errors.New("validation: empty label"), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		err := tc.err
+		_, base, _ := start(t, gateway.Config{
+			Submit: func(types.Label, []byte) error { return err },
+		})
+		resp := postJSON(t, base+"/v1/submit", `{"label":"k","data":"v"}`, nil)
+		body := drainClose(t, resp)
+		if resp.StatusCode != tc.code {
+			t.Fatalf("%v -> %d (%s), want %d", tc.err, resp.StatusCode, body, tc.code)
+		}
+		if tc.err == mempool.ErrFull && resp.Header.Get("Retry-After") == "" {
+			t.Fatal("pool-full response missing Retry-After")
+		}
+	}
+}
+
+// TestOversizedBodyRejectedBeforeAdmission is the satellite regression:
+// the body cap fires before decoding, so an oversized payload never
+// reaches mempool admission.
+func TestOversizedBodyRejectedBeforeAdmission(t *testing.T) {
+	pool := mempool.New(mempool.Options{Capacity: 16})
+	_, base, _ := start(t, gateway.Config{
+		Submit:       pool.Submit,
+		MaxBodyBytes: 256,
+	})
+	big := fmt.Sprintf(`{"label":"k","data":%q}`, strings.Repeat("x", 1024))
+	resp := postJSON(t, base+"/v1/submit", big, nil)
+	body := drainClose(t, resp)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d (%s), want 413", resp.StatusCode, body)
+	}
+	if s := pool.Stats(); s.Submitted != 0 {
+		t.Fatalf("oversized body reached mempool admission: %+v", s)
+	}
+	// A fitting body still goes through.
+	resp = postJSON(t, base+"/v1/submit", `{"label":"k","data":"small"}`, nil)
+	drainClose(t, resp)
+	if s := pool.Stats(); s.Accepted != 1 {
+		t.Fatalf("normal submit not admitted: %+v", s)
+	}
+}
+
+func TestAwaitLookupAndLongPoll(t *testing.T) {
+	_, base, broker := start(t, gateway.Config{})
+
+	// Already-published label answers from the replay index.
+	broker.Publish("done/1", []byte("early"))
+	resp := get(t, base+"/v1/await/done/1", nil)
+	body := drainClose(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "early") {
+		t.Fatalf("await(published) = %d %s", resp.StatusCode, body)
+	}
+
+	// Not-yet-published label long-polls until the publish lands.
+	done := make(chan string, 1)
+	go func() {
+		resp := get(t, base+"/v1/await/done/2?timeout=5s", nil)
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		done <- fmt.Sprintf("%d %s", resp.StatusCode, b)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	broker.Publish("done/2", []byte("later"))
+	select {
+	case got := <-done:
+		if !strings.HasPrefix(got, "200") || !strings.Contains(got, "later") {
+			t.Fatalf("await(long-poll) = %s", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("await never returned")
+	}
+}
+
+func TestAwaitTimeout(t *testing.T) {
+	_, base, _ := start(t, gateway.Config{})
+	resp := get(t, base+"/v1/await/never?timeout=50ms", nil)
+	body := drainClose(t, resp)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("await timeout = %d %s, want 504", resp.StatusCode, body)
+	}
+}
+
+func TestIndicationsStream(t *testing.T) {
+	_, base, broker := start(t, gateway.Config{})
+	resp := get(t, base+"/v1/indications?prefix=want/", nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream = %d", resp.StatusCode)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		broker.Publish("skip/0", []byte("filtered"))
+		broker.Publish("want/1", []byte("one"))
+		broker.Publish("want/2", []byte("two"))
+		time.Sleep(20 * time.Millisecond)
+		broker.Close()
+	}()
+	sc := bufio.NewScanner(resp.Body)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if len(lines) != 2 {
+		t.Fatalf("stream lines = %q, want 2", lines)
+	}
+	var ind struct {
+		Label string `json:"label"`
+		Data  string `json:"data"`
+		Seq   uint64 `json:"seq"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ind); err != nil {
+		t.Fatal(err)
+	}
+	if ind.Label != "want/1" || ind.Data != "one" {
+		t.Fatalf("first line = %+v", ind)
+	}
+}
+
+func TestBearerTokenAuth(t *testing.T) {
+	_, base, _ := start(t, gateway.Config{Tokens: []string{"s3cret"}})
+
+	resp := get(t, base+"/v1/status", nil)
+	drainClose(t, resp)
+	if resp.StatusCode != http.StatusUnauthorized || resp.Header.Get("WWW-Authenticate") == "" {
+		t.Fatalf("no-auth = %d, want 401 with WWW-Authenticate", resp.StatusCode)
+	}
+	resp = get(t, base+"/v1/status", map[string]string{"Authorization": "Bearer wrong"})
+	drainClose(t, resp)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("bad token = %d, want 401", resp.StatusCode)
+	}
+	resp = get(t, base+"/v1/status", map[string]string{"Authorization": "Bearer s3cret"})
+	body := drainClose(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("good token = %d %s", resp.StatusCode, body)
+	}
+	// The auth failures surface in the status self-report.
+	var st struct {
+		Gateway struct {
+			AuthFailures int64 `json:"auth_failures"`
+		} `json:"gateway"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Gateway.AuthFailures != 2 {
+		t.Fatalf("auth_failures = %d, want 2", st.Gateway.AuthFailures)
+	}
+	// /metrics stays scrapeable without credentials.
+	resp = get(t, base+"/metrics", nil)
+	drainClose(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unauthenticated /metrics = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestRosterSignatureAuth(t *testing.T) {
+	roster, signers, err := crypto.LocalRoster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1_700_000_000, 0)
+	_, base, _ := start(t, gateway.Config{
+		AuthRoster: roster,
+		Now:        func() time.Time { return now },
+	})
+
+	sign := func(method, path, nonce string, ts int64, signer *crypto.Signer) map[string]string {
+		sig := signer.Sign(gateway.RosterAuthMessage(method, path, nonce, ts))
+		return map[string]string{
+			"X-DAG-Server": fmt.Sprint(int(signer.ID())),
+			"X-DAG-Nonce":  nonce,
+			"X-DAG-TS":     fmt.Sprint(ts),
+			"X-DAG-Sig":    hex.EncodeToString(sig),
+		}
+	}
+
+	hdr := sign("GET", "/v1/status", "0123456789abcdef", now.Unix(), signers[1])
+	resp := get(t, base+"/v1/status", hdr)
+	drainClose(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("roster-signed = %d, want 200", resp.StatusCode)
+	}
+	// Replaying the same nonce is refused.
+	resp = get(t, base+"/v1/status", hdr)
+	drainClose(t, resp)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("replayed nonce = %d, want 401", resp.StatusCode)
+	}
+	// A stale timestamp is refused even with a fresh nonce.
+	stale := sign("GET", "/v1/status", "fedcba9876543210", now.Add(-10*time.Minute).Unix(), signers[1])
+	resp = get(t, base+"/v1/status", stale)
+	drainClose(t, resp)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("stale timestamp = %d, want 401", resp.StatusCode)
+	}
+	// A signature over the wrong path is refused.
+	wrong := sign("GET", "/v1/other", "00112233445566aa", now.Unix(), signers[1])
+	resp = get(t, base+"/v1/status", wrong)
+	drainClose(t, resp)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("wrong-path signature = %d, want 401", resp.StatusCode)
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	clock := time.Duration(0)
+	var mu sync.Mutex
+	_, base, _ := start(t, gateway.Config{
+		Tokens:    []string{"tok"},
+		RateEvery: time.Second,
+		RateBurst: 2,
+		Clock: func() time.Duration {
+			mu.Lock()
+			defer mu.Unlock()
+			return clock
+		},
+	})
+	auth := map[string]string{"Authorization": "Bearer tok"}
+	for i := 0; i < 2; i++ {
+		resp := get(t, base+"/v1/status", auth)
+		drainClose(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d = %d within burst", i, resp.StatusCode)
+		}
+	}
+	resp := get(t, base+"/v1/status", auth)
+	drainClose(t, resp)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-burst = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("429 Retry-After = %q, want a positive delay", ra)
+	}
+	// A token accrues after RateEvery on the injected clock.
+	mu.Lock()
+	clock += 1100 * time.Millisecond
+	mu.Unlock()
+	resp = get(t, base+"/v1/status", auth)
+	drainClose(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-accrual = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestInFlightShedding(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	_, base, _ := start(t, gateway.Config{
+		MaxInFlight: 1,
+		Submit: func(types.Label, []byte) error {
+			close(started)
+			<-release
+			return nil
+		},
+	})
+	first := make(chan string, 1)
+	go func() {
+		req, _ := http.NewRequest(http.MethodPost, base+"/v1/submit",
+			strings.NewReader(`{"label":"slow","data":"v"}`))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			first <- err.Error()
+			return
+		}
+		b, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		first <- fmt.Sprintf("%d %s", resp.StatusCode, b)
+	}()
+	<-started // the slow request holds the only in-flight slot
+
+	resp := get(t, base+"/v1/status", nil)
+	body := drainClose(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("at-capacity request = %d %s, want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+
+	close(release)
+	if got := <-first; !strings.HasPrefix(got, "202") {
+		t.Fatalf("slow request after release = %s, want 202", got)
+	}
+	// The slot freed: the next request is served again.
+	resp = get(t, base+"/v1/status", nil)
+	drainClose(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release request = %d, want 200", resp.StatusCode)
+	}
+}

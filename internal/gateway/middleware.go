@@ -1,0 +1,337 @@
+package gateway
+
+import (
+	"crypto/subtle"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"blockdag/internal/crypto"
+	"blockdag/internal/types"
+)
+
+// The middleware chain wraps every route in this order (outermost first):
+//
+//	logging → in-flight cap → auth → per-client rate limit → handler
+//
+// Shedding happens before authentication on purpose: under overload the
+// gateway refuses cheaply, without paying a signature verification per
+// refused request. /metrics skips auth and rate limiting (scrapers run
+// unauthenticated by convention) but still counts against the in-flight
+// cap, so a scrape storm cannot starve consensus clients.
+
+// statusWriter captures the response code for logging and counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// Flush forwards streaming flushes (the /v1/indications feed needs it).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		if w.code == 0 {
+			w.code = http.StatusOK
+		}
+		f.Flush()
+	}
+}
+
+// wrap builds the full chain around one route handler.
+func (g *Gateway) wrap(authed bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		g.serve(sw, r, authed, h)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		g.countResponse(code)
+		g.logf("gateway: %s %s -> %d (%s, %v)", r.Method, r.URL.Path, code, clientHost(r), time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// serve applies shedding, auth, and rate limiting, then runs the handler.
+func (g *Gateway) serve(w http.ResponseWriter, r *http.Request, authed bool, h http.HandlerFunc) {
+	if !g.acquire() {
+		g.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "gateway at capacity")
+		return
+	}
+	defer g.release()
+
+	client := clientHost(r)
+	if authed {
+		principal, err := g.authenticate(r)
+		if err != nil {
+			g.authFailures.Add(1)
+			w.Header().Set("WWW-Authenticate", `Bearer realm="dagrpc"`)
+			writeError(w, http.StatusUnauthorized, err.Error())
+			return
+		}
+		if principal != "" {
+			client = principal
+		}
+		if g.limiter != nil {
+			if ok, retry := g.limiter.allow(client); !ok {
+				g.rateLimited.Add(1)
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retry)))
+				writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
+				return
+			}
+		}
+	}
+	h(w, r)
+}
+
+// acquire claims one in-flight slot, reporting false when the gateway is
+// at its concurrency cap.
+func (g *Gateway) acquire() bool {
+	select {
+	case g.inflight <- struct{}{}:
+		g.inFlightNow.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+func (g *Gateway) release() {
+	g.inFlightNow.Add(-1)
+	<-g.inflight
+}
+
+// clientHost is the fallback rate-limit key: the remote IP.
+func clientHost(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// retryAfterSeconds rounds a wait up to whole seconds, minimum 1.
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// ---- authentication -------------------------------------------------
+
+// authMaxSkew bounds how far a roster-signed request's timestamp may lie
+// from the gateway's clock — the freshness window that, together with the
+// nonce cache, defeats replay.
+const authMaxSkew = 60 * time.Second
+
+// authenticate applies roster-or-token auth: a bearer token from
+// Config.Tokens, or an Ed25519 request signature by a roster member
+// (Config.AuthRoster). With neither configured the gateway is open. The
+// returned principal keys the per-client rate limiter ("" = fall back to
+// the remote IP).
+func (g *Gateway) authenticate(r *http.Request) (string, error) {
+	if len(g.cfg.Tokens) == 0 && g.cfg.AuthRoster == nil {
+		return "", nil
+	}
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		const prefix = "Bearer "
+		if len(auth) > len(prefix) && auth[:len(prefix)] == prefix {
+			tok := auth[len(prefix):]
+			for i, want := range g.cfg.Tokens {
+				if subtle.ConstantTimeCompare([]byte(tok), []byte(want)) == 1 {
+					return fmt.Sprintf("token/%d", i), nil
+				}
+			}
+		}
+		return "", fmt.Errorf("invalid bearer token")
+	}
+	if g.cfg.AuthRoster != nil && r.Header.Get("X-DAG-Sig") != "" {
+		id, err := g.verifyRosterAuth(r)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("s%d", id), nil
+	}
+	return "", fmt.Errorf("authentication required (bearer token or roster signature)")
+}
+
+// verifyRosterAuth checks the roster-signature scheme: the client signs
+//
+//	dagrpc|v1|<METHOD>|<path>|<nonce-hex>|<unix-seconds>
+//
+// with its roster key and sends server id, nonce, timestamp, and
+// signature in X-DAG-* headers. The timestamp must be within authMaxSkew
+// of the gateway's clock and the nonce unseen within the replay window.
+func (g *Gateway) verifyRosterAuth(r *http.Request) (types.ServerID, error) {
+	idStr := r.Header.Get("X-DAG-Server")
+	nonce := r.Header.Get("X-DAG-Nonce")
+	tsStr := r.Header.Get("X-DAG-TS")
+	sigHex := r.Header.Get("X-DAG-Sig")
+	idNum, err := strconv.Atoi(idStr)
+	if err != nil {
+		return 0, fmt.Errorf("bad X-DAG-Server")
+	}
+	id := types.ServerID(idNum)
+	if !g.cfg.AuthRoster.Contains(id) {
+		return 0, fmt.Errorf("server %d not in roster", idNum)
+	}
+	if len(nonce) < 16 || len(nonce) > 128 {
+		return 0, fmt.Errorf("bad X-DAG-Nonce")
+	}
+	ts, err := strconv.ParseInt(tsStr, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad X-DAG-TS")
+	}
+	now := g.wallNow().Unix()
+	if ts < now-int64(authMaxSkew.Seconds()) || ts > now+int64(authMaxSkew.Seconds()) {
+		return 0, fmt.Errorf("request timestamp outside freshness window")
+	}
+	sig, err := hex.DecodeString(sigHex)
+	if err != nil || len(sig) != crypto.SignatureSize {
+		return 0, fmt.Errorf("bad X-DAG-Sig")
+	}
+	msg := RosterAuthMessage(r.Method, r.URL.Path, nonce, ts)
+	if !g.cfg.AuthRoster.Verify(id, msg, sig) {
+		return 0, fmt.Errorf("roster signature verification failed")
+	}
+	if !g.nonces.admit(nonce) {
+		return 0, fmt.Errorf("replayed nonce")
+	}
+	return id, nil
+}
+
+// RosterAuthMessage is the canonical byte string a roster-authenticated
+// client signs — exported so clients and tests build it identically.
+func RosterAuthMessage(method, path, nonce string, unixTS int64) []byte {
+	return []byte(fmt.Sprintf("dagrpc|v1|%s|%s|%s|%d", method, path, nonce, unixTS))
+}
+
+// nonceCache remembers recently admitted nonces, bounded FIFO.
+type nonceCache struct {
+	mu    sync.Mutex
+	seen  map[string]struct{}
+	order []string
+	cap   int
+}
+
+func newNonceCache(capacity int) *nonceCache {
+	return &nonceCache{seen: make(map[string]struct{}), cap: capacity}
+}
+
+// admit records the nonce, reporting false when it was already seen.
+func (c *nonceCache) admit(nonce string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.seen[nonce]; dup {
+		return false
+	}
+	if len(c.order) >= c.cap {
+		delete(c.seen, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.seen[nonce] = struct{}{}
+	c.order = append(c.order, nonce)
+	return true
+}
+
+// ---- per-client rate limiting ---------------------------------------
+
+// rateLimiter is a per-client token bucket on an injectable clock — the
+// same accrual arithmetic as syncsvc's sync-channel admission bucket,
+// keyed by authenticated principal (or remote IP). The bucket table is
+// bounded: beyond maxClients the stalest bucket is evicted, so an
+// attacker rotating source addresses trades its own rate-limit state
+// away, not the gateway's memory.
+type rateLimiter struct {
+	mu    sync.Mutex
+	every time.Duration
+	burst int
+	clock func() time.Duration
+
+	buckets    map[string]*clientBucket
+	maxClients int
+}
+
+type clientBucket struct {
+	tokens float64
+	last   time.Duration
+}
+
+func newRateLimiter(every time.Duration, burst int, clock func() time.Duration) *rateLimiter {
+	if every <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = 4
+	}
+	return &rateLimiter{
+		every:      every,
+		burst:      burst,
+		clock:      clock,
+		buckets:    make(map[string]*clientBucket),
+		maxClients: 1024,
+	}
+}
+
+// allow spends one token of the client's bucket. When refused, retry is
+// how long until a token accrues.
+func (l *rateLimiter) allow(client string) (ok bool, retry time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.clock()
+	b := l.buckets[client]
+	if b == nil {
+		if len(l.buckets) >= l.maxClients {
+			l.evictStalest()
+		}
+		b = &clientBucket{tokens: float64(l.burst), last: now}
+		l.buckets[client] = b
+	}
+	b.tokens += float64(now-b.last) / float64(l.every)
+	b.last = now
+	if b.tokens > float64(l.burst) {
+		b.tokens = float64(l.burst)
+	}
+	if b.tokens < 1 {
+		return false, time.Duration((1 - b.tokens) * float64(l.every))
+	}
+	b.tokens--
+	return true, 0
+}
+
+// evictStalest removes the bucket with the oldest refill time (callers
+// hold the lock). Evicting a stale bucket resets that client to a full
+// burst — acceptable, since a stale bucket is a full one anyway.
+func (l *rateLimiter) evictStalest() {
+	var victim string
+	var oldest time.Duration
+	first := true
+	for k, b := range l.buckets {
+		if first || b.last < oldest {
+			victim, oldest, first = k, b.last, false
+		}
+	}
+	delete(l.buckets, victim)
+}

@@ -1,0 +1,145 @@
+package gateway
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MetricType distinguishes the two Prometheus families the registry
+// renders.
+type MetricType string
+
+const (
+	// Counter is a monotonically increasing total.
+	Counter MetricType = "counter"
+	// Gauge is a point-in-time level.
+	Gauge MetricType = "gauge"
+)
+
+// Metric is one sample a collector emits: a family name (Prometheus
+// conventions: snake_case, counters end in _total), optional label pairs,
+// and the current value. Help and Type describe the family; the first
+// collector to emit a family wins on metadata.
+type Metric struct {
+	Name   string
+	Help   string
+	Type   MetricType
+	Labels [][2]string
+	Value  float64
+}
+
+// Collector contributes the current samples of one subsystem to a scrape.
+// Collectors run on the scrape handler's goroutine and must only read
+// concurrency-safe state (atomic counters, mutex-guarded snapshots) —
+// every constructor in this package does.
+type Collector func(emit func(Metric))
+
+// Registry is the observability plane's fold point: each subsystem plugs
+// a Collector in, and one WriteTo renders the union in Prometheus text
+// exposition format. Safe for concurrent use; registration order is
+// irrelevant (families render name-sorted).
+type Registry struct {
+	mu         sync.Mutex
+	collectors []Collector
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register plugs one collector in. Nil collectors are ignored.
+func (r *Registry) Register(c Collector) {
+	if c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// Gather runs every collector and returns the samples grouped by family
+// name, names sorted, samples within a family in label order.
+func (r *Registry) Gather() []Metric {
+	r.mu.Lock()
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.Unlock()
+	var all []Metric
+	for _, c := range collectors {
+		c(func(m Metric) { all = append(all, m) })
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Name != all[j].Name {
+			return all[i].Name < all[j].Name
+		}
+		return labelKey(all[i].Labels) < labelKey(all[j].Labels)
+	})
+	return all
+}
+
+// WriteTo renders the current samples in the Prometheus text exposition
+// format (version 0.0.4): one # HELP and # TYPE line per family, then its
+// samples. It implements io.WriterTo.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	samples := r.Gather()
+	// Family metadata may sit on any one sample of the family (collectors
+	// often spell Help out once); take the first non-empty.
+	help := make(map[string]string)
+	typ := make(map[string]MetricType)
+	for _, m := range samples {
+		if m.Help != "" && help[m.Name] == "" {
+			help[m.Name] = m.Help
+		}
+		if m.Type != "" && typ[m.Name] == "" {
+			typ[m.Name] = m.Type
+		}
+	}
+	var b strings.Builder
+	lastFamily := ""
+	for _, m := range samples {
+		if m.Name != lastFamily {
+			lastFamily = m.Name
+			if h := help[m.Name]; h != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", m.Name, escapeHelp(h))
+			}
+			ft := typ[m.Name]
+			if ft == "" {
+				ft = Gauge
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.Name, ft)
+		}
+		b.WriteString(m.Name)
+		if len(m.Labels) > 0 {
+			b.WriteByte('{')
+			for i, kv := range m.Labels {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%s=%q", kv[0], kv[1])
+			}
+			b.WriteByte('}')
+		}
+		fmt.Fprintf(&b, " %v\n", m.Value)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// labelKey flattens a label set for deterministic ordering.
+func labelKey(labels [][2]string) string {
+	var b strings.Builder
+	for _, kv := range labels {
+		b.WriteString(kv[0])
+		b.WriteByte('=')
+		b.WriteString(kv[1])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

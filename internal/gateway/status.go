@@ -1,0 +1,145 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+
+	"blockdag/internal/mempool"
+	"blockdag/internal/metrics"
+	"blockdag/internal/node"
+	"blockdag/internal/peerscore"
+	"blockdag/internal/types"
+)
+
+// Status is the /v1/status document. Every field is assembled from
+// concurrency-safe sources only (atomic counters, mutex-guarded reports),
+// so the endpoint never races the loop goroutine.
+type Status struct {
+	Server  int    `json:"server"`
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+
+	// Watermarks maps builder id to the next expected own-chain sequence
+	// number — this node's durable coverage vector (durable nodes only).
+	Watermarks map[types.ServerID]uint64 `json:"watermarks,omitempty"`
+
+	CatchUp        *CatchUpStatus        `json:"catch_up,omitempty"`
+	Follow         *FollowStatus         `json:"follow,omitempty"`
+	Accountability *AccountabilityStatus `json:"accountability,omitempty"`
+	Mempool        *mempool.Stats        `json:"mempool,omitempty"`
+	// StoreBytes is the durable store's on-disk size (omitted without a
+	// store).
+	StoreBytes int64 `json:"store_bytes,omitempty"`
+
+	// Counters is the cumulative metrics snapshot; Window reports the
+	// delta since the previous /v1/status call (metrics.Snapshot.Delta),
+	// the poor operator's rate() for deployments without a scraper.
+	Counters *metrics.Snapshot `json:"counters,omitempty"`
+	Window   *RateWindow       `json:"window,omitempty"`
+
+	// Gateway carries the front door's own counters; the serving gateway
+	// fills it in.
+	Gateway *GatewayStatus `json:"gateway,omitempty"`
+}
+
+// CatchUpStatus mirrors node.CatchUpReport with a JSON-friendly error.
+type CatchUpStatus struct {
+	Ran    bool   `json:"ran"`
+	Blocks int    `json:"blocks"`
+	Error  string `json:"error,omitempty"`
+}
+
+// FollowStatus mirrors node.FollowReport with a JSON-friendly error.
+type FollowStatus struct {
+	Polls     int    `json:"polls"`
+	Deltas    int    `json:"deltas"`
+	Blocks    int    `json:"blocks"`
+	Throttled int    `json:"throttled"`
+	Errors    int    `json:"errors"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// AccountabilityStatus mirrors node.AccountabilityReport.
+type AccountabilityStatus struct {
+	Banned []types.ServerID     `json:"banned,omitempty"`
+	Peers  []peerscore.PeerStat `json:"peers,omitempty"`
+}
+
+// RateWindow is the counter delta since the previous status call.
+type RateWindow struct {
+	Seconds float64          `json:"seconds"`
+	Delta   metrics.Snapshot `json:"delta"`
+}
+
+// GatewayStatus is the front door's self-report.
+type GatewayStatus struct {
+	InFlight     int64 `json:"in_flight"`
+	Responses2xx int64 `json:"responses_2xx"`
+	Responses4xx int64 `json:"responses_4xx"`
+	Responses5xx int64 `json:"responses_5xx"`
+	AuthFailures int64 `json:"auth_failures"`
+	RateLimited  int64 `json:"rate_limited"`
+	Shed         int64 `json:"shed"`
+}
+
+// NodeStatus builds the standard Status producer for a node runtime. The
+// closure keeps the previous metrics snapshot, so consecutive calls see
+// the rate window between them (metrics.Snapshot.Delta).
+func NodeStatus(nd *node.Node) func() Status {
+	var mu sync.Mutex
+	var prev metrics.Snapshot
+	var prevAt time.Time
+	return func() Status {
+		st := Status{Server: int(nd.Server().ID()), Healthy: true}
+		if err := nd.Err(); err != nil {
+			st.Healthy = false
+			st.Error = err.Error()
+		}
+		if wms := nd.Watermarks(); len(wms) > 0 {
+			st.Watermarks = make(map[types.ServerID]uint64, len(wms))
+			for _, wm := range wms {
+				st.Watermarks[wm.Builder] = wm.NextSeq
+			}
+		}
+		if rep := nd.CatchUpReport(); rep.Ran {
+			cs := &CatchUpStatus{Ran: true, Blocks: rep.Blocks}
+			if rep.Err != nil {
+				cs.Error = rep.Err.Error()
+			}
+			st.CatchUp = cs
+		}
+		if rep := nd.FollowReport(); rep.Polls > 0 {
+			fs := &FollowStatus{
+				Polls: rep.Polls, Deltas: rep.Deltas, Blocks: rep.Blocks,
+				Throttled: rep.Throttled, Errors: rep.Errors,
+			}
+			if rep.LastErr != nil {
+				fs.LastError = rep.LastErr.Error()
+			}
+			st.Follow = fs
+		}
+		if rep := nd.AccountabilityReport(); len(rep.Banned) > 0 || len(rep.Peers) > 0 {
+			st.Accountability = &AccountabilityStatus{Banned: rep.Banned, Peers: rep.Peers}
+		}
+		if pool := nd.Server().Mempool(); pool != nil {
+			ms := pool.Stats()
+			st.Mempool = &ms
+		}
+		if size, ok := nd.StoreDiskSize(); ok {
+			st.StoreBytes = size
+		}
+		snap := nd.Server().Metrics()
+		st.Counters = &snap
+		mu.Lock()
+		now := time.Now()
+		if !prevAt.IsZero() {
+			st.Window = &RateWindow{
+				Seconds: now.Sub(prevAt).Seconds(),
+				Delta:   snap.Delta(prev),
+			}
+		}
+		prev, prevAt = snap, now
+		mu.Unlock()
+		return st
+	}
+}

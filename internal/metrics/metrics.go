@@ -73,6 +73,33 @@ func (s Snapshot) String() string {
 	return out
 }
 
+// Delta returns the field-wise difference s - prev: the activity between
+// two snapshots of the same Metrics. Gateways use it to turn cumulative
+// counters into rate windows ("blocks built since the last status poll").
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	return Snapshot{
+		BlocksBuilt:       s.BlocksBuilt - prev.BlocksBuilt,
+		BlocksReceived:    s.BlocksReceived - prev.BlocksReceived,
+		BlocksInserted:    s.BlocksInserted - prev.BlocksInserted,
+		BlocksDuplicate:   s.BlocksDuplicate - prev.BlocksDuplicate,
+		BlocksRejected:    s.BlocksRejected - prev.BlocksRejected,
+		FwdRequestsSent:   s.FwdRequestsSent - prev.FwdRequestsSent,
+		FwdRequestsServed: s.FwdRequestsServed - prev.FwdRequestsServed,
+		WireMessages:      s.WireMessages - prev.WireMessages,
+		WireBytes:         s.WireBytes - prev.WireBytes,
+		RequestsEmbedded:  s.RequestsEmbedded - prev.RequestsEmbedded,
+		MsgsMaterialized:  s.MsgsMaterialized - prev.MsgsMaterialized,
+		BlocksInterpreted: s.BlocksInterpreted - prev.BlocksInterpreted,
+		Indications:       s.Indications - prev.Indications,
+
+		EquivocationsSeen:   s.EquivocationsSeen - prev.EquivocationsSeen,
+		EvidenceReceived:    s.EvidenceReceived - prev.EvidenceReceived,
+		EvidenceRelayed:     s.EvidenceRelayed - prev.EvidenceRelayed,
+		PeersBanned:         s.PeersBanned - prev.PeersBanned,
+		BannedBlocksDropped: s.BannedBlocksDropped - prev.BannedBlocksDropped,
+	}
+}
+
 // Snapshot returns a copy of all counters. Safe on a nil receiver.
 func (m *Metrics) Snapshot() Snapshot {
 	if m == nil {

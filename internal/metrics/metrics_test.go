@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -69,5 +70,36 @@ func TestSnapshotString(t *testing.T) {
 	out := m.Snapshot().String()
 	if !strings.Contains(out, "built=3") {
 		t.Fatalf("String() = %q", out)
+	}
+}
+
+// TestSnapshotDelta uses reflection so a new counter added to Snapshot
+// without a matching line in Delta fails here instead of silently
+// reporting a zero rate.
+func TestSnapshotDelta(t *testing.T) {
+	var cur, prev Snapshot
+	cv := reflect.ValueOf(&cur).Elem()
+	pv := reflect.ValueOf(&prev).Elem()
+	for i := 0; i < cv.NumField(); i++ {
+		cv.Field(i).SetInt(int64(100 + 10*i))
+		pv.Field(i).SetInt(int64(3 * i))
+	}
+	d := cur.Delta(prev)
+	dv := reflect.ValueOf(d)
+	for i := 0; i < dv.NumField(); i++ {
+		want := int64(100+10*i) - int64(3*i)
+		if got := dv.Field(i).Int(); got != want {
+			t.Fatalf("Delta field %s = %d, want %d",
+				dv.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+func TestSnapshotDeltaZero(t *testing.T) {
+	m := &Metrics{}
+	m.AddBlocksBuilt(7)
+	s := m.Snapshot()
+	if d := s.Delta(s); d != (Snapshot{}) {
+		t.Fatalf("self-delta not zero: %+v", d)
 	}
 }

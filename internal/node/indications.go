@@ -1,0 +1,181 @@
+package node
+
+import (
+	"sync"
+
+	"blockdag/internal/types"
+)
+
+// Indication is one interpreted indication as seen by broker subscribers:
+// the (label, value) pair of core.Config.OnIndication plus a broker-local
+// sequence number (Seq counts publications in order, so a subscriber can
+// detect gaps its own bounded buffer dropped).
+type Indication struct {
+	Label types.Label
+	Value []byte
+	Seq   uint64
+}
+
+// DefaultRecentLabels bounds the broker's replay index: how many distinct
+// labels keep their most recent indication available to Lookup (and hence
+// to a gateway's /v1/await of a label that was interpreted before the
+// client asked). Oldest labels are evicted first.
+const DefaultRecentLabels = 4096
+
+// IndicationBroker fans one server's indication stream out to any number
+// of concurrent observers — the subscription seam a client gateway needs
+// to serve await and streaming endpoints without racing the loop
+// goroutine. Publish is called from exactly one goroutine (the node loop,
+// or the replay inside New); everything else is safe for concurrent use.
+//
+// Two guarantees shape the design:
+//
+//   - Publish never blocks: a slow subscriber loses the overflowing
+//     indications (counted in Dropped) instead of stalling consensus.
+//   - A bounded index of the most recent indication per label survives
+//     for late readers: Lookup answers for labels interpreted before the
+//     reader arrived, which makes await race-free (subscribe first, then
+//     Lookup, then drain the subscription).
+//
+// Close tears every subscription down with a closed channel — the clean
+// terminal signal gateway handlers turn into a proper response instead of
+// a connection reset. Publish after Close is a silent no-op, so the loop
+// may keep interpreting while the front door drains.
+type IndicationBroker struct {
+	mu      sync.Mutex
+	nextSeq uint64
+	closed  bool
+
+	recent   map[types.Label]Indication
+	order    []types.Label // FIFO eviction order over recent's keys
+	maxLabel int
+
+	subs map[*IndicationSub]struct{}
+}
+
+// NewIndicationBroker builds a broker whose replay index keeps the most
+// recent indication for up to maxLabels distinct labels (0 uses
+// DefaultRecentLabels). Wire Publish as (or into) the server's
+// OnIndication callback — node.New does this via
+// core.Server.AddIndicationObserver.
+func NewIndicationBroker(maxLabels int) *IndicationBroker {
+	if maxLabels <= 0 {
+		maxLabels = DefaultRecentLabels
+	}
+	return &IndicationBroker{
+		recent:   make(map[types.Label]Indication),
+		maxLabel: maxLabels,
+		subs:     make(map[*IndicationSub]struct{}),
+	}
+}
+
+// Publish records one indication and fans it out to every subscriber.
+// The value is copied once; subscribers must treat it as read-only.
+// Never blocks; a no-op after Close.
+func (b *IndicationBroker) Publish(label types.Label, value []byte) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	ind := Indication{Label: label, Value: append([]byte(nil), value...), Seq: b.nextSeq}
+	b.nextSeq++
+	if _, seen := b.recent[label]; !seen {
+		if len(b.order) >= b.maxLabel {
+			delete(b.recent, b.order[0])
+			b.order = b.order[1:]
+		}
+		b.order = append(b.order, label)
+	}
+	b.recent[label] = ind
+	for s := range b.subs {
+		select {
+		case s.ch <- ind:
+		default:
+			s.dropped++
+		}
+	}
+}
+
+// Lookup returns the most recent indication published for label, if the
+// bounded replay index still holds it.
+func (b *IndicationBroker) Lookup(label types.Label) (Indication, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ind, ok := b.recent[label]
+	return ind, ok
+}
+
+// Subscribe registers a new observer with the given channel buffer
+// (minimum 1). The subscription sees every indication published after the
+// call that fits its buffer; overflow is dropped, not blocked on. Close
+// the subscription when done, or the broker holds it forever.
+func (b *IndicationBroker) Subscribe(buffer int) *IndicationSub {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s := &IndicationSub{b: b, ch: make(chan Indication, buffer)}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		close(s.ch)
+		return s
+	}
+	b.subs[s] = struct{}{}
+	return s
+}
+
+// Close tears down the broker: every subscription's channel is closed
+// (after draining whatever it already buffered) and future Publish and
+// Subscribe calls are inert. Idempotent.
+func (b *IndicationBroker) Close() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for s := range b.subs {
+		close(s.ch)
+	}
+	b.subs = make(map[*IndicationSub]struct{})
+}
+
+// IndicationSub is one live subscription to a broker's indication stream.
+type IndicationSub struct {
+	b  *IndicationBroker
+	ch chan Indication
+
+	// dropped is guarded by the broker's mutex.
+	dropped int64
+}
+
+// C is the subscription's delivery channel. It is closed when the broker
+// closes (node shutdown) or when the subscription itself is closed.
+func (s *IndicationSub) C() <-chan Indication { return s.ch }
+
+// Dropped reports how many indications overflowed this subscription's
+// buffer so far — the gap detector for streaming clients.
+func (s *IndicationSub) Dropped() int64 {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	return s.dropped
+}
+
+// Close deregisters the subscription and closes its channel. Idempotent,
+// and safe concurrently with the broker's own Close.
+func (s *IndicationSub) Close() {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	if _, live := s.b.subs[s]; !live {
+		return
+	}
+	delete(s.b.subs, s)
+	close(s.ch)
+}

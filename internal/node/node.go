@@ -113,6 +113,11 @@ type Config struct {
 	// absolute size: a DAG whose snapshot alone exceeds the threshold
 	// must not re-snapshot on every tick. 0 disables the size trigger.
 	CheckpointEveryBytes int64
+	// RecentIndications bounds the indication broker's replay index (how
+	// many distinct labels keep their latest indication available to
+	// late Lookup callers; see IndicationBroker). 0 uses
+	// DefaultRecentLabels.
+	RecentIndications int
 }
 
 // CatchUpReport records what startup catch-up did.
@@ -183,6 +188,19 @@ type Node struct {
 	started  bool
 	firstErr error
 	follow   FollowReport
+	// stopHooks run at the head of Stop, before the loop is cancelled —
+	// the graceful-drain seam: the client gateway registers its shutdown
+	// here so in-flight HTTP requests finish (and long-polls get a clean
+	// terminal response via the closed broker) while the server still
+	// lives. stopOnce makes repeated Stops run the drain exactly once.
+	stopHooks []func()
+	stopOnce  sync.Once
+
+	// broker fans the server's indication stream out to concurrent
+	// subscribers (Indications). Installed as an indication observer
+	// before the Restore replay, so its replay index covers pre-crash
+	// indications too.
+	broker *IndicationBroker
 
 	catchUp CatchUpReport
 	// ckptFloor is the store's on-disk size after the last checkpoint
@@ -258,6 +276,13 @@ func New(cfg Config) (*Node, error) {
 		reqs:    make(chan request, 256),
 		done:    make(chan struct{}),
 		followC: make(chan followResult, 4),
+		broker:  NewIndicationBroker(cfg.RecentIndications),
+	}
+	// The broker observes before the replay below runs, so indications of
+	// restored blocks land in its replay index: a gateway await for a
+	// label delivered before the crash answers immediately after restart.
+	if err := cfg.Server.AddIndicationObserver(n.broker.Publish); err != nil {
+		return nil, fmt.Errorf("node: %w", err)
 	}
 	var replay []*block.Block
 	if cfg.Store != nil {
@@ -361,6 +386,21 @@ func (n *Node) Watermarks() []syncsvc.Watermark {
 	return n.tracker.Snapshot()
 }
 
+// StoreDiskSize reports the durable store's current on-disk size in
+// bytes, false when the node runs without a store. Safe for concurrent
+// use (it walks the directory; it does not touch the store's mutable
+// state), so status endpoints may call it while the loop runs.
+func (n *Node) StoreDiskSize() (int64, bool) {
+	if n.cfg.Store == nil {
+		return 0, false
+	}
+	size, err := n.cfg.Store.DiskSize()
+	if err != nil {
+		return 0, false
+	}
+	return size, true
+}
+
 // Start launches the loop goroutine. It is an error to start twice.
 func (n *Node) Start() error {
 	n.mu.Lock()
@@ -376,8 +416,23 @@ func (n *Node) Start() error {
 	return nil
 }
 
-// Stop terminates the loop and waits for it to exit.
+// Stop drains and terminates the node. The order matters for a clean
+// front door: first the indication broker closes (waking every await and
+// streaming subscriber with a terminal signal), then the registered stop
+// hooks run — the gateway's hook waits for its in-flight HTTP requests to
+// finish — and only then is the loop cancelled and awaited. A slow client
+// request thus completes against a live server and gets a real response,
+// not a connection reset. Idempotent.
 func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		n.broker.Close()
+		n.mu.Lock()
+		hooks := append([]func(){}, n.stopHooks...)
+		n.mu.Unlock()
+		for _, h := range hooks {
+			h()
+		}
+	})
 	n.mu.Lock()
 	cancel := n.cancel
 	n.mu.Unlock()
@@ -386,6 +441,23 @@ func (n *Node) Stop() {
 	}
 	n.wg.Wait()
 }
+
+// OnStop registers a hook Stop runs before tearing down the loop — the
+// graceful-drain seam (package gateway registers its HTTP shutdown here).
+// Hooks run in registration order, on the goroutine that called Stop.
+// Registering after Stop has begun is a no-op.
+func (n *Node) OnStop(hook func()) {
+	if hook == nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stopHooks = append(n.stopHooks, hook)
+}
+
+// Indications returns the node's indication broker: the concurrency-safe
+// subscription seam over the server's OnIndication stream. Never nil.
+func (n *Node) Indications() *IndicationBroker { return n.broker }
 
 // Deliver implements transport.Endpoint: queue a network payload for the
 // loop. The payload is copied; transports may reuse their buffers.
