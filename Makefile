@@ -141,15 +141,18 @@ bench:
 	rm -f bench.out
 	@echo "wrote $(BENCH_OUT)"
 
-# HOT_BENCH names the hot-path benchmarks whose ns/op regressions fail
-# bench-compare (sub-benchmarks included; see benchjson -hot matching).
-HOT_BENCH ?= BenchmarkReaches,BenchmarkTipRetirement,BenchmarkE12_DeepDAG,BenchmarkCatchUp,BenchmarkLiveFollow,BenchmarkAppend,BenchmarkIngest,BenchmarkVerifyBatch
+# HOT_BENCH names the hot-path benchmarks whose ns/op AND allocs/op
+# regressions fail bench-compare (sub-benchmarks included; see benchjson
+# -hot matching). BenchmarkEncodeOnce and BenchmarkStoreAppendBatch guard
+# the encode-once invariant: a sealed block's Encode must stay 0
+# allocs/op and batched journaling must not regress to per-block writes.
+HOT_BENCH ?= BenchmarkReaches,BenchmarkTipRetirement,BenchmarkE12_DeepDAG,BenchmarkCatchUp,BenchmarkLiveFollow,BenchmarkStoreAppend,BenchmarkStoreAppendBatch,BenchmarkEncodeOnce,BenchmarkIngest,BenchmarkVerifyBatch
 
 .PHONY: bench-compare
 # bench-compare diffs a fresh benchmark document (BENCH_OUT) against the
-# newest checked-in BENCH_<date>.json baseline, failing on >30% ns/op
-# regressions on $(HOT_BENCH). CI runs it after its bench job; run it
-# locally after `make bench BENCH_OUT=bench-new.json`.
+# newest checked-in BENCH_<date>.json baseline, failing on >30% ns/op or
+# allocs/op regressions on $(HOT_BENCH). CI runs it after its bench job;
+# run it locally after `make bench BENCH_OUT=bench-new.json`.
 bench-compare:
 	@baseline=$$(ls BENCH_*.json | sort | tail -1); \
 	if [ -z "$$baseline" ]; then echo "no checked-in baseline"; exit 1; fi; \

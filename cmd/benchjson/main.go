@@ -16,9 +16,14 @@
 //
 // It prints a per-benchmark delta table and exits non-zero when any
 // benchmark matched by -hot regresses in ns/op by more than -threshold
-// (default 0.30, i.e. 30%) — the CI guardrail for the named hot paths.
-// Benchmarks present on only one side are reported but never fail the
-// comparison (new benchmarks appear, old ones are retired).
+// (default 0.30, i.e. 30%) or in allocs/op by more than -alloc-threshold
+// (default 0.30) — the CI guardrail for the named hot paths. Allocation
+// counts are deterministic where wall time is noisy, so the alloc gate
+// catches an accidental per-op allocation (a lost cache, an escaped
+// buffer) that a ns/op threshold might absorb. Benchmarks present on
+// only one side are reported but never fail the comparison (new
+// benchmarks appear, old ones are retired), and benchmarks with a
+// zero-alloc baseline fail on ANY new allocation.
 package main
 
 import (
@@ -61,13 +66,14 @@ type Document struct {
 
 func main() {
 	var (
-		compare   = flag.String("compare", "", "baseline JSON document; compare stdin (JSON) against it instead of converting")
-		hot       = flag.String("hot", "", "comma-separated benchmark name prefixes whose ns/op regressions fail the comparison (default: all)")
-		threshold = flag.Float64("threshold", 0.30, "relative ns/op regression tolerated on hot benchmarks")
+		compare        = flag.String("compare", "", "baseline JSON document; compare stdin (JSON) against it instead of converting")
+		hot            = flag.String("hot", "", "comma-separated benchmark name prefixes whose ns/op and allocs/op regressions fail the comparison (default: all)")
+		threshold      = flag.Float64("threshold", 0.30, "relative ns/op regression tolerated on hot benchmarks")
+		allocThreshold = flag.Float64("alloc-threshold", 0.30, "relative allocs/op regression tolerated on hot benchmarks (a zero-alloc baseline fails on any allocation)")
 	)
 	flag.Parse()
 	if *compare != "" {
-		os.Exit(runCompare(*compare, *hot, *threshold))
+		os.Exit(runCompare(*compare, *hot, *threshold, *allocThreshold))
 	}
 	convert()
 }
@@ -109,7 +115,7 @@ func convert() {
 
 // runCompare diffs the JSON document on stdin against the baseline file
 // and returns the process exit code.
-func runCompare(baselinePath, hot string, threshold float64) int {
+func runCompare(baselinePath, hot string, threshold, allocThreshold float64) int {
 	baseline, err := readDoc(baselinePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -145,12 +151,19 @@ func runCompare(baselinePath, hot string, threshold float64) int {
 	for _, r := range baseline.Results {
 		base[key(r)] = r
 	}
+	// allocRegressed: allocation counts are (near-)integers, so demand
+	// both a full extra allocation per op and the relative threshold —
+	// which makes a zero-alloc baseline fail on any new allocation while
+	// amortized fractional counts cannot flap the gate.
+	allocRegressed := func(b, r float64) bool {
+		return r-b >= 1 && r > b*(1+allocThreshold)
+	}
 	failed := false
 	var lines []string
 	for _, r := range current.Results {
 		b, ok := base[key(r)]
 		if !ok {
-			lines = append(lines, fmt.Sprintf("  new      %-60s %12.1f ns/op", r.Name, r.NsPerOp))
+			lines = append(lines, fmt.Sprintf("  new      %-60s %12.1f ns/op %8.0f allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp))
 			continue
 		}
 		delete(base, key(r))
@@ -159,18 +172,25 @@ func runCompare(baselinePath, hot string, threshold float64) int {
 		}
 		rel := (r.NsPerOp - b.NsPerOp) / b.NsPerOp
 		status := "ok"
-		if rel > threshold && isHot(r.Name) {
-			status = "REGRESSED"
-			failed = true
+		if isHot(r.Name) {
+			if rel > threshold {
+				status = "REGRESSED"
+				failed = true
+			}
+			if allocRegressed(b.AllocsPerOp, r.AllocsPerOp) {
+				status = "ALLOCS"
+				failed = true
+			}
 		}
-		lines = append(lines, fmt.Sprintf("  %-8s %-60s %12.1f -> %12.1f ns/op (%+.1f%%)",
-			status, r.Name, b.NsPerOp, r.NsPerOp, rel*100))
+		lines = append(lines, fmt.Sprintf("  %-8s %-60s %12.1f -> %12.1f ns/op (%+.1f%%) %8.0f -> %8.0f allocs/op",
+			status, r.Name, b.NsPerOp, r.NsPerOp, rel*100, b.AllocsPerOp, r.AllocsPerOp))
 	}
 	for k, b := range base {
 		lines = append(lines, fmt.Sprintf("  removed  %-60s %12.1f ns/op", strings.TrimSpace(k), b.NsPerOp))
 	}
 	sort.Strings(lines)
-	fmt.Printf("benchjson: comparing against %s (threshold %.0f%%)\n", baselinePath, threshold*100)
+	fmt.Printf("benchjson: comparing against %s (ns threshold %.0f%%, alloc threshold %.0f%%)\n",
+		baselinePath, threshold*100, allocThreshold*100)
 	for _, l := range lines {
 		fmt.Println(l)
 	}

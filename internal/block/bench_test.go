@@ -59,6 +59,36 @@ func BenchmarkEncode(b *testing.B) {
 	}
 }
 
+// BenchmarkEncodeOnce is the encode-once regression gate (HOT_BENCH):
+// Encode on a sealed block must return the cached canonical frame with 0
+// allocs/op — any allocation here means the cache regressed to
+// re-serialization. TestSealedEncodeZeroAllocs asserts the same bound as
+// a plain test, so the regression also fails `go test`.
+func BenchmarkEncodeOnce(b *testing.B) {
+	_, _, blk := benchFixture(b)
+	b.SetBytes(int64(blk.EncodedSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(blk.Encode()) == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+}
+
+// BenchmarkAppendEncode measures composing a sealed block's cached frame
+// into a caller buffer — the gossip/evidence/sync envelope path.
+func BenchmarkAppendEncode(b *testing.B) {
+	_, _, blk := benchFixture(b)
+	dst := make([]byte, 0, blk.EncodedSize())
+	b.SetBytes(int64(blk.EncodedSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = blk.AppendEncode(dst[:0])
+	}
+}
+
 func BenchmarkDecode(b *testing.B) {
 	_, _, blk := benchFixture(b)
 	enc := blk.Encode()

@@ -82,7 +82,8 @@ type Block struct {
 	// Sig is σ = sign(Builder, ref(B)).
 	Sig []byte
 
-	ref Ref // cached ref(B), computed at seal/decode time
+	ref Ref    // cached ref(B), computed at seal/decode time
+	enc []byte // cached canonical wire frame, set at seal/decode time
 }
 
 // New assembles an unsealed block. Slices are copied at the boundary. The
@@ -120,12 +121,22 @@ func (b *Block) SigningBytes() []byte {
 
 // Seal computes ref(B) and signs it with the builder's signer, completing
 // the block per Definition 3.1: σ = sign(n, ref(B)).
+//
+// Seal also caches the block's canonical wire frame: it already had to
+// build the signing body for hashing, so assembling the full frame here
+// costs one small copy and makes every later Encode free (the encode-once
+// invariant; see Encode).
 func (b *Block) Seal(signer *crypto.Signer) error {
 	if signer.ID() != b.Builder {
 		return fmt.Errorf("block: signer %v cannot seal block built by %v", signer.ID(), b.Builder)
 	}
-	b.ref = Ref(crypto.Hash(b.SigningBytes()))
+	body := b.SigningBytes()
+	b.ref = Ref(crypto.Hash(body))
 	b.Sig = signer.Sign(b.ref[:])
+	w := wire.NewWriter(len(body) + len(b.Sig) + 4)
+	w.VarBytes(body)
+	w.VarBytes(b.Sig)
+	b.enc = w.Bytes()
 	return nil
 }
 
@@ -155,12 +166,54 @@ func (b *Block) HasPred(ref Ref) bool {
 
 // Encode returns the canonical wire encoding of the sealed block,
 // including the signature.
+//
+// Encode-once invariant: for a sealed or decoded block the frame was
+// computed exactly once (at Seal or Decode) and Encode returns the cached
+// slice with zero allocation. The returned bytes are therefore SHARED —
+// callers must treat them as read-only and never write into them. The
+// block's logical identity is immune to such writes regardless (its
+// fields, reference and signature never alias the frame: Decode copies
+// every field out of the frame, and Seal computes ref and Sig before the
+// frame exists), but a caller that scribbles on the returned slice would
+// corrupt what every other consumer of the encoding observes. The
+// alias-safety contract is property-tested in encodeonce_test.go.
+//
+// An unsealed block (no Seal/Decode yet) serializes freshly on every
+// call and nothing is cached, since its fields may still change.
 func (b *Block) Encode() []byte {
+	if b.enc != nil {
+		return b.enc
+	}
+	return b.encode()
+}
+
+func (b *Block) encode() []byte {
 	body := b.SigningBytes()
 	w := wire.NewWriter(len(body) + len(b.Sig) + 4)
 	w.VarBytes(body)
 	w.VarBytes(b.Sig)
 	return w.Bytes()
+}
+
+// EncodedSize returns len(Encode()) — for a sealed or decoded block
+// without serializing anything. Callers use it to presize composite
+// frames (gossip envelopes, evidence proofs, sync batches).
+func (b *Block) EncodedSize() int {
+	if b.enc != nil {
+		return len(b.enc)
+	}
+	return len(b.encode())
+}
+
+// AppendEncode appends the canonical wire encoding to dst and returns the
+// extended slice, copying from the cached frame when present. It never
+// retains dst and never hands out the cache itself, so the result is
+// freely mutable by the caller.
+func (b *Block) AppendEncode(dst []byte) []byte {
+	if b.enc != nil {
+		return append(dst, b.enc...)
+	}
+	return append(dst, b.encode()...)
 }
 
 // ErrMalformed reports a block that failed structural decoding.
@@ -169,6 +222,15 @@ var ErrMalformed = errors.New("block: malformed encoding")
 // Decode parses a block from its wire encoding, enforcing structural
 // limits against untrusted input, and computes its reference. It does not
 // verify the signature; callers validate via Definition 3.3 checks.
+//
+// Decode takes ownership of data: on success the slice is retained as the
+// block's cached canonical frame, so later Encode calls return it without
+// re-serializing (and the byte-for-byte wire form is stable across hops
+// even if the sender used a non-minimal varint somewhere). Callers must
+// not mutate data after a successful Decode. The block's fields never
+// alias data — every field is copied out by the wire reader — so decoding
+// from a buffer that is later overwritten corrupts only the cached frame,
+// never the block's identity; still, pass a slice you are done writing.
 func Decode(data []byte) (*Block, error) {
 	outer := wire.NewReader(data)
 	body := outer.VarBytes()
@@ -210,6 +272,7 @@ func Decode(data []byte) (*Block, error) {
 	}
 	b.Sig = sig
 	b.ref = Ref(crypto.Hash(body))
+	b.enc = data
 	return b, nil
 }
 

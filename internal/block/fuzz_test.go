@@ -51,6 +51,13 @@ func FuzzDecode(f *testing.F) {
 		if payload > MaxPayloadBytes {
 			t.Fatalf("accepted block carries %d payload bytes, budget %d", payload, MaxPayloadBytes)
 		}
+		// Encode-once invariant: Decode retains the accepted frame
+		// verbatim, so the wire form is byte-stable across hops — even
+		// when the input used a non-minimal varint Decode tolerates but
+		// a fresh serialization would never emit.
+		if !bytes.Equal(b.Encode(), data) {
+			t.Fatal("decoded block's Encode is not the decoded input")
+		}
 		re, err := Decode(b.Encode())
 		if err != nil {
 			t.Fatalf("re-decode of accepted block failed: %v", err)

@@ -203,10 +203,17 @@ func TestClusterCatchUpRejectsMaliciousServer(t *testing.T) {
 	honest := c.Servers[3].DAG().Blocks()
 	tampered := append([]*block.Block(nil), honest...)
 	mid := len(tampered) / 2
-	forged := *tampered[mid]
-	forged.Sig = append([]byte(nil), forged.Sig...)
-	forged.Sig[0] ^= 0x01
-	tampered[mid] = &forged
+	// The flip happens in the wire frame (its last byte is the
+	// signature's last byte) and the forgery is rebuilt via Decode: a
+	// sealed block streams its cached canonical frame, so tampering with
+	// struct fields would never reach the wire.
+	enc := append([]byte(nil), tampered[mid].Encode()...)
+	enc[len(enc)-1] ^= 0x01
+	forged, err := block.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered[mid] = forged
 	c.Net.RegisterHandler(3, transport.ChanSync, &syncsvc.Server{
 		Source: func() ([]*block.Block, error) { return tampered, nil },
 	})

@@ -227,10 +227,15 @@ func TestClusterFollowerLyingWatermarks(t *testing.T) {
 	// beyond reality and answers the resulting delta pull with a
 	// signature-flipped block.
 	honest := c.Servers[1].DAG().Blocks()
-	forged := *honest[len(honest)/2]
-	forged.Seq = 1 << 20 // beyond every watermark, so the filter keeps it
-	forged.Sig = append([]byte(nil), forged.Sig...)
-	forged.Sig[0] ^= 0x01
+	// Build the forgery as a fresh unsealed block (no cached frame, so
+	// EncodeBatchFrame serializes the doctored fields — copying a sealed
+	// block and editing it would stream the original cached frame): the
+	// honest block's fields with the sequence number pushed beyond every
+	// watermark, so the filter keeps it, under a stale signature that
+	// cannot verify for the new contents.
+	h := honest[len(honest)/2]
+	forged := block.New(h.Builder, 1<<20, h.Preds, h.Requests)
+	forged.Sig = append([]byte(nil), h.Sig...)
 	c.Net.RegisterHandler(0, transport.ChanSync, handlerFunc(func(from types.ServerID, req []byte, st transport.ServerStream) {
 		if len(req) == 1 {
 			lie := []syncsvc.Watermark{{Builder: 0, NextSeq: 1 << 21}}
@@ -238,7 +243,7 @@ func TestClusterFollowerLyingWatermarks(t *testing.T) {
 			st.Close(nil)
 			return
 		}
-		_ = st.Send(syncsvc.EncodeBatchFrame([]*block.Block{&forged}))
+		_ = st.Send(syncsvc.EncodeBatchFrame([]*block.Block{forged}))
 		_ = st.Send(syncsvc.EncodeDoneFrame(1))
 		st.Close(nil)
 	}))

@@ -142,6 +142,10 @@ type Server struct {
 	// (and through it, the client gateway) hooks into.
 	indObservers []func(label types.Label, value []byte)
 
+	// batcher, when set, group-commits each DeliverBatch burst's journal
+	// writes (SetPersistBatcher).
+	batcher BatchPersister
+
 	// firstErr records the first internal invariant violation (never
 	// expected; exposed for diagnosis rather than panicking).
 	firstErr error
@@ -267,8 +271,26 @@ func (s *Server) Deliver(from types.ServerID, payload []byte) {
 // (gossip.HandleMessages). State transitions are identical to calling
 // Deliver once per message in order; the node runtime uses this to drain
 // its inbound queue when delivery outpaces handling.
+//
+// When a BatchPersister is installed (SetPersistBatcher), the burst is
+// bracketed in one group-commit window: every block the burst inserts is
+// journaled with one write and one fsync decision instead of one pair
+// per block. Own blocks never ride a delivery batch (only Disseminate
+// builds them), so the own-block durability barrier in the persist sink
+// is unaffected; deferring received blocks' writes to the end of the
+// burst is the same durability class as the store's interval-fsync lag.
+// A flush failure is latched into Health, exactly like a per-block
+// persist failure.
 func (s *Server) DeliverBatch(msgs []gossip.Message) {
+	if s.batcher == nil || len(msgs) < 2 {
+		s.gsp.HandleMessages(msgs)
+		return
+	}
+	s.batcher.BeginBatch()
 	s.gsp.HandleMessages(msgs)
+	if err := s.batcher.FlushBatch(); err != nil && s.firstErr == nil {
+		s.firstErr = fmt.Errorf("core: flush persist batch: %w", err)
+	}
 }
 
 // Disseminate implements Algorithm 3 lines 10–11: seal and broadcast the
@@ -518,6 +540,31 @@ func (s *Server) SetPersist(sink func(*block.Block) error) error {
 		return errors.New("core: persistence sink set after blocks were inserted")
 	}
 	s.cfg.OnPersist = sink
+	return nil
+}
+
+// BatchPersister is the group-commit window of a persistence backend:
+// BeginBatch makes subsequent sink calls buffer their journal records,
+// FlushBatch writes the buffer with one syscall pair. store.Store
+// implements it; see store.BeginBatch for the durability contract.
+type BatchPersister interface {
+	BeginBatch()
+	FlushBatch() error
+}
+
+// SetPersistBatcher installs the group-commit window DeliverBatch
+// brackets its bursts with. The batcher must be the same backend the
+// SetPersist sink writes to, installed under the same conditions (before
+// any non-restored insertion); it is optional — without it DeliverBatch
+// persists block by block.
+func (s *Server) SetPersistBatcher(pb BatchPersister) error {
+	if s.batcher != nil {
+		return errors.New("core: persist batcher already set")
+	}
+	if s.dag.Len() > s.restored {
+		return errors.New("core: persist batcher set after blocks were inserted")
+	}
+	s.batcher = pb
 	return nil
 }
 

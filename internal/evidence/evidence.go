@@ -63,12 +63,13 @@ func (p *Proof) Verify(roster *crypto.Roster) error {
 }
 
 // Encode serializes the proof: two length-prefixed block encodings in
-// canonical order.
+// canonical order. The blocks' frames come from their encode-once caches
+// (sealed/decoded blocks never re-serialize; see block.Encode), so this
+// is two copies into a presized buffer.
 func (p *Proof) Encode() []byte {
-	e1, e2 := p.First.Encode(), p.Second.Encode()
-	w := wire.NewWriter(len(e1) + len(e2) + 8)
-	w.VarBytes(e1)
-	w.VarBytes(e2)
+	w := wire.NewWriter(p.First.EncodedSize() + p.Second.EncodedSize() + 8)
+	w.VarBytes(p.First.Encode())
+	w.VarBytes(p.Second.Encode())
 	return w.Bytes()
 }
 

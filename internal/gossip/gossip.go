@@ -46,12 +46,14 @@ const (
 	kindEvidence byte = 3
 )
 
-// EncodeBlockMsg frames a block for the wire.
+// EncodeBlockMsg frames a block for the wire. The block's canonical
+// encoding comes from its encode-once cache (see block.Encode), so
+// framing a sealed block costs one copy into the envelope — no
+// re-serialization, no matter how many peers or retransmissions.
 func EncodeBlockMsg(b *block.Block) []byte {
-	enc := b.Encode()
-	w := wire.NewWriter(1 + len(enc))
+	w := wire.NewWriter(1 + b.EncodedSize() + 4)
 	w.Byte(kindBlock)
-	w.VarBytes(enc)
+	w.VarBytes(b.Encode())
 	return w.Bytes()
 }
 
@@ -903,11 +905,15 @@ func (g *Gossip) Tick(now time.Duration) {
 		ms.lastAsk = now
 		ms.attempts++
 		if g.cfg.FwdFallbackAfter > 0 && ms.attempts >= g.cfg.FwdFallbackAfter {
+			// Broadcast fallback: frame the FWD request once per ref, not
+			// once per peer — the payload is identical for every recipient.
+			enc := EncodeFwdMsg(ref)
 			for _, id := range g.cfg.Roster.IDs() {
 				if id == g.self {
 					continue
 				}
-				g.sendFwd(id, ref)
+				g.cfg.Metrics.AddFwdRequestsSent(1)
+				g.send(id, enc)
 			}
 			continue
 		}

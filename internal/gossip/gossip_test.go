@@ -325,8 +325,7 @@ func TestBadSignatureRejected(t *testing.T) {
 	if err := b.Seal(c.signers[1]); err != nil {
 		t.Fatal(err)
 	}
-	b.Sig[0] ^= 0xff
-	c.nodes[0].g.HandleMessage(1, EncodeBlockMsg(b))
+	c.nodes[0].g.HandleMessage(1, corruptSig(b))
 	c.net.Run()
 	if c.nodes[0].d.Len() != 0 {
 		t.Fatal("bad-signature block entered the DAG")

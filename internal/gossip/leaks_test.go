@@ -11,11 +11,17 @@ import (
 	"blockdag/internal/types"
 )
 
-// corruptSig returns b re-encoded with a flipped signature byte: the
-// reference stays, the signature check fails.
+// corruptSig frames b with a flipped signature byte: the reference
+// stays, the signature check fails. The flip happens in the wire frame,
+// not the struct — a sealed block's cached canonical encoding is what
+// EncodeBlockMsg sends, so mutating b.Sig would never reach the wire
+// (the encode-once invariant working as intended; a byzantine relay
+// tampers with bytes, which is what this simulates). The signature is
+// the frame's final field, so its last byte is the frame's last byte.
 func corruptSig(b *block.Block) []byte {
-	b.Sig[0] ^= 0xff
-	return EncodeBlockMsg(b)
+	msg := EncodeBlockMsg(b) // fresh envelope buffer, safe to mutate
+	msg[len(msg)-1] ^= 0xff
+	return msg
 }
 
 // TestMarkInvalidPurgesWaiters: poisoning a pending block must clear its

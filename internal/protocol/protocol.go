@@ -15,8 +15,10 @@ package protocol
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"sort"
+	"strings"
 
 	"blockdag/internal/types"
 	"blockdag/internal/wire"
@@ -62,8 +64,59 @@ func DecodeMessage(data []byte) (Message, error) {
 // Compare implements the arbitrary-but-fixed total order <M on messages
 // (paper Section 2): lexicographic on the canonical encoding. It returns
 // -1, 0, or +1.
+//
+// The comparison is computed field by field without serializing either
+// operand (the interpreter sorts every block's in-buffer with it, so it
+// is hot and must not allocate). Field-wise equality with
+// bytes.Compare(a.Encode(), b.Encode()) follows from uvarint
+// prefix-freeness: no uvarint is a proper prefix of another (every byte
+// but the last has its continuation bit set), so when two encodings
+// first differ inside a length prefix, that byte decides the order
+// regardless of what follows — and when the prefixes match, the lengths
+// are equal and the comparison proceeds to the fixed-width and content
+// bytes in field order. Note the inherited order is NOT plain
+// shortlex: for lengths ≥ 128 the uvarint byte strings do not sort
+// numerically (e.g. uvarint(300) < uvarint(200)), and Compare
+// reproduces exactly that, as the equivalence test asserts.
 func Compare(a, b Message) int {
-	return bytes.Compare(a.Encode(), b.Encode())
+	if c := compareUvarint(uint64(len(a.Label)), uint64(len(b.Label))); c != 0 {
+		return c
+	}
+	if c := strings.Compare(string(a.Label), string(b.Label)); c != 0 {
+		return c
+	}
+	// Uint16 is encoded big-endian, so byte order is numeric order.
+	if a.Sender != b.Sender {
+		if a.Sender < b.Sender {
+			return -1
+		}
+		return 1
+	}
+	if a.Receiver != b.Receiver {
+		if a.Receiver < b.Receiver {
+			return -1
+		}
+		return 1
+	}
+	if c := compareUvarint(uint64(len(a.Payload)), uint64(len(b.Payload))); c != 0 {
+		return c
+	}
+	return bytes.Compare(a.Payload, b.Payload)
+}
+
+// compareUvarint orders x and y by the lexicographic order of their
+// uvarint encodings, allocation-free. Identical values encode
+// identically; distinct values yield distinct, mutually prefix-free byte
+// strings, so the result is exactly what comparing the embedded length
+// prefixes inside two encodings would produce.
+func compareUvarint(x, y uint64) int {
+	if x == y {
+		return 0
+	}
+	var bx, by [binary.MaxVarintLen64]byte
+	nx := binary.PutUvarint(bx[:], x)
+	ny := binary.PutUvarint(by[:], y)
+	return bytes.Compare(bx[:nx], by[:ny])
 }
 
 // Sort orders messages by <M in place. The interpreter feeds in-buffer
@@ -76,6 +129,10 @@ func Sort(msgs []Message) {
 // Key returns a map key identifying the message's full content. The
 // interpreter's in-buffers are sets (Algorithm 2 line 9); identical
 // messages materialized from equivocating forks collapse to one entry.
+// Key serializes (once per message at in-buffer admission — unlike
+// Compare, which runs O(n log n) times per sort and is field-wise); a
+// cached key has nowhere to live on a value type, and the map insert
+// needs the string anyway.
 func (m Message) Key() string { return string(m.Encode()) }
 
 // Config parameterizes one process instance of P: which server it

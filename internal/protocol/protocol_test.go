@@ -73,6 +73,70 @@ func TestCompareIsTotalOrder(t *testing.T) {
 	}
 }
 
+// TestCompareMatchesEncodingOrder pins Compare to its definition: the
+// lexicographic order of the canonical encodings, exactly as the old
+// bytes.Compare(a.Encode(), b.Encode()) implementation computed it. The
+// case set forces every discriminating field and, crucially, lengths on
+// both sides of 128 — where uvarint byte strings stop sorting
+// numerically (uvarint(300) < uvarint(200) lexicographically), an
+// artifact of <M the field-wise Compare must reproduce, not repair.
+func TestCompareMatchesEncodingOrder(t *testing.T) {
+	long := func(n int, fill byte) []byte { return bytes.Repeat([]byte{fill}, n) }
+	msgs := []Message{
+		{},
+		{Label: "a"},
+		{Label: "a", Sender: 1},
+		{Label: "a", Receiver: 1},
+		{Label: "a", Sender: 300, Receiver: 2},
+		{Label: "ab", Payload: []byte{0}},
+		{Label: "b", Payload: []byte{0, 0}},
+		{Label: types.Label(long(127, 'x'))},
+		{Label: types.Label(long(128, 'x'))},
+		{Label: types.Label(long(200, 'x'))},
+		{Label: types.Label(long(300, 'x'))}, // sorts before length 200
+		{Label: "p", Payload: long(127, 1)},
+		{Label: "p", Payload: long(128, 1)},
+		{Label: "p", Payload: long(200, 1)},
+		{Label: "p", Payload: long(300, 1)},
+		{Label: "p", Payload: long(300, 2)},
+	}
+	oldCompare := func(a, b Message) int { return bytes.Compare(a.Encode(), b.Encode()) }
+	for _, a := range msgs {
+		for _, b := range msgs {
+			if got, want := Compare(a, b), oldCompare(a, b); got != want {
+				t.Errorf("Compare(%.8q…, %.8q…) = %d, want %d (encoding order)",
+					a.Label, b.Label, got, want)
+			}
+		}
+	}
+	// And the property over random messages, catching anything the
+	// hand-picked cases miss.
+	f := func(la, lb string, sa, sb, ra, rb uint16, pa, pb []byte) bool {
+		a := Message{Label: types.Label(la), Sender: types.ServerID(sa), Receiver: types.ServerID(ra), Payload: pa}
+		b := Message{Label: types.Label(lb), Sender: types.ServerID(sb), Receiver: types.ServerID(rb), Payload: pb}
+		return Compare(a, b) == oldCompare(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareDoesNotAllocate: the interpreter sorts every block's
+// in-buffer with Compare — the whole point of the field-wise rewrite is
+// that comparing must not serialize either operand.
+func TestCompareDoesNotAllocate(t *testing.T) {
+	a := Message{Label: "instance/long-label", Sender: 300, Receiver: 2, Payload: bytes.Repeat([]byte{7}, 256)}
+	b := Message{Label: "instance/long-label", Sender: 300, Receiver: 2, Payload: bytes.Repeat([]byte{7}, 256)}
+	b.Payload[255] = 8
+	if got := testing.AllocsPerRun(100, func() {
+		if Compare(a, b) >= 0 {
+			t.Fatal("bad order")
+		}
+	}); got != 0 {
+		t.Fatalf("Compare allocates %v times per run, want 0", got)
+	}
+}
+
 // TestSortIsDeterministic: sorting any permutation yields the same order —
 // the property Algorithm 2 line 10 relies on.
 func TestSortIsDeterministic(t *testing.T) {

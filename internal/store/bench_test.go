@@ -55,6 +55,55 @@ func BenchmarkStoreAppend(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreAppendBatch measures group-commit journaling (HOT_BENCH):
+// the same workload as BenchmarkStoreAppend but appended through
+// AppendBatch in ingest-burst-sized groups, so a burst costs one write
+// syscall pair and one fsync decision instead of one per block. The
+// per-op unit stays one block, directly comparable to BenchmarkStoreAppend.
+func BenchmarkStoreAppendBatch(b *testing.B) {
+	const (
+		pool  = 4096
+		burst = 64 // node.ingestBurst: what DeliverBatch brackets
+	)
+	roster, blocks := chain(b, pool)
+	var recBytes int64
+	for _, blk := range blocks {
+		recBytes += int64(len(blk.Encode()) + 8)
+	}
+	for _, policy := range []store.SyncPolicy{store.SyncNever, store.SyncInterval, store.SyncAlways} {
+		b.Run(policy.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(recBytes / pool)
+			var st *store.Store
+			i := 0
+			b.ResetTimer()
+			for n := 0; n < b.N; n += burst {
+				if i == 0 {
+					var err error
+					st, err = store.Open(b.TempDir(), store.Options{Roster: roster, Sync: policy})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := st.AppendBatch(blocks[i : i+burst]); err != nil {
+					b.Fatal(err)
+				}
+				i += burst
+				if i == pool {
+					i = 0
+					if err := st.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			if i != 0 {
+				_ = st.Close()
+			}
+		})
+	}
+}
+
 // BenchmarkStoreRecover measures Open throughput — how fast a crashed
 // server gets its DAG back — for a WAL-only store and for a compacted
 // (snapshot) store of the same logical content.

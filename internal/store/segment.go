@@ -175,6 +175,11 @@ func scanWAL(data []byte) walScan {
 			res.torn = true
 			return res
 		}
+		// Decode retains payload as the block's cached canonical frame
+		// (encode-once invariant), so every scanned block carries its WAL
+		// record bytes: downstream consumers — syncsvc streaming above
+		// all — re-serve the on-disk encoding verbatim, zero-copy. The
+		// cost is that a live block pins its segment's read buffer.
 		b, err := block.Decode(payload)
 		if err != nil {
 			// The checksum matched, so these bytes were written
@@ -196,7 +201,9 @@ func scanWAL(data []byte) walScan {
 // This is the serving side of bulk catch-up (package syncsvc): decode-only
 // and CRC-checked, but signatures are NOT verified — the receiving client
 // must revalidate every block, which it does anyway because it treats the
-// serving peer as untrusted.
+// serving peer as untrusted. Every returned block carries its on-disk
+// record payload as its cached canonical encoding (block.Decode retains
+// the frame), so serving a stream from these blocks never re-serializes.
 //
 // ScanDir may run concurrently with a live writer on the same directory:
 // a partial record at the tail of a segment (an append in progress, or a

@@ -232,7 +232,10 @@ func watermarksSeq(blocks iter.Seq[*block.Block]) []Watermark {
 
 // EncodeBatchFrame renders one stream frame carrying a batch of blocks —
 // exposed for alternative servers and for tests that hand-craft streams
-// (including hostile ones).
+// (including hostile ones). Each b.Encode() is the block's cached
+// canonical frame (encode-once invariant): blocks loaded from the store
+// carry the WAL record payload verbatim, so streaming is zero-copy from
+// disk bytes to wire frame — nothing is re-serialized here.
 func EncodeBatchFrame(blocks []*block.Block) []byte {
 	encs := make([][]byte, len(blocks))
 	for i, b := range blocks {
@@ -478,7 +481,11 @@ func (s *Server) ServeCall(from types.ServerID, req []byte, st transport.ServerS
 	}
 
 	var (
-		batch      [][]byte // encoded once, accounted and framed from this
+		// Each entry is the block's cached canonical frame — for
+		// store-loaded blocks the raw WAL record payload (encode-once
+		// invariant), so the serve path is zero-copy: disk record bytes
+		// flow into the stream frame without re-serialization.
+		batch      [][]byte
 		batchBytes int
 		total      uint64
 	)

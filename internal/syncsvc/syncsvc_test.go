@@ -139,12 +139,19 @@ func TestPullSkipsHeldPrefix(t *testing.T) {
 func TestPullRejectsTamperedBlock(t *testing.T) {
 	roster, blocks := buildChain(t, 50)
 	// Tamper with block 30: same fields, bit-flipped signature — what a
-	// compromised server injecting into the stream looks like.
-	forged := *blocks[30]
-	forged.Sig = append([]byte(nil), forged.Sig...)
-	forged.Sig[0] ^= 0x01
+	// compromised server injecting into the stream looks like. The flip
+	// happens in the wire frame (its last byte is the signature's last
+	// byte) and the forgery is rebuilt via Decode, because a sealed
+	// block streams its cached canonical frame: tampering with struct
+	// fields would never reach the wire.
+	enc := append([]byte(nil), blocks[30].Encode()...)
+	enc[len(enc)-1] ^= 0x01
+	forged, err := block.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tampered := append([]*block.Block(nil), blocks...)
-	tampered[30] = &forged
+	tampered[30] = forged
 
 	net := simnet.New(simnet.WithSeed(9))
 	net.RegisterHandler(0, transport.ChanSync, &syncsvc.Server{
