@@ -29,6 +29,7 @@ import (
 	"blockdag/internal/crypto"
 	"blockdag/internal/dag"
 	"blockdag/internal/roster"
+	"blockdag/internal/state"
 	"blockdag/internal/store"
 	"blockdag/internal/types"
 )
@@ -122,10 +123,54 @@ func inspect(dir string, roster *crypto.Roster, strict bool) error {
 		fmt.Printf("         %d stale pre-checkpoint segments (swept on next read-write open)\n", rep.StaleSegments)
 	}
 
+	// Pruned stores: report the horizon, base table, and journaled state
+	// commitment, and prove the commitment's chunks actually rebuild the
+	// claimed root — the check a joiner's snapshot install relies on.
+	if horizon := st.Horizon(); len(horizon) > 0 {
+		ids := make([]int, 0, len(horizon))
+		for id := range horizon {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		fmt.Printf("pruned   horizon:")
+		for _, id := range ids {
+			fmt.Printf(" s%d<%d", id, horizon[types.ServerID(id)])
+		}
+		fmt.Printf(" (%d base stand-ins)\n", len(st.Base()))
+	}
+	if ckpt := st.StateCheckpoint(); ckpt != nil {
+		fmt.Printf("state    commit at slot %d, root %x, %d chunks\n",
+			ckpt.Slot, ckpt.Root[:8], len(ckpt.Chunks))
+		b := state.NewBuilder(ckpt.Root)
+		rebuildErr := func() error {
+			for _, chunk := range ckpt.Chunks {
+				if err := b.Add(chunk); err != nil {
+					return err
+				}
+			}
+			_, err := b.Finish()
+			return err
+		}()
+		if rebuildErr != nil {
+			if strict {
+				return fmt.Errorf("verify: state checkpoint does not rebuild its root: %w", rebuildErr)
+			}
+			fmt.Printf("         WARNING: chunks do not rebuild the root: %v\n", rebuildErr)
+		} else {
+			fmt.Printf("         chunks verified: content rebuilds the committed root\n")
+		}
+	}
+
 	// Rebuild the DAG to summarize chains and expose equivocations.
 	// Open already verified every signature; InsertVerified keeps the
-	// structural checks without paying Ed25519 twice.
+	// structural checks without paying Ed25519 twice. A pruned store's
+	// blocks stand on its base table.
 	d := dag.New(roster)
+	if base := st.Base(); len(base) > 0 {
+		if err := d.SeedBase(base); err != nil {
+			return fmt.Errorf("seed base: %w", err)
+		}
+	}
 	for _, b := range st.Blocks() {
 		if err := d.InsertVerified(b); err != nil {
 			return fmt.Errorf("reinsert %v: %w", b.Ref(), err)
@@ -176,6 +221,13 @@ func compact(dir string, roster *crypto.Roster) error {
 	}
 	defer func() { _ = st.Close() }()
 	d := dag.New(roster)
+	if base := st.Base(); len(base) > 0 {
+		// A pruned store's checkpoint re-journals the base table; the
+		// sticky horizon keeps pruned history pruned.
+		if err := d.SeedBase(base); err != nil {
+			return fmt.Errorf("seed base: %w", err)
+		}
+	}
 	for _, b := range st.Blocks() {
 		// Open already verified signatures (Definition 3.3).
 		if err := d.InsertVerified(b); err != nil {

@@ -12,12 +12,14 @@
 package main
 
 import (
+	"encoding/binary"
 	"fmt"
 	"os"
 	"sort"
 
 	"blockdag/internal/cluster"
 	"blockdag/internal/protocols/brb"
+	"blockdag/internal/state"
 	"blockdag/internal/types"
 	"blockdag/internal/wire"
 )
@@ -45,20 +47,41 @@ func decodePayment(data []byte) (payment, error) {
 	return p, nil
 }
 
-// ledger is one server's replica of the balance table.
+// ledger is one server's replica of the balance table, mirrored into a
+// Merkle tree (internal/state) so replicas can compare a single 32-byte
+// root instead of the whole table — and hand out audit proofs for
+// individual balances.
 type ledger struct {
 	balances map[string]int64
 	settled  map[types.Label]bool
+	tree     *state.Tree
 }
 
 func newLedger() *ledger {
-	return &ledger{
+	l := &ledger{
 		balances: map[string]int64{"alice": 100, "bob": 100, "carol": 100, "dave": 100},
 		settled:  make(map[types.Label]bool),
+		tree:     state.NewTree(),
 	}
+	for name, bal := range l.balances {
+		l.tree.Put(balanceKey(name), balanceValue(bal))
+	}
+	return l
 }
 
-// apply settles one delivered payment exactly once.
+// balanceKey/balanceValue fix the canonical encoding of one account's
+// entry in the committed state: same key/value bytes on every replica,
+// or the roots would diverge even when the balances agree.
+func balanceKey(name string) []byte { return []byte("balance/" + name) }
+
+func balanceValue(bal int64) []byte {
+	v := make([]byte, 8)
+	binary.BigEndian.PutUint64(v, uint64(bal))
+	return v
+}
+
+// apply settles one delivered payment exactly once, updating both the
+// plain table and its Merkle commitment.
 func (l *ledger) apply(label types.Label, p payment) {
 	if l.settled[label] {
 		return
@@ -66,6 +89,8 @@ func (l *ledger) apply(label types.Label, p payment) {
 	l.settled[label] = true
 	l.balances[p.From] -= int64(p.Amount)
 	l.balances[p.To] += int64(p.Amount)
+	l.tree.Put(balanceKey(p.From), balanceValue(l.balances[p.From]))
+	l.tree.Put(balanceKey(p.To), balanceValue(l.balances[p.To]))
 }
 
 func (l *ledger) String() string {
@@ -162,14 +187,26 @@ func run() error {
 
 	fmt.Println("\nfinal balances per server replica:")
 	for srv := 0; srv < n; srv++ {
-		fmt.Printf("  s%d: %s\n", srv, ledgers[srv])
+		r := ledgers[srv].tree.Root()
+		fmt.Printf("  s%d: %s root=%x\n", srv, ledgers[srv], r[:8])
 	}
+	root := ledgers[0].tree.Root()
 	for srv := 1; srv < n; srv++ {
-		if ledgers[srv].String() != ledgers[0].String() {
+		if ledgers[srv].tree.Root() != root {
 			return fmt.Errorf("replicas diverged: s0=%s s%d=%s", ledgers[0], srv, ledgers[srv])
 		}
 	}
-	fmt.Println("all replicas agree (BRB consistency + totality through the DAG)")
+	fmt.Println("all replicas commit the same Merkle root (BRB consistency + totality through the DAG)")
+
+	// Audit proof: server 0 proves alice's balance against the shared
+	// root; any client holding just the 32-byte root can check it.
+	aliceBal := ledgers[0].balances["alice"]
+	proof := ledgers[0].tree.Prove(balanceKey("alice"))
+	if err := proof.VerifyValue(root, balanceKey("alice"), balanceValue(aliceBal)); err != nil {
+		return fmt.Errorf("audit proof for alice rejected: %w", err)
+	}
+	fmt.Printf("audit proof: alice=%d verifies against root %x (%d sibling hashes)\n",
+		aliceBal, root[:8], len(proof.Branches))
 
 	// The punchline: message compression across parallel instances.
 	var wireMsgs, wireBytes, simulated, blocks int64

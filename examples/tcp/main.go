@@ -42,6 +42,19 @@
 // falls behind mid-run reconverges without restarting and without
 // per-block FWD round trips. See README.md for a walkthrough.
 //
+// With -state the server additionally maintains a Merkle commitment
+// (internal/state) over every delivered broadcast, seals and signs it on
+// a cadence, journals it through the store's checkpoint path, and serves
+// it on the sync channel's snapshot tier. -prune-keep N then prunes
+// journaled history N seqs below each chain's tip after every seal,
+// bounding the store to O(state + recent DAG); and -snapshot-join makes
+// a server whose store directory is empty fetch a roster-certified state
+// snapshot from its peers — every chunk verified against the certified
+// root before anything lands — instead of replaying history that may no
+// longer exist anywhere. That is the third catch-up tier `make
+// snapshot-smoke` exercises: wipe one server's store, restart it, and it
+// rejoins from a snapshot plus a short validated delta.
+//
 // With -gateway the server additionally opens the client-facing front
 // door (package gateway) on the given address: POST /v1/submit, long-poll
 // GET /v1/await/{label}, streaming GET /v1/indications, GET /v1/status,
@@ -69,6 +82,7 @@ import (
 	"blockdag/internal/node"
 	"blockdag/internal/protocols/brb"
 	"blockdag/internal/roster"
+	"blockdag/internal/state"
 	"blockdag/internal/store"
 	"blockdag/internal/syncsvc"
 	"blockdag/internal/tcpnet"
@@ -96,6 +110,9 @@ func run() error {
 		ckptSegs   = flag.Int("checkpoint-segments", 4, "with -store-dir: checkpoint the store every N WAL segments (0 disables)")
 		ckptBytes  = flag.Int64("checkpoint-bytes", 0, "with -store-dir: checkpoint the store when it grows N bytes (0 disables)")
 		mpoolCap   = flag.Int("mempool", 0, "ingestion mempool capacity: requests deduplicate, validate, and hit backpressure before block inclusion (0 = plain FIFO)")
+		stateOn    = flag.Bool("state", false, "with -store-dir: maintain a Merkle state commitment over delivered broadcasts; seal, sign, journal, and serve it on the snapshot tier")
+		pruneKeep  = flag.Uint64("prune-keep", 0, "with -state: prune journaled history this many seqs below each chain tip after every seal (0 keeps full history)")
+		snapJoin   = flag.Bool("snapshot-join", false, "with -roster and -state: an empty store dir fetches a roster-certified snapshot from peers before opening (the third catch-up tier)")
 		gwAddr     = flag.String("gateway", "", "serve the client gateway (HTTP API + /metrics) on this address; all-in-one mode binds it to s0")
 		gwToken    = flag.String("gateway-token", "", "with -gateway: require this bearer token on the client API (/metrics stays open)")
 		linger     = flag.Duration("linger", 0, "keep serving this long after the workload completes (lets gateway clients drive the cluster)")
@@ -112,6 +129,15 @@ func run() error {
 	if *gwToken != "" && *gwAddr == "" {
 		return fmt.Errorf("-gateway-token needs -gateway")
 	}
+	if *stateOn && *storeDir == "" {
+		return fmt.Errorf("-state needs -store-dir (the sealed commitment journals through the store)")
+	}
+	if (*pruneKeep > 0 || *snapJoin) && !*stateOn {
+		return fmt.Errorf("-prune-keep and -snapshot-join need -state")
+	}
+	if *snapJoin && *rosterPath == "" {
+		return fmt.Errorf("-snapshot-join needs -roster (a wiped node joins a running cluster)")
+	}
 	opts := runOpts{
 		storeDir:  *storeDir,
 		fsync:     syncPolicy,
@@ -120,6 +146,9 @@ func run() error {
 		ckptSegs:  *ckptSegs,
 		ckptBytes: *ckptBytes,
 		mpoolCap:  *mpoolCap,
+		state:     *stateOn,
+		pruneKeep: *pruneKeep,
+		snapJoin:  *snapJoin,
 		timeout:   *timeout,
 		gateway:   *gwAddr,
 		gwToken:   *gwToken,
@@ -144,6 +173,9 @@ type runOpts struct {
 	ckptSegs  int
 	ckptBytes int64
 	mpoolCap  int
+	state     bool
+	pruneKeep uint64
+	snapJoin  bool
 	timeout   time.Duration
 	gateway   string
 	gwToken   string
@@ -166,6 +198,15 @@ type server struct {
 	// source: the listener (and its handler goroutines) exists before
 	// the node does.
 	ndRef atomic.Pointer[node.Node]
+	// machine is the Merkle-committed view of the delivered broadcasts
+	// (with -state): one (label, value) entry per delivery, frontier =
+	// number of distinct labels. Loop-goroutine only.
+	machine *state.Machine
+	// snapAnchor is the peer that served our snapshot join, tried first
+	// for the delta catch-up: it provably holds everything above the
+	// horizon it handed us.
+	snapAnchor types.ServerID
+	snapJoined bool
 
 	mu        sync.Mutex
 	delivered map[types.Label]string
@@ -215,6 +256,17 @@ func start(identity *roster.Identity, listen string, opts runOpts, sigs *crypto.
 				}
 				return nil
 			},
+		}
+		if opts.state {
+			s.machine = state.NewMachine(0)
+			// The snapshot tier serves whatever the runtime last sealed
+			// (nil until the node is up and has sealed or restored one).
+			s.syncSrv.Snapshot = func() *syncsvc.ServedSnapshot {
+				if nd := s.ndRef.Load(); nd != nil {
+					return nd.ServedSnapshot()
+				}
+				return nil
+			}
 		}
 		cfg.Handlers = map[transport.Channel]transport.Handler{
 			// The catch-up server runs hardened: per-peer in-flight cap
@@ -268,8 +320,17 @@ func (s *server) boot(opts runOpts) error {
 		Metrics:   s.mets,
 		OnIndication: func(label types.Label, value []byte) {
 			s.mu.Lock()
-			defer s.mu.Unlock()
 			s.delivered[label] = string(value)
+			s.mu.Unlock()
+			if s.machine != nil {
+				// Mirror the delivery into the committed state. BRB has
+				// no slots, so the convergence point is the number of
+				// distinct labels: every correct server delivers the
+				// same (label, value) set, so at quiescence all seal
+				// the same (slot, root) — certifiable by joiners.
+				s.machine.Tree().Put([]byte(label), value)
+				s.machine.SealAt(uint64(s.machine.Tree().Len()))
+			}
 		},
 	}
 	if opts.mpoolCap > 0 {
@@ -291,10 +352,24 @@ func (s *server) boot(opts runOpts) error {
 		cfg.Store = s.st
 		cfg.CheckpointEverySegments = opts.ckptSegs
 		cfg.CheckpointEveryBytes = opts.ckptBytes
+		if opts.state {
+			cfg.State = &node.StateSyncConfig{
+				Machine:       s.machine,
+				Signer:        s.identity.Signer,
+				SealEvery:     500 * time.Millisecond,
+				ChunkBytes:    32 << 10,
+				PruneKeepSeqs: opts.pruneKeep,
+			}
+		}
 		if opts.catchup {
 			var peers []types.ServerID
+			if s.snapJoined {
+				// The snapshot's anchor first: it provably holds the
+				// blocks above the horizon we just installed.
+				peers = append(peers, s.snapAnchor)
+			}
 			for _, id := range s.identity.Roster.IDs() {
-				if id != s.identity.ID() {
+				if id != s.identity.ID() && !(s.snapJoined && id == s.snapAnchor) {
 					peers = append(peers, id)
 				}
 			}
@@ -315,6 +390,18 @@ func (s *server) boot(opts runOpts) error {
 	}
 	if rep := nd.CatchUpReport(); rep.Ran && (rep.Blocks > 0 || rep.Err != nil) {
 		fmt.Printf("s%d catch-up: %d blocks in bulk (err: %v)\n", s.identity.ID(), rep.Blocks, rep.Err)
+	}
+	if s.machine != nil && s.machine.Tree().Len() > 0 {
+		// Broadcasts settled in the restored (or snapshot-installed)
+		// state count as delivered: their history may be pruned away, so
+		// no indication will ever replay them.
+		s.mu.Lock()
+		s.machine.Tree().Walk(func(e state.Entry) {
+			if _, ok := s.delivered[types.Label(e.Key)]; !ok {
+				s.delivered[types.Label(e.Key)] = string(e.Value)
+			}
+		})
+		s.mu.Unlock()
 	}
 	s.gossip.Bind(nd)
 	s.nd = nd
@@ -397,11 +484,25 @@ func runOne(rosterPath, keyPath, listen string, opts runOpts) error {
 	if err != nil {
 		return err
 	}
+	var joined *syncsvc.FetchedSnapshot
+	if opts.snapJoin {
+		if joined, err = snapshotJoin(identity, opts); err != nil {
+			return err
+		}
+		if joined != nil {
+			fmt.Printf("s%d snapshot join: installed certified state at slot %d root %x from s%d (%d chunks, %d base stand-ins)\n",
+				identity.ID(), joined.Commit.Slot, joined.Commit.Root[:8], joined.Anchor,
+				len(joined.Chunks), len(joined.Base))
+		}
+	}
 	s, err := start(identity, listen, opts, sigs)
 	if err != nil {
 		return err
 	}
 	defer s.close()
+	if joined != nil {
+		s.snapJoined, s.snapAnchor = true, joined.Anchor
+	}
 	if err := s.connectPeers(file.Addr); err != nil {
 		return err
 	}
@@ -410,9 +511,16 @@ func runOne(rosterPath, keyPath, listen string, opts runOpts) error {
 	}
 
 	// The workload: every member broadcasts one greeting; we are done
-	// when all n greetings delivered here.
+	// when all n greetings delivered here. A rejoining node whose own
+	// greeting already settled in the restored state does not rebroadcast
+	// it — the label's BRB instance completed cluster-wide long ago.
 	label := types.Label(fmt.Sprintf("greet/s%d", identity.ID()))
-	if err := s.nd.Submit(label, []byte(fmt.Sprintf("hello from s%d", identity.ID()))); err != nil {
+	s.mu.Lock()
+	_, already := s.delivered[label]
+	s.mu.Unlock()
+	if already {
+		fmt.Printf("s%d: own broadcast already settled in the restored state\n", identity.ID())
+	} else if err := s.nd.Submit(label, []byte(fmt.Sprintf("hello from s%d", identity.ID()))); err != nil {
 		return fmt.Errorf("s%d submit: %w", identity.ID(), err)
 	}
 
@@ -439,6 +547,7 @@ func runOne(rosterPath, keyPath, listen string, opts runOpts) error {
 	}
 	s.printFollow(opts)
 	s.printMempool()
+	s.printState()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	fmt.Printf("s%d delivered all %d broadcasts:\n", identity.ID(), file.N())
@@ -446,6 +555,71 @@ func runOne(rosterPath, keyPath, listen string, opts runOpts) error {
 		fmt.Printf("  %s=%s\n", label, value)
 	}
 	return nil
+}
+
+// snapshotJoin runs the wiped-node path of the third catch-up tier
+// before the store ever opens: over a throwaway authenticated client
+// transport, fetch a roster-certified state snapshot from the peers —
+// every chunk verified against the certified root before anything lands
+// — and install it as the new store's first segment. A non-empty store
+// dir is left alone (nil return): normal recovery covers it.
+func snapshotJoin(identity *roster.Identity, opts runOpts) (*syncsvc.FetchedSnapshot, error) {
+	tr, err := tcpnet.Listen(tcpnet.Config{
+		Self:       identity.ID(),
+		ListenAddr: "127.0.0.1:0",
+		Auth:       identity.Auth(),
+		Endpoints: map[transport.Channel]transport.Endpoint{
+			// Gossip pushed at the throwaway connection is dropped; the
+			// real listener binds after the install and catches up.
+			transport.ChanGossip: &transport.LateBound{Buffer: -1},
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("s%d snapshot join: %w", identity.ID(), err)
+	}
+	defer func() { _ = tr.Close() }()
+	var peers []types.ServerID
+	for _, id := range identity.Roster.IDs() {
+		if id == identity.ID() {
+			continue
+		}
+		if err := tr.Connect(id, identity.File.Addr(id)); err != nil {
+			return nil, fmt.Errorf("s%d snapshot join: dial s%d: %w", identity.ID(), id, err)
+		}
+		peers = append(peers, id)
+	}
+	fetched, err := node.SnapshotJoin(opts.storeDir, syncsvc.SnapshotFetchConfig{
+		Transport: tr,
+		Roster:    identity.Roster,
+		Peers:     peers,
+		Timeout:   opts.timeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fetched, nil
+}
+
+// printState reports the sealed state commitment and prune position
+// (with -state).
+func (s *server) printState() {
+	if s.machine == nil || s.nd == nil {
+		return
+	}
+	served := s.nd.ServedSnapshot()
+	if served == nil {
+		fmt.Printf("s%d state: nothing sealed yet\n", s.identity.ID())
+		return
+	}
+	c := served.Signed.Commit
+	var maxSeq uint64
+	for _, h := range served.Horizon {
+		if h > maxSeq {
+			maxSeq = h
+		}
+	}
+	fmt.Printf("s%d state: sealed slot %d root %x (%d chunks; pruned below seq %d on %d chains)\n",
+		s.identity.ID(), c.Slot, c.Root[:8], len(served.Chunks), maxSeq, len(served.Base))
 }
 
 // printMempool reports the ingestion pool's counters (with -mempool).
@@ -571,6 +745,7 @@ func runAllInOne(opts runOpts) error {
 		}
 		s.printFollow(perServerOpts[i])
 		s.printMempool()
+		s.printState()
 	}
 	fmt.Println("\nall four servers delivered both broadcasts; every connection was mutually authenticated")
 	return nil

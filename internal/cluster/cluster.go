@@ -357,6 +357,13 @@ func New(opts Options) (*Cluster, error) {
 			return nil, fmt.Errorf("cluster: server %d: %w", i, err)
 		}
 		if st != nil {
+			// A pruned store stands on a base table: seed it before the
+			// replay so chains resume above the horizon.
+			if base := st.Base(); len(base) > 0 {
+				if err := srv.SeedBase(base); err != nil {
+					return nil, fmt.Errorf("cluster: server %d: %w", i, err)
+				}
+			}
 			if err := srv.Restore(st.Blocks()); err != nil {
 				return nil, fmt.Errorf("cluster: server %d: %w", i, err)
 			}
@@ -990,6 +997,15 @@ func (c *Cluster) recoverServer(slot int, proto protocol.Protocol, stored []*blo
 	srv, err := core.NewServer(cfg)
 	if err != nil {
 		return fmt.Errorf("cluster: recover server %d: %w", slot, err)
+	}
+	if st != nil {
+		// A pruned store stands on a base table: seed it before the
+		// replay so chains resume above the horizon.
+		if base := st.Base(); len(base) > 0 {
+			if err := srv.SeedBase(base); err != nil {
+				return fmt.Errorf("cluster: recover server %d: %w", slot, err)
+			}
+		}
 	}
 	if err := srv.Restore(stored); err != nil {
 		return fmt.Errorf("cluster: recover server %d: %w", slot, err)

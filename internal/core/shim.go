@@ -457,6 +457,24 @@ func (s *Server) AddIndicationObserver(fn func(label types.Label, value []byte))
 // pre-crash deliveries again. Indications are therefore at-least-once
 // across crashes, exactly-once only between them; applications
 // deduplicate by instance label (as examples/payments does).
+// SeedBase installs pruned-history stand-ins (dag.SeedBase) into a
+// fresh server — both the DAG and the interpreter — so a later Restore
+// or snapshot-followed catch-up can validate and interpret blocks above
+// the prune horizon without the pruned prefix. It must run before
+// Restore and before any network traffic.
+func (s *Server) SeedBase(base []dag.Base) error {
+	if s.dag.Len() > 0 || len(s.dag.Base()) > 0 {
+		return errors.New("core: seed base on a server that already has state")
+	}
+	if err := s.dag.SeedBase(base); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := s.interp.SeedBase(base, s.dag.BaseHorizon()); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}
+
 func (s *Server) Restore(blocks []*block.Block) error {
 	if s.dag.Len() > 0 {
 		return errors.New("core: restore on a server that already has blocks")
@@ -472,6 +490,9 @@ func (s *Server) Restore(blocks []*block.Block) error {
 	// deterministically.
 	sigOK := block.VerifyBatch(s.cfg.Roster, blocks, s.cfg.VerifyWorkers)
 	scratch := dag.New(s.cfg.Roster)
+	if err := scratch.SeedBase(s.dag.Base()); err != nil {
+		return fmt.Errorf("core: restore scratch seed: %w", err)
+	}
 	for i, b := range blocks {
 		if !s.cfg.Roster.Contains(b.Builder) {
 			// Report membership ahead of the signature verdict:

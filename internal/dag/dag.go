@@ -93,10 +93,29 @@ type DAG struct {
 	blocks map[block.Ref]*block.Block
 	order  []*block.Block // insertion order: a topological order
 
+	// base holds stand-in entries for pruned blocks (SeedBase): their
+	// refs satisfy predecessor and parent checks, but the blocks
+	// themselves are gone. Empty on an unpruned DAG.
+	base        map[block.Ref]Base
+	baseSorted  []Base
+	baseHorizon map[types.ServerID]uint64
+
 	bySlot         map[slot][]block.Ref // (builder, seq) -> refs, detects equivocation
 	equivocations  []Equivocation
 	onInsert       func(*block.Block)
 	onEquivocation func(Equivocation)
+}
+
+// Base is one pruned-history stand-in: the reference and chain position
+// of a block that was discarded below a snapshot horizon but is still
+// referenced by retained blocks. A seeded DAG treats base refs as
+// present-and-valid for predecessor closure and the parent rule — the
+// inductive validity of Definition 3.3(iii) for them is carried by the
+// snapshot certificate instead of re-verification.
+type Base struct {
+	Builder types.ServerID
+	Seq     uint64
+	Ref     block.Ref
 }
 
 // maxEquivocations caps the retained proof list. One proof per slot is
@@ -136,12 +155,88 @@ func (d *DAG) SetOnInsert(fn func(*block.Block)) { d.onInsert = fn }
 // proofs they already persisted).
 func (d *DAG) SetOnEquivocation(fn func(Equivocation)) { d.onEquivocation = fn }
 
-// Len returns the number of blocks in the DAG.
+// SeedBase installs pruned-history stand-ins into an empty DAG,
+// restoring the context a snapshot-restored node needs to validate
+// blocks above the prune horizon: each entry's ref satisfies
+// predecessor closure, its (builder, seq) slot anchors the parent rule
+// and the causal summary, and later blocks claiming an already-seeded
+// slot are still flagged as equivocation. It must run before any
+// insert; a non-empty DAG is refused.
+func (d *DAG) SeedBase(entries []Base) error {
+	if len(d.order) > 0 || len(d.base) > 0 {
+		return errors.New("dag: SeedBase on a non-empty DAG")
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	d.base = make(map[block.Ref]Base, len(entries))
+	d.baseHorizon = make(map[types.ServerID]uint64, len(entries))
+	for _, e := range entries {
+		if !d.roster.Contains(e.Builder) {
+			return fmt.Errorf("%w: base entry %v", ErrBuilderUnknown, e.Builder)
+		}
+		if _, dup := d.base[e.Ref]; dup {
+			continue
+		}
+		if err := d.g.InsertSeeded(e.Ref, int(e.Builder), e.Seq); err != nil {
+			return fmt.Errorf("dag: seed base: %w", err)
+		}
+		d.base[e.Ref] = e
+		d.baseSorted = append(d.baseSorted, e)
+		// The slot is taken: a later live block in it is an equivocation
+		// against pruned history (detected, though the proof pair cannot
+		// be exported — one half is gone).
+		d.bySlot[slot{builder: e.Builder, seq: e.Seq}] = append(d.bySlot[slot{builder: e.Builder, seq: e.Seq}], e.Ref)
+		if e.Seq+1 > d.baseHorizon[e.Builder] {
+			d.baseHorizon[e.Builder] = e.Seq + 1
+		}
+	}
+	sort.Slice(d.baseSorted, func(i, j int) bool {
+		if d.baseSorted[i].Builder != d.baseSorted[j].Builder {
+			return d.baseSorted[i].Builder < d.baseSorted[j].Builder
+		}
+		return d.baseSorted[i].Seq < d.baseSorted[j].Seq
+	})
+	return nil
+}
+
+// Base returns the seeded pruned-history stand-ins, ordered by
+// (builder, seq); nil for an unpruned DAG.
+func (d *DAG) Base() []Base { return append([]Base(nil), d.baseSorted...) }
+
+// BaseRef resolves a reference to its base entry, if it is one.
+func (d *DAG) BaseRef(ref block.Ref) (Base, bool) {
+	e, ok := d.base[ref]
+	return e, ok
+}
+
+// BaseHorizon returns, per builder with pruned history, the first
+// sequence number at or above the prune horizon — the chain positions
+// where live blocks resume. Catch-up watermark exchanges start from
+// these instead of zero on a pruned DAG.
+func (d *DAG) BaseHorizon() map[types.ServerID]uint64 {
+	if len(d.baseHorizon) == 0 {
+		return nil
+	}
+	out := make(map[types.ServerID]uint64, len(d.baseHorizon))
+	for id, seq := range d.baseHorizon {
+		out[id] = seq
+	}
+	return out
+}
+
+// Len returns the number of blocks in the DAG (base stand-ins not
+// counted: they carry no block).
 func (d *DAG) Len() int { return len(d.order) }
 
 // Contains reports whether the block with the given reference is in G.
+// Base stand-ins count as contained: their blocks are pruned, but the
+// DAG vouches for them (predecessor closure, Definition 3.3(iii)).
 func (d *DAG) Contains(ref block.Ref) bool {
-	_, ok := d.blocks[ref]
+	if _, ok := d.blocks[ref]; ok {
+		return true
+	}
+	_, ok := d.base[ref]
 	return ok
 }
 
@@ -243,6 +338,14 @@ func (d *DAG) checkParentRule(b *block.Block) error {
 		}
 		pb, ok := d.blocks[p]
 		if !ok {
+			if e, isBase := d.base[p]; isBase {
+				// A base stand-in can be the parent: same builder,
+				// directly preceding sequence number.
+				if e.Builder == b.Builder && b.Seq == e.Seq+1 {
+					parents++
+				}
+				continue
+			}
 			return fmt.Errorf("%w: pred %v of block %v", ErrMissingPreds, p, b.Ref())
 		}
 		if b.ParentOf(pb) {
@@ -443,9 +546,12 @@ func (d *DAG) Merge(other *DAG) error {
 }
 
 // Clone returns an independent copy of the DAG sharing the immutable
-// blocks. Callbacks are not copied.
+// blocks. Callbacks are not copied; a seeded base is.
 func (d *DAG) Clone() *DAG {
 	cp := New(d.roster)
+	if err := cp.SeedBase(d.baseSorted); err != nil {
+		panic(fmt.Sprintf("dag: clone seed: %v", err))
+	}
 	for _, b := range d.order {
 		if err := cp.Insert(b); err != nil {
 			// Re-inserting a valid DAG in topological order cannot

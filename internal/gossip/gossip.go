@@ -326,6 +326,15 @@ func (g *Gossip) Recover() {
 		g.curSeq = ownTip.Seq + 1
 		g.curPreds = append(g.curPreds, ownTip.Ref())
 		referenced[ownTip.Ref()] = struct{}{}
+	} else if e, ok := g.selfBase(); ok {
+		// All own blocks were pruned below the snapshot horizon: the
+		// chain continues from the base stand-in, so a rejoined node
+		// never reuses a published sequence number (no
+		// self-equivocation), exactly as when recovering from a full
+		// log.
+		g.curSeq = e.Seq + 1
+		g.curPreds = append(g.curPreds, e.Ref)
+		referenced[e.Ref] = struct{}{}
 	}
 	for b := range g.cfg.DAG.All() {
 		if b.Builder == g.self {
@@ -345,13 +354,22 @@ func (g *Gossip) Recover() {
 // ancestry materialization.
 func (g *Gossip) recoverCompressed(ownTip *block.Block) {
 	var ownRef block.Ref
+	hasOwn := false
 	if ownTip != nil {
 		g.curSeq = ownTip.Seq + 1
 		ownRef = ownTip.Ref()
 		g.curParent = &ownRef
+		hasOwn = true
+	} else if e, ok := g.selfBase(); ok {
+		// Own chain fully pruned: continue from the base stand-in (see
+		// Recover).
+		g.curSeq = e.Seq + 1
+		ownRef = e.Ref
+		g.curParent = &ownRef
+		hasOwn = true
 	}
 	covered := func(ref block.Ref) bool {
-		return ownTip != nil && g.cfg.DAG.ReachesReflexive(ref, ownRef)
+		return hasOwn && g.cfg.DAG.ReachesReflexive(ref, ownRef)
 	}
 	for b := range g.cfg.DAG.All() {
 		ref := b.Ref()
@@ -369,6 +387,22 @@ func (g *Gossip) recoverCompressed(ownTip *block.Block) {
 			g.curTips = append(g.curTips, ref)
 		}
 	}
+}
+
+// selfBase returns the highest-seq pruned-history stand-in for the own
+// chain, if the restored DAG was seeded with one (dag.SeedBase).
+func (g *Gossip) selfBase() (dag.Base, bool) {
+	var best dag.Base
+	found := false
+	for _, e := range g.cfg.DAG.Base() {
+		if e.Builder != g.self {
+			continue
+		}
+		if !found || e.Seq > best.Seq {
+			best, found = e, true
+		}
+	}
+	return best, found
 }
 
 // PendingBlocks returns the size of the blks buffer (diagnostics).

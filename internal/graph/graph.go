@@ -116,7 +116,7 @@ func (g *DAG[K]) Contains(v K) bool {
 // unchanged. Because edges only ever point at the new vertex, g remains
 // acyclic (Lemma 2.2(3)).
 func (g *DAG[K]) Insert(v K, preds []K) error {
-	return g.insert(v, preds, false, 0, 0)
+	return g.insert(v, preds, false, false, 0, 0)
 }
 
 // InsertChained is Insert for a vertex annotated with a chain position:
@@ -128,12 +128,28 @@ func (g *DAG[K]) Insert(v K, preds []K) error {
 // chain inserts the vertex unannotated.
 func (g *DAG[K]) InsertChained(v K, preds []K, chain int, seq uint64) error {
 	if chain < 0 {
-		return g.insert(v, preds, false, 0, 0)
+		return g.insert(v, preds, false, false, 0, 0)
 	}
-	return g.insert(v, preds, true, chain, seq)
+	return g.insert(v, preds, true, false, chain, seq)
 }
 
-func (g *DAG[K]) insert(v K, preds []K, annotated bool, chain int, seq uint64) error {
+// InsertSeeded adds v as a root vertex standing in for a pruned prefix
+// of a chain: element seq of chain chain whose own ancestry has been
+// discarded. It participates in the causal summary as if the prefix
+// were present — the chain watermark below it reads seq — but the
+// connectivity check is waived for the seeded vertex itself, since its
+// parent (chain, seq-1) is exactly what was pruned. Only sensible on a
+// graph that never saw the pruned prefix; the caller (the block DAG's
+// snapshot restore) guarantees one seed per chain, before any regular
+// insert.
+func (g *DAG[K]) InsertSeeded(v K, chain int, seq uint64) error {
+	if chain < 0 {
+		return fmt.Errorf("%w: seeded vertex needs a chain", ErrEdgeMismatch)
+	}
+	return g.insert(v, nil, true, true, chain, seq)
+}
+
+func (g *DAG[K]) insert(v K, preds []K, annotated, seeded bool, chain int, seq uint64) error {
 	uniq := dedup(preds)
 	if g.Contains(v) {
 		if sameSet(g.preds[v], uniq) {
@@ -165,7 +181,7 @@ func (g *DAG[K]) insert(v K, preds []K, annotated bool, chain int, seq uint64) e
 	g.tipIdx[v] = len(g.tips)
 	g.tips = append(g.tips, v)
 
-	g.indexVertex(v, uniq, annotated, chain, seq)
+	g.indexVertex(v, uniq, annotated, seeded, chain, seq)
 	return nil
 }
 
@@ -188,7 +204,7 @@ func (g *DAG[K]) removeTip(p K) {
 // indexVertex computes v's causal summary from its predecessors' and
 // records the chain annotation, flagging chains that stop being
 // well-formed (duplicate slot or broken connectivity).
-func (g *DAG[K]) indexVertex(v K, preds []K, annotated bool, chain int, seq uint64) {
+func (g *DAG[K]) indexVertex(v K, preds []K, annotated, seeded bool, chain int, seq uint64) {
 	width := 0
 	if annotated {
 		width = chain + 1
@@ -225,8 +241,9 @@ func (g *DAG[K]) indexVertex(v K, preds []K, annotated bool, chain int, seq uint
 		// well-formed chain is exactly seq — the parent (c, seq-1)
 		// contributes seq, and no higher chain element can already be
 		// an ancestor of the newest one. Genesis (seq 0) must see no
-		// prior chain element at all.
-		if vec[chain] != seq {
+		// prior chain element at all. A seeded vertex is exempt: its
+		// parent is pruned history by construction.
+		if vec[chain] != seq && !seeded {
 			g.markForked(chain)
 		}
 		if seq+1 > vec[chain] {

@@ -122,6 +122,13 @@ type blockState struct {
 	// sequence number whose out-messages this chain has received.
 	coveredSeq map[types.ServerID]uint64
 
+	// seeded marks a pruned-history stand-in (SeedBase): blk is nil,
+	// seedBuilder/seedSeq anchor its chain position so the first live
+	// block above the horizon finds its parent.
+	seeded      bool
+	seedBuilder types.ServerID
+	seedSeq     uint64
+
 	// anc (implicit-inclusion mode only) is the ancestry watermark of
 	// this block: anc[builder] holds 1 + the highest sequence number of
 	// that builder found in the block's ancestry (itself included), 0
@@ -184,6 +191,61 @@ func New(proto protocol.Protocol, n, f int, onInd func(Indication), opts ...Opti
 	return it
 }
 
+// SeedBase registers pruned-history stand-ins so a snapshot-restored
+// interpreter accepts blocks whose predecessors were pruned. Each base
+// entry gets an empty block state: eligible as a predecessor, carrying
+// no messages and no instances — the effects of pruned blocks live in
+// the restored application state, not in re-interpretation. horizon is
+// the per-builder first live sequence number; in implicit-inclusion
+// mode it seeds the ancestry and consumption watermarks so message
+// collection never reaches below the prune line.
+//
+// Instances whose delivery straddles the horizon do not resume: a
+// fresh instance starts at the first live chain block. The deployment
+// contract (prune only behind quiescent points) makes that safe.
+// SeedBase must run before any AddBlock.
+func (it *Interpreter) SeedBase(entries []dag.Base, horizon map[types.ServerID]uint64) error {
+	if len(it.states) > 0 {
+		return errors.New("interpret: SeedBase on a non-empty interpreter")
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	width := 0
+	for id, seq := range horizon {
+		if seq > 0 && int(id)+1 > width {
+			width = int(id) + 1
+		}
+	}
+	for _, e := range entries {
+		st := &blockState{seeded: true, seedBuilder: e.Builder, seedSeq: e.Seq}
+		if it.implicit {
+			anc := make([]uint64, width)
+			for id, seq := range horizon {
+				if int(id) < width {
+					anc[id] = seq
+				}
+			}
+			if int(e.Builder) < width && e.Seq+1 > anc[e.Builder] {
+				anc[e.Builder] = e.Seq + 1
+			}
+			st.anc = anc
+			st.coveredSeq = make(map[types.ServerID]uint64, len(horizon))
+			for id, seq := range horizon {
+				if seq > 0 {
+					st.coveredSeq[id] = seq - 1
+				}
+			}
+			if it.slots == nil {
+				it.slots = make(map[chainSlot]*blockState)
+			}
+			it.slots[chainSlot{builder: e.Builder, seq: e.Seq}] = st
+		}
+		it.states[e.Ref] = st
+	}
+	return nil
+}
+
 // Interpreted reports I[B]: whether the block was already interpreted.
 func (it *Interpreter) Interpreted(ref block.Ref) bool {
 	_, ok := it.states[ref]
@@ -215,7 +277,13 @@ func (it *Interpreter) AddBlock(b *block.Block) error {
 			return fmt.Errorf("%w: block %v missing pred %v", ErrNotEligible, ref, p)
 		}
 		preds = append(preds, ps)
-		if b.ParentOf(ps.blk) {
+		if ps.blk != nil && b.ParentOf(ps.blk) {
+			parent = ps
+		} else if ps.seeded && ps.seedBuilder == b.Builder && b.Seq == ps.seedSeq+1 {
+			// The parent is a pruned-history stand-in: it anchors the
+			// chain (and, in implicit mode, the consumption watermark)
+			// but carries no instances — P restarts fresh above the
+			// horizon.
 			parent = ps
 		}
 	}
@@ -401,6 +469,9 @@ func (it *Interpreter) uncoveredAncestry(st *blockState, preds []*blockState, pa
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		if s.blk == nil {
+			continue // pruned-history stand-in: consumed by construction
+		}
 		ref := s.blk.Ref()
 		if _, dup := seen[ref]; dup {
 			continue
@@ -444,6 +515,9 @@ func (it *Interpreter) enumerateUncovered(st *blockState, base map[types.ServerI
 			if ps == nil {
 				return nil, false
 			}
+			if ps.seeded {
+				continue // pruned-history stand-in: consumed by construction
+			}
 			collected = append(collected, ps)
 		}
 	}
@@ -460,6 +534,9 @@ func advanceWatermark(parent *blockState, consumed []*blockState) map[types.Serv
 		}
 	}
 	for _, s := range consumed {
+		if s.blk == nil {
+			continue // seeded stand-in: its coverage is already in the parent's map
+		}
 		if cur, ok := wm[s.blk.Builder]; !ok || s.blk.Seq > cur {
 			wm[s.blk.Builder] = s.blk.Seq
 		}

@@ -33,6 +33,7 @@ import (
 
 	"blockdag/internal/block"
 	"blockdag/internal/core"
+	"blockdag/internal/dag"
 	"blockdag/internal/gossip"
 	"blockdag/internal/peerscore"
 	"blockdag/internal/roster"
@@ -118,6 +119,13 @@ type Config struct {
 	// late Lookup callers; see IndicationBroker). 0 uses
 	// DefaultRecentLabels.
 	RecentIndications int
+	// State, if non-nil, wires a Merkle-committed state machine into the
+	// runtime: periodic sealed commitments journaled through the store's
+	// checkpoint path, a served snapshot for joining peers
+	// (ServedSnapshot → syncsvc.Server.Snapshot), startup restore from
+	// the journaled checkpoint, and optional history pruning. Requires
+	// Store. See StateSyncConfig.
+	State *StateSyncConfig
 }
 
 // CatchUpReport records what startup catch-up did.
@@ -202,6 +210,13 @@ type Node struct {
 	// indications too.
 	broker *IndicationBroker
 
+	// served is the current sealed snapshot offered on the sync
+	// channel's snapshot tier (immutable value, swapped under mu).
+	served *syncsvc.ServedSnapshot
+	// lastSeal/lastSealedSlot pace the seal cycle. Loop-goroutine only.
+	lastSeal       time.Time
+	lastSealedSlot uint64
+
 	catchUp CatchUpReport
 	// ckptFloor is the store's on-disk size after the last checkpoint
 	// (or at startup): the baseline CheckpointEveryBytes growth is
@@ -245,6 +260,9 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Server == nil {
 		return nil, errors.New("node: config needs a Server")
 	}
+	if err := validateState(&cfg); err != nil {
+		return nil, err
+	}
 	if cfg.Identity != nil {
 		if cfg.Identity.ID() != cfg.Server.ID() {
 			return nil, fmt.Errorf("node: identity is server %d, core server is %d", cfg.Identity.ID(), cfg.Server.ID())
@@ -285,11 +303,33 @@ func New(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("node: %w", err)
 	}
 	var replay []*block.Block
+	var base []dag.Base
 	if cfg.Store != nil {
 		replay = cfg.Store.Blocks()
+		// A pruned (or snapshot-installed) store stands on a base table:
+		// seed the server's DAG with it before any block is replayed, so
+		// chains resume above the horizon without their pruned prefixes.
+		base = cfg.Store.Base()
+		if len(base) > 0 {
+			if err := cfg.Server.SeedBase(base); err != nil {
+				return nil, fmt.Errorf("node: seed pruned-history base: %w", err)
+			}
+		}
+		if cfg.State != nil {
+			// Rebuild the machine from the journaled checkpoint (and
+			// fast-forward the smr frontier) before the Restore replay
+			// below fires indications for the slots above it.
+			if err := n.restoreState(cfg.State, cfg.Store); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if cfg.CatchUp != nil {
-		fetched, err := syncsvc.Fetch(*cfg.CatchUp, replay)
+		catchUp := *cfg.CatchUp
+		if len(base) > 0 && len(catchUp.Base) == 0 {
+			catchUp.Base = base
+		}
+		fetched, err := syncsvc.Fetch(catchUp, replay)
 		n.catchUp = CatchUpReport{Ran: true, Blocks: len(fetched), Err: err}
 		if len(fetched) > 0 {
 			replay = append(append([]*block.Block(nil), replay...), fetched...)
@@ -317,6 +357,10 @@ func New(cfg Config) (*Node, error) {
 		// replay, advanced by the persistence sink below, snapshotted by
 		// the sync service when peers ask how far this node is.
 		n.tracker = syncsvc.NewWatermarkTracker()
+		// A pruned store's tracker starts at the horizon: the vector
+		// claims the pruned prefix (covered by the certified snapshot)
+		// without ever observing it.
+		n.tracker.SeedHorizon(cfg.Store.Horizon())
 		for _, b := range replay {
 			n.tracker.Observe(b)
 		}
@@ -564,6 +608,7 @@ func (n *Node) loop(ctx context.Context) {
 			srv.Tick(time.Since(start))
 			if n.cfg.Store != nil {
 				n.recordErr(n.cfg.Store.Tick())
+				n.maybeSealState()
 				n.maybeCheckpoint()
 			}
 		case <-followTick:

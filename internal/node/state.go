@@ -1,0 +1,265 @@
+// State-commitment wiring: the runtime side of internal/state. A node
+// configured with StateSyncConfig periodically seals its replicated
+// state machine into a Merkle commitment, signs it, journals it through
+// the store's checkpoint path, serves it to joining peers over the sync
+// channel's snapshot tier, and (optionally) prunes journaled history the
+// sealed state has made redundant. On startup the same wiring rebuilds
+// the machine from the journaled checkpoint — or, for a brand-new node,
+// SnapshotJoin installs a roster-certified snapshot fetched from peers
+// before the store ever opens.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"blockdag/internal/crypto"
+	"blockdag/internal/state"
+	"blockdag/internal/store"
+	"blockdag/internal/syncsvc"
+	"blockdag/internal/types"
+)
+
+// StateSyncConfig wires a replicated state machine into the runtime's
+// seal/serve/prune cycle. Requires Config.Store: the sealed commitment
+// rides the store's checkpoint journal.
+type StateSyncConfig struct {
+	// Machine is the caller-owned interpreted state. The caller routes
+	// committed commands into Machine.Apply from its indication callback
+	// (loop goroutine); the runtime seals, serves, and restores it.
+	// Required.
+	Machine *state.Machine
+	// Signer signs sealed commits; peers assemble f+1 of these into the
+	// certificate that authorizes a snapshot join. Required.
+	Signer *crypto.Signer
+	// Log, if non-nil, is fast-forwarded (ResumeAt) past the restored
+	// commit's slot on startup, so the commit frontier does not wait
+	// forever for slots whose history was pruned away. *smr.Log
+	// satisfies this; it is an interface only to keep internal/node
+	// importable from smr's own tests via internal/cluster.
+	Log interface{ ResumeAt(slot uint64) }
+	// SealEvery is the seal cadence (default 2s). Each seal exports the
+	// tree — O(state) — so this trades snapshot freshness for CPU.
+	SealEvery time.Duration
+	// ChunkBytes sizes export chunks (default state.DefaultChunkBytes).
+	ChunkBytes int
+	// PruneKeepSeqs > 0 enables history pruning after each seal: every
+	// builder's journaled chain is cut PruneKeepSeqs below its current
+	// tip, bounding disk to O(state + recent DAG). The margin must cover
+	// the deepest protocol instance still in flight — blocks a running
+	// instance may yet need must stay above the horizon (see
+	// store.PruneTo). 0 keeps full history.
+	PruneKeepSeqs uint64
+}
+
+func (c *StateSyncConfig) sealEvery() time.Duration {
+	if c.SealEvery <= 0 {
+		return 2 * time.Second
+	}
+	return c.SealEvery
+}
+
+func (c *StateSyncConfig) chunkBytes() int {
+	if c.ChunkBytes <= 0 {
+		return state.DefaultChunkBytes
+	}
+	return c.ChunkBytes
+}
+
+// SnapshotJoin is the wiped-node entry point to the snapshot tier, run
+// before store.Open: if dir already holds a store it does nothing
+// (normal recovery applies); otherwise it fetches a roster-certified
+// state snapshot from the configured peers — every chunk verified
+// against the certified root before anything lands — and installs it as
+// the new store's first segment. Returns the fetched snapshot (nil when
+// dir was non-empty) so the caller can put its Anchor first in the
+// catch-up peer order; Config.Store/State then restore from the
+// installed checkpoint exactly as after a prune-surviving restart.
+func SnapshotJoin(dir string, cfg syncsvc.SnapshotFetchConfig) (*syncsvc.FetchedSnapshot, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("node: snapshot join: %w", err)
+	}
+	if len(entries) > 0 {
+		return nil, nil
+	}
+	fetched, err := syncsvc.FetchSnapshot(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("node: snapshot join: %w", err)
+	}
+	sc := &store.StateCheckpoint{
+		Slot:   fetched.Commit.Slot,
+		Root:   fetched.Commit.Root,
+		Chunks: fetched.Chunks,
+	}
+	if err := store.InstallSnapshot(dir, fetched.Horizon, fetched.Base, sc); err != nil {
+		return nil, fmt.Errorf("node: snapshot join: %w", err)
+	}
+	return fetched, nil
+}
+
+// restoreState rebuilds the machine from the store's journaled state
+// checkpoint: replay the chunks through a Builder (every chunk verified,
+// the whole content hashed against the journaled root — a corrupted
+// checkpoint fails loudly instead of installing garbage), install the
+// tree, and fast-forward the smr commit frontier past the restored slot.
+// The restored commitment is also published on the snapshot tier right
+// away: a restarted node serves joiners even if its state never moves
+// again. A store without a checkpoint leaves the machine empty: full
+// history is present and the indication replay rebuilds state from
+// slot 0.
+func (n *Node) restoreState(sc *StateSyncConfig, st *store.Store) error {
+	ckpt := st.StateCheckpoint()
+	if ckpt == nil {
+		return nil
+	}
+	b := state.NewBuilder(ckpt.Root)
+	for _, chunk := range ckpt.Chunks {
+		if err := b.Add(chunk); err != nil {
+			return fmt.Errorf("node: restore state checkpoint: %w", err)
+		}
+	}
+	tree, err := b.Finish()
+	if err != nil {
+		return fmt.Errorf("node: restore state checkpoint: %w", err)
+	}
+	commit := state.Commit{Slot: ckpt.Slot, Root: ckpt.Root}
+	if err := sc.Machine.Install(tree, commit); err != nil {
+		return fmt.Errorf("node: restore state checkpoint: %w", err)
+	}
+	if sc.Log != nil {
+		sc.Log.ResumeAt(commit.Slot)
+	}
+	n.lastSealedSlot = commit.Slot
+	n.setServed(&syncsvc.ServedSnapshot{
+		Signed:  state.SignCommit(commit, sc.Signer),
+		Chunks:  ckpt.Chunks,
+		Base:    st.Base(),
+		Horizon: st.Horizon(),
+	})
+	return nil
+}
+
+// ServedSnapshot returns the node's current sealed snapshot for the sync
+// service's snapshot tier — hand it to syncsvc.Server.Snapshot. Nil
+// until the first seal (or checkpoint restore). Safe for concurrent use;
+// the returned value is immutable.
+func (n *Node) ServedSnapshot() *syncsvc.ServedSnapshot {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.served
+}
+
+// setServed publishes a new immutable served snapshot.
+func (n *Node) setServed(ss *syncsvc.ServedSnapshot) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.served = ss
+}
+
+// maybeSealState runs the seal/serve/prune cycle on the loop goroutine:
+// when the cadence has elapsed and the machine's applied frontier moved
+// since the last seal, pin a commit at the current tree, export and sign
+// it, hand it to the store as the next durable checkpoint, publish it on
+// the snapshot tier, and — with pruning enabled — cut journaled history
+// PruneKeepSeqs below the tips.
+func (n *Node) maybeSealState() {
+	sc := n.cfg.State
+	if sc == nil {
+		return
+	}
+	if time.Since(n.lastSeal) < sc.sealEvery() {
+		return
+	}
+	n.lastSeal = time.Now()
+	m := sc.Machine
+	if m.NextSlot() == 0 || m.NextSlot() == n.lastSealedSlot {
+		// Nothing applied since the last seal — but the chains keep
+		// growing under an idle state, so keep cutting history, and keep
+		// the served base/horizon in step with the cut: a joiner installs
+		// exactly what we serve, and its delta pull can only resume from
+		// a horizon whose successors we still hold.
+		if n.maybePruneState() {
+			if cur := n.ServedSnapshot(); cur != nil {
+				n.setServed(&syncsvc.ServedSnapshot{
+					Signed:  cur.Signed,
+					Chunks:  cur.Chunks,
+					Base:    n.cfg.Store.Base(),
+					Horizon: n.cfg.Store.Horizon(),
+				})
+			}
+		}
+		return
+	}
+	// Seal and export back-to-back on the loop goroutine: the tree
+	// cannot move between the two, so the chunks match the signed root.
+	commit := m.Seal()
+	chunks := state.Export(m.Tree(), sc.chunkBytes())
+	n.lastSealedSlot = commit.Slot
+	n.cfg.Store.SetStateCheckpoint(&store.StateCheckpoint{
+		Slot:   commit.Slot,
+		Root:   commit.Root,
+		Chunks: chunks,
+	})
+	n.maybePruneState()
+	// Publish after the prune so the served base/horizon reflect it.
+	n.setServed(&syncsvc.ServedSnapshot{
+		Signed:  state.SignCommit(commit, sc.Signer),
+		Chunks:  chunks,
+		Base:    n.cfg.Store.Base(),
+		Horizon: n.cfg.Store.Horizon(),
+	})
+}
+
+// maybePruneState cuts journaled history PruneKeepSeqs below every
+// builder's tip, keyed off the watermark tracker's O(#builders) horizon.
+// Reports whether the store's horizon actually advanced. Prune failure
+// is recorded, not fatal: the store stays valid at its old horizon
+// (PruneTo is crash-atomic) and the next seal retries.
+func (n *Node) maybePruneState() bool {
+	sc := n.cfg.State
+	if sc.PruneKeepSeqs == 0 {
+		return false
+	}
+	if n.cfg.Store.StateCheckpoint() == nil {
+		// No sealed state journaled yet — a pruned store must always
+		// carry the checkpoint that stands in for the cut history, and
+		// PruneTo enforces exactly that. The idle-path prune can tick
+		// before the first seal; skip until one lands.
+		return false
+	}
+	current := n.cfg.Store.Horizon()
+	horizon := make(map[types.ServerID]uint64)
+	for builder, next := range n.tracker.Horizon() {
+		if next <= sc.PruneKeepSeqs {
+			continue
+		}
+		if h := next - sc.PruneKeepSeqs; h > current[builder] {
+			horizon[builder] = h
+		}
+	}
+	if len(horizon) == 0 {
+		return false // nothing new to cut
+	}
+	_, err := n.cfg.Store.PruneTo(n.cfg.Server.DAG(), horizon)
+	n.recordErr(err)
+	return err == nil
+}
+
+// validateState cross-checks the state wiring at New time.
+func validateState(cfg *Config) error {
+	if cfg.State == nil {
+		return nil
+	}
+	switch {
+	case cfg.State.Machine == nil:
+		return errors.New("node: StateSyncConfig needs a Machine")
+	case cfg.State.Signer == nil:
+		return errors.New("node: StateSyncConfig needs a Signer")
+	case cfg.Store == nil:
+		return errors.New("node: StateSyncConfig needs Config.Store (commitments journal through the store checkpoint path)")
+	}
+	return nil
+}

@@ -23,6 +23,12 @@ const (
 
 	kindWAL  byte = 1
 	kindSnap byte = 2
+	// kindSnap2 is the extended snapshot segment (same .snap extension):
+	// prune horizon, pruned-history base table, state commitment and its
+	// snapshot chunks, then the retained blocks. Written whenever the
+	// store carries a horizon or a state checkpoint; plain stores keep
+	// writing kindSnap, byte-compatible with every earlier release.
+	kindSnap2 byte = 3
 
 	// recHeaderSize frames one WAL record: length + CRC32.
 	recHeaderSize = 4 + 4
@@ -125,7 +131,7 @@ func checkHeader(data []byte, path string) (byte, error) {
 		return 0, fmt.Errorf("%w: %s: bad header", ErrCorrupt, path)
 	}
 	kind := data[len(segMagic)]
-	if kind != kindWAL && kind != kindSnap {
+	if kind != kindWAL && kind != kindSnap && kind != kindSnap2 {
 		return 0, fmt.Errorf("%w: %s: unknown kind %d", ErrCorrupt, path, kind)
 	}
 	return kind, nil
@@ -254,6 +260,12 @@ func ScanDir(dir string) ([]*block.Block, error) {
 				return nil, err
 			}
 			admit(bs)
+		case kindSnap2:
+			sv, err := decodeSnapshotV2(data, sf.path)
+			if err != nil {
+				return nil, err
+			}
+			admit(sv.blocks)
 		case kindWAL:
 			admit(scanWAL(data).blocks)
 		}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"blockdag/internal/block"
@@ -119,6 +120,16 @@ type Store struct {
 	recovered []*block.Block
 	present   map[block.Ref]struct{}
 	report    OpenReport
+
+	// Pruned-history state, journaled in kindSnap2 snapshots. horizon is
+	// the sticky per-builder prune floor: once PruneTo raises it, every
+	// later Checkpoint retains only blocks at seq >= horizon[builder], so
+	// an ordinary checkpoint can never resurrect pruned history. base is
+	// the stand-in table under the horizon (dag.Base), stateCkpt the
+	// latest journaled state commitment.
+	horizon   map[types.ServerID]uint64
+	base      []dag.Base
+	stateCkpt *StateCheckpoint
 
 	// Evidence sidecar state (see evidence.go): recovered + appended
 	// equivocation proofs, one per equivocator, and the append handle.
@@ -292,6 +303,29 @@ func (s *Store) recover() error {
 			}
 			s.report.HasSnapshot = true
 			s.report.SnapshotIndex = sf.index
+		case kindSnap2:
+			if !sf.snap {
+				return fmt.Errorf("%w: %s: kind/extension mismatch", ErrCorrupt, sf.path)
+			}
+			sv, err := decodeSnapshotV2(data, sf.path)
+			if err != nil {
+				return err
+			}
+			// Seed the validation DAG with the pruned-history base first:
+			// the retained blocks reference it, and revalidation needs the
+			// stand-ins in place before the first admit. The snapshot is
+			// always the first segment replayed, so the DAG is empty here.
+			if err := d.SeedBase(sv.base); err != nil {
+				return fmt.Errorf("store: seed recovered base: %w", err)
+			}
+			if err := s.admit(d, sv.blocks); err != nil {
+				return err
+			}
+			s.horizon = sv.horizon
+			s.base = sv.base
+			s.stateCkpt = sv.state
+			s.report.HasSnapshot = true
+			s.report.SnapshotIndex = sf.index
 		case kindWAL:
 			if sf.snap {
 				return fmt.Errorf("%w: %s: kind/extension mismatch", ErrCorrupt, sf.path)
@@ -372,6 +406,38 @@ func (s *Store) Report() OpenReport { return s.report }
 // suitable for core.Server.Restore. The slice is shared; treat it as
 // read-only.
 func (s *Store) Blocks() []*block.Block { return s.recovered }
+
+// Base returns the pruned-history base table recovered from the newest
+// snapshot, ordered by (builder, seq); nil for an unpruned store. A
+// server restoring from a pruned store must SeedBase these into its DAG
+// before replaying Blocks.
+func (s *Store) Base() []dag.Base { return append([]dag.Base(nil), s.base...) }
+
+// Horizon returns the sticky per-builder prune horizon — the first
+// retained sequence number per builder — or nil when no history has been
+// pruned.
+func (s *Store) Horizon() map[types.ServerID]uint64 {
+	if len(s.horizon) == 0 {
+		return nil
+	}
+	out := make(map[types.ServerID]uint64, len(s.horizon))
+	for id, h := range s.horizon {
+		out[id] = h
+	}
+	return out
+}
+
+// StateCheckpoint returns the journaled state commitment and its
+// snapshot chunks, nil if none was ever set. After recovering a pruned
+// store this is the only way to rebuild the application state — the
+// blocks that produced it are gone.
+func (s *Store) StateCheckpoint() *StateCheckpoint { return s.stateCkpt }
+
+// SetStateCheckpoint records the latest sealed state commitment. It
+// becomes durable at the next Checkpoint or PruneTo rather than
+// immediately: until then the same state is reproducible by replaying
+// the journal, so nothing is lost in a crash.
+func (s *Store) SetStateCheckpoint(sc *StateCheckpoint) { s.stateCkpt = sc }
 
 // Len returns the number of distinct blocks the store holds (recovered
 // plus appended).
@@ -758,7 +824,22 @@ func (s *Store) Checkpoint(d *dag.DAG) (CompactStats, error) {
 	stats.BytesBefore = before
 
 	blocks := d.Blocks()
-	enc, err := encodeSnapshot(blocks)
+	var enc []byte
+	var base []dag.Base
+	if len(s.horizon) == 0 && s.stateCkpt == nil {
+		// Plain store: keep writing the v1 format, byte-compatible with
+		// every earlier release.
+		enc, err = encodeSnapshot(blocks)
+	} else {
+		// The horizon is sticky: filter d at write time, so a checkpoint
+		// from a DAG that still holds full history in memory (prune while
+		// running) cannot resurrect segments PruneTo already deleted.
+		blocks, base, err = pruneSet(d, s.horizon)
+		if err != nil {
+			return stats, err
+		}
+		enc, err = encodeSnapshotV2(blocks, base, s.horizon, s.stateCkpt)
+	}
 	if err != nil {
 		return stats, err
 	}
@@ -802,6 +883,9 @@ func (s *Store) Checkpoint(d *dag.DAG) (CompactStats, error) {
 	for _, b := range blocks {
 		s.present[b.Ref()] = struct{}{}
 	}
+	if base != nil {
+		s.base = base
+	}
 	s.walSegs = 0
 	after, err := s.DiskSize()
 	if err != nil {
@@ -810,6 +894,173 @@ func (s *Store) Checkpoint(d *dag.DAG) (CompactStats, error) {
 	stats.BytesAfter = after
 	stats.Blocks = len(blocks)
 	return stats, nil
+}
+
+// pruneSet splits d's blocks at the horizon: the retained blocks (seq >=
+// horizon[builder], in topological order) plus the base table — every
+// pruned or already-base reference a retained block carries, and the
+// per-builder frontier at horizon-1 so each chain's first live block
+// above the horizon finds its parent even before anything references it.
+func pruneSet(d *dag.DAG, horizon map[types.ServerID]uint64) ([]*block.Block, []dag.Base, error) {
+	all := d.Blocks()
+	retained := make([]*block.Block, 0, len(all))
+	baseSet := make(map[block.Ref]dag.Base)
+	frontier := make(map[types.ServerID]bool, len(horizon))
+	for _, b := range all {
+		h := horizon[b.Builder]
+		if b.Seq >= h {
+			retained = append(retained, b)
+			continue
+		}
+		if h > 0 && b.Seq == h-1 {
+			baseSet[b.Ref()] = dag.Base{Builder: b.Builder, Seq: b.Seq, Ref: b.Ref()}
+			frontier[b.Builder] = true
+		}
+	}
+	for _, e := range d.Base() {
+		h := horizon[e.Builder]
+		if e.Seq >= h {
+			// A previously seeded stand-in above the current horizon: keep
+			// it, retained blocks may hang off it.
+			baseSet[e.Ref] = e
+			if e.Seq == d.BaseHorizon()[e.Builder]-1 {
+				frontier[e.Builder] = true
+			}
+			continue
+		}
+		if h > 0 && e.Seq == h-1 {
+			baseSet[e.Ref] = e
+			frontier[e.Builder] = true
+		}
+	}
+	for id, h := range horizon {
+		if h > 0 && !frontier[id] {
+			return nil, nil, fmt.Errorf("store: prune horizon %d for builder %v but no block at seq %d", h, id, h-1)
+		}
+	}
+	for _, b := range retained {
+		for _, p := range b.Preds {
+			if _, done := baseSet[p]; done {
+				continue
+			}
+			if pb, ok := d.Get(p); ok {
+				if pb.Seq >= horizon[pb.Builder] {
+					continue // retained itself
+				}
+				baseSet[p] = dag.Base{Builder: pb.Builder, Seq: pb.Seq, Ref: p}
+				continue
+			}
+			if e, ok := d.BaseRef(p); ok {
+				baseSet[p] = e
+				continue
+			}
+			return nil, nil, fmt.Errorf("store: retained block %v references unknown predecessor %v", b.Ref(), p)
+		}
+	}
+	base := make([]dag.Base, 0, len(baseSet))
+	for _, e := range baseSet {
+		base = append(base, e)
+	}
+	sort.Slice(base, func(i, j int) bool {
+		if base[i].Builder != base[j].Builder {
+			return base[i].Builder < base[j].Builder
+		}
+		if base[i].Seq != base[j].Seq {
+			return base[i].Seq < base[j].Seq
+		}
+		return bytesLess(base[i].Ref, base[j].Ref)
+	})
+	return retained, base, nil
+}
+
+// bytesLess orders two refs lexicographically, a deterministic
+// tie-break for equivocating duplicates at one (builder, seq) slot.
+func bytesLess(a, b block.Ref) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// PruneTo raises the store's sticky prune horizon (per-builder maximum
+// with the current one) and checkpoints d under it, deleting every
+// segment below: disk drops to O(state + recent DAG). It refuses to run
+// without a state checkpoint (SetStateCheckpoint) — a pruned store
+// could not otherwise rebuild its application state, since the blocks
+// that produced it are gone.
+//
+// Crash safety is inherited from Checkpoint: the snapshot rename is the
+// single commit point, so a crash at any moment recovers to either the
+// old horizon (old segments still rule) or the new one (the snapshot
+// rules and Open sweeps the leftovers) — never a torn middle. Callers
+// must only prune below quiescent points of the protocol (committed
+// state the roster has sealed); the store cannot check that.
+func (s *Store) PruneTo(d *dag.DAG, horizon map[types.ServerID]uint64) (CompactStats, error) {
+	if s.closed {
+		return CompactStats{}, errors.New("store: prune after Close")
+	}
+	if s.opts.ReadOnly {
+		return CompactStats{}, errors.New("store: prune on read-only store")
+	}
+	if s.stateCkpt == nil {
+		return CompactStats{}, errors.New("store: PruneTo without a state checkpoint")
+	}
+	merged := make(map[types.ServerID]uint64, len(s.horizon)+len(horizon))
+	for id, h := range s.horizon {
+		merged[id] = h
+	}
+	for id, h := range horizon {
+		if h > merged[id] {
+			merged[id] = h
+		}
+	}
+	old := s.horizon
+	s.horizon = merged
+	stats, err := s.Checkpoint(d)
+	if err != nil {
+		s.horizon = old
+		return stats, err
+	}
+	return stats, nil
+}
+
+// InstallSnapshot writes a brand-new pruned store at dir holding no
+// blocks: just the horizon, the base table the first live blocks will
+// hang off, and the certified state checkpoint. This is the install
+// step of snapshot catch-up — a joining node verified the fetched state
+// against a roster-certified root, and persists it before switching to
+// delta follow. dir must not already contain a store; the snapshot is
+// written to a temp file, fsynced and renamed, so a crash mid-install
+// leaves either no store or a complete one.
+func InstallSnapshot(dir string, horizon map[types.ServerID]uint64, base []dag.Base, sc *StateCheckpoint) error {
+	if sc == nil {
+		return errors.New("store: InstallSnapshot needs a state checkpoint")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	if len(segs) > 0 {
+		return fmt.Errorf("store: InstallSnapshot into non-empty store %s", dir)
+	}
+	enc, err := encodeSnapshotV2(nil, base, horizon, sc)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, segName(1, true))
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, enc); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: publish installed snapshot: %w", err)
+	}
+	return syncDir(dir)
 }
 
 // Close seals the live segment, fsyncing unless the policy is SyncNever.

@@ -1,6 +1,7 @@
 package syncsvc_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"blockdag/internal/dag"
 	"blockdag/internal/gossip"
 	"blockdag/internal/simnet"
+	"blockdag/internal/state"
 	"blockdag/internal/syncsvc"
 	"blockdag/internal/transport"
 	"blockdag/internal/types"
@@ -153,4 +155,68 @@ func BenchmarkPullValidate(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(backlog)*float64(b.N)/b.Elapsed().Seconds(), "blocks/s")
+}
+
+// BenchmarkSnapshotSync measures the snapshot tier end to end over the
+// simulator: one meta query, then the chunk stream, every chunk verified
+// structurally on arrival and the whole content hashed against the
+// certified root (Builder.Finish). This is the fixed-cost floor a wiped
+// replica pays before its delta pull — O(state), independent of how much
+// history was pruned, which is the point of the tier.
+func BenchmarkSnapshotSync(b *testing.B) {
+	const entries = 5000
+	_, signers, err := crypto.LocalRoster(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := state.NewTree()
+	for i := 0; i < entries; i++ {
+		key := []byte(fmt.Sprintf("account/%06d", i))
+		tr.Put(key, []byte{byte(i), byte(i >> 8), byte(i >> 16), 0x42})
+	}
+	root := tr.Root()
+	ss := &syncsvc.ServedSnapshot{
+		Signed: state.SignCommit(state.Commit{Slot: 1000, Root: root}, signers[0]),
+		Chunks: state.Export(tr, 32<<10),
+	}
+	var virtual time.Duration
+	var msgs int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := simnet.New(simnet.WithSeed(1))
+		net.RegisterHandler(0, transport.ChanSync, &syncsvc.Server{
+			Snapshot: func() *syncsvc.ServedSnapshot { return ss },
+		})
+		q := syncsvc.NewSnapMetaQuery()
+		net.Transport(1).Call(0, transport.ChanSync, syncsvc.EncodeSnapMetaRequest(), q)
+		if !net.RunUntil(q.Done) {
+			b.Fatal("meta query did not finish")
+		}
+		meta, err := q.Result()
+		if err != nil {
+			b.Fatal(err)
+		}
+		builder := state.NewBuilder(meta.Signed.Commit.Root)
+		pull := syncsvc.NewSnapChunkPull(builder)
+		net.Transport(1).Call(0, transport.ChanSync, pull.Request(meta.Signed.Commit.Root), pull)
+		if !net.RunUntil(pull.Done) {
+			b.Fatal("chunk stream did not finish")
+		}
+		if _, err := pull.Result(); err != nil {
+			b.Fatal(err)
+		}
+		tree, err := builder.Finish()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tree.Root() != root {
+			b.Fatal("rebuilt root mismatch")
+		}
+		s := net.Stats()
+		virtual, msgs = net.Now(), s.Calls+s.CallFrames
+	}
+	b.ReportMetric(float64(virtual.Milliseconds()), "virtual-ms")
+	b.ReportMetric(float64(msgs), "net-msgs")
+	b.ReportMetric(float64(entries)*float64(b.N)/b.Elapsed().Seconds(), "entries/s")
 }

@@ -185,11 +185,18 @@ func (q *WatermarkQuery) Result() ([]Watermark, error) {
 func DeltaIfBehind(roster *crypto.Roster, d *dag.DAG, horizon map[types.ServerID]uint64, peer []Watermark, maxBlocks int) (*Pull, error) {
 	if horizon == nil {
 		horizon = Horizon(d.All())
+		// A pruned DAG holds nothing below its base horizon, but is not
+		// behind there either: the certified snapshot covers it.
+		for builder, h := range d.BaseHorizon() {
+			if h > horizon[builder] {
+				horizon[builder] = h
+			}
+		}
 	}
 	if !Behind(horizon, peer) {
 		return nil, nil
 	}
-	return NewPullTrusted(roster, d.Blocks(), maxBlocks)
+	return NewPullFrom(roster, d.Base(), d.Blocks(), maxBlocks)
 }
 
 // AbsorbPull feeds every validated block of a settled pull to absorb
@@ -256,6 +263,26 @@ type trackedChain struct {
 // blocks recovered from the store in replay order.
 func NewWatermarkTracker() *WatermarkTracker {
 	return &WatermarkTracker{chains: make(map[types.ServerID]*trackedChain)}
+}
+
+// SeedHorizon primes the tracker at a pruned store's horizon: each
+// builder's counter starts at its first retained sequence number, so
+// the advertised vector claims the pruned prefix (covered by the
+// certified snapshot) without ever having observed it. Call once,
+// before any Observe; counters only move forward.
+func (t *WatermarkTracker) SeedHorizon(horizon map[types.ServerID]uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for builder, h := range horizon {
+		c := t.chains[builder]
+		if c == nil {
+			c = &trackedChain{}
+			t.chains[builder] = c
+		}
+		if h > c.next {
+			c.next = h
+		}
+	}
 }
 
 // Observe records one block now held durably. Call in insertion order.

@@ -1,0 +1,564 @@
+package syncsvc_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"blockdag/internal/block"
+	"blockdag/internal/crypto"
+	"blockdag/internal/dag"
+	"blockdag/internal/simnet"
+	"blockdag/internal/state"
+	"blockdag/internal/syncsvc"
+	"blockdag/internal/tcpnet"
+	"blockdag/internal/transport"
+	"blockdag/internal/types"
+)
+
+// snapFixture is a sealed state snapshot as a serving peer would hold
+// it: the tree, its export chunks, and the commit the peers sign.
+type snapFixture struct {
+	tree   *state.Tree
+	chunks [][]byte
+	commit state.Commit
+}
+
+// buildSnapFixture seals a deterministic tree of n keys into small
+// chunks (so streams span several frames).
+func buildSnapFixture(t testing.TB, n int, slot uint64) *snapFixture {
+	t.Helper()
+	tr := state.NewTree()
+	for i := 0; i < n; i++ {
+		key := []byte("account/" + strings.Repeat("k", i%7) + string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune('A'+(i/260)%26)))
+		tr.Put(key, []byte{byte(i), byte(i >> 8), 0xAB})
+	}
+	return &snapFixture{
+		tree:   tr,
+		chunks: state.Export(tr, 256),
+		commit: state.Commit{Slot: slot, Root: tr.Root()},
+	}
+}
+
+// served builds the ServedSnapshot peer id would offer for the fixture.
+func (f *snapFixture) served(t testing.TB, signer *crypto.Signer) *syncsvc.ServedSnapshot {
+	t.Helper()
+	return &syncsvc.ServedSnapshot{
+		Signed: state.SignCommit(f.commit, signer),
+		Chunks: f.chunks,
+	}
+}
+
+// TestSnapMetaFrameRoundTrip: the meta frame survives encode/decode with
+// every field populated, and the "no snapshot" answer round-trips too.
+func TestSnapMetaFrameRoundTrip(t *testing.T) {
+	roster, signers, err := crypto.LocalRoster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix := buildSnapFixture(t, 40, 77)
+	ss := fix.served(t, signers[2])
+	ss.Horizon = map[types.ServerID]uint64{0: 5, 2: 9}
+	ss.Base = []dag.Base{{Builder: 0, Seq: 4, Ref: block.Ref{1, 2, 3}}}
+
+	m, err := syncsvc.DecodeSnapMetaFrame(syncsvc.EncodeSnapMetaFrame(ss))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Has || m.NumChunks != uint64(len(fix.chunks)) {
+		t.Fatalf("meta = %+v", m)
+	}
+	if m.Signed.Commit != fix.commit {
+		t.Fatalf("commit = %+v, want %+v", m.Signed.Commit, fix.commit)
+	}
+	if err := m.Signed.Verify(roster); err != nil {
+		t.Fatalf("signature did not survive the round trip: %v", err)
+	}
+	if len(m.Horizon) != 2 || m.Horizon[0] != 5 || m.Horizon[2] != 9 {
+		t.Fatalf("horizon = %v", m.Horizon)
+	}
+	if len(m.Base) != 1 || m.Base[0] != ss.Base[0] {
+		t.Fatalf("base = %v", m.Base)
+	}
+
+	empty, err := syncsvc.DecodeSnapMetaFrame(syncsvc.EncodeSnapMetaFrame(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Has {
+		t.Fatal("nil snapshot decoded as present")
+	}
+}
+
+// TestSnapshotStreamOverSimnet: the happy path of the snapshot tier as
+// two calls — meta query, then a chunk stream feeding a builder whose
+// Finish reproduces the certified root byte for byte.
+func TestSnapshotStreamOverSimnet(t *testing.T) {
+	_, signers, err := crypto.LocalRoster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix := buildSnapFixture(t, 120, 50)
+	ss := fix.served(t, signers[0])
+
+	net := simnet.New(simnet.WithSeed(4))
+	net.RegisterHandler(0, transport.ChanSync, &syncsvc.Server{
+		Snapshot: func() *syncsvc.ServedSnapshot { return ss },
+	})
+
+	q := syncsvc.NewSnapMetaQuery()
+	net.Transport(1).Call(0, transport.ChanSync, syncsvc.EncodeSnapMetaRequest(), q)
+	if !net.RunUntil(q.Done) {
+		t.Fatal("meta query did not finish")
+	}
+	meta, err := q.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.Has || meta.NumChunks != uint64(len(fix.chunks)) {
+		t.Fatalf("meta = %+v", meta)
+	}
+
+	builder := state.NewBuilder(meta.Signed.Commit.Root)
+	pull := syncsvc.NewSnapChunkPull(builder)
+	net.Transport(1).Call(0, transport.ChanSync, pull.Request(meta.Signed.Commit.Root), pull)
+	if !net.RunUntil(pull.Done) {
+		t.Fatal("chunk stream did not finish")
+	}
+	accepted, err := pull.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accepted) != len(fix.chunks) {
+		t.Fatalf("accepted %d chunks, want %d", len(accepted), len(fix.chunks))
+	}
+	tree, err := builder.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root() != fix.commit.Root {
+		t.Fatal("rebuilt tree root differs from the certified root")
+	}
+	if !tree.Equal(fix.tree) {
+		t.Fatal("rebuilt tree content differs from the source")
+	}
+}
+
+// TestSnapshotStreamRejectsReorderedChunk: a peer serving chunks out of
+// order is caught at the first wrong chunk — explicitly, with the
+// builder untouched by the bad chunk — and the stream resumes against
+// an honest peer from exactly the rejection point.
+func TestSnapshotStreamRejectsReorderedChunk(t *testing.T) {
+	_, signers, err := crypto.LocalRoster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix := buildSnapFixture(t, 120, 50)
+	if len(fix.chunks) < 3 {
+		t.Fatalf("fixture too small: %d chunks", len(fix.chunks))
+	}
+	honest := fix.served(t, signers[0])
+
+	reordered := fix.served(t, signers[1])
+	reordered.Chunks = append([][]byte(nil), fix.chunks...)
+	reordered.Chunks[1], reordered.Chunks[2] = reordered.Chunks[2], reordered.Chunks[1]
+
+	net := simnet.New(simnet.WithSeed(7))
+	net.RegisterHandler(0, transport.ChanSync, &syncsvc.Server{
+		Snapshot: func() *syncsvc.ServedSnapshot { return reordered },
+	})
+	net.RegisterHandler(1, transport.ChanSync, &syncsvc.Server{
+		Snapshot: func() *syncsvc.ServedSnapshot { return honest },
+	})
+
+	builder := state.NewBuilder(fix.commit.Root)
+	pull := syncsvc.NewSnapChunkPull(builder)
+	net.Transport(2).Call(0, transport.ChanSync, pull.Request(fix.commit.Root), pull)
+	net.RunUntil(pull.Done)
+	if _, perr := pull.Result(); perr == nil {
+		t.Fatal("reordered chunk stream accepted")
+	} else if !strings.Contains(perr.Error(), "rejected") {
+		t.Fatalf("err = %v, want an explicit chunk rejection", perr)
+	}
+	// Chunk 0 applied, the swap rejected at stream position 1: the
+	// builder must sit exactly at the rejection point — nothing partial.
+	if builder.NextChunk() != 1 {
+		t.Fatalf("builder at chunk %d after rejection, want 1", builder.NextChunk())
+	}
+
+	// Resume against the honest peer: the request carries the builder's
+	// position, so only the tail is re-streamed, and Finish verifies the
+	// whole content against the certified root.
+	resume := syncsvc.NewSnapChunkPull(builder)
+	net.Transport(2).Call(1, transport.ChanSync, resume.Request(fix.commit.Root), resume)
+	if !net.RunUntil(resume.Done) {
+		t.Fatal("resume stream did not finish")
+	}
+	tail, rerr := resume.Result()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(tail) != len(fix.chunks)-1 {
+		t.Fatalf("resume re-streamed %d chunks, want the %d missing ones", len(tail), len(fix.chunks)-1)
+	}
+	tree, err := builder.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root() != fix.commit.Root {
+		t.Fatal("resumed tree root differs from the certified root")
+	}
+}
+
+// TestSnapshotStreamRejectsTamperedChunk: a bit-flip inside a chunk's
+// entry data breaks the exporter's key-hash ordering invariant (or the
+// encoding itself) and is refused at Add time — never applied and then
+// discovered later.
+func TestSnapshotStreamRejectsTamperedChunk(t *testing.T) {
+	_, signers, err := crypto.LocalRoster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix := buildSnapFixture(t, 120, 50)
+	tampered := fix.served(t, signers[0])
+	tampered.Chunks = append([][]byte(nil), fix.chunks...)
+	// Flip the chunk-index varint of chunk 1 so it claims to be a
+	// different position in the stream.
+	c := append([]byte(nil), fix.chunks[1]...)
+	c[0] ^= 0x07
+	tampered.Chunks[1] = c
+
+	net := simnet.New(simnet.WithSeed(7))
+	net.RegisterHandler(0, transport.ChanSync, &syncsvc.Server{
+		Snapshot: func() *syncsvc.ServedSnapshot { return tampered },
+	})
+	builder := state.NewBuilder(fix.commit.Root)
+	pull := syncsvc.NewSnapChunkPull(builder)
+	net.Transport(2).Call(0, transport.ChanSync, pull.Request(fix.commit.Root), pull)
+	net.RunUntil(pull.Done)
+	if _, perr := pull.Result(); perr == nil {
+		t.Fatal("tampered chunk stream accepted")
+	}
+	if builder.NextChunk() != 1 {
+		t.Fatalf("builder at chunk %d, want 1 (tamper never applied)", builder.NextChunk())
+	}
+}
+
+// truncatingSnapHandler streams a prefix of the chunks and closes
+// without the done frame — a peer dying (or lying) mid-stream.
+type truncatingSnapHandler struct {
+	chunks [][]byte
+	keep   int
+}
+
+func (h truncatingSnapHandler) ServeCall(_ types.ServerID, _ []byte, st transport.ServerStream) {
+	for _, c := range h.chunks[:h.keep] {
+		if err := st.Send(syncsvc.EncodeSnapChunkFrame(c)); err != nil {
+			return
+		}
+	}
+	st.Close(nil)
+}
+
+// TestSnapshotStreamTruncatedFlagged: a clean close without the done
+// frame is an error, but the verified prefix stays in the builder so
+// the next attempt resumes instead of restarting.
+func TestSnapshotStreamTruncatedFlagged(t *testing.T) {
+	fix := buildSnapFixture(t, 120, 50)
+	if len(fix.chunks) < 3 {
+		t.Fatalf("fixture too small: %d chunks", len(fix.chunks))
+	}
+	net := simnet.New(simnet.WithSeed(3))
+	net.RegisterHandler(0, transport.ChanSync, truncatingSnapHandler{chunks: fix.chunks, keep: 2})
+
+	builder := state.NewBuilder(fix.commit.Root)
+	pull := syncsvc.NewSnapChunkPull(builder)
+	net.Transport(1).Call(0, transport.ChanSync, pull.Request(fix.commit.Root), pull)
+	net.RunUntil(pull.Done)
+	if _, perr := pull.Result(); perr == nil {
+		t.Fatal("truncated chunk stream not flagged")
+	}
+	if builder.NextChunk() != 2 {
+		t.Fatalf("builder at chunk %d, want the 2 verified prefix chunks kept", builder.NextChunk())
+	}
+}
+
+// TestServeSnapChunksWrongRoot: a chunk request for a root the server no
+// longer holds fails loudly instead of serving mismatched chunks.
+func TestServeSnapChunksWrongRoot(t *testing.T) {
+	_, signers, err := crypto.LocalRoster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix := buildSnapFixture(t, 40, 50)
+	ss := fix.served(t, signers[0])
+
+	net := simnet.New(simnet.WithSeed(3))
+	net.RegisterHandler(0, transport.ChanSync, &syncsvc.Server{
+		Snapshot: func() *syncsvc.ServedSnapshot { return ss },
+	})
+	var stale [32]byte
+	stale[0] = 0xFF
+	builder := state.NewBuilder(stale)
+	pull := syncsvc.NewSnapChunkPull(builder)
+	net.Transport(1).Call(0, transport.ChanSync, pull.Request(stale), pull)
+	net.RunUntil(pull.Done)
+	_, perr := pull.Result()
+	if perr == nil {
+		t.Fatal("stale-root chunk request served")
+	}
+	if !strings.Contains(perr.Error(), "re-query") {
+		t.Fatalf("err = %v, want the re-query hint", perr)
+	}
+}
+
+// TestDAGWatermarksPruned: a base-seeded DAG advertises watermarks that
+// count the pruned prefix as held — from the base alone, and from base
+// plus live blocks above it.
+func TestDAGWatermarksPruned(t *testing.T) {
+	roster, blocks := buildChain(t, 10)
+	base := []dag.Base{{Builder: 0, Seq: 4, Ref: blocks[4].Ref()}}
+
+	d := dag.New(roster)
+	if err := d.SeedBase(base); err != nil {
+		t.Fatal(err)
+	}
+	// Base alone: the builder's chain is claimed up to the horizon.
+	wms := syncsvc.DAGWatermarks(d)
+	if len(wms) != 1 || wms[0] != (syncsvc.Watermark{Builder: 0, NextSeq: 5}) {
+		t.Fatalf("base-only watermarks = %+v", wms)
+	}
+	// Live blocks above the base extend the claim contiguously.
+	for _, b := range blocks[5:] {
+		if err := d.Insert(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wms = syncsvc.DAGWatermarks(d)
+	if len(wms) != 1 || wms[0] != (syncsvc.Watermark{Builder: 0, NextSeq: 10}) {
+		t.Fatalf("watermarks = %+v", wms)
+	}
+}
+
+// TestPullFromBaseSeeded: a pruned joiner's delta pull advertises its
+// base horizon, receives only the blocks above it, and validates them
+// against the base-seeded scratch DAG.
+func TestPullFromBaseSeeded(t *testing.T) {
+	roster, blocks := buildChain(t, 10)
+	st := storeWith(t, t.TempDir(), roster, blocks)
+	defer func() { _ = st.Close() }()
+
+	net := simnet.New(simnet.WithSeed(4))
+	net.RegisterHandler(0, transport.ChanSync, &syncsvc.Server{Store: st})
+
+	base := []dag.Base{{Builder: 0, Seq: 4, Ref: blocks[4].Ref()}}
+	pull, err := syncsvc.NewPullFrom(roster, base, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Transport(1).Call(0, transport.ChanSync, pull.Request(), pull)
+	if !net.RunUntil(pull.Done) {
+		t.Fatal("delta stream did not finish")
+	}
+	got, perr := pull.Result()
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if len(got) != 5 {
+		t.Fatalf("delta pull returned %d blocks, want the 5 above the base", len(got))
+	}
+	for i, b := range got {
+		if b.Seq != uint64(5+i) {
+			t.Fatalf("block %d has seq %d", i, b.Seq)
+		}
+	}
+	// The delta must insert into a base-seeded DAG — the joiner's state.
+	d := dag.New(roster)
+	if err := d.SeedBase(base); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if err := d.Insert(b); err != nil {
+			t.Fatalf("replay onto base: %v", err)
+		}
+	}
+}
+
+// snapTCPPeer spins up one TCP listener serving a ServedSnapshot on the
+// sync channel.
+func snapTCPPeer(t *testing.T, self types.ServerID, ss *syncsvc.ServedSnapshot) *tcpnet.Transport {
+	t.Helper()
+	ep := map[transport.Channel]transport.Endpoint{transport.ChanGossip: nopEndpoint{}}
+	tr, err := tcpnet.Listen(tcpnet.Config{
+		Self: self, ListenAddr: "127.0.0.1:0", Endpoints: ep,
+		Handlers: map[transport.Channel]transport.Handler{
+			transport.ChanSync: &syncsvc.Server{Snapshot: func() *syncsvc.ServedSnapshot { return ss }},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tr.Close() })
+	return tr
+}
+
+// TestFetchSnapshotOverTCP: the blocking snapshot-join helper gathers a
+// certificate from the peers' own signed commits and survives the
+// lowest-ID certified peer serving a consistent lie — chunks that
+// verify structurally but hash to a different root — by moving to the
+// next certified peer.
+func TestFetchSnapshotOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test with real sockets")
+	}
+	roster, signers, err := crypto.LocalRoster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix := buildSnapFixture(t, 120, 50)
+
+	// Peer 0 signs the true commit but serves the export of a different
+	// tree: every chunk is structurally valid, the content is a lie.
+	lie := buildSnapFixture(t, 120, 50)
+	lie.tree.Put([]byte("account/evil"), []byte{0xEE})
+	lying := &syncsvc.ServedSnapshot{
+		Signed: state.SignCommit(fix.commit, signers[0]),
+		Chunks: state.Export(lie.tree, 256),
+	}
+	honest1 := fix.served(t, signers[1])
+	honest1.Horizon = map[types.ServerID]uint64{0: 5}
+	honest1.Base = []dag.Base{{Builder: 0, Seq: 4, Ref: block.Ref{9}}}
+	honest2 := fix.served(t, signers[2])
+
+	t0 := snapTCPPeer(t, 0, lying)
+	t1 := snapTCPPeer(t, 1, honest1)
+	t2 := snapTCPPeer(t, 2, honest2)
+
+	ep := map[transport.Channel]transport.Endpoint{transport.ChanGossip: nopEndpoint{}}
+	client, err := tcpnet.Listen(tcpnet.Config{Self: 3, ListenAddr: "127.0.0.1:0", Endpoints: ep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	for id, tr := range map[types.ServerID]*tcpnet.Transport{0: t0, 1: t1, 2: t2} {
+		if err := client.Connect(id, tr.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, err := syncsvc.FetchSnapshot(syncsvc.SnapshotFetchConfig{
+		Transport: client,
+		Roster:    roster,
+		Peers:     []types.ServerID{0, 1, 2},
+		Timeout:   10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("snapshot fetch failed despite two honest certified peers: %v", err)
+	}
+	if got.Commit != fix.commit {
+		t.Fatalf("certified commit = %+v, want %+v", got.Commit, fix.commit)
+	}
+	if got.Tree.Root() != fix.commit.Root {
+		t.Fatal("installed tree root differs from the certified root")
+	}
+	if !got.Tree.Equal(fix.tree) {
+		t.Fatal("installed tree content differs from the source")
+	}
+	if len(got.Cert) < roster.F()+1 {
+		t.Fatalf("certificate has %d commits, want at least %d", len(got.Cert), roster.F()+1)
+	}
+	if !state.CertifiedBy(got.Cert, roster) {
+		t.Fatal("returned certificate does not certify")
+	}
+	// Peer 0's consistent lie failed the root check; the anchor must be
+	// one of the honest peers, with its base/horizon claims attached.
+	if got.Anchor == 0 {
+		t.Fatal("anchor is the lying peer")
+	}
+	if got.Anchor == 1 && (len(got.Base) != 1 || got.Horizon[0] != 5) {
+		t.Fatalf("anchor 1's base/horizon not carried: base=%v horizon=%v", got.Base, got.Horizon)
+	}
+	// The verified chunks are re-journalable: a fresh builder over them
+	// reproduces the same root (what store.InstallSnapshot relies on).
+	rb := state.NewBuilder(got.Commit.Root)
+	for _, c := range got.Chunks {
+		if err := rb.Add(c); err != nil {
+			t.Fatalf("returned chunk rejected on rebuild: %v", err)
+		}
+	}
+	if _, err := rb.Finish(); err != nil {
+		t.Fatalf("returned chunks do not rebuild the certified root: %v", err)
+	}
+}
+
+// TestFetchSnapshotNoQuorum: one signed commit is not a certificate —
+// with f=1 the fetch needs two distinct signers and must refuse to
+// install anything on less.
+func TestFetchSnapshotNoQuorum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test with real sockets")
+	}
+	roster, signers, err := crypto.LocalRoster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix := buildSnapFixture(t, 40, 50)
+	only := fix.served(t, signers[0])
+	t0 := snapTCPPeer(t, 0, only)
+
+	ep := map[transport.Channel]transport.Endpoint{transport.ChanGossip: nopEndpoint{}}
+	client, err := tcpnet.Listen(tcpnet.Config{Self: 3, ListenAddr: "127.0.0.1:0", Endpoints: ep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	if err := client.Connect(0, t0.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ferr := syncsvc.FetchSnapshot(syncsvc.SnapshotFetchConfig{
+		Transport: client,
+		Roster:    roster,
+		Peers:     []types.ServerID{0},
+		Timeout:   5 * time.Second,
+	})
+	if ferr == nil {
+		t.Fatal("single-signer snapshot accepted as certified")
+	}
+	if !strings.Contains(ferr.Error(), "certified") {
+		t.Fatalf("err = %v, want a certification failure", ferr)
+	}
+}
+
+// FuzzDecodeSnapMetaFrame: the meta decoder must never panic and never
+// accept a frame that re-encodes differently — byzantine peers control
+// these bytes entirely.
+func FuzzDecodeSnapMetaFrame(f *testing.F) {
+	roster, signers, err := crypto.LocalRoster(4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = roster
+	fix := buildSnapFixture(f, 30, 9)
+	ss := fix.served(f, signers[1])
+	ss.Horizon = map[types.ServerID]uint64{0: 3}
+	ss.Base = []dag.Base{{Builder: 0, Seq: 2, Ref: block.Ref{4}}}
+	f.Add(syncsvc.EncodeSnapMetaFrame(ss))
+	f.Add(syncsvc.EncodeSnapMetaFrame(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0x04, 0x01})
+	f.Add([]byte{0x04, 0x01, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := syncsvc.DecodeSnapMetaFrame(data)
+		if err != nil {
+			return
+		}
+		if !m.Has {
+			return
+		}
+		if m.NumChunks > 1<<20 {
+			t.Fatalf("decoder accepted %d chunks", m.NumChunks)
+		}
+	})
+}

@@ -82,6 +82,13 @@ const (
 	// sends every period, so a delta stream is only opened when the
 	// peer actually holds something new.
 	reqWatermarks byte = 2
+	// reqSnapMeta asks for the server's sealed state snapshot meta: its
+	// signed (slot, root) commit, chunk count, and pruned-history
+	// position — the first leg of the snapshot tier (see snapshot.go).
+	reqSnapMeta byte = 3
+	// reqSnapChunks opens a chunk stream for a named snapshot root,
+	// resuming at a client-chosen chunk index.
+	reqSnapChunks byte = 4
 
 	// frameBlocks carries a batch of encoded blocks.
 	frameBlocks byte = 1
@@ -91,6 +98,11 @@ const (
 	// frameWatermarks answers a reqWatermarks call: the server's own
 	// watermark vector in one frame.
 	frameWatermarks byte = 3
+	// frameSnapMeta answers a reqSnapMeta call.
+	frameSnapMeta byte = 4
+	// frameSnapChunk carries one snapshot chunk of a reqSnapChunks
+	// stream (closed by frameDone, like a delta stream).
+	frameSnapChunk byte = 5
 
 	// maxWatermarks bounds a request's watermark list (a roster is
 	// uint16-indexed, so this is generous).
@@ -178,20 +190,26 @@ func Watermarks(blocks []*block.Block) []Watermark {
 				return
 			}
 		}
-	})
+	}, nil)
 }
 
 // DAGWatermarks is Watermarks over a DAG's blocks, without materializing
 // them: the vector a live follower sends with its delta pulls. A DAG
 // never holds a gappy chain (the parent rule forces prefix closure), so
-// only equivocating builders are omitted.
+// only equivocating builders are omitted. On a pruned DAG the vector is
+// base-aware: each builder's chain is judged from the prune horizon
+// instead of zero, and a builder whose history is entirely below the
+// horizon still advertises it — a snapshot-restored node does not need
+// (and must not be re-sent) blocks the certified state already covers.
 func DAGWatermarks(d *dag.DAG) []Watermark {
-	return watermarksSeq(d.All())
+	return watermarksSeq(d.All(), d.BaseHorizon())
 }
 
 // watermarksSeq computes the watermark vector over a deduplicated block
-// sequence.
-func watermarksSeq(blocks iter.Seq[*block.Block]) []Watermark {
+// sequence. base, when non-nil, is a per-builder prune horizon: a
+// builder's held blocks are an unbroken chain when they run contiguously
+// from base[builder] (instead of 0) to their max.
+func watermarksSeq(blocks iter.Seq[*block.Block], base map[types.ServerID]uint64) []Watermark {
 	type chain struct {
 		count  int
 		maxSeq uint64
@@ -217,12 +235,24 @@ func watermarksSeq(blocks iter.Seq[*block.Block]) []Watermark {
 	}
 	// Non-nil even when empty: an empty vector is a real answer ("I
 	// hold nothing skippable"), distinct from a nil "no source".
-	wms := make([]Watermark, 0, len(chains))
+	wms := make([]Watermark, 0, len(chains)+len(base))
 	for builder, c := range chains {
-		if c.forked || uint64(c.count) != c.maxSeq+1 {
+		start := base[builder]
+		if c.forked || c.maxSeq < start || uint64(c.count) != c.maxSeq+1-start {
 			continue
 		}
 		wms = append(wms, Watermark{Builder: builder, NextSeq: c.maxSeq + 1})
+	}
+	// Builders pruned below the horizon with no live blocks yet: the
+	// horizon itself is the watermark.
+	for builder, start := range base {
+		if start == 0 {
+			continue
+		}
+		if _, live := chains[builder]; live {
+			continue
+		}
+		wms = append(wms, Watermark{Builder: builder, NextSeq: start})
 	}
 	slices.SortFunc(wms, func(a, b Watermark) int {
 		return int(a.Builder) - int(b.Builder)
@@ -337,6 +367,15 @@ type Server struct {
 	// Clock supplies the bucket's time base (default: wall clock from
 	// first use). Simulations inject their virtual clock.
 	Clock func() time.Duration
+	// Snapshot, if non-nil, serves the snapshot tier: the server's
+	// sealed state snapshot (own signed commit, chunk stream, base and
+	// horizon). Called once per snapshot request and must be safe for
+	// concurrent use when the transport serves handlers concurrently;
+	// the returned value must be immutable once handed out (the node
+	// runtime swaps in a fresh ServedSnapshot per seal). nil — or a nil
+	// return — answers meta queries with "no snapshot" and fails chunk
+	// requests.
+	Snapshot func() *ServedSnapshot
 	// Scores, if non-nil, receives a peerscore.Throttled signal each time
 	// the admission policy refuses a request — sustained hammering of the
 	// sync service erodes the peer's standing in follower peer selection.
@@ -458,6 +497,14 @@ func (s *Server) ServeCall(from types.ServerID, req []byte, st transport.ServerS
 		s.serveWatermarks(st)
 		return
 	}
+	if len(req) == 1 && req[0] == reqSnapMeta {
+		s.serveSnapMeta(st)
+		return
+	}
+	if len(req) > 0 && req[0] == reqSnapChunks {
+		s.serveSnapChunks(req, st)
+		return
+	}
 	wms, err := DecodeRequest(req)
 	if err != nil {
 		st.Close(err)
@@ -577,7 +624,7 @@ var _ transport.CallSink = (*Pull)(nil)
 // (topological order, as recovered from a store; nil for a fresh
 // replica). maxBlocks caps accepted blocks; 0 means DefaultMaxBlocks.
 func NewPull(roster *crypto.Roster, have []*block.Block, maxBlocks int) (*Pull, error) {
-	return newPull(roster, have, maxBlocks, false)
+	return newPull(roster, nil, have, maxBlocks, false)
 }
 
 // NewPullTrusted is NewPull for a seed the caller already validated in
@@ -587,14 +634,27 @@ func NewPull(roster *crypto.Roster, have []*block.Block, maxBlocks int) (*Pull, 
 // work instead of O(DAG). Blocks received from the peer are validated
 // exactly as in NewPull; only the seed is trusted.
 func NewPullTrusted(roster *crypto.Roster, have []*block.Block, maxBlocks int) (*Pull, error) {
-	return newPull(roster, have, maxBlocks, true)
+	return newPull(roster, nil, have, maxBlocks, true)
 }
 
-func newPull(roster *crypto.Roster, have []*block.Block, maxBlocks int, trustSeed bool) (*Pull, error) {
+// NewPullFrom is NewPullTrusted for a client resuming above pruned
+// history: the scratch DAG is seeded with the base stand-ins before the
+// held blocks, so streamed blocks whose predecessors were pruned locally
+// still validate (parent rule against the base, predecessor closure via
+// the snapshot certificate's vouching) and the request's watermarks
+// start at the horizon instead of zero.
+func NewPullFrom(roster *crypto.Roster, base []dag.Base, have []*block.Block, maxBlocks int) (*Pull, error) {
+	return newPull(roster, base, have, maxBlocks, true)
+}
+
+func newPull(roster *crypto.Roster, base []dag.Base, have []*block.Block, maxBlocks int, trustSeed bool) (*Pull, error) {
 	if roster == nil {
 		return nil, errors.New("syncsvc: pull needs a roster")
 	}
 	scratch := dag.New(roster)
+	if err := scratch.SeedBase(base); err != nil {
+		return nil, fmt.Errorf("syncsvc: seed base: %w", err)
+	}
 	for _, b := range have {
 		var err error
 		if trustSeed {
@@ -617,11 +677,12 @@ func newPull(roster *crypto.Roster, have []*block.Block, maxBlocks int, trustSee
 	}, nil
 }
 
-// Request encodes the catch-up request matching the seeded blocks.
+// Request encodes the catch-up request matching the seeded blocks (and
+// the seeded base horizon, for a pull resuming above pruned history).
 func (p *Pull) Request() []byte {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return EncodeRequest(Watermarks(p.scratch.Blocks()))
+	return EncodeRequest(DAGWatermarks(p.scratch))
 }
 
 // OnFrame implements transport.CallSink: decode and validate one batch.
@@ -805,6 +866,12 @@ type FetchConfig struct {
 	Timeout time.Duration
 	// MaxBlocks caps accepted blocks per pull (0 = DefaultMaxBlocks).
 	MaxBlocks int
+	// Base, if non-empty, seeds every pull's validation DAG with a
+	// pruned-history stand-in table (dag.Base): a node restored from a
+	// certified snapshot fetches only the delta above its horizon, and
+	// streamed blocks whose parents live below it still validate. The
+	// have blocks must sit above this base.
+	Base []dag.Base
 }
 
 // Fetch runs bulk catch-up to completion against the configured peers,
@@ -842,7 +909,19 @@ func Fetch(cfg FetchConfig, have []*block.Block) ([]*block.Block, error) {
 	seed := append([]*block.Block(nil), have...)
 	for _, peer := range cfg.Peers {
 		for a := 0; a < attempts; a++ {
-			pull, err := NewPull(cfg.Roster, seed, cfg.MaxBlocks)
+			var (
+				pull *Pull
+				err  error
+			)
+			if len(cfg.Base) > 0 {
+				// Base-seeded joins trust the seed: the store already
+				// revalidated the have blocks against the roster on
+				// recovery, and the base itself is covered by the
+				// certified snapshot.
+				pull, err = NewPullFrom(cfg.Roster, cfg.Base, seed, cfg.MaxBlocks)
+			} else {
+				pull, err = NewPull(cfg.Roster, seed, cfg.MaxBlocks)
+			}
 			if err != nil {
 				return all, err
 			}
